@@ -1,0 +1,58 @@
+"""Ablation benches for SPECTR's design choices (DESIGN.md).
+
+Quantifies what each supervisory mechanism buys on the three-phase
+x264 scenario:
+
+* gain scheduling is load-bearing: without it the manager violates the
+  TDP through essentially the whole disturbance phase;
+* reference regulation trims the residual violations and the emergency
+  response;
+* the supervisor period trades responsiveness for (already negligible)
+  overhead — the paper's 2x choice is on the knee.
+"""
+
+from repro.experiments.ablations import (
+    ablate_mechanisms,
+    ablate_supervisor_period,
+    tdp_violation_fraction,
+)
+
+
+def test_mechanism_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablate_mechanisms, rounds=1, iterations=1)
+    full = result.traces["SPECTR (full)"]
+    no_gs = result.traces["no gain scheduling"]
+    no_rr = result.traces["no reference regulation"]
+
+    # Gain scheduling is what enforces the TDP under disturbance.
+    assert tdp_violation_fraction(full, 2) < 0.25
+    assert tdp_violation_fraction(no_gs, 2) > 0.8
+    # Reference regulation alone is not enough either way, but it
+    # improves on full-minus-it.
+    assert tdp_violation_fraction(no_rr, 2) >= tdp_violation_fraction(
+        full, 2
+    )
+    text = result.format_text() + "\n\nP3 TDP-violation fraction:\n" + "\n".join(
+        f"  {name:28s} {tdp_violation_fraction(trace, 2):.2f}"
+        for name, trace in result.traces.items()
+    )
+    save_result("ablation_mechanisms", text)
+
+
+def test_supervisor_period_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablate_supervisor_period, rounds=1, iterations=1
+    )
+    # All periods keep phase 1 healthy...
+    for trace in result.traces.values():
+        qos, _ = [
+            (pm.qos.mean, pm.power.mean) for pm in trace.phase_metrics()
+        ][0]
+        assert qos > 55.0
+    # ...and the paper's 100 ms choice is as good as 50 ms on P3 power.
+    p2 = result.traces["period 2 (100 ms)"]
+    p10 = result.traces["period 10 (500 ms)"]
+    assert tdp_violation_fraction(p2, 2) <= tdp_violation_fraction(
+        p10, 2
+    ) + 0.1
+    save_result("ablation_supervisor_period", result.format_text())

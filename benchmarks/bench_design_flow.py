@@ -1,0 +1,22 @@
+"""Section 6 / Figure 16: the nine-step SPECTR design flow.
+
+Reproduced shape: the flow runs end-to-end — supervisor synthesis and
+verification, per-subsystem identification passing the R^2 >= 80% gate,
+gain generation, robustness verification under the 50%/30% guardbands,
+and a closed-loop functional check.
+"""
+
+from repro.core.design_flow import run_design_flow
+
+
+def test_design_flow(benchmark, save_result):
+    report = benchmark.pedantic(
+        run_design_flow,
+        kwargs={"closed_loop_check": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.succeeded
+    full = run_design_flow()  # include the closed-loop check in output
+    assert full.succeeded
+    save_result("design_flow", full.format_text())

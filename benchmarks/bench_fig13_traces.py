@@ -1,0 +1,35 @@
+"""Figure 13: FPS and power traces, all four managers, x264.
+
+Reproduced shape per phase (Section 5.1.1):
+* Safe — SPECTR/MM-Perf meet the FPS reference below the budget,
+  FS/MM-Pow overshoot FPS and burn the budget;
+* Emergency — the power-aware managers track the lowered envelope;
+* Disturbance — MM-Perf violates the TDP for the highest QoS, the
+  others obey it.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig13_traces
+
+
+def test_fig13(benchmark, save_result):
+    result = benchmark.pedantic(fig13_traces, rounds=1, iterations=1)
+    metrics = {
+        name: trace.phase_metrics() for name, trace in result.traces.items()
+    }
+    # Phase 1 shapes.
+    for name in ("SPECTR", "MM-Perf"):
+        assert metrics[name][0].qos.mean == pytest.approx(60.0, rel=0.05)
+        assert metrics[name][0].power.mean < 4.6
+    for name in ("FS", "MM-Pow"):
+        assert metrics[name][0].qos.mean > 60.0
+        assert metrics[name][0].power.mean > 4.5
+    # Phase 2: power-aware managers track the 3.3 W envelope.
+    for name in ("SPECTR", "MM-Pow", "FS"):
+        assert metrics[name][1].power.mean == pytest.approx(3.3, abs=0.45)
+    # Phase 3: MM-Perf breaks TDP, the rest obey it.
+    assert metrics["MM-Perf"][2].power.mean > 5.5
+    for name in ("SPECTR", "MM-Pow", "FS"):
+        assert metrics[name][2].power.mean < 5.4
+    save_result("fig13_traces", result.format_text())

@@ -1,0 +1,34 @@
+"""Figure 14: steady-state error, all 8 benchmarks x 4 managers x 3 phases.
+
+Reproduced shape (Section 5.1.2): in the Safe phase SPECTR tracks QoS
+like MM-Perf while the power trackers overshoot; in the Disturbance
+phase MM-Perf exceeds the TDP on every benchmark while SPECTR obeys it;
+canneal's serial phase keeps every manager away from the phase-1 QoS
+reference.
+"""
+
+from repro.experiments.figures import fig14_steady_state
+
+
+def test_fig14(benchmark, save_result):
+    result = benchmark.pedantic(fig14_steady_state, rounds=1, iterations=1)
+    qos_p1 = result.errors[0]["qos"]
+    power_p3 = result.errors[2]["power"]
+
+    # Phase 1: SPECTR meets QoS within 10% on most benchmarks.
+    spectr_ok = sum(
+        1 for w in result.workloads if abs(qos_p1[w]["SPECTR"]) < 10.0
+    )
+    assert spectr_ok >= len(result.workloads) - 2
+
+    # canneal: nobody meets the phase-1 QoS reference (serial phase).
+    assert all(
+        qos_p1["canneal"][m] > 5.0 for m in result.managers
+    )
+
+    # Phase 3: MM-Perf exceeds the TDP (negative error) on every
+    # benchmark; SPECTR never does by more than a whisker.
+    assert all(power_p3[w]["MM-Perf"] < -5.0 for w in result.workloads)
+    assert all(power_p3[w]["SPECTR"] > -5.0 for w in result.workloads)
+
+    save_result("fig14_steady_state_error", result.format_text())

@@ -1,0 +1,28 @@
+"""Figure 15: autocorrelation of identification residuals by model size.
+
+Reproduced shape: residual whiteness degrades from the 2x2 cluster
+model through the 4x2 full-system model to the 10x10 per-core model.
+"""
+
+from repro.control.residuals import whiteness_score
+from repro.experiments.figures import (
+    fig15_residual_autocorrelation,
+    identified_systems,
+)
+
+
+def test_fig15(benchmark, save_result):
+    result = benchmark(fig15_residual_autocorrelation)
+    systems = identified_systems(with_percore=True)
+    small = whiteness_score(systems.big.validation_residuals)
+    mid = whiteness_score(systems.full.validation_residuals)
+    large = whiteness_score(systems.percore.validation_residuals)
+    assert small > large
+    assert small >= mid >= large
+    # Excursions beyond the confidence interval grow with system size.
+    small_exc = max(a.max_excursion for a in result.analyses["big-2x2"])
+    large_exc = max(
+        a.max_excursion for a in result.analyses["percore-10x10"]
+    )
+    assert large_exc > small_exc
+    save_result("fig15_residual_autocorr", result.format_text())

@@ -1,0 +1,28 @@
+"""Figure 3: fixed-priority 2x2 MIMOs cannot serve changing goals.
+
+Reproduced shape: the FPS-oriented controller pins FPS at its reference
+while power floats off-reference; the power-oriented controller pins
+power while FPS falls short.  Neither adapts — the motivation for a
+supervisor.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig3_conflicting_goals
+
+
+def test_fig3(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig3_conflicting_goals, rounds=1, iterations=1
+    )
+    fps_run = result.fps_oriented
+    pow_run = result.power_oriented
+    assert fps_run["fps"][-40:].mean() == pytest.approx(
+        result.fps_reference, rel=0.06
+    )
+    assert pow_run["power"][-40:].mean() == pytest.approx(
+        result.power_reference, rel=0.10
+    )
+    assert pow_run["fps"][-40:].mean() < result.fps_reference - 5.0
+    assert fps_run["power"][-40:].mean() > result.power_reference + 0.5
+    save_result("fig3_conflicting_goals", result.format_text())

@@ -1,0 +1,13 @@
+"""Figure 5: identified-model accuracy, 2x2 vs 10x10.
+
+Reproduced shape: on cross-validation data the small cluster-scoped
+model predicts its outputs better than the monolithic per-core model.
+"""
+
+from repro.experiments.figures import fig5_model_accuracy
+
+
+def test_fig5(benchmark, save_result):
+    result = benchmark.pedantic(fig5_model_accuracy, rounds=1, iterations=1)
+    assert result.small_fit_percent > result.large_fit_percent
+    save_result("fig5_model_accuracy", result.format_text())

@@ -1,0 +1,24 @@
+"""Figure 6: multiply-add operations per LQG invocation vs core count.
+
+Reproduced shape: the monolithic controller's cost explodes
+super-linearly with core count, the model order becomes insignificant
+once cores >> order, and SPECTR's modular alternative stays linear in
+the number of clusters.
+"""
+
+from repro.experiments.figures import fig6_operation_count
+
+
+def test_fig6(benchmark, save_result):
+    result = benchmark(fig6_operation_count)
+    for order in result.orders:
+        counts = [result.operations[order][c] for c in result.core_counts]
+        assert counts == sorted(counts)
+        assert counts[-1] > 100 * counts[0]
+    # order insignificant at high core counts
+    assert (
+        result.operations[8][70] / result.operations[2][70] < 1.2
+    )
+    # modular SPECTR orders of magnitude cheaper
+    assert result.spectr_ops[70] * 1000 < result.operations[2][70]
+    save_result("fig6_operation_count", result.format_text())

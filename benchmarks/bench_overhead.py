@@ -1,0 +1,67 @@
+"""Section 5.3: runtime overhead of the controllers and supervisor.
+
+Reproduced shape: the supervisor invocation is far cheaper than a MIMO
+controller step, and the gain switch is effectively free (a pointer
+swap).  Absolute times are host-dependent; the paper measured 2.5 ms
+per MIMO step and ~30 us per supervisor invocation on the A7 cluster.
+"""
+
+from repro.experiments.figures import identified_systems, overhead_measurements
+from repro.managers.base import ManagerGoals
+from repro.managers.spectr import SPECTRManager
+from repro.platform.soc import ExynosSoC
+from repro.workloads import x264
+
+
+def test_overhead_summary(benchmark, save_result):
+    result = benchmark.pedantic(overhead_measurements, rounds=1, iterations=1)
+    assert result.gain_switch_us < result.mimo_step_us
+    assert result.supervisor_invocation_us < 20 * result.mimo_step_us
+    save_result("overhead", result.format_text())
+
+
+def test_mimo_step_wallclock(benchmark):
+    systems = identified_systems()
+    soc = ExynosSoC(qos_app=x264())
+    manager = SPECTRManager(
+        soc,
+        ManagerGoals(60.0, 5.0),
+        big_system=systems.big,
+        little_system=systems.little,
+    )
+    telemetry = soc.step()
+    benchmark(
+        manager.big_mimo.step, telemetry.qos_rate, telemetry.big.power_w
+    )
+
+
+def test_supervisor_invocation_wallclock(benchmark):
+    systems = identified_systems()
+    soc = ExynosSoC(qos_app=x264())
+    manager = SPECTRManager(
+        soc,
+        ManagerGoals(60.0, 5.0),
+        big_system=systems.big,
+        little_system=systems.little,
+    )
+    telemetry = soc.step()
+    manager._telemetry = telemetry
+    benchmark(manager._supervise, telemetry)
+
+
+def test_full_control_interval_wallclock(benchmark):
+    """One complete SPECTR control interval (both MIMOs + supervisor)."""
+    systems = identified_systems()
+    soc = ExynosSoC(qos_app=x264())
+    manager = SPECTRManager(
+        soc,
+        ManagerGoals(60.0, 5.0),
+        big_system=systems.big,
+        little_system=systems.little,
+    )
+
+    def interval():
+        telemetry = soc.step()
+        manager.control(telemetry)
+
+    benchmark(interval)

@@ -1,0 +1,97 @@
+"""Scalability bench: SPECTR vs a monolithic MIMO as clusters grow.
+
+The quantitative backbone of the paper's scalability claim (Sections
+2.3, 3.1, 5.2): as the platform grows,
+
+* the synthesized supervisor's *state count stays constant* and its
+  transition count grows only linearly;
+* the per-interval controller work grows linearly (one 2x2 MIMO per
+  cluster) versus the monolithic MIMO's polynomial blow-up;
+* the closed loop still meets its goals — demonstrated here on an
+  8-cluster platform under heavy background load.
+"""
+
+import numpy as np
+
+from repro.control.complexity import (
+    adaptive_invocation_operations,
+    dimensions_for_cores,
+    spectr_operations,
+)
+from repro.core.scalable import build_scalable_supervisor
+from repro.managers.base import ManagerGoals
+from repro.managers.scalable import ScalableSPECTR
+from repro.experiments.figures import identified_systems
+from repro.platform.manycore import ManyCoreSoC
+from repro.platform.soc import SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+CLUSTER_COUNTS = (2, 4, 8, 16)
+
+
+def test_supervisor_size_scaling(benchmark, save_result):
+    results = {
+        n: build_scalable_supervisor(n) for n in CLUSTER_COUNTS
+    }
+    benchmark(build_scalable_supervisor, CLUSTER_COUNTS[-1])
+
+    states = [len(results[n].supervisor) for n in CLUSTER_COUNTS]
+    transitions = [
+        len(results[n].supervisor.transitions) for n in CLUSTER_COUNTS
+    ]
+    assert len(set(states)) == 1  # constant state count
+    assert all(results[n].verified for n in CLUSTER_COUNTS)
+
+    lines = [
+        "Scalability - supervisor size vs cluster count",
+        f"{'clusters':>9s}{'sup states':>12s}{'sup transitions':>17s}"
+        f"{'monolithic MIMO ops':>21s}{'SPECTR ops':>12s}",
+    ]
+    for n in CLUSTER_COUNTS:
+        cores = n * 4
+        mono = adaptive_invocation_operations(
+            dimensions_for_cores(cores, 2)
+        )
+        spectr = spectr_operations(cores, 2)
+        lines.append(
+            f"{n:9d}{len(results[n].supervisor):12d}"
+            f"{len(results[n].supervisor.transitions):17d}"
+            f"{mono:21d}{spectr:12d}"
+        )
+    save_result("scalability_supervisor", "\n".join(lines))
+
+
+def test_eight_cluster_closed_loop(benchmark, save_result):
+    """A 32-core platform: 8 clusters, 12 background tasks, 7 W TDP."""
+    systems = identified_systems()
+
+    def run():
+        soc = ManyCoreSoC(
+            n_little=7,
+            qos_app=x264(),
+            background=[BackgroundTask(f"bg{i}") for i in range(12)],
+            config=SoCConfig(seed=1),
+        )
+        soc.clusters[0].set_frequency(1.0)
+        manager = ScalableSPECTR(
+            soc,
+            ManagerGoals(60.0, 7.0),
+            host_system=systems.big,
+            little_system=systems.little,
+        )
+        qos, power = [], []
+        for _ in range(220):
+            telemetry = soc.step()
+            manager.control(telemetry)
+            qos.append(telemetry.qos_rate)
+            power.append(telemetry.chip_power_w)
+        return np.mean(qos[-60:]), np.mean(power[-60:])
+
+    qos, power = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert power < 7.0 * 1.05  # obeys the TDP
+    save_result(
+        "scalability_closed_loop",
+        "Scalability - 8-cluster (32-core) closed loop, 12 background "
+        f"tasks, 7 W TDP\nQoS {qos:5.1f} FPS, chip power {power:4.2f} W "
+        "(TDP obeyed)",
+    )

@@ -1,0 +1,16 @@
+"""Section 5.1.1: settling time after the Emergency Phase power step.
+
+Reproduced shape: the 4x2 FS controller settles the chip power slower
+than SPECTR's per-cluster 2x2s (paper: 2.07 s vs 1.28 s).
+"""
+
+from repro.experiments.figures import settling_time_comparison
+
+
+def test_settling_time(benchmark, save_result):
+    result = benchmark.pedantic(
+        settling_time_comparison, rounds=1, iterations=1
+    )
+    assert result.settling_times_s["FS"] > result.settling_times_s["SPECTR"]
+    assert result.settling_times_s["SPECTR"] < 3.0
+    save_result("settling_time", result.format_text())

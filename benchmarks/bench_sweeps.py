@@ -1,0 +1,39 @@
+"""Goal-space sweeps: locating the crossovers (DESIGN.md).
+
+* TDP sweep — above the binding budget SPECTR behaves like MM-Perf
+  (meets QoS, saves power); once the budget binds, SPECTR's curve
+  merges with MM-Pow's while MM-Perf keeps ignoring the cap.
+* QoS sweep — up to the attainable-within-TDP reference SPECTR tracks
+  the reference exactly like MM-Perf; beyond it SPECTR holds the TDP
+  and sheds QoS while MM-Perf rides through the budget.
+"""
+
+from repro.experiments.sweeps import qos_reference_sweep, tdp_sweep
+
+
+def test_tdp_sweep(benchmark, save_result):
+    result = benchmark.pedantic(tdp_sweep, rounds=1, iterations=1)
+    # Generous budgets: SPECTR saves power vs MM-Pow.
+    assert result.power["SPECTR"][0] < result.power["MM-Pow"][0] - 1.0
+    # Tight budgets: the curves merge (crossover exists).
+    crossover = result.crossover("SPECTR", "MM-Pow", metric="power")
+    assert crossover is not None and crossover <= 4.0
+    # MM-Perf never reacts to the budget at all.
+    spread = max(result.power["MM-Perf"]) - min(result.power["MM-Perf"])
+    assert spread < 0.3
+    save_result("sweep_tdp", result.format_text())
+
+
+def test_qos_reference_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        qos_reference_sweep, rounds=1, iterations=1
+    )
+    # Attainable region: SPECTR == MM-Perf on both outputs.
+    for index in range(3):  # refs 40, 50, 60
+        assert result.qos["SPECTR"][index] == (
+            result.qos["MM-Perf"][index]
+        )
+    # Unattainable region: MM-Perf pushes past the TDP, SPECTR does not.
+    assert result.power["MM-Perf"][-1] > 5.0 * 1.05
+    assert result.power["SPECTR"][-1] < 5.0
+    save_result("sweep_qos_reference", result.format_text())

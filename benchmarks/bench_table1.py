@@ -1,0 +1,11 @@
+"""Table 1: coverage of resource-management approaches."""
+
+from repro.experiments.tables import format_table1, table1_rows
+
+
+def test_table1(benchmark, save_result):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 5
+    spectr = rows[-1]
+    assert all(c == "Y" for c in spectr.coverage)
+    save_result("table1", format_table1())

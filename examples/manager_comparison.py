@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare all four resource managers on the three-phase scenario.
+
+Reproduces the headline evaluation (Figures 13/14) for a chosen
+benchmark: SPECTR vs the uncoordinated dual-MIMO baselines (MM-Pow,
+MM-Perf) and the full-system 4x2 MIMO (FS).
+
+Usage::
+
+    python examples/manager_comparison.py [workload]
+
+where ``workload`` is one of x264, bodytrack, canneal, streamcluster,
+k-means, KNN, least-squares, linear-regression (default x264).
+"""
+
+import sys
+
+from repro.experiments import (
+    identified_systems,
+    manager_factory,
+    run_scenario,
+    three_phase_scenario,
+)
+from repro.experiments.figures import MANAGER_NAMES
+from repro.workloads import all_qos_workloads
+
+
+def ascii_sparkline(series, width=60, lo=None, hi=None):
+    """Render a numeric series as a coarse ASCII sparkline."""
+    glyphs = " .:-=+*#%@"
+    lo = min(series) if lo is None else lo
+    hi = max(series) if hi is None else hi
+    span = (hi - lo) or 1.0
+    step = max(1, len(series) // width)
+    sampled = series[::step][:width]
+    return "".join(
+        glyphs[
+            min(
+                len(glyphs) - 1,
+                int((value - lo) / span * (len(glyphs) - 1)),
+            )
+        ]
+        for value in sampled
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    workloads = {w.name: w for w in all_qos_workloads()}
+    if name not in workloads:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(workloads)}"
+        )
+    workload = workloads[name]
+    reference = 0.75 * workload.peak_rate
+    scenario = three_phase_scenario(qos_reference=reference)
+    systems = identified_systems()
+
+    print(
+        f"workload: {workload.name} (QoS ref {reference:.0f} "
+        f"{workload.qos_unit}, TDP 5 W -> 3.3 W -> 5 W + background tasks)\n"
+    )
+    for manager in MANAGER_NAMES:
+        trace = run_scenario(
+            manager_factory(manager, systems), workload, scenario
+        )
+        print(f"=== {manager} ===")
+        print(f"  QoS   |{ascii_sparkline(trace.qos, lo=0.0)}|")
+        print(f"  power |{ascii_sparkline(trace.chip_power, lo=0.0, hi=7.0)}|")
+        for i, pm in enumerate(trace.phase_metrics()):
+            print(
+                f"  phase {i + 1} ({pm.phase.name:11s}): "
+                f"QoS {pm.qos.mean:5.1f} "
+                f"(err {pm.qos.steady_state_error_percent:+6.1f}%)  "
+                f"power {pm.power.mean:4.2f} W "
+                f"(err {pm.power.steady_state_error_percent:+6.1f}%)"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Supervisor synthesis walk-through (the paper's Figure 12).
+
+Builds the modular sub-plant automata for the Big cluster, composes
+them with the synchronous-composition operator, restricts them with the
+three-band power-capping specification, synthesizes the supremal
+controllable nonblocking supervisor, and verifies it — then shows the
+formal result at work: after two consecutive over-budget intervals the
+supervisor only permits the hard power drop.
+
+Also exports Graphviz DOT files for every automaton involved.
+"""
+
+from pathlib import Path
+
+from repro.core import (
+    CONTROL_POWER,
+    CRITICAL,
+    case_study_alphabet,
+    case_study_plant,
+    case_study_specification,
+    gain_mode_plant,
+    power_capping_plant,
+    qos_tracking_plant,
+    synthesize_and_verify,
+    three_band_spec,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    sigma = case_study_alphabet()
+    subplants = [
+        power_capping_plant(sigma),
+        gain_mode_plant(sigma),
+        qos_tracking_plant(sigma),
+    ]
+    print("step 1 - sub-plant models:")
+    for automaton in subplants:
+        print(
+            f"  {automaton.name:12s} {len(automaton):3d} states, "
+            f"{len(automaton.transitions):3d} transitions"
+        )
+
+    plant = case_study_plant(sigma)
+    print(
+        f"\nstep 1b - synchronous composition: {plant.name} has "
+        f"{len(plant)} states, {len(plant.transitions)} transitions"
+    )
+
+    spec = case_study_specification(sigma)
+    print(
+        f"step 2 - specification: {spec.name} has {len(spec)} states "
+        f"({sum(1 for s in spec.states if spec.is_forbidden(s))} forbidden)"
+    )
+
+    print("\nsteps 3-5 - synthesis + property checks:")
+    result = synthesize_and_verify(plant, spec)
+    print("  " + result.summary().replace("\n", "\n  "))
+
+    print("\nthe formal guarantee, demonstrated:")
+    supervisor = result.supervisor
+    capping1 = sorted(
+        s for s in supervisor.states if s.name.split(".")[0] == "Capping1"
+    )
+    capping2 = sorted(
+        s for s in supervisor.states if s.name.split(".")[0] == "Capping2"
+    )
+    c1_actions = {
+        e.name
+        for e in supervisor.enabled_events(capping1[0])
+        if e.controllable
+    }
+    c2_actions = {
+        e.name
+        for e in supervisor.enabled_events(capping2[0])
+        if e.controllable
+    }
+    print(f"  after 1st {CRITICAL!r}: supervisor allows {sorted(c1_actions)}")
+    print(f"  after 2nd {CRITICAL!r}: supervisor allows {sorted(c2_actions)}")
+    assert CONTROL_POWER in c1_actions
+    assert CONTROL_POWER not in c2_actions
+    print(
+        "  -> the mild 'controlPower' survives only on the first capping "
+        "interval;\n     a second interval forces 'decreaseCriticalPower' "
+        "(synthesis pruned the\n     branch whose third consecutive "
+        "critical would reach the forbidden state)."
+    )
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for automaton in [*subplants, plant, three_band_spec(sigma), supervisor]:
+        path = OUTPUT_DIR / f"{automaton.name.replace('|', '_')}.dot"
+        path.write_text(automaton.to_dot())
+    print(f"\nDOT renderings written to {OUTPUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

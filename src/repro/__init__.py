@@ -1,0 +1,40 @@
+"""repro — a from-scratch reproduction of SPECTR (ASPLOS 2018).
+
+SPECTR is a resource-management architecture for heterogeneous
+many-core systems that places a formally synthesized *supervisory
+controller* (Ramadge-Wonham supervisory control theory) above classical
+per-cluster MIMO (LQG) controllers.  This package provides:
+
+* :mod:`repro.automata` — discrete-event systems: automata, synchronous
+  composition, supervisor synthesis, nonblocking/controllability checks;
+* :mod:`repro.control` — classical control: state-space models,
+  DARE/LQR/Kalman, LQG servos with gain scheduling, ARX system
+  identification, residual analysis, robust stability;
+* :mod:`repro.platform` — a simulated Exynos-5422-like big.LITTLE SoC
+  (the hardware substitution for the paper's ODROID-XU3);
+* :mod:`repro.workloads` — PARSEC/ML workload models, background tasks,
+  and the Heartbeats API;
+* :mod:`repro.managers` — the four evaluated resource managers
+  (SPECTR, MM-Pow, MM-Perf, FS);
+* :mod:`repro.core` — SPECTR's high-level plant models, specifications,
+  synthesis flow, and runtime supervisor engine;
+* :mod:`repro.experiments` — scenario runner and per-figure data
+  generation for every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments import identified_systems, manager_factory
+    from repro.experiments import three_phase_scenario, run_scenario
+    from repro.workloads import x264
+
+    systems = identified_systems()
+    trace = run_scenario(
+        manager_factory("SPECTR", systems), x264(), three_phase_scenario()
+    )
+    for pm in trace.phase_metrics():
+        print(pm.phase.name, pm.qos.mean, pm.power.mean)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

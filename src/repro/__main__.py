@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report [section ...]``
+    Regenerate the paper's tables/figures (optionally filtered by a
+    title substring, e.g. ``python -m repro report "figure 13"``).
+``design-flow``
+    Run the nine-step SPECTR design flow and print the step report.
+``synthesize [n_clusters]``
+    Synthesize + verify the supervisor for an N-cluster platform and
+    print its summary (default 2, the Exynos case study).
+``run [workload]``
+    Run SPECTR through the three-phase scenario on the chosen workload
+    and print per-phase tracking quality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    include = tuple(args.sections) or None
+    report = generate_report(include=include)
+    print(report.format_text())
+    return 0
+
+
+def _cmd_design_flow(_args: argparse.Namespace) -> int:
+    from repro.core.design_flow import run_design_flow
+
+    report = run_design_flow()
+    print(report.format_text())
+    return 0 if report.succeeded else 1
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core.scalable import build_scalable_supervisor
+
+    verified = build_scalable_supervisor(args.n_clusters)
+    print(verified.summary())
+    return 0 if verified.verified else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        identified_systems,
+        manager_factory,
+        run_scenario,
+        three_phase_scenario,
+    )
+    from repro.workloads import all_qos_workloads
+
+    workloads = {w.name: w for w in all_qos_workloads()}
+    if args.workload not in workloads:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{sorted(workloads)}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = workloads[args.workload]
+    scenario = three_phase_scenario(
+        qos_reference=0.75 * workload.peak_rate
+    )
+    systems = identified_systems()
+    trace = run_scenario(
+        manager_factory(args.manager, systems), workload, scenario
+    )
+    print(f"{args.manager} on {workload.name}:")
+    for pm in trace.phase_metrics():
+        print(
+            f"  {pm.phase.name:12s} QoS {pm.qos.mean:6.1f} "
+            f"(ref {pm.phase.qos_reference:5.1f}, "
+            f"err {pm.qos.steady_state_error_percent:+6.1f}%)  "
+            f"power {pm.power.mean:5.2f} W "
+            f"(budget {pm.phase.power_budget_w:3.1f}, "
+            f"err {pm.power.steady_state_error_percent:+6.1f}%)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SPECTR (ASPLOS 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the paper's tables/figures"
+    )
+    p_report.add_argument("sections", nargs="*", default=[])
+    p_report.set_defaults(func=_cmd_report)
+
+    p_flow = sub.add_parser(
+        "design-flow", help="run the nine-step design flow"
+    )
+    p_flow.set_defaults(func=_cmd_design_flow)
+
+    p_synth = sub.add_parser(
+        "synthesize", help="synthesize an N-cluster supervisor"
+    )
+    p_synth.add_argument("n_clusters", type=int, nargs="?", default=2)
+    p_synth.set_defaults(func=_cmd_synthesize)
+
+    p_run = sub.add_parser(
+        "run", help="run a manager through the three-phase scenario"
+    )
+    p_run.add_argument("workload", nargs="?", default="x264")
+    p_run.add_argument(
+        "--manager",
+        default="SPECTR",
+        choices=["SPECTR", "MM-Pow", "MM-Perf", "FS"],
+    )
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

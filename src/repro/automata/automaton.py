@@ -1,0 +1,361 @@
+"""Finite automata for discrete-event dynamic systems.
+
+An automaton is the 5-tuple ``A = <Q, Sigma, delta, i, M>`` used
+throughout the paper (Section 4.3.1): states ``Q``, alphabet ``Sigma``,
+partial transition function ``delta: Q x Sigma -> Q``, initial state
+``i`` and marked (accepted/final) states ``M``.  States may additionally
+be flagged *forbidden*, which the specification language of Section 4.3.2
+uses to rule out behaviour (e.g. exceeding a power budget for more than
+three control intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.automata.events import Alphabet, Event
+
+
+class AutomatonError(ValueError):
+    """Raised on malformed automaton definitions or operations."""
+
+
+@dataclass(frozen=True, order=True)
+class State:
+    """A named automaton state.
+
+    Composite states produced by synchronous composition carry dotted
+    names such as ``S1.S0`` (matching the paper's Figure 12b labels).
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def compose(self, other: "State") -> "State":
+        return State(f"{self.name}.{other.name}")
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """A single labelled transition ``source --event--> target``."""
+
+    source: State
+    event: Event
+    target: State
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.source} --{self.event.name}--> {self.target}"
+
+
+class Automaton:
+    """A deterministic finite automaton over a DES alphabet.
+
+    The transition function is *partial*: an event not defined at a state
+    is disabled there.  Determinism is enforced — adding two transitions
+    from the same state on the same event to different targets raises
+    :class:`AutomatonError`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Alphabet | Iterable[Event],
+        *,
+        initial: State | str | None = None,
+    ) -> None:
+        self.name = name
+        self.alphabet = (
+            alphabet if isinstance(alphabet, Alphabet) else Alphabet.of(alphabet)
+        )
+        self._states: dict[str, State] = {}
+        self._delta: dict[tuple[State, Event], State] = {}
+        self._marked: set[State] = set()
+        self._forbidden: set[State] = set()
+        self._initial: State | None = None
+        if initial is not None:
+            self.set_initial(initial)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(
+        self,
+        state: State | str,
+        *,
+        marked: bool = False,
+        forbidden: bool = False,
+        initial: bool = False,
+    ) -> State:
+        state = self._coerce_state(state)
+        self._states[state.name] = state
+        if marked:
+            self._marked.add(state)
+        if forbidden:
+            self._forbidden.add(state)
+        if initial:
+            self.set_initial(state)
+        return state
+
+    def set_initial(self, state: State | str) -> None:
+        state = self._coerce_state(state)
+        self._states.setdefault(state.name, state)
+        self._initial = state
+
+    def mark(self, state: State | str) -> None:
+        state = self._require_state(state)
+        self._marked.add(state)
+
+    def forbid(self, state: State | str) -> None:
+        state = self._require_state(state)
+        self._forbidden.add(state)
+
+    def add_transition(
+        self,
+        source: State | str,
+        event: Event | str,
+        target: State | str,
+    ) -> Transition:
+        source = self._coerce_state(source)
+        target = self._coerce_state(target)
+        event = self._coerce_event(event)
+        self._states.setdefault(source.name, source)
+        self._states.setdefault(target.name, target)
+        key = (source, event)
+        existing = self._delta.get(key)
+        if existing is not None and existing != target:
+            raise AutomatonError(
+                f"nondeterministic transition in {self.name!r}: "
+                f"{source} on {event.name} goes to both {existing} and {target}"
+            )
+        self._delta[key] = target
+        return Transition(source, event, target)
+
+    def _coerce_state(self, state: State | str) -> State:
+        if isinstance(state, State):
+            return state
+        return State(state)
+
+    def _require_state(self, state: State | str) -> State:
+        state = self._coerce_state(state)
+        if state.name not in self._states:
+            raise AutomatonError(f"unknown state {state.name!r} in {self.name!r}")
+        return state
+
+    def _coerce_event(self, event: Event | str) -> Event:
+        if isinstance(event, Event):
+            if event not in self.alphabet:
+                raise AutomatonError(
+                    f"event {event.name!r} not in alphabet of {self.name!r}"
+                )
+            return event
+        found = self.alphabet.get(event)
+        if found is None:
+            raise AutomatonError(
+                f"event {event!r} not in alphabet of {self.name!r}"
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> frozenset[State]:
+        return frozenset(self._states.values())
+
+    @property
+    def initial(self) -> State:
+        if self._initial is None:
+            raise AutomatonError(f"automaton {self.name!r} has no initial state")
+        return self._initial
+
+    @property
+    def has_initial(self) -> bool:
+        return self._initial is not None
+
+    @property
+    def marked(self) -> frozenset[State]:
+        return frozenset(self._marked)
+
+    @property
+    def forbidden(self) -> frozenset[State]:
+        return frozenset(self._forbidden)
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        return tuple(
+            sorted(
+                Transition(src, evt, tgt)
+                for (src, evt), tgt in self._delta.items()
+            )
+        )
+
+    def step(self, state: State | str, event: Event | str) -> State | None:
+        """delta(q, e), or ``None`` when the event is disabled at ``q``."""
+        state = self._coerce_state(state)
+        event = self._coerce_event(event)
+        return self._delta.get((state, event))
+
+    def enabled_events(self, state: State | str) -> frozenset[Event]:
+        state = self._coerce_state(state)
+        return frozenset(e for (q, e) in self._delta if q == state)
+
+    def successors(self, state: State | str) -> frozenset[State]:
+        state = self._coerce_state(state)
+        return frozenset(t for (q, _e), t in self._delta.items() if q == state)
+
+    def predecessors(self, state: State | str) -> frozenset[State]:
+        state = self._coerce_state(state)
+        return frozenset(q for (q, _e), t in self._delta.items() if t == state)
+
+    def is_marked(self, state: State | str) -> bool:
+        return self._coerce_state(state) in self._marked
+
+    def is_forbidden(self, state: State | str) -> bool:
+        return self._coerce_state(state) in self._forbidden
+
+    def accepts(self, word: Iterable[Event | str]) -> bool:
+        """Run ``word`` from the initial state; accept iff it lands marked."""
+        current = self.initial
+        for event in word:
+            nxt = self.step(current, event)
+            if nxt is None:
+                return False
+            current = nxt
+        return current in self._marked
+
+    def run(self, word: Iterable[Event | str]) -> list[State]:
+        """The state trajectory of ``word``; raises if a step is disabled."""
+        current = self.initial
+        trajectory = [current]
+        for event in word:
+            nxt = self.step(current, event)
+            if nxt is None:
+                raise AutomatonError(
+                    f"event {event} disabled at state {current} of {self.name!r}"
+                )
+            current = nxt
+            trajectory.append(current)
+        return trajectory
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Automaton({self.name!r}, states={len(self._states)}, "
+            f"transitions={len(self._delta)}, marked={len(self._marked)})"
+        )
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Automaton":
+        clone = Automaton(name or self.name, self.alphabet)
+        for state in self._states.values():
+            clone.add_state(
+                state,
+                marked=state in self._marked,
+                forbidden=state in self._forbidden,
+            )
+        if self._initial is not None:
+            clone.set_initial(self._initial)
+        for (source, event), target in self._delta.items():
+            clone.add_transition(source, event, target)
+        return clone
+
+    def restricted_to(self, keep: Iterable[State], name: str | None = None) -> "Automaton":
+        """Sub-automaton induced by ``keep`` (transitions inside it only).
+
+        If the initial state is not kept, the result has no initial state
+        and therefore represents the empty language.
+        """
+        keep_set = set(keep)
+        clone = Automaton(name or self.name, self.alphabet)
+        for state in sorted(keep_set):
+            clone.add_state(
+                state,
+                marked=state in self._marked,
+                forbidden=state in self._forbidden,
+            )
+        if self._initial is not None and self._initial in keep_set:
+            clone.set_initial(self._initial)
+        for (source, event), target in self._delta.items():
+            if source in keep_set and target in keep_set:
+                clone.add_transition(source, event, target)
+        return clone
+
+    def relabel(
+        self, mapping: Mapping[State, str] | Callable[[State], str], name: str | None = None
+    ) -> "Automaton":
+        """Rename states (e.g. to compact ``S0..Sn`` labels after synthesis)."""
+        if callable(mapping):
+            rename = {s: mapping(s) for s in self._states.values()}
+        else:
+            rename = dict(mapping)
+        new_names = list(rename.values())
+        if len(set(new_names)) != len(new_names):
+            raise AutomatonError("relabel mapping must be injective")
+        clone = Automaton(name or self.name, self.alphabet)
+        fresh = {s: State(rename[s]) for s in self._states.values()}
+        for old, new in fresh.items():
+            clone.add_state(
+                new,
+                marked=old in self._marked,
+                forbidden=old in self._forbidden,
+            )
+        if self._initial is not None:
+            clone.set_initial(fresh[self._initial])
+        for (source, event), target in self._delta.items():
+            clone.add_transition(fresh[source], event, fresh[target])
+        return clone
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering, mirroring Supremica's visualizations."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for state in sorted(self._states.values()):
+            attrs = []
+            if state in self._marked:
+                attrs.append("peripheries=2")
+            if state in self._forbidden:
+                attrs.append('color=red style=filled fillcolor="#ffcccc"')
+            attr_text = (" [" + " ".join(attrs) + "]") if attrs else ""
+            lines.append(f'  "{state.name}"{attr_text};')
+        if self._initial is not None:
+            lines.append('  __init [shape=point];')
+            lines.append(f'  __init -> "{self._initial.name}";')
+        for transition in self.transitions:
+            style = "" if transition.event.controllable else " style=dashed"
+            lines.append(
+                f'  "{transition.source.name}" -> "{transition.target.name}"'
+                f' [label="{transition.event.name}"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def automaton_from_table(
+    name: str,
+    alphabet: Alphabet | Iterable[Event],
+    transitions: Iterable[tuple[str, str, str]],
+    *,
+    initial: str,
+    marked: Iterable[str] = (),
+    forbidden: Iterable[str] = (),
+) -> Automaton:
+    """Build an automaton from a flat transition table.
+
+    ``transitions`` rows are ``(source, event_name, target)``.  This is
+    the most convenient constructor for the paper's hand-drawn models.
+    """
+    automaton = Automaton(name, alphabet)
+    for source, event_name, target in transitions:
+        automaton.add_transition(source, event_name, target)
+    automaton.set_initial(initial)
+    for state_name in marked:
+        automaton.mark(state_name)
+    for state_name in forbidden:
+        automaton.forbid(state_name)
+    return automaton

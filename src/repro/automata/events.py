@@ -1,0 +1,134 @@
+"""Event alphabet primitives for discrete-event systems (DES).
+
+Supervisory control theory (Ramadge & Wonham) partitions the event
+alphabet into *controllable* events, which a supervisor may disable, and
+*uncontrollable* events, which the plant may generate at any time the
+plant model permits.  SPECTR's high-level plant models use uncontrollable
+events for sensor-driven observations (``critical``, ``QoSmet``) and
+controllable events for supervisor actions (``SwitchGains``,
+``decreaseBigPower``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A named DES event.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within an alphabet.  Two events with the same
+        name are the same event for synchronization purposes, so their
+        controllability attributes must agree (checked by
+        :class:`Alphabet`).
+    controllable:
+        ``True`` if a supervisor may disable this event.
+    observable:
+        ``True`` if a supervisor can see this event occur.  SPECTR's case
+        study uses fully observable models; partial observation is
+        supported by the machinery but not exercised by the paper.
+    """
+
+    name: str
+    controllable: bool = True
+    observable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("event name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        flag = "c" if self.controllable else "u"
+        return f"{self.name}[{flag}]"
+
+
+def controllable(name: str) -> Event:
+    """Shorthand constructor for a controllable event."""
+    return Event(name, controllable=True)
+
+
+def uncontrollable(name: str) -> Event:
+    """Shorthand constructor for an uncontrollable (plant-driven) event."""
+    return Event(name, controllable=False)
+
+
+class AlphabetError(ValueError):
+    """Raised when events with the same name disagree on attributes."""
+
+
+@dataclass
+class Alphabet:
+    """A set of events with name-uniqueness enforcement.
+
+    The alphabet behaves like a frozen set keyed by event name.  Adding
+    two distinct :class:`Event` objects that share a name but differ in
+    controllability or observability raises :class:`AlphabetError`,
+    because synchronous composition identifies events by name and an
+    ambiguous controllability status would make synthesis unsound.
+    """
+
+    _events: dict[str, Event] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, events: Iterable[Event]) -> "Alphabet":
+        alphabet = cls()
+        for event in events:
+            alphabet.add(event)
+        return alphabet
+
+    def add(self, event: Event) -> None:
+        existing = self._events.get(event.name)
+        if existing is not None and existing != event:
+            raise AlphabetError(
+                f"event {event.name!r} already present with different "
+                f"attributes: {existing} vs {event}"
+            )
+        self._events[event.name] = event
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Event):
+            return self._events.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._events
+        return False
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(sorted(self._events.values()))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, name: str) -> Event:
+        return self._events[name]
+
+    def get(self, name: str) -> Event | None:
+        return self._events.get(name)
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        merged = Alphabet.of(self)
+        for event in other:
+            merged.add(event)
+        return merged
+
+    def intersection(self, other: "Alphabet") -> "Alphabet":
+        shared = Alphabet()
+        for event in self:
+            if event in other:
+                shared.add(event)
+        return shared
+
+    @property
+    def controllable_events(self) -> frozenset[Event]:
+        return frozenset(e for e in self if e.controllable)
+
+    @property
+    def uncontrollable_events(self) -> frozenset[Event]:
+        return frozenset(e for e in self if not e.controllable)
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._events)

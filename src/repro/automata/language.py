@@ -1,0 +1,149 @@
+"""Language-level operations on automata.
+
+Supervisory control theory reasons about *languages*: the closed
+language ``L(A)`` (all event strings an automaton can execute) and the
+marked language ``L_m(A)`` (strings ending in a marked state).  This
+module provides the language queries the theory's definitions use —
+word enumeration, inclusion and equality checks, and the
+controllability condition expressed on languages — complementing the
+state-space algorithms in :mod:`repro.automata.synthesis`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.automata.automaton import Automaton, State
+from repro.automata.events import Event
+
+
+def enumerate_words(
+    automaton: Automaton, max_length: int, *, marked_only: bool = False
+) -> Iterator[tuple[str, ...]]:
+    """Yield the words of ``L(A)`` (or ``L_m(A)``) up to ``max_length``.
+
+    Words are produced in breadth-first (shortlex) order; the empty word
+    is included when the start state qualifies.
+    """
+    if max_length < 0:
+        raise ValueError("max_length must be non-negative")
+    if not automaton.has_initial:
+        return
+    queue: deque[tuple[State, tuple[str, ...]]] = deque(
+        [(automaton.initial, ())]
+    )
+    while queue:
+        state, word = queue.popleft()
+        if not marked_only or automaton.is_marked(state):
+            yield word
+        if len(word) == max_length:
+            continue
+        for event in sorted(
+            automaton.enabled_events(state), key=lambda e: e.name
+        ):
+            target = automaton.step(state, event)
+            assert target is not None
+            queue.append((target, word + (event.name,)))
+
+
+def language_size(
+    automaton: Automaton, max_length: int, *, marked_only: bool = False
+) -> int:
+    """Number of words up to ``max_length`` (shortlex census)."""
+    return sum(
+        1
+        for _ in enumerate_words(
+            automaton, max_length, marked_only=marked_only
+        )
+    )
+
+
+def is_sublanguage(
+    candidate: Automaton, reference: Automaton
+) -> tuple[bool, tuple[str, ...] | None]:
+    """Check ``L(candidate) ⊆ L(reference)`` by joint simulation.
+
+    Returns ``(True, None)`` or ``(False, witness)`` where ``witness``
+    is a shortest word of the candidate the reference cannot execute.
+    """
+    if not candidate.has_initial:
+        return True, None
+    if not reference.has_initial:
+        empty = len(candidate) == 0
+        return empty, None if empty else ()
+    start = (candidate.initial, reference.initial)
+    visited = {start}
+    queue: deque[tuple[State, State, tuple[str, ...]]] = deque(
+        [(candidate.initial, reference.initial, ())]
+    )
+    while queue:
+        cand_state, ref_state, word = queue.popleft()
+        for event in sorted(
+            candidate.enabled_events(cand_state), key=lambda e: e.name
+        ):
+            ref_next = reference.step(ref_state, event.name)
+            if ref_next is None:
+                return False, word + (event.name,)
+            cand_next = candidate.step(cand_state, event)
+            assert cand_next is not None
+            pair = (cand_next, ref_next)
+            if pair not in visited:
+                visited.add(pair)
+                queue.append((cand_next, ref_next, word + (event.name,)))
+    return True, None
+
+
+def languages_equal(a: Automaton, b: Automaton) -> bool:
+    """``L(a) == L(b)`` (closed languages)."""
+    forward, _ = is_sublanguage(a, b)
+    backward, _ = is_sublanguage(b, a)
+    return forward and backward
+
+
+def is_prefix_closed_witnessed(automaton: Automaton, max_length: int = 6) -> bool:
+    """Sanity check that ``L(A)`` is prefix closed (it is by
+    construction for state machines): every prefix of every enumerated
+    word is itself enumerated."""
+    words = set(enumerate_words(automaton, max_length))
+    return all(word[:k] in words for word in words for k in range(len(word)))
+
+
+def controllability_witness(
+    plant: Automaton, supervisor: Automaton
+) -> tuple[str, ...] | None:
+    """Language-level controllability check.
+
+    ``L(S)`` is controllable w.r.t. ``L(P)`` iff for every word ``s`` in
+    ``L(S)`` and uncontrollable event ``u`` with ``su`` in ``L(P)``,
+    ``su`` is in ``L(S)``.  Returns a shortest violating ``su`` or
+    ``None``.
+    """
+    if not plant.has_initial or not supervisor.has_initial:
+        return None
+    start = (plant.initial, supervisor.initial)
+    visited = {start}
+    queue: deque[tuple[State, State, tuple[str, ...]]] = deque(
+        [(plant.initial, supervisor.initial, ())]
+    )
+    while queue:
+        plant_state, sup_state, word = queue.popleft()
+        sup_enabled: dict[str, Event] = {
+            e.name: e for e in supervisor.enabled_events(sup_state)
+        }
+        for event in sorted(
+            plant.enabled_events(plant_state), key=lambda e: e.name
+        ):
+            if not event.controllable and event.name not in sup_enabled:
+                return word + (event.name,)
+            if event.name not in sup_enabled:
+                continue
+            pair_next = (
+                plant.step(plant_state, event),
+                supervisor.step(sup_state, event.name),
+            )
+            assert pair_next[0] is not None and pair_next[1] is not None
+            if pair_next not in visited:
+                visited.add(pair_next)
+                queue.append((*pair_next, word + (event.name,)))
+    return None

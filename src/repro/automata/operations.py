@@ -1,0 +1,173 @@
+"""Structural operations on DES automata.
+
+Implements the synchronous composition operator ``||`` exactly as
+defined in Section 4.3.1 of the paper, plus the reachability operators
+(accessible, coaccessible, trim) on which supervisor synthesis is built.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.automata.automaton import Automaton, AutomatonError, State
+from repro.automata.events import Event
+
+
+def synchronous_composition(
+    a: Automaton, b: Automaton, name: str | None = None
+) -> Automaton:
+    """``A || B``: synchronize shared events, interleave private ones.
+
+    Follows the paper's definition: for composite state ``qA.qB`` and
+    event ``e``::
+
+        delta(qA.qB, e) = delta_A(qA,e).delta_B(qB,e)  if defined in both
+                          delta_A(qA,e).qB             if e not in Sigma_B
+                          qA.delta_B(qB,e)             if e not in Sigma_A
+                          undefined                    otherwise
+
+    Marked states are pairs of marked states (``M_A x M_B``); a composite
+    state is forbidden if either component is forbidden.  Only the
+    reachable part of the product is constructed.
+    """
+    alphabet = a.alphabet.union(b.alphabet)
+    composed = Automaton(name or f"{a.name}||{b.name}", alphabet)
+    initial = a.initial.compose(b.initial)
+    composed.add_state(
+        initial,
+        marked=a.is_marked(a.initial) and b.is_marked(b.initial),
+        forbidden=a.is_forbidden(a.initial) or b.is_forbidden(b.initial),
+        initial=True,
+    )
+
+    frontier: deque[tuple[State, State]] = deque([(a.initial, b.initial)])
+    visited: set[tuple[State, State]] = {(a.initial, b.initial)}
+
+    while frontier:
+        state_a, state_b = frontier.popleft()
+        source = state_a.compose(state_b)
+        for event in alphabet:
+            in_a = event in a.alphabet
+            in_b = event in b.alphabet
+            next_a = a.step(state_a, event) if in_a else state_a
+            next_b = b.step(state_b, event) if in_b else state_b
+            if in_a and next_a is None:
+                continue
+            if in_b and next_b is None:
+                continue
+            assert next_a is not None and next_b is not None
+            target = next_a.compose(next_b)
+            if (next_a, next_b) not in visited:
+                visited.add((next_a, next_b))
+                composed.add_state(
+                    target,
+                    marked=a.is_marked(next_a) and b.is_marked(next_b),
+                    forbidden=a.is_forbidden(next_a) or b.is_forbidden(next_b),
+                )
+                frontier.append((next_a, next_b))
+            composed.add_transition(source, event, target)
+    return composed
+
+
+def compose_all(automata: Iterable[Automaton], name: str | None = None) -> Automaton:
+    """Left fold of :func:`synchronous_composition` over ``automata``."""
+    items = list(automata)
+    if not items:
+        raise AutomatonError("compose_all requires at least one automaton")
+    result = items[0]
+    for other in items[1:]:
+        result = synchronous_composition(result, other)
+    if name is not None:
+        result.name = name
+    return result
+
+
+def accessible_states(automaton: Automaton) -> frozenset[State]:
+    """States reachable from the initial state."""
+    if not automaton.has_initial:
+        return frozenset()
+    seen: set[State] = {automaton.initial}
+    frontier = deque([automaton.initial])
+    while frontier:
+        state = frontier.popleft()
+        for successor in automaton.successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def coaccessible_states(automaton: Automaton) -> frozenset[State]:
+    """States from which some marked state is reachable.
+
+    Computed by backward breadth-first search from the marked states.
+    """
+    seen: set[State] = set(automaton.marked)
+    frontier = deque(automaton.marked)
+    # Precompute the reverse adjacency once; automaton.predecessors is
+    # O(transitions) per call which would make this quadratic.
+    reverse: dict[State, set[State]] = {}
+    for transition in automaton.transitions:
+        reverse.setdefault(transition.target, set()).add(transition.source)
+    while frontier:
+        state = frontier.popleft()
+        for predecessor in reverse.get(state, ()):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                frontier.append(predecessor)
+    return frozenset(seen)
+
+
+def accessible(automaton: Automaton, name: str | None = None) -> Automaton:
+    """Restrict to the reachable part."""
+    return automaton.restricted_to(accessible_states(automaton), name=name)
+
+
+def coaccessible(automaton: Automaton, name: str | None = None) -> Automaton:
+    """Restrict to states that can still reach a marked state."""
+    return automaton.restricted_to(coaccessible_states(automaton), name=name)
+
+
+def trim(automaton: Automaton, name: str | None = None) -> Automaton:
+    """Accessible *and* coaccessible part — the paper's trimming algorithm.
+
+    A trim automaton is nonblocking by construction: every reachable
+    state can complete some task (reach a marked state).
+    """
+    keep = accessible_states(automaton) & coaccessible_states(automaton)
+    return automaton.restricted_to(keep, name=name)
+
+
+def is_nonblocking(automaton: Automaton) -> bool:
+    """True iff every reachable state is coaccessible (Section 4.3.4)."""
+    reachable = accessible_states(automaton)
+    if not reachable:
+        return True
+    return reachable <= coaccessible_states(automaton)
+
+
+def blocking_states(automaton: Automaton) -> frozenset[State]:
+    """Reachable states from which no marked state can be reached."""
+    return frozenset(accessible_states(automaton) - coaccessible_states(automaton))
+
+
+def disabled_uncontrollable(
+    plant: Automaton, candidate: Automaton, state_map: dict[State, State]
+) -> dict[State, frozenset[Event]]:
+    """For each candidate state, plant-enabled uncontrollable events it disables.
+
+    ``state_map`` maps candidate states to the plant states they refine.
+    A non-empty result means ``candidate`` is not controllable w.r.t. the
+    plant.
+    """
+    violations: dict[State, frozenset[Event]] = {}
+    for cand_state, plant_state in state_map.items():
+        plant_enabled = {
+            e for e in plant.enabled_events(plant_state) if not e.controllable
+        }
+        cand_enabled = candidate.enabled_events(cand_state)
+        missing = frozenset(plant_enabled - set(cand_enabled))
+        if missing:
+            violations[cand_state] = missing
+    return violations

@@ -1,0 +1,75 @@
+"""Serialization of automata to/from plain dictionaries.
+
+Supports persisting synthesized supervisors (the only design artifact
+deployed at runtime, per Section 4.3.3) and re-loading them without
+re-running synthesis — the paper's "new policies ... can be added to the
+supervisor on demand (e.g., by upgrading the firmware or OS)".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.automata.automaton import Automaton
+from repro.automata.events import Alphabet, Event
+
+
+def automaton_to_dict(automaton: Automaton) -> dict[str, Any]:
+    """A JSON-safe dictionary capturing the full 5-tuple."""
+    return {
+        "name": automaton.name,
+        "events": [
+            {
+                "name": event.name,
+                "controllable": event.controllable,
+                "observable": event.observable,
+            }
+            for event in automaton.alphabet
+        ],
+        "states": sorted(state.name for state in automaton.states),
+        "initial": automaton.initial.name if automaton.has_initial else None,
+        "marked": sorted(state.name for state in automaton.marked),
+        "forbidden": sorted(state.name for state in automaton.forbidden),
+        "transitions": [
+            [t.source.name, t.event.name, t.target.name]
+            for t in automaton.transitions
+        ],
+    }
+
+
+def automaton_from_dict(payload: dict[str, Any]) -> Automaton:
+    """Inverse of :func:`automaton_to_dict`."""
+    alphabet = Alphabet.of(
+        Event(
+            name=entry["name"],
+            controllable=entry["controllable"],
+            observable=entry.get("observable", True),
+        )
+        for entry in payload["events"]
+    )
+    automaton = Automaton(payload["name"], alphabet)
+    marked = set(payload.get("marked", ()))
+    forbidden = set(payload.get("forbidden", ()))
+    for state_name in payload.get("states", ()):
+        automaton.add_state(
+            state_name,
+            marked=state_name in marked,
+            forbidden=state_name in forbidden,
+        )
+    for source, event_name, target in payload.get("transitions", ()):
+        automaton.add_transition(source, event_name, target)
+    initial = payload.get("initial")
+    if initial is not None:
+        automaton.set_initial(initial)
+    return automaton
+
+
+def dumps(automaton: Automaton, *, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(automaton_to_dict(automaton), indent=indent)
+
+
+def loads(text: str) -> Automaton:
+    """Deserialize from a JSON string."""
+    return automaton_from_dict(json.loads(text))

@@ -1,0 +1,214 @@
+"""Ramadge-Wonham supervisor synthesis.
+
+Implements step 3 of the paper's synthesis process (Figure 11): given a
+plant model ``P`` and an intended-behaviour specification ``SP``, compute
+the *supremal controllable and nonblocking* supervisor — the least
+restrictive supervisor whose closed loop with the plant satisfies the
+specification.
+
+The algorithm is the classical fixpoint iteration the paper describes in
+Section 4.3.4: the *trimming* algorithm (remove blocking states, ensuring
+the nonblocking property) and the *extension* algorithm (remove states
+where an uncontrollable plant event would escape the specification,
+ensuring controllability) "must be run successively and iteratively,
+until they return the same result".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.automata.automaton import Automaton, State
+from repro.automata.events import Event
+from repro.automata.operations import (
+    accessible_states,
+    coaccessible_states,
+)
+
+
+@dataclass(frozen=True)
+class ProductState:
+    """A (plant state, spec state) pair tracked through synthesis."""
+
+    plant: State
+    spec: State
+
+    def label(self) -> State:
+        return State(f"{self.plant.name}.{self.spec.name}")
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of supervisor synthesis.
+
+    Attributes
+    ----------
+    supervisor:
+        The synthesized supervisor automaton (empty if no supervisor
+        exists).  State names are ``plantState.specState`` pairs.
+    iterations:
+        Number of trim/controllability fixpoint rounds executed.
+    removed_uncontrollable:
+        Product states pruned because an uncontrollable event escaped.
+    removed_blocking:
+        Product states pruned because they could not reach a marked state.
+    state_map:
+        Maps each supervisor state to its underlying (plant, spec) pair.
+    """
+
+    supervisor: Automaton
+    iterations: int
+    removed_uncontrollable: frozenset[State]
+    removed_blocking: frozenset[State]
+    state_map: dict[State, ProductState] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.supervisor.has_initial or len(self.supervisor) == 0
+
+
+class SynthesisError(RuntimeError):
+    """Raised when synthesis preconditions are violated."""
+
+
+def _build_product(
+    plant: Automaton, spec: Automaton
+) -> tuple[Automaton, dict[State, ProductState]]:
+    """Reachable product of plant and spec with pair bookkeeping.
+
+    Events private to the plant are interleaved (the specification does
+    not constrain them); events private to the specification are treated
+    as constraints the plant cannot execute, hence never fire.  A product
+    state is forbidden if either component is forbidden.
+    """
+    alphabet = plant.alphabet.union(spec.alphabet)
+    product = Automaton(f"sup({plant.name},{spec.name})", alphabet)
+    start = ProductState(plant.initial, spec.initial)
+    state_map: dict[State, ProductState] = {start.label(): start}
+    product.add_state(
+        start.label(),
+        marked=plant.is_marked(plant.initial) and spec.is_marked(spec.initial),
+        forbidden=plant.is_forbidden(plant.initial)
+        or spec.is_forbidden(spec.initial),
+        initial=True,
+    )
+    frontier = deque([start])
+    visited = {start}
+    while frontier:
+        pair = frontier.popleft()
+        for event in plant.alphabet:
+            next_plant = plant.step(pair.plant, event)
+            if next_plant is None:
+                continue
+            if event in spec.alphabet:
+                next_spec = spec.step(pair.spec, event)
+                if next_spec is None:
+                    continue
+            else:
+                next_spec = pair.spec
+            nxt = ProductState(next_plant, next_spec)
+            if nxt not in visited:
+                visited.add(nxt)
+                state_map[nxt.label()] = nxt
+                product.add_state(
+                    nxt.label(),
+                    marked=plant.is_marked(next_plant)
+                    and spec.is_marked(next_spec),
+                    forbidden=plant.is_forbidden(next_plant)
+                    or spec.is_forbidden(next_spec),
+                )
+                frontier.append(nxt)
+            product.add_transition(pair.label(), event, nxt.label())
+    return product, state_map
+
+
+def synthesize_supervisor(plant: Automaton, spec: Automaton) -> SynthesisResult:
+    """Compute the supremal controllable, nonblocking supervisor.
+
+    Parameters
+    ----------
+    plant:
+        The (possibly composed) plant model ``P``.  Must have an initial
+        state.
+    spec:
+        The intended-behaviour specification ``SP``.  Forbidden states in
+        either automaton are excluded from the supervisor outright.
+
+    Returns
+    -------
+    SynthesisResult
+        ``result.supervisor`` realizes the supremal controllable
+        sublanguage of ``L(P || SP)`` w.r.t. ``L(P)``; it is trim and
+        controllable, or empty when no supervisor exists.
+    """
+    if not plant.has_initial:
+        raise SynthesisError("plant has no initial state")
+    if not spec.has_initial:
+        raise SynthesisError("specification has no initial state")
+
+    product, state_map = _build_product(plant, spec)
+
+    good: set[State] = {
+        s for s in product.states if not product.is_forbidden(s)
+    }
+    removed_uncontrollable: set[State] = set()
+    removed_blocking: set[State] = set()
+
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        changed = False
+
+        # Extension algorithm: drop states where the plant can fire an
+        # uncontrollable event whose product successor has been removed
+        # (or which the product never allowed at all).
+        for state in sorted(good):
+            pair = state_map[state]
+            for event in plant.enabled_events(pair.plant):
+                if event.controllable:
+                    continue
+                target = product.step(state, event)
+                if target is None or target not in good:
+                    good.discard(state)
+                    removed_uncontrollable.add(state)
+                    changed = True
+                    break
+
+        # Trimming algorithm: keep only accessible and coaccessible
+        # states of the surviving sub-automaton.
+        candidate = product.restricted_to(good)
+        keep = accessible_states(candidate) & coaccessible_states(candidate)
+        dropped = good - keep
+        if dropped:
+            removed_blocking.update(dropped)
+            good = set(keep)
+            changed = True
+
+    supervisor = product.restricted_to(good, name=f"S({plant.name})")
+    surviving_map = {s: state_map[s] for s in supervisor.states}
+    return SynthesisResult(
+        supervisor=supervisor,
+        iterations=iterations,
+        removed_uncontrollable=frozenset(removed_uncontrollable),
+        removed_blocking=frozenset(removed_blocking),
+        state_map=surviving_map,
+    )
+
+
+def supremal_controllable(plant: Automaton, spec: Automaton) -> Automaton:
+    """Convenience wrapper returning only the supervisor automaton."""
+    return synthesize_supervisor(plant, spec).supervisor
+
+
+def supervisor_enabled_events(
+    supervisor: Automaton, state: State
+) -> frozenset[Event]:
+    """Control action of the supervisor at ``state``.
+
+    The supervisor's control decision is the set of events it leaves
+    enabled; uncontrollable events are always implicitly enabled (the
+    supervisor merely tracks them).
+    """
+    return supervisor.enabled_events(state)

@@ -1,0 +1,121 @@
+"""Property checks for synthesized supervisors (steps 4-5 of Figure 11).
+
+Two properties must hold before a supervisor is deployed:
+
+* **Nonblocking** — the closed-loop system can always complete some task,
+  i.e. reach a marked ("ideal") state from every reachable state.
+* **Controllability** — the supervisor never has to disable an
+  uncontrollable event: whenever the plant can fire an uncontrollable
+  event after a string both agree on, the supervisor permits it.
+
+Both are checked on the synchronous product of supervisor and plant so
+that the verdicts refer to the actual closed loop, matching the checks
+Supremica performs for the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automata.automaton import Automaton, State
+from repro.automata.events import Event
+from repro.automata.operations import blocking_states, is_nonblocking
+
+
+@dataclass(frozen=True)
+class ControllabilityViolation:
+    """A witness that the supervisor disables an uncontrollable event."""
+
+    plant_state: State
+    supervisor_state: State
+    event: Event
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"uncontrollable event {self.event.name!r} enabled by plant at "
+            f"{self.plant_state} but disabled by supervisor at "
+            f"{self.supervisor_state}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Combined nonblocking + controllability verdict."""
+
+    nonblocking: bool
+    controllable: bool
+    blocking_states: frozenset[State]
+    violations: tuple[ControllabilityViolation, ...]
+
+    @property
+    def verified(self) -> bool:
+        return self.nonblocking and self.controllable
+
+    def summary(self) -> str:
+        lines = [
+            f"nonblocking:    {'PASS' if self.nonblocking else 'FAIL'}",
+            f"controllable:   {'PASS' if self.controllable else 'FAIL'}",
+        ]
+        if self.blocking_states:
+            lines.append(f"blocking states: {sorted(s.name for s in self.blocking_states)}")
+        for violation in self.violations:
+            lines.append(f"violation: {violation}")
+        return "\n".join(lines)
+
+
+def check_nonblocking(automaton: Automaton) -> bool:
+    """Every reachable state can reach a marked state."""
+    return is_nonblocking(automaton)
+
+
+def check_controllability(
+    plant: Automaton, supervisor: Automaton
+) -> tuple[bool, tuple[ControllabilityViolation, ...]]:
+    """Verify L(S/P) is controllable w.r.t. L(P).
+
+    Walks the joint reachable space of (plant, supervisor).  At each
+    joint state, every uncontrollable event the plant enables must also
+    be enabled by the supervisor.
+    """
+    if not plant.has_initial or not supervisor.has_initial:
+        return True, ()
+    violations: list[ControllabilityViolation] = []
+    start = (plant.initial, supervisor.initial)
+    visited = {start}
+    frontier = deque([start])
+    while frontier:
+        plant_state, sup_state = frontier.popleft()
+        sup_enabled = supervisor.enabled_events(sup_state)
+        for event in plant.enabled_events(plant_state):
+            permitted = event.controllable is False or event in sup_enabled
+            if not event.controllable and event not in sup_enabled:
+                violations.append(
+                    ControllabilityViolation(plant_state, sup_state, event)
+                )
+                continue
+            if event not in sup_enabled:
+                continue  # supervisor (legally) disables a controllable event
+            assert permitted
+            next_plant = plant.step(plant_state, event)
+            next_sup = supervisor.step(sup_state, event)
+            if next_plant is None or next_sup is None:
+                continue
+            nxt = (next_plant, next_sup)
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append(nxt)
+    return not violations, tuple(violations)
+
+
+def verify_supervisor(plant: Automaton, supervisor: Automaton) -> VerificationReport:
+    """Run both property checks and bundle the verdicts."""
+    nonblocking = check_nonblocking(supervisor)
+    blocked = blocking_states(supervisor)
+    controllable, violations = check_controllability(plant, supervisor)
+    return VerificationReport(
+        nonblocking=nonblocking,
+        controllable=controllable,
+        blocking_states=blocked,
+        violations=violations,
+    )

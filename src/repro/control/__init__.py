@@ -1,0 +1,121 @@
+"""Classical control substrate: models, LQG design, sysid, analysis.
+
+Everything the paper obtains from MATLAB's System Identification and
+Control System toolboxes, reimplemented: discrete state-space models,
+DARE/LQR/Kalman design, LQG servo controllers with output-priority
+weighting and gain scheduling, ARX black-box identification with
+staircase excitation, residual-autocorrelation validation, robust
+stability analysis with uncertainty guardbands, and the tracking
+metrics (steady-state error, settling time) used in the evaluation.
+"""
+
+from repro.control.complexity import (
+    MIMODimensions,
+    adaptive_invocation_operations,
+    dimensions_for_cores,
+    matvec_operations,
+    operations_sweep,
+    spectr_operations,
+)
+from repro.control.gains import GainLibrary, GainLibraryError, GainScheduleLog
+from repro.control.lqg import (
+    ActuatorLimits,
+    LQGGains,
+    LQGServoController,
+    design_lqg_servo,
+)
+from repro.control.metrics import (
+    TrackingSummary,
+    overshoot_percent,
+    settling_time,
+    steady_state_error,
+    steady_state_error_percent,
+)
+from repro.control.pid import PIDController, PIDGains
+from repro.control.residuals import (
+    ResidualAnalysis,
+    analyze_residuals,
+    autocorrelation,
+    confidence_bound,
+    whiteness_score,
+)
+from repro.control.riccati import (
+    RiccatiError,
+    closed_loop_matrix,
+    is_stabilizing,
+    kalman_gain,
+    lqr_gain,
+    solve_dare,
+)
+from repro.control.robustness import (
+    RobustnessReport,
+    closed_loop_spectral_radius,
+    closed_loop_system_matrix,
+    perturbed_plant,
+    robust_stability_analysis,
+)
+from repro.control.statespace import (
+    ModelError,
+    OperatingPoint,
+    StateSpaceModel,
+)
+from repro.control.sysid import (
+    ARXModel,
+    IdentificationResult,
+    fit_percent,
+    identify_arx,
+    multi_input_staircase,
+    r_squared_per_output,
+    recommend_order,
+    staircase_signal,
+)
+
+__all__ = [
+    "ARXModel",
+    "ActuatorLimits",
+    "GainLibrary",
+    "GainLibraryError",
+    "GainScheduleLog",
+    "IdentificationResult",
+    "LQGGains",
+    "LQGServoController",
+    "MIMODimensions",
+    "ModelError",
+    "OperatingPoint",
+    "PIDController",
+    "PIDGains",
+    "ResidualAnalysis",
+    "RiccatiError",
+    "RobustnessReport",
+    "StateSpaceModel",
+    "TrackingSummary",
+    "adaptive_invocation_operations",
+    "analyze_residuals",
+    "autocorrelation",
+    "closed_loop_matrix",
+    "closed_loop_spectral_radius",
+    "closed_loop_system_matrix",
+    "confidence_bound",
+    "design_lqg_servo",
+    "dimensions_for_cores",
+    "fit_percent",
+    "identify_arx",
+    "is_stabilizing",
+    "kalman_gain",
+    "lqr_gain",
+    "matvec_operations",
+    "multi_input_staircase",
+    "operations_sweep",
+    "overshoot_percent",
+    "perturbed_plant",
+    "r_squared_per_output",
+    "recommend_order",
+    "robust_stability_analysis",
+    "settling_time",
+    "solve_dare",
+    "spectr_operations",
+    "staircase_signal",
+    "steady_state_error",
+    "steady_state_error_percent",
+    "whiteness_score",
+]

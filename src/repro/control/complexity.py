@@ -1,0 +1,134 @@
+"""Controller complexity accounting (Figure 6, Sections 2.3 and 5.3).
+
+The paper argues a single MIMO for a many-core system is infeasible
+because the coefficient matrices of Equations 1-2 grow with the number
+of inputs/outputs: ``A`` has dimensions ``(#inputs + order) x
+(#outputs + order)``, and every controller invocation executes the
+matrix products.  We count multiply-add operations for:
+
+* the bare Equations 1-2 mat-vec work (lower bound),
+* a full adaptive-LQG invocation that also refreshes the Riccati/Kalman
+  matrices online (the cost that makes Figure 6 explode), and
+* the modular SPECTR alternative (one small MIMO per cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MIMODimensions:
+    """Input/output/order sizing of an LQG controller.
+
+    For the scaling study each core contributes one control input and
+    one measured output on top of the per-cluster pair, following the
+    paper's 10x10 example (8 per-core + 2 per-cluster channels for 8
+    cores).
+    """
+
+    n_inputs: int
+    n_outputs: int
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1 or self.order < 1:
+            raise ValueError("dimensions must be positive")
+
+    @property
+    def a_rows(self) -> int:
+        return self.n_inputs + self.order
+
+    @property
+    def a_cols(self) -> int:
+        return self.n_outputs + self.order
+
+    @property
+    def state_size(self) -> int:
+        """Square state dimension used for matrix products."""
+        return max(self.a_rows, self.a_cols)
+
+
+def dimensions_for_cores(n_cores: int, order: int, *, per_core_channels: int = 1,
+                         per_cluster_channels: int = 1, cores_per_cluster: int = 4) -> MIMODimensions:
+    """Dimensions of one monolithic MIMO managing ``n_cores`` cores.
+
+    Per-core sensors/actuators (idle-cycle insertion in, per-core IPS
+    out) plus one per-cluster channel (DVFS in, cluster power out), as
+    in Figure 4's 10x10 system: 8 cores in 2 clusters -> 8 + 2 = 10
+    inputs and outputs.
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    n_clusters = max(1, -(-n_cores // cores_per_cluster))
+    channels = per_core_channels * n_cores + per_cluster_channels * n_clusters
+    return MIMODimensions(n_inputs=channels, n_outputs=channels, order=order)
+
+
+def matvec_operations(dims: MIMODimensions) -> int:
+    """Multiply-adds of one bare Equations 1-2 evaluation.
+
+    ``x' = Ax + Bu`` and ``y = Cx + Du`` with ``A`` of size
+    ``a_rows x a_cols``, ``B``: ``a_rows x n_inputs``, ``C``:
+    ``n_outputs x a_cols``, ``D``: ``n_outputs x n_inputs``.
+    """
+    a = dims.a_rows * dims.a_cols
+    b = dims.a_rows * dims.n_inputs
+    c = dims.n_outputs * dims.a_cols
+    d = dims.n_outputs * dims.n_inputs
+    return a + b + c + d
+
+
+def adaptive_invocation_operations(dims: MIMODimensions) -> int:
+    """Multiply-adds of an invocation that refreshes gains online.
+
+    Adaptive/self-tuning LQG (which monolithic designs need, because a
+    fixed design cannot cover every operating region of a large
+    heterogeneous system) performs covariance and gain updates involving
+    ``n x n`` matrix-matrix products each interval — cubic in the state
+    size.  This is the cost profile that renders a single many-core MIMO
+    infeasible in Figure 6.
+    """
+    n = dims.state_size
+    m = dims.n_inputs
+    p = dims.n_outputs
+    # P <- A P A' - A P C'(...)^-1 C P A' + Q : two n^3 products, one
+    # n^2 p and p^2 n pair, plus a p^3 solve; gain refresh m n^2.
+    covariance = 2 * n**3 + 2 * (n**2) * p + 2 * (p**2) * n + p**3
+    gain = m * n**2 + (m**2) * n
+    return matvec_operations(dims) + covariance + gain
+
+
+def spectr_operations(
+    n_cores: int,
+    order: int,
+    *,
+    cores_per_cluster: int = 4,
+    supervisor_ops: int = 64,
+) -> int:
+    """Per-interval multiply-adds of the modular SPECTR alternative.
+
+    One small 2x2 MIMO per cluster (fixed gains, mat-vec only) plus a
+    constant-cost supervisor table lookup.  Linear in cluster count.
+    """
+    n_clusters = max(1, -(-n_cores // cores_per_cluster))
+    per_cluster = matvec_operations(
+        MIMODimensions(n_inputs=2, n_outputs=2, order=order)
+    )
+    return n_clusters * per_cluster + supervisor_ops
+
+
+def operations_sweep(
+    core_counts: list[int],
+    orders: list[int],
+) -> dict[int, dict[int, int]]:
+    """Figure 6 data: ``{order: {cores: total ops}}`` for monolithic LQG."""
+    return {
+        order: {
+            cores: adaptive_invocation_operations(
+                dimensions_for_cores(cores, order)
+            )
+            for cores in core_counts
+        }
+        for order in orders
+    }

@@ -1,0 +1,78 @@
+"""Gain libraries and scheduling bookkeeping.
+
+Gain scheduling (Section 3.2, Figure 8) switches between *predesigned*
+sets of linear-controller parameters based on runtime observations.  The
+library stores the gain sets generated at design time (Figure 16, step
+7: one LQG gain set per <goal, condition> pair) so that a supervisor can
+swap them with a constant-time lookup, "changing the coefficient arrays
+at runtime takes effect immediately" (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.lqg import LQGGains
+
+
+class GainLibraryError(KeyError):
+    """Raised on unknown gain-set lookups or duplicate registrations."""
+
+
+@dataclass
+class GainLibrary:
+    """Named collection of :class:`LQGGains` for one subsystem controller."""
+
+    name: str = "gains"
+    _sets: dict[str, LQGGains] = field(default_factory=dict)
+
+    def register(self, gains: LQGGains) -> None:
+        if gains.name in self._sets:
+            raise GainLibraryError(
+                f"gain set {gains.name!r} already registered in {self.name!r}"
+            )
+        self._sets[gains.name] = gains
+
+    def get(self, name: str) -> LQGGains:
+        try:
+            return self._sets[name]
+        except KeyError as exc:
+            raise GainLibraryError(
+                f"unknown gain set {name!r} in library {self.name!r} "
+                f"(have {sorted(self._sets)})"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sets
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._sets))
+
+
+@dataclass
+class GainScheduleLog:
+    """Record of gain switches, for autonomy analysis.
+
+    Each entry is ``(time_s, controller_name, gain_set_name)``.  The
+    evaluation uses this to confirm the supervisor switched priorities
+    exactly at phase boundaries (e.g. Figure 13g/h behaviour).
+    """
+
+    entries: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def record(self, time_s: float, controller: str, gain_set: str) -> None:
+        self.entries.append((float(time_s), controller, gain_set))
+
+    def switches_for(self, controller: str) -> list[tuple[float, str]]:
+        return [
+            (t, gain_set)
+            for t, name, gain_set in self.entries
+            if name == controller
+        ]
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,342 @@
+"""LQG servo controllers with output-priority weighting.
+
+This is the paper's low-level controller building block: an LQG
+(Linear-Quadratic-Gaussian) regulator extended with integral action so
+that it *tracks* reference values (set-points) for each measured output.
+Output priorities are expressed exactly as in Section 2.1: a weighted
+Tracking Error Cost matrix ``Q`` (e.g. a 30:1 FPS:power ratio for the
+FPS-oriented controller of Figure 3a) and a Control Effort Cost matrix
+``R`` (the paper uses 2:1 to prefer frequency moves over core-count
+moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.riccati import kalman_gain, lqr_gain
+from repro.control.statespace import ModelError, OperatingPoint, StateSpaceModel
+
+
+@dataclass
+class LQGGains:
+    """A complete, immutable set of controller gains.
+
+    Gain scheduling (Section 3.2) swaps whole :class:`LQGGains` objects:
+    "the supervisor ... simply points the coefficient matrices to a
+    different set of stored values".
+    """
+
+    name: str
+    model: StateSpaceModel
+    K_state: np.ndarray  # feedback on estimated model state
+    K_integral: np.ndarray  # feedback on tracking-error integrators
+    L: np.ndarray  # Kalman observer gain
+    Q_output: np.ndarray  # output priority weights (diagonal)
+    R_effort: np.ndarray  # control effort weights (diagonal)
+    integral_mask: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.integral_mask is None:
+            self.integral_mask = np.ones(self.model.n_outputs)
+        else:
+            self.integral_mask = np.asarray(self.integral_mask, float).ravel()
+
+    @property
+    def n_inputs(self) -> int:
+        return self.model.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.model.n_outputs
+
+    @property
+    def n_states(self) -> int:
+        return self.model.n_states
+
+    def operations_per_invocation(self) -> int:
+        """Multiply-add count of one controller invocation.
+
+        Counts the observer update, integrator update and feedback
+        products — the matrix work behind Figure 6 and the Section 5.3
+        overhead numbers.
+        """
+        n, m, p = self.n_states, self.n_inputs, self.n_outputs
+        observer = n * n + n * m + n * p + p * n + p * m  # Ax+Bu+L(y-yhat)
+        feedback = m * n + m * p  # K_state @ xhat + K_integral @ z
+        return observer + feedback
+
+
+def design_lqg_servo(
+    model: StateSpaceModel,
+    *,
+    output_weights: np.ndarray | list[float],
+    effort_weights: np.ndarray | list[float],
+    integral_weight: float = 0.04,
+    state_weight: float = 1e-3,
+    process_noise: float = 1e-2,
+    measurement_noise: float = 1e-1,
+    integral_threshold: float = 0.1,
+    name: str = "gains",
+) -> LQGGains:
+    """Design an LQG servo (LQI) gain set for ``model``.
+
+    The plant state is augmented with one integrator per output,
+    ``z(t+1) = z(t) + (r(t) - y(t))``, and LQR is solved on::
+
+        [x; z]' = [[A, 0], [-C, I]] [x; z] + [[B], [-D]] u
+
+    with cost ``blkdiag(state_weight*C'QyC, integral_weight*Qy)`` and
+    effort ``diag(effort_weights)``.  Larger ``Qy`` entries make the
+    controller fight harder for that output — the priority mechanism the
+    paper's MM-Perf / MM-Pow variants differ by.
+
+    Outputs whose relative weight falls below ``integral_threshold``
+    get *no* integral action (their integrator weight and accumulation
+    are zeroed).  This realizes the priority semantics of Section 2.1:
+    an output de-prioritized 30:1 influences transients through the
+    state feedback but is not servoed to its reference — otherwise the
+    infinite DC gain of even a tiny integrator would eventually drag
+    the system off the favoured output's reference.
+
+    A steady-state Kalman filter supplies the state estimate.
+
+    Raises
+    ------
+    ModelError
+        If weight dimensions do not match the model.
+    """
+    qy = np.asarray(output_weights, dtype=float).ravel()
+    ru = np.asarray(effort_weights, dtype=float).ravel()
+    if qy.size != model.n_outputs:
+        raise ModelError(
+            f"need {model.n_outputs} output weights, got {qy.size}"
+        )
+    if ru.size != model.n_inputs:
+        raise ModelError(f"need {model.n_inputs} effort weights, got {ru.size}")
+    if np.any(qy < 0) or np.any(ru <= 0):
+        raise ModelError("output weights must be >=0 and effort weights >0")
+
+    n, m, p = model.n_states, model.n_inputs, model.n_outputs
+    Qy = np.diag(qy)
+    mask = (qy / qy.max() >= integral_threshold).astype(float)
+    active = np.flatnonzero(mask)
+    if active.size == 0:
+        raise ModelError("at least one output must carry integral action")
+    # Augment only the servoed outputs: a zero-cost integrator is a
+    # marginal mode the DARE cannot stabilize through the cost.
+    C_act = model.C[active, :]
+    D_act = model.D[active, :]
+    p_act = active.size
+    A_aug = np.block(
+        [
+            [model.A, np.zeros((n, p_act))],
+            [-C_act, np.eye(p_act)],
+        ]
+    )
+    B_aug = np.vstack([model.B, -D_act])
+    Q_aug = np.block(
+        [
+            [state_weight * (model.C.T @ Qy @ model.C), np.zeros((n, p_act))],
+            [np.zeros((p_act, n)), integral_weight * np.diag(qy[active])],
+        ]
+    )
+    # Keep the augmented cost positive definite so the DARE is well posed.
+    Q_aug += 1e-9 * np.eye(n + p_act)
+    R_aug = np.diag(ru)
+
+    K = lqr_gain(A_aug, B_aug, Q_aug, R_aug)
+    K_state = K[:, :n]
+    K_integral = np.zeros((m, p))
+    K_integral[:, active] = K[:, n:]
+
+    W = process_noise * np.eye(n)
+    V = measurement_noise * np.eye(p)
+    L = kalman_gain(model.A, model.C, W, V)
+
+    return LQGGains(
+        name=name,
+        model=model,
+        K_state=K_state,
+        K_integral=K_integral,
+        L=L,
+        Q_output=Qy,
+        R_effort=R_aug,
+        integral_mask=mask,
+    )
+
+
+@dataclass
+class ActuatorLimits:
+    """Physical saturation and slew bounds for each control input.
+
+    ``max_step`` limits how far an actuator may move per control
+    interval (DVFS governors step through OPPs; hotplug adds/removes a
+    core at a time).  ``None`` disables slew limiting.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    max_step: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=float).ravel()
+        self.upper = np.asarray(self.upper, dtype=float).ravel()
+        if self.lower.shape != self.upper.shape:
+            raise ModelError("actuator limit shapes differ")
+        if np.any(self.lower > self.upper):
+            raise ModelError("actuator lower bound exceeds upper bound")
+        if self.max_step is not None:
+            self.max_step = np.asarray(self.max_step, dtype=float).ravel()
+            if self.max_step.shape != self.lower.shape:
+                raise ModelError("max_step shape mismatch")
+            if np.any(self.max_step <= 0):
+                raise ModelError("max_step entries must be positive")
+
+    def clip(self, u: np.ndarray, previous: np.ndarray | None = None) -> np.ndarray:
+        clipped = np.asarray(u, dtype=float)
+        if self.max_step is not None and previous is not None:
+            clipped = np.clip(
+                clipped, previous - self.max_step, previous + self.max_step
+            )
+        return np.clip(clipped, self.lower, self.upper)
+
+
+class LQGServoController:
+    """Runtime LQG tracking controller with hot-swappable gains.
+
+    The controller operates on *physical* quantities; the
+    :class:`OperatingPoint` converts to/from the deviation coordinates
+    of the identified model.  Anti-windup back-calculation keeps the
+    error integrators honest when actuators saturate (always the case
+    near the frequency/core-count rails of the Exynos platform).
+    """
+
+    def __init__(
+        self,
+        gains: LQGGains,
+        operating_point: OperatingPoint,
+        limits: ActuatorLimits,
+        *,
+        anti_windup: float = 0.9,
+        name: str = "lqg",
+    ) -> None:
+        if operating_point.u.size != gains.n_inputs:
+            raise ModelError("operating point u dimension mismatch")
+        if operating_point.y.size != gains.n_outputs:
+            raise ModelError("operating point y dimension mismatch")
+        self.name = name
+        self.gains = gains
+        self.operating_point = operating_point
+        self.limits = limits
+        self.anti_windup = float(anti_windup)
+        self._reference = operating_point.y.copy()
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def reference(self) -> np.ndarray:
+        """Current physical reference (set-point) vector."""
+        return self._reference.copy()
+
+    def set_reference(self, reference: np.ndarray | list[float]) -> None:
+        reference = np.asarray(reference, dtype=float).ravel()
+        if reference.size != self.gains.n_outputs:
+            raise ModelError(
+                f"reference needs {self.gains.n_outputs} entries, "
+                f"got {reference.size}"
+            )
+        self._reference = reference
+
+    def switch_gains(self, gains: LQGGains, *, bumpless: bool = True) -> None:
+        """Hot-swap the gain set (supervisory gain scheduling).
+
+        The estimator state is preserved, so switching takes effect
+        immediately — matching the paper's zero-overhead pointer swap.
+        With ``bumpless`` (default), the newly-active integrators are
+        re-initialized so the commanded input is continuous across the
+        switch: without it, the fresh gain set's feedback jerks the
+        actuators and the transient can ring for hundreds of
+        milliseconds (bumpless transfer is standard practice when gain
+        scheduling between linear controllers [Leith & Leithead 2000]).
+        """
+        if (
+            gains.n_states != self.gains.n_states
+            or gains.n_inputs != self.gains.n_inputs
+            or gains.n_outputs != self.gains.n_outputs
+        ):
+            raise ModelError("gain set dimensions incompatible with controller")
+        self.gains = gains
+        if bumpless:
+            # du = -Ks@xhat - Ki@z; continuity (du == du_prev) requires
+            # Ki@z = -Ks@xhat - du_prev, solved in the least-squares
+            # sense and masked to the active integrators.
+            rhs = -(gains.K_state @ self._xhat) - self._du_prev
+            z = np.linalg.pinv(gains.K_integral) @ rhs
+            self._z = z * gains.integral_mask
+
+    def reset(self) -> None:
+        self._xhat = np.zeros(self.gains.n_states)
+        self._z = np.zeros(self.gains.n_outputs)
+        self._du_prev = np.zeros(self.gains.n_inputs)
+        self._u_prev = self.operating_point.u.copy()
+        self.invocations = 0
+
+    # ------------------------------------------------------------------
+    def step(self, measured_outputs: np.ndarray | list[float]) -> np.ndarray:
+        """One control interval: consume measurements, emit actuations.
+
+        Parameters
+        ----------
+        measured_outputs:
+            Physical sensor vector ``y(t)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Physical actuator vector ``u(t)``, saturated to limits.
+        """
+        g = self.gains
+        op = self.operating_point
+        y = np.asarray(measured_outputs, dtype=float).ravel()
+        dy = op.normalize_y(y)
+        dr = op.normalize_y(self._reference)
+
+        # Predictor-form Kalman update using last interval's input.
+        y_pred = g.model.C @ self._xhat + g.model.D @ self._du_prev
+        self._xhat = (
+            g.model.A @ self._xhat
+            + g.model.B @ self._du_prev
+            + g.L @ (dy - y_pred)
+        )
+
+        # Tracking-error integrators (masked: de-prioritized outputs do
+        # not accumulate, so a later gain switch starts them clean).
+        self._z = self._z + g.integral_mask * (dr - dy)
+
+        du = -g.K_state @ self._xhat - g.K_integral @ self._z
+        u_raw = op.denormalize_u(du)
+        u = self.limits.clip(u_raw, previous=self._u_prev)
+
+        # Anti-windup (back-calculation): shift the integrators so the
+        # commanded input matches the saturated one.  With
+        # du = -Kz z, achieving ddu = -excess requires dz = pinv(Kz) @ excess.
+        excess = (u_raw - u) / np.where(op.u_scale == 0, 1.0, op.u_scale)
+        if np.any(excess != 0.0):
+            correction = np.linalg.pinv(g.K_integral) @ excess
+            self._z = self._z + self.anti_windup * correction
+
+        self._du_prev = op.normalize_u(u)
+        self._u_prev = u.copy()
+        self.invocations += 1
+        return u
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Internal state (for logging/diagnostics)."""
+        return {
+            "xhat": self._xhat.copy(),
+            "z": self._z.copy(),
+            "du_prev": self._du_prev.copy(),
+        }

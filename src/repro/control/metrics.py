@@ -1,0 +1,134 @@
+"""Feedback-control quality metrics used in the evaluation.
+
+* **Steady-state error** (Figure 14): ``reference - measured`` averaged
+  over the settled tail of a phase, reported as a percentage of the
+  reference.  Negative = overshoot of the reference (bad for power),
+  positive = savings (power) or shortfall (QoS).
+* **Settling time** (Section 5.1.1): time until the output stays within
+  a band around its steady-state value after a reference step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def steady_state_error(
+    measured: np.ndarray,
+    reference: float,
+    *,
+    tail_fraction: float = 0.4,
+) -> float:
+    """Absolute steady-state error ``reference - mean(tail of measured)``."""
+    measured = np.asarray(measured, dtype=float).ravel()
+    if measured.size == 0:
+        raise ValueError("measured trace is empty")
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    tail = measured[int(np.floor(measured.size * (1 - tail_fraction))):]
+    return float(reference - tail.mean())
+
+
+def steady_state_error_percent(
+    measured: np.ndarray,
+    reference: float,
+    *,
+    tail_fraction: float = 0.4,
+) -> float:
+    """Steady-state error as % of the reference (Figure 14's y-axis)."""
+    if reference == 0:
+        raise ValueError("reference must be nonzero for a percentage")
+    error = steady_state_error(measured, reference, tail_fraction=tail_fraction)
+    return 100.0 * error / reference
+
+
+def settling_time(
+    times: np.ndarray,
+    measured: np.ndarray,
+    *,
+    band: float = 0.05,
+    final_value: float | None = None,
+) -> float:
+    """Time after which the signal stays within ``band`` of its final value.
+
+    ``final_value`` defaults to the mean of the last 20% of the trace.
+    Returns ``inf`` if the signal never settles.
+    """
+    times = np.asarray(times, dtype=float).ravel()
+    measured = np.asarray(measured, dtype=float).ravel()
+    if times.shape != measured.shape:
+        raise ValueError("times and measured must have the same shape")
+    if measured.size < 2:
+        raise ValueError("need at least two samples")
+    if final_value is None:
+        final_value = float(measured[int(0.8 * measured.size):].mean())
+    scale = abs(final_value) if final_value != 0 else 1.0
+    tolerance = band * scale
+    inside = np.abs(measured - final_value) <= tolerance
+    # Find the earliest index from which the signal never leaves the band.
+    if not inside[-1]:
+        return float("inf")
+    last_outside = np.where(~inside)[0]
+    if last_outside.size == 0:
+        return float(times[0] - times[0])
+    settle_index = last_outside[-1] + 1
+    if settle_index >= times.size:
+        return float("inf")
+    return float(times[settle_index] - times[0])
+
+
+def overshoot_percent(
+    measured: np.ndarray, reference: float, *, initial: float | None = None
+) -> float:
+    """Peak overshoot beyond the reference, as % of the step size."""
+    measured = np.asarray(measured, dtype=float).ravel()
+    if measured.size == 0:
+        raise ValueError("measured trace is empty")
+    if initial is None:
+        initial = float(measured[0])
+    step = reference - initial
+    if step == 0:
+        return 0.0
+    if step > 0:
+        peak = float(measured.max()) - reference
+    else:
+        peak = reference - float(measured.min())
+    return max(0.0, 100.0 * peak / abs(step))
+
+
+@dataclass
+class TrackingSummary:
+    """Bundle of tracking metrics for one output over one phase."""
+
+    reference: float
+    mean: float
+    steady_state_error: float
+    steady_state_error_percent: float
+    settling_time_s: float
+    overshoot_percent: float
+
+    @classmethod
+    def from_trace(
+        cls,
+        times: np.ndarray,
+        measured: np.ndarray,
+        reference: float,
+        *,
+        band: float = 0.05,
+        tail_fraction: float = 0.4,
+    ) -> "TrackingSummary":
+        measured = np.asarray(measured, dtype=float).ravel()
+        return cls(
+            reference=reference,
+            mean=float(measured.mean()),
+            steady_state_error=steady_state_error(
+                measured, reference, tail_fraction=tail_fraction
+            ),
+            steady_state_error_percent=steady_state_error_percent(
+                measured, reference, tail_fraction=tail_fraction
+            ),
+            settling_time_s=settling_time(times, measured, band=band),
+            overshoot_percent=overshoot_percent(measured, reference),
+        )

@@ -1,0 +1,95 @@
+"""Discrete PID SISO controller.
+
+The paper's architecture admits "various types of Classic Controllers,
+such as PID or state-space controllers" as leaf controllers (Section
+4.1).  This PID provides the SISO option: a single actuator tracking a
+single measured output, with gain scheduling via :meth:`set_gains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Proportional/integral/derivative coefficients.
+
+    These are the "internal controller parameters" the paper's footnote 1
+    gives as the canonical example of gains.
+    """
+
+    kp: float
+    ki: float
+    kd: float
+    name: str = "pid"
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be non-negative")
+
+
+class PIDController:
+    """Positional-form discrete PID with clamping anti-windup."""
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        *,
+        dt: float = 0.05,
+        output_limits: tuple[float, float] = (float("-inf"), float("inf")),
+        name: str = "pid",
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        lo, hi = output_limits
+        if lo > hi:
+            raise ValueError("output limits reversed")
+        self.name = name
+        self.gains = gains
+        self.dt = dt
+        self.output_limits = (float(lo), float(hi))
+        self._reference = 0.0
+        self.reset()
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error: float | None = None
+        self.invocations = 0
+
+    @property
+    def reference(self) -> float:
+        return self._reference
+
+    def set_reference(self, reference: float) -> None:
+        self._reference = float(reference)
+
+    def set_gains(self, gains: PIDGains) -> None:
+        """Gain scheduling hook: swap coefficients, keep integrator."""
+        self.gains = gains
+
+    def step(self, measured: float) -> float:
+        """One control interval; returns the (saturated) actuation."""
+        error = self._reference - float(measured)
+        derivative = (
+            0.0
+            if self._previous_error is None
+            else (error - self._previous_error) / self.dt
+        )
+        candidate_integral = self._integral + error * self.dt
+        output = (
+            self.gains.kp * error
+            + self.gains.ki * candidate_integral
+            + self.gains.kd * derivative
+        )
+        lo, hi = self.output_limits
+        saturated = min(max(output, lo), hi)
+        # Clamping anti-windup: only accumulate when not pushing further
+        # into saturation.
+        if saturated == output or (output > hi and error < 0) or (
+            output < lo and error > 0
+        ):
+            self._integral = candidate_integral
+        self._previous_error = error
+        self.invocations += 1
+        return saturated

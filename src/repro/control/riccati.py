@@ -1,0 +1,108 @@
+"""Discrete algebraic Riccati equation (DARE) solvers.
+
+LQG design (Section 2.1, Equations 1-2 and the Q/R weighting discussion)
+requires solving the DARE twice: once for the optimal state-feedback
+gain (LQR) and once, on the dual system, for the steady-state Kalman
+filter gain.  We implement a structured doubling iteration from scratch
+and cross-check it against ``scipy.linalg.solve_discrete_are`` in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RiccatiError(RuntimeError):
+    """Raised when the DARE iteration fails to converge."""
+
+
+def solve_dare(
+    A: np.ndarray,
+    B: np.ndarray,
+    Q: np.ndarray,
+    R: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+) -> np.ndarray:
+    """Solve ``P = A'PA - A'PB (R + B'PB)^-1 B'PA + Q``.
+
+    Uses the fixed-point (value) iteration ``P_{k+1} = Riccati(P_k)``
+    starting from ``P_0 = Q``.  For stabilizable/detectable problems this
+    converges linearly; the problems in this library are small (order
+    <= 20) so simplicity wins over a Schur-based solver.
+
+    Raises
+    ------
+    RiccatiError
+        If convergence is not reached within ``max_iter`` sweeps.
+    """
+    A = np.atleast_2d(np.asarray(A, float))
+    B = np.atleast_2d(np.asarray(B, float))
+    Q = np.atleast_2d(np.asarray(Q, float))
+    R = np.atleast_2d(np.asarray(R, float))
+    n = A.shape[0]
+    if Q.shape != (n, n):
+        raise ValueError(f"Q must be {n}x{n}, got {Q.shape}")
+    m = B.shape[1]
+    if R.shape != (m, m):
+        raise ValueError(f"R must be {m}x{m}, got {R.shape}")
+
+    P = Q.copy()
+    for _ in range(max_iter):
+        BtP = B.T @ P
+        gain_term = np.linalg.solve(R + BtP @ B, BtP @ A)
+        P_next = A.T @ P @ A - (A.T @ P @ B) @ gain_term + Q
+        P_next = 0.5 * (P_next + P_next.T)  # enforce symmetry
+        if np.max(np.abs(P_next - P)) < tol * max(1.0, np.max(np.abs(P))):
+            return P_next
+        P = P_next
+    raise RiccatiError(
+        f"DARE iteration did not converge in {max_iter} iterations"
+    )
+
+
+def lqr_gain(
+    A: np.ndarray,
+    B: np.ndarray,
+    Q: np.ndarray,
+    R: np.ndarray,
+) -> np.ndarray:
+    """Optimal state-feedback gain ``K`` with ``u = -K x``.
+
+    Minimizes ``sum x'Qx + u'Ru`` subject to ``x' = Ax + Bu``.
+    """
+    P = solve_dare(A, B, Q, R)
+    B = np.atleast_2d(np.asarray(B, float))
+    A = np.atleast_2d(np.asarray(A, float))
+    R = np.atleast_2d(np.asarray(R, float))
+    return np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+
+
+def kalman_gain(
+    A: np.ndarray,
+    C: np.ndarray,
+    W: np.ndarray,
+    V: np.ndarray,
+) -> np.ndarray:
+    """Steady-state Kalman (observer) gain ``L``.
+
+    ``W`` is the process-noise covariance, ``V`` the measurement-noise
+    covariance.  Computed via LQR on the dual system
+    ``(A', C', W, V)``: if ``K`` solves that LQR problem then
+    ``L = K'`` is the predictor-form Kalman gain, used in the observer
+    update ``xhat' = A xhat + B u + L (y - C xhat)``.
+    """
+    K = lqr_gain(np.asarray(A, float).T, np.asarray(C, float).T, W, V)
+    return K.T
+
+
+def closed_loop_matrix(A: np.ndarray, B: np.ndarray, K: np.ndarray) -> np.ndarray:
+    """``A - BK`` — the closed-loop state matrix under ``u = -Kx``."""
+    return np.asarray(A, float) - np.asarray(B, float) @ np.asarray(K, float)
+
+
+def is_stabilizing(A: np.ndarray, B: np.ndarray, K: np.ndarray) -> bool:
+    """True iff ``A - BK`` is Schur stable."""
+    eigenvalues = np.linalg.eigvals(closed_loop_matrix(A, B, K))
+    return bool(np.all(np.abs(eigenvalues) < 1.0))

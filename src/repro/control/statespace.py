@@ -1,0 +1,223 @@
+"""Discrete-time linear state-space models.
+
+The paper's low-level controllers are built on models of the form
+(Equations 1-2)::
+
+    x(t+1) = A x(t) + B u(t)
+    y(t)   = C x(t) + D u(t)
+
+where ``x`` is the internal state, ``u`` the control-input vector
+(actuators) and ``y`` the measured-output vector (sensors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ModelError(ValueError):
+    """Raised for dimensionally inconsistent or invalid models."""
+
+
+def _as_matrix(value: np.ndarray | list, rows: int | None = None, cols: int | None = None) -> np.ndarray:
+    matrix = np.atleast_2d(np.asarray(value, dtype=float))
+    if rows is not None and matrix.shape[0] != rows:
+        raise ModelError(f"expected {rows} rows, got {matrix.shape[0]}")
+    if cols is not None and matrix.shape[1] != cols:
+        raise ModelError(f"expected {cols} columns, got {matrix.shape[1]}")
+    return matrix
+
+
+@dataclass
+class StateSpaceModel:
+    """A discrete-time LTI system ``(A, B, C, D)`` with sample period ``dt``.
+
+    ``dt`` is in seconds; the paper's low-level controllers run at a 50 ms
+    period.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    D: np.ndarray
+    dt: float = 0.05
+    name: str = "sys"
+
+    def __post_init__(self) -> None:
+        self.A = _as_matrix(self.A)
+        n = self.A.shape[0]
+        if self.A.shape[1] != n:
+            raise ModelError(f"A must be square, got {self.A.shape}")
+        self.B = _as_matrix(self.B, rows=n)
+        self.C = _as_matrix(self.C, cols=n)
+        self.D = _as_matrix(self.D, rows=self.C.shape[0], cols=self.B.shape[1])
+        if self.dt <= 0:
+            raise ModelError("dt must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.C.shape[0]
+
+    @property
+    def order(self) -> int:
+        return self.n_states
+
+    def poles(self) -> np.ndarray:
+        """Eigenvalues of A — the discrete-time poles."""
+        return np.linalg.eigvals(self.A)
+
+    def is_stable(self, margin: float = 0.0) -> bool:
+        """Schur stability: all poles strictly inside the unit circle."""
+        return bool(np.all(np.abs(self.poles()) < 1.0 - margin))
+
+    def spectral_radius(self) -> float:
+        return float(np.max(np.abs(self.poles()))) if self.n_states else 0.0
+
+    def dc_gain(self) -> np.ndarray:
+        """Steady-state gain ``C (I - A)^-1 B + D`` (requires stability)."""
+        eye = np.eye(self.n_states)
+        return self.C @ np.linalg.solve(eye - self.A, self.B) + self.D
+
+    # ------------------------------------------------------------------
+    def step_state(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One application of the state update ``x' = Ax + Bu``."""
+        return self.A @ x + self.B @ u
+
+    def output(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Measured output ``y = Cx + Du``."""
+        return self.C @ x + self.D @ u
+
+    def simulate(
+        self,
+        inputs: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate the model over an input sequence.
+
+        Parameters
+        ----------
+        inputs:
+            Array of shape ``(T, n_inputs)``.
+        x0:
+            Initial state (defaults to zero).
+
+        Returns
+        -------
+        (states, outputs):
+            Arrays of shape ``(T+1, n_states)`` and ``(T, n_outputs)``.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.n_inputs:
+            raise ModelError(
+                f"inputs must have {self.n_inputs} columns, got {inputs.shape[1]}"
+            )
+        horizon = inputs.shape[0]
+        x = np.zeros(self.n_states) if x0 is None else np.asarray(x0, float)
+        states = np.zeros((horizon + 1, self.n_states))
+        outputs = np.zeros((horizon, self.n_outputs))
+        states[0] = x
+        for t in range(horizon):
+            outputs[t] = self.output(states[t], inputs[t])
+            states[t + 1] = self.step_state(states[t], inputs[t])
+        return states, outputs
+
+    def step_response(self, horizon: int = 100) -> np.ndarray:
+        """Response of each output to a unit step on all inputs jointly."""
+        u = np.ones((horizon, self.n_inputs))
+        _, y = self.simulate(u)
+        return y
+
+    # ------------------------------------------------------------------
+    def controllability_matrix(self) -> np.ndarray:
+        """``[B, AB, ..., A^{n-1}B]``."""
+        blocks = [self.B]
+        power = self.B
+        for _ in range(self.n_states - 1):
+            power = self.A @ power
+            blocks.append(power)
+        return np.hstack(blocks)
+
+    def observability_matrix(self) -> np.ndarray:
+        """``[C; CA; ...; CA^{n-1}]``."""
+        blocks = [self.C]
+        power = self.C
+        for _ in range(self.n_states - 1):
+            power = power @ self.A
+            blocks.append(power)
+        return np.vstack(blocks)
+
+    def is_controllable(self, tol: float = 1e-9) -> bool:
+        return (
+            np.linalg.matrix_rank(self.controllability_matrix(), tol=tol)
+            == self.n_states
+        )
+
+    def is_observable(self, tol: float = 1e-9) -> bool:
+        return (
+            np.linalg.matrix_rank(self.observability_matrix(), tol=tol)
+            == self.n_states
+        )
+
+    def scaled(self, factor: float, name: str | None = None) -> "StateSpaceModel":
+        """Model with input-output gain scaled by ``factor``.
+
+        Used by robustness analysis to represent multiplicative
+        uncertainty (the paper's "Uncertainty Guardbands").
+        """
+        return StateSpaceModel(
+            A=self.A.copy(),
+            B=self.B * factor,
+            C=self.C.copy(),
+            D=self.D * factor,
+            dt=self.dt,
+            name=name or f"{self.name}*{factor:g}",
+        )
+
+
+@dataclass
+class OperatingPoint:
+    """Linearization point for a model identified around steady state.
+
+    Identified models describe *deviations*: the physical actuator value
+    is ``u_op + du`` and the physical sensed value is ``y_op + dy``.
+    """
+
+    u: np.ndarray
+    y: np.ndarray
+    u_scale: np.ndarray = field(default=None)  # type: ignore[assignment]
+    y_scale: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.u = np.asarray(self.u, dtype=float).ravel()
+        self.y = np.asarray(self.y, dtype=float).ravel()
+        if self.u_scale is None:
+            self.u_scale = np.ones_like(self.u)
+        else:
+            self.u_scale = np.asarray(self.u_scale, dtype=float).ravel()
+        if self.y_scale is None:
+            self.y_scale = np.ones_like(self.y)
+        else:
+            self.y_scale = np.asarray(self.y_scale, dtype=float).ravel()
+
+    def normalize_u(self, u_physical: np.ndarray) -> np.ndarray:
+        return (np.asarray(u_physical, float) - self.u) / self.u_scale
+
+    def denormalize_u(self, du: np.ndarray) -> np.ndarray:
+        return self.u + np.asarray(du, float) * self.u_scale
+
+    def normalize_y(self, y_physical: np.ndarray) -> np.ndarray:
+        return (np.asarray(y_physical, float) - self.y) / self.y_scale
+
+    def denormalize_y(self, dy: np.ndarray) -> np.ndarray:
+        return self.y + np.asarray(dy, float) * self.y_scale

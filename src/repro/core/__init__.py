@@ -1,0 +1,109 @@
+"""SPECTR core: high-level plant models, specifications, supervisor
+synthesis flow, event abstraction, and the runtime supervisor engine."""
+
+from repro.core.alphabet import (
+    CONTROLLABLE_EVENTS,
+    CONTROL_POWER,
+    CRITICAL,
+    DECREASE_BIG_POWER,
+    DECREASE_CRITICAL_POWER,
+    DECREASE_LITTLE_POWER,
+    INCREASE_BIG_POWER,
+    INCREASE_LITTLE_POWER,
+    QOS_MET,
+    QOS_NOT_MET,
+    SAFE_POWER,
+    SWITCH_GAINS,
+    SWITCH_QOS,
+    UNCONTROLLABLE_EVENTS,
+    case_study_alphabet,
+)
+from repro.core.design_flow import (
+    DesignFlowReport,
+    FlowStep,
+    run_design_flow,
+)
+from repro.core.events import EventAbstractor, ThreeBandThresholds
+from repro.core.persistence import (
+    BundleError,
+    PolicyBundle,
+    bundle_from_design,
+    load_bundle,
+    save_bundle,
+)
+from repro.core.plant_model import (
+    case_study_plant,
+    gain_mode_plant,
+    power_capping_plant,
+    qos_tracking_plant,
+)
+from repro.core.scalable import (
+    build_scalable_supervisor,
+    scalable_alphabet,
+    scalable_plant,
+    scalable_specification,
+)
+from repro.core.specification import (
+    budget_lock_spec,
+    case_study_specification,
+    three_band_spec,
+)
+from repro.core.supervisor import (
+    PriorityPolicy,
+    SupervisorEngine,
+    SupervisorRuntimeError,
+    SupervisorTrace,
+)
+from repro.core.synthesis_flow import (
+    SynthesisFlowError,
+    VerifiedSupervisor,
+    build_case_study_supervisor,
+    synthesize_and_verify,
+)
+
+__all__ = [
+    "CONTROLLABLE_EVENTS",
+    "CONTROL_POWER",
+    "CRITICAL",
+    "DECREASE_BIG_POWER",
+    "DECREASE_CRITICAL_POWER",
+    "DECREASE_LITTLE_POWER",
+    "BundleError",
+    "DesignFlowReport",
+    "EventAbstractor",
+    "FlowStep",
+    "INCREASE_BIG_POWER",
+    "INCREASE_LITTLE_POWER",
+    "PolicyBundle",
+    "PriorityPolicy",
+    "QOS_MET",
+    "QOS_NOT_MET",
+    "SAFE_POWER",
+    "SWITCH_GAINS",
+    "SWITCH_QOS",
+    "SupervisorEngine",
+    "SupervisorRuntimeError",
+    "SupervisorTrace",
+    "SynthesisFlowError",
+    "ThreeBandThresholds",
+    "UNCONTROLLABLE_EVENTS",
+    "VerifiedSupervisor",
+    "budget_lock_spec",
+    "bundle_from_design",
+    "build_case_study_supervisor",
+    "build_scalable_supervisor",
+    "case_study_alphabet",
+    "case_study_plant",
+    "case_study_specification",
+    "gain_mode_plant",
+    "load_bundle",
+    "power_capping_plant",
+    "qos_tracking_plant",
+    "run_design_flow",
+    "save_bundle",
+    "scalable_alphabet",
+    "scalable_plant",
+    "scalable_specification",
+    "synthesize_and_verify",
+    "three_band_spec",
+]

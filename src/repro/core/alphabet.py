@@ -1,0 +1,45 @@
+"""The case study's event alphabet (Section 4.3, Figure 12).
+
+Uncontrollable events are sensor-driven observations the plant generates;
+controllable events are supervisor decisions the synthesis may disable.
+Event names follow the paper's Figure 12 labels.
+"""
+
+from __future__ import annotations
+
+from repro.automata.events import Alphabet, controllable, uncontrollable
+
+# --- uncontrollable (plant observations) ------------------------------
+CRITICAL = "critical"  # chip power above the capping threshold
+SAFE_POWER = "safePower"  # power back below the uncapping threshold
+QOS_MET = "QoSmet"  # QoS application meeting its reference
+QOS_NOT_MET = "QoSnotMet"  # QoS application below its reference
+
+# --- controllable (supervisor decisions) ------------------------------
+SWITCH_GAINS = "SwitchGains"  # schedule power-oriented gains
+SWITCH_QOS = "switchQoS"  # schedule QoS-oriented gains
+CONTROL_POWER = "controlPower"  # mild capping: track the capping target
+DECREASE_CRITICAL_POWER = "decreaseCriticalPower"  # hard power drop
+DECREASE_BIG_POWER = "decreaseBigPower"  # trim Big power budget
+INCREASE_BIG_POWER = "increaseBigPower"  # raise Big power budget
+DECREASE_LITTLE_POWER = "decreaseLittlePower"  # trim Little power budget
+INCREASE_LITTLE_POWER = "increaseLittlePower"  # raise Little power budget
+
+UNCONTROLLABLE_EVENTS = (CRITICAL, SAFE_POWER, QOS_MET, QOS_NOT_MET)
+CONTROLLABLE_EVENTS = (
+    SWITCH_GAINS,
+    SWITCH_QOS,
+    CONTROL_POWER,
+    DECREASE_CRITICAL_POWER,
+    DECREASE_BIG_POWER,
+    INCREASE_BIG_POWER,
+    DECREASE_LITTLE_POWER,
+    INCREASE_LITTLE_POWER,
+)
+
+
+def case_study_alphabet() -> Alphabet:
+    """The full alphabet of the Exynos case study."""
+    events = [uncontrollable(name) for name in UNCONTROLLABLE_EVENTS]
+    events += [controllable(name) for name in CONTROLLABLE_EVENTS]
+    return Alphabet.of(events)

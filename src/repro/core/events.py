@@ -1,0 +1,120 @@
+"""Event abstraction: turning telemetry into DES events.
+
+The information channel ``Inf_lo_hi`` of Figure 7: low-level sensor
+readings update the high-level model by generating the uncontrollable
+events of the case-study alphabet.  Power classification follows the
+paper's three-band capping algorithm (Section 4.3.2, after [Dynamo,
+ISCA'16]): an *uncapping threshold* below the budget, the *capping
+target*, and an *above capping threshold*; ``critical`` fires above the
+capping threshold, ``safePower`` once a capping episode decays below
+the uncapping threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import CRITICAL, QOS_MET, QOS_NOT_MET, SAFE_POWER
+from repro.platform.soc import Telemetry
+
+
+@dataclass
+class ThreeBandThresholds:
+    """The relative band edges around the chip power budget.
+
+    A wide gap between the uncapping threshold and the capping target is
+    deliberate hysteresis: within a capping episode the system sits at
+    the capping target (just below the budget), and must fall well
+    below it — e.g. because the budget itself was raised back after an
+    emergency — before the supervisor hands priority back to QoS.
+    """
+
+    uncapping_fraction: float = 0.72
+    capping_fraction: float = 1.02
+    qos_tolerance: float = 0.97
+    escalation_grace: int = 8  # invocations a capping action gets to work
+    uncapping_dwell: int = 3  # consecutive below-threshold invocations
+
+    def __post_init__(self) -> None:
+        if not 0 < self.uncapping_fraction < self.capping_fraction:
+            raise ValueError("need 0 < uncapping < capping fraction")
+        if not 0 < self.qos_tolerance <= 1:
+            raise ValueError("qos_tolerance must lie in (0, 1]")
+        if self.escalation_grace < 1:
+            raise ValueError("escalation_grace must be >= 1")
+        if self.uncapping_dwell < 1:
+            raise ValueError("uncapping_dwell must be >= 1")
+
+
+class EventAbstractor:
+    """Stateful telemetry -> event translator.
+
+    Tracks whether a capping episode is in progress so that
+    ``safePower`` is only generated as the closing bracket of a
+    preceding ``critical``.  Within an episode, ``critical`` denotes
+    *an interval needing a (further) capping intervention*: it re-fires
+    only while power sits above the capping threshold AND the descent
+    has stalled — an actuation already in flight (power falling) is not
+    escalated, which is what lets the mild ``controlPower`` action do
+    its work before the supervisor reaches for the hard drop.
+    """
+
+    def __init__(self, thresholds: ThreeBandThresholds | None = None) -> None:
+        self.thresholds = thresholds or ThreeBandThresholds()
+        self.reset()
+
+    def reset(self) -> None:
+        self.capping_active = False
+        self.events_emitted = 0
+        self._since_critical = 0
+        self._below_uncapping_count = 0
+        self._over_cap_streak = 0
+
+    def classify(
+        self,
+        telemetry: Telemetry,
+        *,
+        qos_reference: float,
+        power_budget_w: float,
+    ) -> list[str]:
+        """Events for one supervisor invocation, highest urgency first."""
+        th = self.thresholds
+        events: list[str] = []
+        chip_power = telemetry.chip_power_w
+        over_cap = chip_power > th.capping_fraction * power_budget_w
+        below_uncapping = (
+            chip_power < th.uncapping_fraction * power_budget_w
+        )
+        if below_uncapping:
+            self._below_uncapping_count += 1
+        else:
+            self._below_uncapping_count = 0
+        self._over_cap_streak = self._over_cap_streak + 1 if over_cap else 0
+        self._since_critical += 1
+        if over_cap and not self.capping_active:
+            events.append(CRITICAL)
+            self.capping_active = True
+            self._since_critical = 0
+        elif (
+            self.capping_active
+            and self._since_critical >= th.escalation_grace
+            and self._over_cap_streak >= 2
+        ):
+            # Escalation: the previous intervention had its grace period
+            # and power sits persistently above the capping threshold
+            # (two consecutive readings, so transient ringing around the
+            # threshold does not trigger the hard drop).
+            events.append(CRITICAL)
+            self._since_critical = 0
+        elif (
+            self.capping_active
+            and self._below_uncapping_count >= th.uncapping_dwell
+        ):
+            events.append(SAFE_POWER)
+            self.capping_active = False
+        if telemetry.qos_rate >= th.qos_tolerance * qos_reference:
+            events.append(QOS_MET)
+        else:
+            events.append(QOS_NOT_MET)
+        self.events_emitted += len(events)
+        return events

@@ -1,0 +1,177 @@
+"""High-level plant models (Figure 12a and Section 4.3.1).
+
+The plant captures *what the platform can do*, not what it should do:
+which observation events can follow which supervisor decisions.  It is
+built from small sub-plant automata combined by synchronous composition
+— the paper's modular decomposition ("we exploit automata theory to
+automatically generate the plant model from simpler models of its
+constituent subsystems").
+
+Sub-plants for the Exynos case study:
+
+* :func:`power_capping_plant` — the Big-cluster power-capping process:
+  after a ``critical`` interval the supervisor may respond with the mild
+  ``controlPower`` (track the capping target; power *may* stay critical
+  another interval) or the hard ``decreaseCriticalPower`` (drop far
+  enough that the next observation is guaranteed ``safePower``).  Three
+  back-to-back critical intervals are physically possible if the mild
+  action keeps being chosen — the specification forbids exactly that.
+* :func:`gain_mode_plant` — the gain-scheduling mode machine: QoS gains
+  until a ``critical`` forces ``SwitchGains``; back via ``switchQoS``
+  once power is safe.
+* :func:`qos_tracking_plant` — QoS observation and power-budget
+  regulation: while QoS is met the supervisor may trim cluster budgets,
+  while unmet it may raise them.
+"""
+
+from __future__ import annotations
+
+from repro.automata.automaton import Automaton, automaton_from_table
+from repro.automata.events import Alphabet
+from repro.automata.operations import compose_all
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    CRITICAL,
+    DECREASE_BIG_POWER,
+    DECREASE_CRITICAL_POWER,
+    DECREASE_LITTLE_POWER,
+    INCREASE_BIG_POWER,
+    INCREASE_LITTLE_POWER,
+    QOS_MET,
+    QOS_NOT_MET,
+    SAFE_POWER,
+    SWITCH_GAINS,
+    SWITCH_QOS,
+    case_study_alphabet,
+)
+
+
+def _sub_alphabet(full: Alphabet, names: tuple[str, ...]) -> Alphabet:
+    return Alphabet.of(full[name] for name in names)
+
+
+def power_capping_plant(alphabet: Alphabet | None = None) -> Automaton:
+    """Power-capping sub-plant (bottom of Figure 12a).
+
+    States: ``Safe`` (marked) -> ``Capping1`` on a critical interval.
+    From ``CappingK`` the supervisor chooses the mild ``controlPower``
+    (-> ``MildK``, which may fail: another ``critical`` escalates to
+    ``Capping(K+1)``) or the hard ``decreaseCriticalPower`` (-> ``Hard``,
+    which by construction resolves the *current* violation).
+
+    ``Hard`` is cyclic: a *new* critical can follow it — not because the
+    drop failed, but because the budget itself moved again (a deeper
+    thermal emergency).  The specification distinguishes the two cases
+    by resetting its violation count on the hard intervention; the mild
+    action does not reset it.
+    """
+    full = alphabet or case_study_alphabet()
+    sigma = _sub_alphabet(
+        full, (CRITICAL, SAFE_POWER, CONTROL_POWER, DECREASE_CRITICAL_POWER)
+    )
+    return automaton_from_table(
+        "BigPowerCap",
+        sigma,
+        transitions=[
+            ("Safe", CRITICAL, "Capping1"),
+            ("Capping1", CONTROL_POWER, "Mild1"),
+            ("Capping1", DECREASE_CRITICAL_POWER, "Hard"),
+            ("Mild1", SAFE_POWER, "Safe"),
+            ("Mild1", CRITICAL, "Capping2"),
+            ("Capping2", CONTROL_POWER, "Mild2"),
+            ("Capping2", DECREASE_CRITICAL_POWER, "Hard"),
+            ("Mild2", SAFE_POWER, "Safe"),
+            ("Mild2", CRITICAL, "Capping3"),
+            ("Capping3", DECREASE_CRITICAL_POWER, "Hard"),
+            ("Hard", SAFE_POWER, "Safe"),
+            ("Hard", CRITICAL, "Capping1"),
+        ],
+        initial="Safe",
+        marked=["Safe"],
+    )
+
+
+def gain_mode_plant(alphabet: Alphabet | None = None) -> Automaton:
+    """Gain-scheduling mode machine (top of Figure 12a).
+
+    ``QoSMode`` (marked) is the nominal mode.  A ``critical`` interval
+    demands ``SwitchGains`` to the power-oriented gain set
+    (``PowerMode``); once ``safePower`` is observed the supervisor may
+    ``switchQoS`` back.  A fresh ``critical`` while the switch-back is
+    pending cancels it.
+    """
+    full = alphabet or case_study_alphabet()
+    sigma = _sub_alphabet(
+        full, (CRITICAL, SAFE_POWER, SWITCH_GAINS, SWITCH_QOS)
+    )
+    return automaton_from_table(
+        "GainMode",
+        sigma,
+        transitions=[
+            ("QoSMode", CRITICAL, "NeedSwitch"),
+            ("NeedSwitch", CRITICAL, "NeedSwitch"),
+            ("NeedSwitch", SWITCH_GAINS, "PowerMode"),
+            ("PowerMode", CRITICAL, "PowerMode"),
+            ("PowerMode", SAFE_POWER, "NeedRestore"),
+            ("NeedRestore", SWITCH_QOS, "QoSMode"),
+            ("NeedRestore", CRITICAL, "PowerMode"),
+        ],
+        initial="QoSMode",
+        marked=["QoSMode"],
+    )
+
+
+def qos_tracking_plant(alphabet: Alphabet | None = None) -> Automaton:
+    """QoS-driven power-budget regulation sub-plant.
+
+    While QoS is met the supervisor may trim the cluster power budgets
+    ("the supervisor ... [lowers] the reference power" when the target
+    is reachable within TDP); while unmet it may raise them.
+    """
+    full = alphabet or case_study_alphabet()
+    sigma = _sub_alphabet(
+        full,
+        (
+            QOS_MET,
+            QOS_NOT_MET,
+            INCREASE_BIG_POWER,
+            DECREASE_BIG_POWER,
+            INCREASE_LITTLE_POWER,
+            DECREASE_LITTLE_POWER,
+        ),
+    )
+    return automaton_from_table(
+        "QoSTrack",
+        sigma,
+        transitions=[
+            ("Met", QOS_MET, "Met"),
+            ("Met", QOS_NOT_MET, "NotMet"),
+            ("Met", DECREASE_BIG_POWER, "Met"),
+            ("Met", DECREASE_LITTLE_POWER, "Met"),
+            ("NotMet", QOS_NOT_MET, "NotMet"),
+            ("NotMet", QOS_MET, "Met"),
+            ("NotMet", INCREASE_BIG_POWER, "NotMet"),
+            ("NotMet", INCREASE_LITTLE_POWER, "NotMet"),
+        ],
+        initial="Met",
+        marked=["Met"],
+    )
+
+
+def case_study_plant(alphabet: Alphabet | None = None) -> Automaton:
+    """The composed high-level plant ``P`` (cf. Figure 12b).
+
+    Synchronous composition of the three sub-plants; shared events
+    (``critical``, ``safePower``) synchronize the power-capping process
+    with the gain-mode machine, everything else interleaves.
+    """
+    full = alphabet or case_study_alphabet()
+    plant = compose_all(
+        [
+            power_capping_plant(full),
+            gain_mode_plant(full),
+            qos_tracking_plant(full),
+        ],
+        name="ExynosPlant",
+    )
+    return plant

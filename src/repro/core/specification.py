@@ -1,0 +1,115 @@
+"""Intended-behaviour specifications (Figure 12c, Section 4.3.2).
+
+Specifications restrict the plant to the desired behaviour; forbidden
+states mark what synthesis must rule out.
+
+* :func:`three_band_spec` — the paper's power-capping rule: "our
+  specification prevents exceeding the power budget for [more] than
+  three control intervals (i.e., Threshold state is a forbidden
+  state)".  Three consecutive ``critical`` observations land in the
+  forbidden state; synthesis therefore forces the hard
+  ``decreaseCriticalPower`` action by the second capping interval.
+* :func:`budget_lock_spec` — the chip-level coordination rule: while
+  the system is in a capping episode, no cluster power budget may be
+  raised ("a specification that restricts the sum of the power budgets
+  of both clusters to be below a safe threshold").
+"""
+
+from __future__ import annotations
+
+from repro.automata.automaton import Automaton, automaton_from_table
+from repro.automata.events import Alphabet
+from repro.automata.operations import compose_all
+from repro.core.alphabet import (
+    CRITICAL,
+    DECREASE_CRITICAL_POWER,
+    INCREASE_BIG_POWER,
+    INCREASE_LITTLE_POWER,
+    SAFE_POWER,
+    case_study_alphabet,
+)
+
+
+def _sub_alphabet(full: Alphabet, names: tuple[str, ...]) -> Alphabet:
+    return Alphabet.of(full[name] for name in names)
+
+
+def three_band_spec(
+    alphabet: Alphabet | None = None, *, max_capping_intervals: int = 2
+) -> Automaton:
+    """Forbid more than ``max_capping_intervals`` unanswered criticals.
+
+    The default (2) matches the paper: the third consecutive interval
+    above the capping threshold is the forbidden ``Threshold`` state.
+    The count resets when power returns to the safe band
+    (``safePower``) **or** when the supervisor takes the hard
+    ``decreaseCriticalPower`` intervention — a minimum-operating-point
+    drop resolves the current violation by construction, and any
+    critical that follows it reflects a *new* condition (e.g. a further
+    budget reduction).  The mild ``controlPower`` action does not reset
+    the count: an intervention that leaves power above the threshold
+    has not answered the violation.
+    """
+    if max_capping_intervals < 1:
+        raise ValueError("max_capping_intervals must be >= 1")
+    full = alphabet or case_study_alphabet()
+    sigma = _sub_alphabet(
+        full, (CRITICAL, SAFE_POWER, DECREASE_CRITICAL_POWER)
+    )
+    transitions = [
+        ("UnderCapping", SAFE_POWER, "UnderCapping"),
+        ("UnderCapping", DECREASE_CRITICAL_POWER, "UnderCapping"),
+    ]
+    previous = "UnderCapping"
+    for k in range(1, max_capping_intervals + 1):
+        state = f"AboveCapping{k}"
+        transitions.append((previous, CRITICAL, state))
+        transitions.append((state, SAFE_POWER, "UnderCapping"))
+        transitions.append((state, DECREASE_CRITICAL_POWER, "UnderCapping"))
+        previous = state
+    transitions.append((previous, CRITICAL, "Threshold"))
+    return automaton_from_table(
+        "ThreeBandSpec",
+        sigma,
+        transitions=transitions,
+        initial="UnderCapping",
+        marked=["UnderCapping"],
+        forbidden=["Threshold"],
+    )
+
+
+def budget_lock_spec(alphabet: Alphabet | None = None) -> Automaton:
+    """No budget increases during a capping episode.
+
+    Between a ``critical`` and the following ``safePower`` the
+    controllable ``increaseBigPower`` / ``increaseLittlePower`` events
+    are simply *absent* — the synthesized supervisor must disable them
+    there.
+    """
+    full = alphabet or case_study_alphabet()
+    sigma = _sub_alphabet(
+        full, (CRITICAL, SAFE_POWER, INCREASE_BIG_POWER, INCREASE_LITTLE_POWER)
+    )
+    return automaton_from_table(
+        "BudgetLockSpec",
+        sigma,
+        transitions=[
+            ("Free", INCREASE_BIG_POWER, "Free"),
+            ("Free", INCREASE_LITTLE_POWER, "Free"),
+            ("Free", SAFE_POWER, "Free"),
+            ("Free", CRITICAL, "Locked"),
+            ("Locked", CRITICAL, "Locked"),
+            ("Locked", SAFE_POWER, "Free"),
+        ],
+        initial="Free",
+        marked=["Free"],
+    )
+
+
+def case_study_specification(alphabet: Alphabet | None = None) -> Automaton:
+    """The composed specification ``SP`` for the Exynos case study."""
+    full = alphabet or case_study_alphabet()
+    return compose_all(
+        [three_band_spec(full), budget_lock_spec(full)],
+        name="ExynosSpec",
+    )

@@ -1,0 +1,153 @@
+"""Ablation studies for SPECTR's design choices.
+
+DESIGN.md calls out three mechanisms worth isolating:
+
+* **Gain scheduling** (Section 3.2) — swapping the leaf controllers'
+  priority objective.  Without it, the MIMOs keep the QoS-oriented gain
+  set through capping episodes.
+* **Reference regulation** — the supervisor rewriting per-cluster power
+  budgets.  Without it, budgets stay at their initial split.
+* **Supervisor period** — how often the high-level loop runs relative
+  to the 50 ms leaf controllers (the paper uses 2x).
+
+Each study runs the three-phase x264 scenario and reports per-phase
+QoS/power tracking, quantifying what each mechanism buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import (
+    IdentifiedSystems,
+    case_study_supervisor,
+    identified_systems,
+)
+from repro.experiments.runner import ScenarioTrace, run_scenario
+from repro.experiments.scenario import three_phase_scenario
+from repro.managers.spectr import SPECTRManager
+from repro.workloads import x264
+
+
+def _spectr_factory(
+    systems: IdentifiedSystems,
+    *,
+    gain_scheduling: bool = True,
+    reference_regulation: bool = True,
+    supervisor_period: int = 2,
+    name: str = "SPECTR",
+):
+    supervisor = case_study_supervisor()
+
+    def factory(soc, goals):
+        return SPECTRManager(
+            soc,
+            goals,
+            big_system=systems.big,
+            little_system=systems.little,
+            verified_supervisor=supervisor,
+            supervisor_period=supervisor_period,
+            enable_gain_scheduling=gain_scheduling,
+            enable_reference_regulation=reference_regulation,
+            name=name,
+        )
+
+    return factory
+
+
+@dataclass
+class AblationResult:
+    """Per-variant traces for one ablation study."""
+
+    title: str
+    traces: dict[str, ScenarioTrace]
+
+    def phase_summary(self, variant: str) -> list[tuple[float, float]]:
+        """(QoS mean, power mean) per phase for one variant."""
+        return [
+            (pm.qos.mean, pm.power.mean)
+            for pm in self.traces[variant].phase_metrics()
+        ]
+
+    def format_text(self) -> str:
+        lines = [self.title]
+        header = f"{'variant':28s}" + "".join(
+            f"{f'P{i + 1} QoS':>9s}{f'P{i + 1} W':>8s}" for i in range(3)
+        )
+        lines.append(header)
+        for variant in self.traces:
+            cells = ""
+            for qos, power in self.phase_summary(variant):
+                cells += f"{qos:9.1f}{power:8.2f}"
+            lines.append(f"{variant:28s}" + cells)
+        return "\n".join(lines)
+
+
+def ablate_mechanisms(*, seed: int = 2018) -> AblationResult:
+    """Full SPECTR vs gain-scheduling-only vs reference-regulation-only.
+
+    Expected outcome: without gain scheduling the manager cannot hand
+    priority to power during the emergency/disturbance phases (TDP
+    violations); without reference regulation the power mode tracks a
+    stale budget split.
+    """
+    systems = identified_systems()
+    scenario = three_phase_scenario()
+    variants = {
+        "SPECTR (full)": _spectr_factory(systems),
+        "no gain scheduling": _spectr_factory(
+            systems, gain_scheduling=False, name="SPECTR-noGS"
+        ),
+        "no reference regulation": _spectr_factory(
+            systems, reference_regulation=False, name="SPECTR-noRR"
+        ),
+        "supervisor disabled": _spectr_factory(
+            systems,
+            gain_scheduling=False,
+            reference_regulation=False,
+            name="SPECTR-none",
+        ),
+    }
+    traces = {
+        name: run_scenario(factory, x264(), scenario, seed=seed)
+        for name, factory in variants.items()
+    }
+    return AblationResult(
+        title="Ablation - SPECTR mechanisms (x264, three phases)",
+        traces=traces,
+    )
+
+
+def ablate_supervisor_period(
+    periods: tuple[int, ...] = (1, 2, 4, 10), *, seed: int = 2018
+) -> AblationResult:
+    """Sensitivity to the supervisor invocation period.
+
+    Slower supervision delays the priority switch at phase boundaries;
+    the paper's 2x choice balances responsiveness against overhead.
+    """
+    systems = identified_systems()
+    scenario = three_phase_scenario()
+    traces = {
+        f"period {p} ({p * 50} ms)": run_scenario(
+            _spectr_factory(
+                systems, supervisor_period=p, name=f"SPECTR-p{p}"
+            ),
+            x264(),
+            scenario,
+            seed=seed,
+        )
+        for p in periods
+    }
+    return AblationResult(
+        title="Ablation - supervisor invocation period", traces=traces
+    )
+
+
+def tdp_violation_fraction(trace: ScenarioTrace, phase: int) -> float:
+    """Fraction of a phase's intervals spent above 105% of the budget."""
+    sl = trace.phase_slice(phase)
+    budget = trace.power_reference[sl]
+    power = trace.chip_power[sl]
+    over = power > 1.05 * budget
+    return float(over.mean())

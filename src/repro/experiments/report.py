@@ -1,0 +1,81 @@
+"""Full reproduction report.
+
+Regenerates every table and figure of the paper's evaluation in one
+pass and renders a single text report — the programmatic counterpart of
+running the whole benchmark suite, usable from the CLI
+(``python -m repro report``) or notebooks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.figures import (
+    fig3_conflicting_goals,
+    fig5_model_accuracy,
+    fig6_operation_count,
+    fig12_synthesis,
+    fig13_traces,
+    fig14_steady_state,
+    fig15_residual_autocorrelation,
+    overhead_measurements,
+    settling_time_comparison,
+)
+from repro.experiments.tables import format_table1
+
+SECTIONS = (
+    ("Table 1", lambda: format_table1()),
+    ("Figure 3", lambda: fig3_conflicting_goals().format_text()),
+    ("Figure 5", lambda: fig5_model_accuracy().format_text()),
+    ("Figure 6", lambda: fig6_operation_count().format_text()),
+    ("Figure 12", lambda: fig12_synthesis().format_text()),
+    ("Figure 13", lambda: fig13_traces().format_text()),
+    ("Figure 14", lambda: fig14_steady_state().format_text()),
+    ("Figure 15", lambda: fig15_residual_autocorrelation().format_text()),
+    ("Settling time (5.1.1)", lambda: settling_time_comparison().format_text()),
+    ("Overhead (5.3)", lambda: overhead_measurements().format_text()),
+)
+
+
+@dataclass
+class ReproductionReport:
+    """All rendered sections plus per-section wall-clock timings."""
+
+    sections: dict[str, str] = field(default_factory=dict)
+    timings_s: dict[str, float] = field(default_factory=dict)
+
+    def format_text(self) -> str:
+        rule = "=" * 72
+        lines = [
+            rule,
+            "SPECTR (ASPLOS 2018) - full reproduction report",
+            rule,
+        ]
+        for title, body in self.sections.items():
+            lines.append("")
+            lines.append(
+                f"--- {title} ({self.timings_s[title]:.1f}s) ".ljust(72, "-")
+            )
+            lines.append(body)
+        return "\n".join(lines)
+
+
+def generate_report(
+    *, include: tuple[str, ...] | None = None
+) -> ReproductionReport:
+    """Run every (or the selected) experiment and collect its rendering.
+
+    ``include`` filters sections by title substring (case insensitive),
+    e.g. ``("figure 13",)``.
+    """
+    report = ReproductionReport()
+    for title, producer in SECTIONS:
+        if include is not None and not any(
+            token.lower() in title.lower() for token in include
+        ):
+            continue
+        start = time.perf_counter()
+        report.sections[title] = producer()
+        report.timings_s[title] = time.perf_counter() - start
+    return report

@@ -1,0 +1,176 @@
+"""Scenario runner: drives a resource manager through a scenario on the
+simulated platform and records full traces (the data behind Figures 13
+and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.control.metrics import TrackingSummary
+from repro.managers.base import ManagerGoals, ResourceManager
+from repro.experiments.scenario import Phase, Scenario
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads.base import QoSWorkload
+
+ManagerFactory = Callable[[ExynosSoC, ManagerGoals], ResourceManager]
+
+
+@dataclass
+class PhaseMetrics:
+    """Per-phase tracking quality for both outputs."""
+
+    phase: Phase
+    qos: TrackingSummary
+    power: TrackingSummary
+
+
+@dataclass
+class ScenarioTrace:
+    """Full time series of one scenario run."""
+
+    manager: str
+    workload: str
+    scenario: Scenario
+    times: np.ndarray
+    qos: np.ndarray
+    qos_reference: np.ndarray
+    chip_power: np.ndarray
+    power_reference: np.ndarray
+    big_power: np.ndarray
+    little_power: np.ndarray
+    big_frequency: np.ndarray
+    big_cores: np.ndarray
+    little_frequency: np.ndarray
+    little_cores: np.ndarray
+    gain_sets: list[str] = field(default_factory=list)
+
+    def phase_slice(self, index: int) -> slice:
+        starts = self.scenario.phase_boundaries()
+        start_t = starts[index]
+        end_t = (
+            starts[index + 1]
+            if index + 1 < len(starts)
+            else self.scenario.total_duration_s
+        )
+        lo = int(np.searchsorted(self.times, start_t, side="left"))
+        hi = int(np.searchsorted(self.times, end_t, side="left"))
+        return slice(lo, hi)
+
+    def phase_metrics(
+        self, *, tail_fraction: float = 0.4, settle_band: float = 0.05
+    ) -> list[PhaseMetrics]:
+        metrics = []
+        for index, phase in enumerate(self.scenario.phases):
+            sl = self.phase_slice(index)
+            metrics.append(
+                PhaseMetrics(
+                    phase=phase,
+                    qos=TrackingSummary.from_trace(
+                        self.times[sl],
+                        self.qos[sl],
+                        phase.qos_reference,
+                        band=settle_band,
+                        tail_fraction=tail_fraction,
+                    ),
+                    power=TrackingSummary.from_trace(
+                        self.times[sl],
+                        self.chip_power[sl],
+                        phase.power_budget_w,
+                        band=settle_band,
+                        tail_fraction=tail_fraction,
+                    ),
+                )
+            )
+        return metrics
+
+
+def run_scenario(
+    manager_factory: ManagerFactory,
+    workload: QoSWorkload,
+    scenario: Scenario,
+    *,
+    seed: int = 2018,
+    initial_big_frequency: float = 1.0,
+    initial_little_frequency: float = 0.6,
+) -> ScenarioTrace:
+    """Execute one (manager, workload, scenario) combination.
+
+    The manager is notified of goal changes at phase boundaries via
+    ``set_power_budget`` / ``set_qos_reference`` — mirroring the paper's
+    setup where reference values are system/user inputs every manager
+    receives (Figure 13 plots the same reference lines for all four).
+    """
+    soc = ExynosSoC(
+        qos_app=workload,
+        background=scenario.background_tasks(),
+        config=SoCConfig(seed=seed),
+    )
+    soc.big.set_frequency(initial_big_frequency)
+    soc.little.set_frequency(initial_little_frequency)
+
+    first = scenario.phases[0]
+    goals = ManagerGoals(
+        qos_reference=first.qos_reference,
+        power_budget_w=first.power_budget_w,
+    )
+    manager = manager_factory(soc, goals)
+
+    steps = int(round(scenario.total_duration_s / soc.config.dt_s))
+    times = np.zeros(steps)
+    qos = np.zeros(steps)
+    qos_ref = np.zeros(steps)
+    chip_power = np.zeros(steps)
+    power_ref = np.zeros(steps)
+    big_power = np.zeros(steps)
+    little_power = np.zeros(steps)
+    big_freq = np.zeros(steps)
+    big_cores = np.zeros(steps)
+    little_freq = np.zeros(steps)
+    little_cores = np.zeros(steps)
+    gain_sets: list[str] = []
+
+    current_phase = first
+    for k in range(steps):
+        telemetry = soc.step()
+        phase = scenario.phase_at(telemetry.time_s)
+        if phase is not current_phase:
+            manager.set_power_budget(phase.power_budget_w)
+            manager.set_qos_reference(phase.qos_reference)
+            current_phase = phase
+        manager.control(telemetry)
+
+        times[k] = telemetry.time_s
+        qos[k] = telemetry.qos_rate
+        qos_ref[k] = phase.qos_reference
+        chip_power[k] = telemetry.chip_power_w
+        power_ref[k] = phase.power_budget_w
+        big_power[k] = telemetry.big.power_w
+        little_power[k] = telemetry.little.power_w
+        big_freq[k] = soc.big.frequency_ghz
+        big_cores[k] = soc.big.active_cores
+        little_freq[k] = soc.little.frequency_ghz
+        little_cores[k] = soc.little.active_cores
+        record = manager.actuation_log[-1] if manager.actuation_log else None
+        gain_sets.append(record.gain_set if record else "")
+
+    return ScenarioTrace(
+        manager=manager.name,
+        workload=workload.name,
+        scenario=scenario,
+        times=times,
+        qos=qos,
+        qos_reference=qos_ref,
+        chip_power=chip_power,
+        power_reference=power_ref,
+        big_power=big_power,
+        little_power=little_power,
+        big_frequency=big_freq,
+        big_cores=big_cores,
+        little_frequency=little_freq,
+        little_cores=little_cores,
+        gain_sets=gain_sets,
+    )

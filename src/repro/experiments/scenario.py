@@ -1,0 +1,125 @@
+"""The three-phase execution scenario of Section 5.
+
+1. **Safe Phase** — only the QoS application executes; its QoS reference
+   is achievable within TDP.  Goal: meet QoS, minimize power.
+2. **Emergency Phase** — the power envelope is reduced (emulated thermal
+   emergency) while the QoS reference stays put.  Goal: adapt to the new
+   power reference while maintaining QoS if possible.
+3. **Workload Disturbance Phase** — the envelope returns to TDP and
+   background tasks arrive; the QoS reference is no longer achievable
+   within TDP.  Goal: best QoS without exceeding the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.base import BackgroundTask
+
+# Default scenario constants ("typical reference values for a mobile
+# device: 60 FPS and 5 Watts").
+DEFAULT_QOS_REFERENCE = 60.0
+DEFAULT_TDP_W = 5.0
+DEFAULT_EMERGENCY_BUDGET_W = 3.3
+DEFAULT_PHASE_DURATION_S = 5.0
+DEFAULT_BACKGROUND_TASKS = 4
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One scenario phase: goals and arriving disturbances."""
+
+    name: str
+    duration_s: float
+    power_budget_w: float
+    qos_reference: float
+    background_arrivals: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.power_budget_w <= 0 or self.qos_reference <= 0:
+            raise ValueError("phase goals must be positive")
+        if self.background_arrivals < 0:
+            raise ValueError("background_arrivals must be non-negative")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered sequence of phases."""
+
+    phases: tuple[Phase, ...]
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("scenario needs at least one phase")
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def phase_boundaries(self) -> list[float]:
+        """Start time of each phase."""
+        starts, t = [], 0.0
+        for phase in self.phases:
+            starts.append(t)
+            t += phase.duration_s
+        return starts
+
+    def phase_at(self, time_s: float) -> Phase:
+        t = 0.0
+        for phase in self.phases:
+            t += phase.duration_s
+            if time_s < t:
+                return phase
+        return self.phases[-1]
+
+    def background_tasks(self) -> list[BackgroundTask]:
+        """All background tasks with their phase-start arrival times."""
+        tasks: list[BackgroundTask] = []
+        start = 0.0
+        for phase in self.phases:
+            for i in range(phase.background_arrivals):
+                tasks.append(
+                    BackgroundTask(
+                        name=f"{phase.name}-bg{i}", arrival_s=start
+                    )
+                )
+            start += phase.duration_s
+        return tasks
+
+
+def three_phase_scenario(
+    *,
+    qos_reference: float = DEFAULT_QOS_REFERENCE,
+    tdp_w: float = DEFAULT_TDP_W,
+    emergency_budget_w: float = DEFAULT_EMERGENCY_BUDGET_W,
+    phase_duration_s: float = DEFAULT_PHASE_DURATION_S,
+    background_tasks: int = DEFAULT_BACKGROUND_TASKS,
+) -> Scenario:
+    """The paper's Safe / Emergency / Workload-Disturbance scenario."""
+    return Scenario(
+        name="three-phase",
+        phases=(
+            Phase(
+                name="safe",
+                duration_s=phase_duration_s,
+                power_budget_w=tdp_w,
+                qos_reference=qos_reference,
+            ),
+            Phase(
+                name="emergency",
+                duration_s=phase_duration_s,
+                power_budget_w=emergency_budget_w,
+                qos_reference=qos_reference,
+            ),
+            Phase(
+                name="disturbance",
+                duration_s=phase_duration_s,
+                power_budget_w=tdp_w,
+                qos_reference=qos_reference,
+                background_arrivals=background_tasks,
+            ),
+        ),
+    )

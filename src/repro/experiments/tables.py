@@ -1,0 +1,112 @@
+"""Table generation (Table 1 and summary tables).
+
+Table 1 is the paper's qualitative coverage matrix of resource-management
+approaches versus the six key questions of the introduction.  We
+regenerate it verbatim, and additionally provide an *empirical* summary
+table derived from this reproduction's own scenario runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ATTRIBUTES = (
+    "Robustness",
+    "Formalism",
+    "Efficiency",
+    "Coordination",
+    "Scalability",
+    "Autonomy",
+)
+
+FULL = "Y"
+PARTIAL = "*"
+NO = "-"
+
+
+@dataclass(frozen=True)
+class ApproachRow:
+    """One row of Table 1."""
+
+    label: str
+    methods: str
+    coverage: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.coverage) != len(ATTRIBUTES):
+            raise ValueError(
+                f"coverage must have {len(ATTRIBUTES)} entries"
+            )
+        if any(c not in {FULL, PARTIAL, NO} for c in self.coverage):
+            raise ValueError("coverage entries must be Y, * or -")
+
+
+def table1_rows() -> tuple[ApproachRow, ...]:
+    """The paper's Table 1, row for row."""
+    return (
+        ApproachRow(
+            "A",
+            "Machine learning",
+            (NO, NO, FULL, FULL, FULL, NO),
+        ),
+        ApproachRow(
+            "B",
+            "Estimation/Model based heuristics",
+            (NO, NO, FULL, FULL, NO, NO),
+        ),
+        ApproachRow(
+            "C",
+            "SISO Control Theory",
+            (FULL, FULL, FULL, NO, PARTIAL, NO),
+        ),
+        ApproachRow(
+            "D",
+            "MIMO Control Theory",
+            (FULL, FULL, FULL, FULL, NO, NO),
+        ),
+        ApproachRow(
+            "E",
+            "Supervisory Control Theory [SPECTR]",
+            (FULL, FULL, FULL, FULL, FULL, FULL),
+        ),
+    )
+
+
+def format_table1() -> str:
+    """Render Table 1 as fixed-width text."""
+    width = max(len(r.methods) for r in table1_rows()) + 2
+    header = (
+        "   " + "Methods".ljust(width)
+        + " ".join(f"{i + 1}.{a[:6]:<6s}" for i, a in enumerate(ATTRIBUTES))
+    )
+    lines = [
+        "Table 1 - approaches and the key questions they address "
+        "(Y = addressed, * = partial)",
+        header,
+    ]
+    for row in table1_rows():
+        cells = " ".join(f"{c:^9s}" for c in row.coverage)
+        lines.append(f"{row.label}  {row.methods.ljust(width)}{cells}")
+    return "\n".join(lines)
+
+
+def format_matrix(
+    title: str,
+    row_labels: tuple[str, ...],
+    column_labels: tuple[str, ...],
+    values: dict[str, dict[str, float]],
+    *,
+    fmt: str = "{:8.1f}",
+) -> str:
+    """Render a nested ``values[row][column]`` dict as a fixed-width table."""
+    lines = [title]
+    width = max(len(label) for label in row_labels) + 2
+    lines.append(
+        " " * width + "".join(f"{c:>9s}" for c in column_labels)
+    )
+    for row in row_labels:
+        cells = "".join(
+            " " + fmt.format(values[row][c]) for c in column_labels
+        )
+        lines.append(row.ljust(width) + cells)
+    return "\n".join(lines)

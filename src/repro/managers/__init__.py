@@ -1,0 +1,55 @@
+"""Resource managers: SPECTR and the three baselines of the evaluation.
+
+* :func:`~repro.managers.mm.mm_pow` / :func:`~repro.managers.mm.mm_perf`
+  — uncoordinated dual 2x2 MIMOs with fixed power- or
+  performance-oriented gains (after Pothukuchi et al., ISCA'16);
+* :class:`~repro.managers.fs.FullSystemMIMO` — a single system-wide 4x2
+  MIMO maximizing performance under a power cap (after Zhang &
+  Hoffmann, ASPLOS'16);
+* :class:`~repro.managers.spectr.SPECTRManager` — the paper's
+  supervisory-control manager.
+"""
+
+from repro.managers.base import ActuationRecord, ManagerGoals, ResourceManager
+from repro.managers.fs import FullSystemMIMO
+from repro.managers.identification import (
+    IdentifiedSystem,
+    identify_big_cluster,
+    identify_full_system,
+    identify_little_cluster,
+    identify_percore_system,
+)
+from repro.managers.mimo import (
+    POWER_GAINS,
+    QOS_GAINS,
+    ClusterMIMO,
+    build_gain_library,
+    cluster_actuator_limits,
+)
+from repro.managers.mm import UncoordinatedDualMIMO, mm_perf, mm_pow
+from repro.managers.scalable import ScalableSPECTR
+from repro.managers.siso import NestedSISOManager
+from repro.managers.spectr import SPECTRManager
+
+__all__ = [
+    "ActuationRecord",
+    "ClusterMIMO",
+    "FullSystemMIMO",
+    "IdentifiedSystem",
+    "ManagerGoals",
+    "NestedSISOManager",
+    "POWER_GAINS",
+    "QOS_GAINS",
+    "ResourceManager",
+    "SPECTRManager",
+    "ScalableSPECTR",
+    "UncoordinatedDualMIMO",
+    "build_gain_library",
+    "cluster_actuator_limits",
+    "identify_big_cluster",
+    "identify_full_system",
+    "identify_little_cluster",
+    "identify_percore_system",
+    "mm_perf",
+    "mm_pow",
+]

@@ -1,0 +1,90 @@
+"""Resource-manager interface.
+
+All four evaluated managers (MM-Pow, MM-Perf, FS, SPECTR) implement the
+same contract: once per 50 ms control interval they receive the full
+sensor :class:`~repro.platform.soc.Telemetry` and actuate the platform's
+DVFS / core-count knobs.  Goals arrive through two channels, matching
+the paper's experimental setup: a QoS reference from the Heartbeats API
+user, and a chip power budget (TDP) from the system.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.platform.soc import ExynosSoC, Telemetry
+
+
+@dataclass
+class ManagerGoals:
+    """The runtime goals every manager tracks."""
+
+    qos_reference: float
+    power_budget_w: float
+
+    def __post_init__(self) -> None:
+        if self.qos_reference <= 0:
+            raise ValueError("qos_reference must be positive")
+        if self.power_budget_w <= 0:
+            raise ValueError("power_budget_w must be positive")
+
+
+@dataclass
+class ActuationRecord:
+    """What a manager commanded in one interval (for traces/analysis)."""
+
+    time_s: float
+    big_frequency_ghz: float
+    big_active_cores: int
+    little_frequency_ghz: float
+    little_active_cores: int
+    big_power_ref_w: float = 0.0
+    little_power_ref_w: float = 0.0
+    gain_set: str = ""
+
+
+class ResourceManager(ABC):
+    """Base class: owns the actuators of one :class:`ExynosSoC`."""
+
+    def __init__(self, soc: ExynosSoC, goals: ManagerGoals, *, name: str) -> None:
+        self.soc = soc
+        self.goals = goals
+        self.name = name
+        self.actuation_log: list[ActuationRecord] = field(default_factory=list)  # type: ignore[assignment]
+        self.actuation_log = []
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def control(self, telemetry: Telemetry) -> None:
+        """Consume one telemetry sample and actuate the platform."""
+
+    def set_qos_reference(self, qos_reference: float) -> None:
+        """User-level goal change (Heartbeats API reference value)."""
+        self.goals = ManagerGoals(qos_reference, self.goals.power_budget_w)
+
+    def set_power_budget(self, power_budget_w: float) -> None:
+        """System-level goal change (e.g. emulated thermal emergency)."""
+        self.goals = ManagerGoals(self.goals.qos_reference, power_budget_w)
+
+    # ------------------------------------------------------------------
+    def record_actuation(
+        self,
+        time_s: float,
+        *,
+        big_power_ref_w: float = 0.0,
+        little_power_ref_w: float = 0.0,
+        gain_set: str = "",
+    ) -> None:
+        self.actuation_log.append(
+            ActuationRecord(
+                time_s=time_s,
+                big_frequency_ghz=self.soc.big.frequency_ghz,
+                big_active_cores=self.soc.big.active_cores,
+                little_frequency_ghz=self.soc.little.frequency_ghz,
+                little_active_cores=self.soc.little.active_cores,
+                big_power_ref_w=big_power_ref_w,
+                little_power_ref_w=little_power_ref_w,
+                gain_set=gain_set,
+            )
+        )

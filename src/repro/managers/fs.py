@@ -1,0 +1,89 @@
+"""FS baseline: a single full-system 4x2 MIMO.
+
+"The third manager consists of a single full-system controller (FS): a
+system-wide 4x2 MIMO with individual control inputs for each cluster.
+FS uses power-oriented gains and its measured outputs are chip power and
+QoS.  This single system-wide MIMO acts as a representative for [Zhang &
+Hoffmann, ASPLOS'16], maximizing performance under a power cap"
+(Section 5).
+
+Its larger state space (4 inputs, higher identified order) is what makes
+its settling time sluggish relative to SPECTR's per-cluster 2x2s in the
+Emergency Phase (Section 5.1.1: 2.07 s vs 1.28 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.lqg import ActuatorLimits, LQGServoController
+from repro.managers.base import ManagerGoals, ResourceManager
+from repro.managers.identification import IdentifiedSystem
+from repro.managers.mimo import POWER_GAINS, build_gain_library
+from repro.platform.soc import ExynosSoC, Telemetry
+
+
+class FullSystemMIMO(ResourceManager):
+    """System-wide 4x2 LQG servo: [f_b, n_b, f_l, n_l] -> [QoS, P_chip]."""
+
+    def __init__(
+        self,
+        soc: ExynosSoC,
+        goals: ManagerGoals,
+        *,
+        system: IdentifiedSystem,
+        integral_weight: float = 0.05,
+    ) -> None:
+        super().__init__(soc, goals, name="FS")
+        if system.model.n_inputs != 4 or system.model.n_outputs != 2:
+            raise ValueError("FS requires a 4-input 2-output model")
+        library = build_gain_library(
+            system,
+            qos_outputs=(0,),
+            power_outputs=(1,),
+            integral_weight=integral_weight,
+        )
+        limits = ActuatorLimits(
+            lower=[
+                soc.big.opps.min_frequency,
+                1.0,
+                soc.little.opps.min_frequency,
+                1.0,
+            ],
+            upper=[
+                soc.big.opps.max_frequency,
+                float(soc.big.n_cores),
+                soc.little.opps.max_frequency,
+                float(soc.little.n_cores),
+            ],
+            max_step=[0.3, 1.0, 0.3, 1.0],
+        )
+        self.controller = LQGServoController(
+            library.get(POWER_GAINS),
+            system.operating_point,
+            limits,
+            name="fs-4x2",
+        )
+
+    # Same hotplug deadband rationale as ClusterMIMO: avoid whole-core
+    # toggling when the continuous command hovers at a rounding boundary.
+    hotplug_deadband = 0.6
+
+    def control(self, telemetry: Telemetry) -> None:
+        self.controller.set_reference(
+            [self.goals.qos_reference, self.goals.power_budget_w]
+        )
+        u = self.controller.step(
+            np.array([telemetry.qos_rate, telemetry.chip_power_w])
+        )
+        self.soc.big.set_frequency(float(u[0]))
+        if abs(float(u[1]) - self.soc.big.active_cores) >= self.hotplug_deadband:
+            self.soc.big.set_active_cores(float(u[1]))
+        self.soc.little.set_frequency(float(u[2]))
+        if abs(float(u[3]) - self.soc.little.active_cores) >= self.hotplug_deadband:
+            self.soc.little.set_active_cores(float(u[3]))
+        self.record_actuation(
+            telemetry.time_s,
+            big_power_ref_w=self.goals.power_budget_w,
+            gain_set=POWER_GAINS,
+        )

@@ -1,0 +1,104 @@
+"""MM-Pow and MM-Perf baselines: uncoordinated dual 2x2 MIMOs.
+
+"The first two managers use two uncoordinated 2x2 MIMOs, one for each
+cluster: MM-Pow uses power-oriented gains, and MM-Perf uses
+performance-oriented gains.  These fixed MIMO controllers act as
+representatives of a state-of-the-art solution, as presented in
+[Pothukuchi et al., ISCA'16]" (Section 5).
+
+There is no supervisor: gain sets and power-budget shares are fixed at
+design time, so the managers cannot re-balance priorities when the
+scenario changes — the deficiency the paper's Figures 13/14 expose.
+"""
+
+from __future__ import annotations
+
+from repro.managers.base import ManagerGoals, ResourceManager
+from repro.managers.identification import IdentifiedSystem
+from repro.managers.mimo import POWER_GAINS, QOS_GAINS, ClusterMIMO
+from repro.platform.soc import ExynosSoC, Telemetry
+
+# Design-time split of the chip power budget between clusters.  The two
+# controllers are uncoordinated, so the shares deliberately overcommit
+# (sum to 1.10): nothing reconciles the per-cluster references against
+# the chip-level budget — precisely the deficiency SPECTR's supervisor
+# fixes.
+BIG_BUDGET_SHARE = 0.95
+LITTLE_BUDGET_SHARE = 0.15
+
+# Fixed IPS reference for the Little cluster (G-inst/s): enough to serve
+# background work without racing to max frequency when idle.
+LITTLE_IPS_REFERENCE = 0.6
+
+
+class UncoordinatedDualMIMO(ResourceManager):
+    """Two fixed-gain per-cluster MIMOs with no coordinator."""
+
+    def __init__(
+        self,
+        soc: ExynosSoC,
+        goals: ManagerGoals,
+        *,
+        big_system: IdentifiedSystem,
+        little_system: IdentifiedSystem,
+        gain_set: str,
+        name: str,
+    ) -> None:
+        super().__init__(soc, goals, name=name)
+        self.gain_set = gain_set
+        self.big_mimo = ClusterMIMO.build(
+            soc.big, big_system, initial_gains=gain_set
+        )
+        self.little_mimo = ClusterMIMO.build(
+            soc.little, little_system, initial_gains=gain_set
+        )
+
+    def control(self, telemetry: Telemetry) -> None:
+        big_power_ref = BIG_BUDGET_SHARE * self.goals.power_budget_w
+        little_power_ref = LITTLE_BUDGET_SHARE * self.goals.power_budget_w
+        self.big_mimo.set_references(self.goals.qos_reference, big_power_ref)
+        self.little_mimo.set_references(LITTLE_IPS_REFERENCE, little_power_ref)
+        self.big_mimo.step(telemetry.qos_rate, telemetry.big.power_w)
+        self.little_mimo.step(telemetry.little.ips, telemetry.little.power_w)
+        self.record_actuation(
+            telemetry.time_s,
+            big_power_ref_w=big_power_ref,
+            little_power_ref_w=little_power_ref,
+            gain_set=self.gain_set,
+        )
+
+
+def mm_pow(
+    soc: ExynosSoC,
+    goals: ManagerGoals,
+    *,
+    big_system: IdentifiedSystem,
+    little_system: IdentifiedSystem,
+) -> UncoordinatedDualMIMO:
+    """MM-Pow: dual MIMOs with power-oriented gains (30:1 power:QoS)."""
+    return UncoordinatedDualMIMO(
+        soc,
+        goals,
+        big_system=big_system,
+        little_system=little_system,
+        gain_set=POWER_GAINS,
+        name="MM-Pow",
+    )
+
+
+def mm_perf(
+    soc: ExynosSoC,
+    goals: ManagerGoals,
+    *,
+    big_system: IdentifiedSystem,
+    little_system: IdentifiedSystem,
+) -> UncoordinatedDualMIMO:
+    """MM-Perf: dual MIMOs with performance-oriented gains (30:1 QoS:power)."""
+    return UncoordinatedDualMIMO(
+        soc,
+        goals,
+        big_system=big_system,
+        little_system=little_system,
+        gain_set=QOS_GAINS,
+        name="MM-Perf",
+    )

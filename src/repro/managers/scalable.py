@@ -1,0 +1,219 @@
+"""Hierarchical SPECTR for N-cluster platforms.
+
+Demonstrates the paper's scalability thesis end to end: one small 2x2
+LQG per cluster (constant design effort per subsystem), one verified
+supervisor whose state space does not grow with the cluster count, and
+per-interval work linear in the number of clusters — where a monolithic
+MIMO for the same platform would need a ``2N x (N+1)`` model nobody can
+identify (Figures 4-6).
+"""
+
+from __future__ import annotations
+
+from repro.control.gains import GainScheduleLog
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    DECREASE_CRITICAL_POWER,
+    SWITCH_GAINS,
+    SWITCH_QOS,
+)
+from repro.core.events import EventAbstractor, ThreeBandThresholds
+from repro.core.scalable import (
+    build_scalable_supervisor,
+    decrease_power_event,
+    increase_power_event,
+)
+from repro.core.supervisor import PriorityPolicy, SupervisorEngine
+from repro.core.synthesis_flow import VerifiedSupervisor
+from repro.managers.base import ManagerGoals
+from repro.managers.identification import IdentifiedSystem
+from repro.managers.mimo import POWER_GAINS, QOS_GAINS, ClusterMIMO
+from repro.platform.manycore import ManyCoreSoC, ManyCoreTelemetry
+
+HOST_SHARE = 0.70
+LITTLE_FLOOR_W = 0.10
+CAPPING_TARGET_FRACTION = 0.96
+HARD_DROP_FACTOR = 0.85
+LITTLE_IPS_REFERENCE = 1.2
+
+
+class ScalableSPECTR:
+    """Supervisor + one 2x2 MIMO per cluster, for any cluster count."""
+
+    def __init__(
+        self,
+        soc: ManyCoreSoC,
+        goals: ManagerGoals,
+        *,
+        host_system: IdentifiedSystem,
+        little_system: IdentifiedSystem,
+        verified_supervisor: VerifiedSupervisor | None = None,
+        supervisor_period: int = 2,
+        thresholds: ThreeBandThresholds | None = None,
+    ) -> None:
+        self.soc = soc
+        self.goals = goals
+        self.name = f"SPECTR[{soc.n_clusters}]"
+        self.mimos: list[ClusterMIMO] = [
+            ClusterMIMO.build(soc.clusters[0], host_system)
+        ]
+        for cluster in soc.clusters[1:]:
+            self.mimos.append(ClusterMIMO.build(cluster, little_system))
+        self.verified = verified_supervisor or build_scalable_supervisor(
+            soc.n_clusters
+        )
+        self.engine = SupervisorEngine(self.verified.supervisor)
+        self.abstractor = EventAbstractor(thresholds)
+        self.supervisor_period = supervisor_period
+        self.gain_log = GainScheduleLog()
+        budget = goals.power_budget_w
+        n_little = soc.n_clusters - 1
+        self.power_refs = [HOST_SHARE * budget] + [
+            max(
+                LITTLE_FLOOR_W,
+                (0.9 - HOST_SHARE) * budget / max(n_little, 1),
+            )
+        ] * n_little
+        self._tick = 0
+        self._telemetry: ManyCoreTelemetry | None = None
+        priorities = [
+            SWITCH_GAINS,
+            SWITCH_QOS,
+            CONTROL_POWER,
+            DECREASE_CRITICAL_POWER,
+        ]
+        guards = {}
+        effects = {
+            SWITCH_GAINS: self._effect_power_gains,
+            SWITCH_QOS: self._effect_qos_gains,
+            CONTROL_POWER: self._effect_capping_targets,
+            DECREASE_CRITICAL_POWER: self._effect_hard_drop,
+        }
+        for index in range(soc.n_clusters):
+            inc = increase_power_event(index)
+            dec = decrease_power_event(index)
+            priorities.append(inc)
+            priorities.append(dec)
+            guards[inc] = self._make_increase_guard(index)
+            guards[dec] = self._make_decrease_guard(index)
+            effects[inc] = self._make_increase_effect(index)
+            effects[dec] = self._make_decrease_effect(index)
+        self._policy = PriorityPolicy(
+            priorities=tuple(priorities),
+            guards=guards,
+            max_actions_per_invocation=2,
+        )
+        self._effects = effects
+
+    # ------------------------------------------------------------------
+    def set_power_budget(self, budget_w: float) -> None:
+        self.goals = ManagerGoals(self.goals.qos_reference, budget_w)
+
+    def set_qos_reference(self, reference: float) -> None:
+        self.goals = ManagerGoals(reference, self.goals.power_budget_w)
+
+    def control(self, telemetry: ManyCoreTelemetry) -> None:
+        self._telemetry = telemetry
+        if self._tick % self.supervisor_period == 0:
+            events = self.abstractor.classify(
+                telemetry,  # type: ignore[arg-type]  # duck-typed power
+                qos_reference=self.goals.qos_reference,
+                power_budget_w=self.goals.power_budget_w,
+            )
+            self.engine.invoke(
+                events,
+                self._policy,
+                time_s=telemetry.time_s,
+                effects=self._effects,
+            )
+        self.mimos[0].set_references(
+            self.goals.qos_reference, self.power_refs[0]
+        )
+        self.mimos[0].step(
+            telemetry.qos_rate, telemetry.clusters[0].power_w
+        )
+        for index in range(1, self.soc.n_clusters):
+            self.mimos[index].set_references(
+                LITTLE_IPS_REFERENCE, self.power_refs[index]
+            )
+            self.mimos[index].step(
+                telemetry.clusters[index].ips,
+                telemetry.clusters[index].power_w,
+            )
+        self._tick += 1
+
+    # ------------------------------------------------------------------
+    def _capping_allocations(self) -> list[float]:
+        target = CAPPING_TARGET_FRACTION * self.goals.power_budget_w
+        n_little = self.soc.n_clusters - 1
+        little = [
+            min(max(LITTLE_FLOOR_W, self.power_refs[i]), 0.5)
+            for i in range(1, self.soc.n_clusters)
+        ]
+        host = max(0.6, target - sum(little))
+        return [host] + little
+
+    def _effect_power_gains(self) -> None:
+        now = self._telemetry.time_s if self._telemetry else 0.0
+        for index, mimo in enumerate(self.mimos):
+            if mimo.switch_gains(POWER_GAINS):
+                self.gain_log.record(now, f"cluster{index}", POWER_GAINS)
+
+    def _effect_qos_gains(self) -> None:
+        now = self._telemetry.time_s if self._telemetry else 0.0
+        for index, mimo in enumerate(self.mimos):
+            if mimo.switch_gains(QOS_GAINS):
+                self.gain_log.record(now, f"cluster{index}", QOS_GAINS)
+        budget = self.goals.power_budget_w
+        n_little = self.soc.n_clusters - 1
+        self.power_refs = [HOST_SHARE * budget] + [
+            max(
+                LITTLE_FLOOR_W,
+                (0.9 - HOST_SHARE) * budget / max(n_little, 1),
+            )
+        ] * n_little
+
+    def _effect_capping_targets(self) -> None:
+        self.power_refs = self._capping_allocations()
+
+    def _effect_hard_drop(self) -> None:
+        self.power_refs = [
+            max(LITTLE_FLOOR_W, HARD_DROP_FACTOR * ref)
+            for ref in self._capping_allocations()
+        ]
+
+    def _make_increase_guard(self, index: int):
+        def guard() -> bool:
+            headroom = self.goals.power_budget_w - sum(self.power_refs)
+            return headroom > 0.1
+
+        return guard
+
+    def _make_decrease_guard(self, index: int):
+        def guard() -> bool:
+            t = self._telemetry
+            if t is None:
+                return False
+            measured = t.clusters[index].power_w
+            return self.power_refs[index] > measured + 0.15
+
+        return guard
+
+    def _make_increase_effect(self, index: int):
+        def effect() -> None:
+            headroom = self.goals.power_budget_w - sum(self.power_refs)
+            self.power_refs[index] += min(0.25, max(0.0, headroom))
+
+        return effect
+
+    def _make_decrease_effect(self, index: int):
+        def effect() -> None:
+            t = self._telemetry
+            if t is None:
+                return
+            floor = 0.6 if index == 0 else LITTLE_FLOOR_W
+            self.power_refs[index] = max(
+                floor, t.clusters[index].power_w + 0.10
+            )
+
+        return effect

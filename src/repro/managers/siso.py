@@ -1,0 +1,101 @@
+"""Nested-SISO baseline (Table 1, Row C).
+
+The paper notes that "multiple SISOs have been used in nested loops to
+achieve scalability in simple control problems, [but] they suffer from
+scalability issues in complex resource management problems ... where
+coordination of multiple actuators is necessary".  This manager
+realizes that classical pattern so the deficiency can be measured:
+
+* an **inner PID per cluster** tracks the cluster's QoS/IPS reference by
+  moving its frequency every 50 ms interval;
+* an **outer PID** (5x slower) tracks the chip power budget by moving a
+  frequency *ceiling* that clamps the inner loops — the standard nested
+  power-capping arrangement.
+
+Core counts stay fixed (a SISO loop has one knob), so the manager
+cannot trade cores against frequency, and the two loops share no model
+of each other — QoS and power fight through the frequency ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.control.pid import PIDController, PIDGains
+from repro.managers.base import ManagerGoals, ResourceManager
+from repro.platform.soc import ExynosSoC, Telemetry
+
+# Inner loop: QoS error (normalized) -> frequency move (GHz).
+INNER_GAINS = PIDGains(kp=0.010, ki=0.110, kd=0.0, name="inner-qos")
+# Outer loop: power error (W) -> frequency-ceiling move (GHz).
+OUTER_GAINS = PIDGains(kp=0.05, ki=0.65, kd=0.0, name="outer-power")
+OUTER_PERIOD_TICKS = 5
+
+LITTLE_IPS_REFERENCE = 0.6
+
+
+class NestedSISOManager(ResourceManager):
+    """Inner per-cluster QoS PIDs under an outer chip-power PID."""
+
+    def __init__(self, soc: ExynosSoC, goals: ManagerGoals) -> None:
+        super().__init__(soc, goals, name="Nested-SISO")
+        dt = soc.config.dt_s
+        self.big_inner = PIDController(
+            INNER_GAINS,
+            dt=dt,
+            output_limits=(-0.3, 0.3),
+            name="big-inner",
+        )
+        self.little_inner = PIDController(
+            PIDGains(kp=0.05, ki=0.5, kd=0.0, name="inner-ips"),
+            dt=dt,
+            output_limits=(-0.3, 0.3),
+            name="little-inner",
+        )
+        self.outer = PIDController(
+            OUTER_GAINS,
+            dt=dt * OUTER_PERIOD_TICKS,
+            output_limits=(-0.4, 0.4),
+            name="outer-power",
+        )
+        self._ceiling = soc.big.opps.max_frequency
+        self._tick = 0
+
+    @property
+    def frequency_ceiling(self) -> float:
+        """The outer loop's current frequency cap on the Big cluster."""
+        return self._ceiling
+
+    def control(self, telemetry: Telemetry) -> None:
+        soc = self.soc
+        # Outer loop: move the Big-cluster frequency ceiling to keep
+        # chip power at the budget.
+        if self._tick % OUTER_PERIOD_TICKS == 0:
+            self.outer.set_reference(self.goals.power_budget_w)
+            # Positive error (power below budget) raises the ceiling.
+            delta = self.outer.step(telemetry.chip_power_w)
+            self._ceiling = float(
+                min(
+                    soc.big.opps.max_frequency,
+                    max(soc.big.opps.min_frequency, self._ceiling + delta),
+                )
+            )
+
+        # Inner loops: track QoS (Big) and IPS (Little) via frequency.
+        self.big_inner.set_reference(self.goals.qos_reference)
+        big_delta = self.big_inner.step(telemetry.qos_rate)
+        big_target = min(
+            self._ceiling, soc.big.frequency_ghz + big_delta
+        )
+        soc.big.set_frequency(big_target)
+
+        self.little_inner.set_reference(LITTLE_IPS_REFERENCE)
+        little_delta = self.little_inner.step(telemetry.little.ips)
+        soc.little.set_frequency(
+            soc.little.frequency_ghz + little_delta
+        )
+
+        self.record_actuation(
+            telemetry.time_s,
+            big_power_ref_w=self.goals.power_budget_w,
+            gain_set="siso",
+        )
+        self._tick += 1

@@ -1,0 +1,77 @@
+"""Simulated Exynos 5422 big.LITTLE platform (hardware substitution).
+
+Provides the sensor/actuator surface the paper's resource managers use
+on the ODROID-XU3: per-cluster DVFS + hotplug actuators, per-cluster
+power sensors, per-core PMU counters, a Heartbeats QoS channel, and an
+HMP scheduler placing background tasks.
+"""
+
+from repro.platform.manycore import (
+    ManyCoreSoC,
+    ManyCoreTelemetry,
+    MultiClusterScheduler,
+)
+from repro.platform.opp import (
+    OPP,
+    OPPTable,
+    big_cluster_opps,
+    little_cluster_opps,
+)
+from repro.platform.perf import (
+    ClusterPerfModel,
+    amdahl_speedup,
+    big_cluster_perf_model,
+    frequency_scale,
+    little_cluster_perf_model,
+)
+from repro.platform.power import (
+    PowerModel,
+    big_cluster_power_model,
+    little_cluster_power_model,
+)
+from repro.platform.scheduler import (
+    ClusterCapacity,
+    HMPScheduler,
+    Placement,
+    fair_share,
+)
+from repro.platform.sensors import NoisySensor, pmu_counter, power_sensor
+from repro.platform.soc import (
+    Cluster,
+    ClusterTelemetry,
+    ExynosSoC,
+    PlatformError,
+    SoCConfig,
+    Telemetry,
+)
+
+__all__ = [
+    "OPP",
+    "OPPTable",
+    "Cluster",
+    "ClusterCapacity",
+    "ClusterPerfModel",
+    "ClusterTelemetry",
+    "ExynosSoC",
+    "HMPScheduler",
+    "ManyCoreSoC",
+    "ManyCoreTelemetry",
+    "MultiClusterScheduler",
+    "NoisySensor",
+    "Placement",
+    "PlatformError",
+    "PowerModel",
+    "SoCConfig",
+    "Telemetry",
+    "amdahl_speedup",
+    "big_cluster_opps",
+    "big_cluster_perf_model",
+    "big_cluster_power_model",
+    "fair_share",
+    "frequency_scale",
+    "little_cluster_opps",
+    "little_cluster_perf_model",
+    "little_cluster_power_model",
+    "pmu_counter",
+    "power_sensor",
+]

@@ -1,0 +1,133 @@
+"""Fault injection for robustness evaluation.
+
+The paper's first key question is **robustness**: "How can we provide
+guarantees and perform robustness analysis?"  Beyond the design-time
+robust-stability analysis (:mod:`repro.control.robustness`), a resource
+manager must survive *runtime* corner cases: sensors glitch, readings
+drop out, workloads spike.  This module wraps the platform's sensors
+with injectable fault models so tests and studies can verify that the
+managers degrade gracefully and the supervisor's formal guarantees
+(never executing a disabled action, never raising budgets during a
+capping episode) hold under faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.sensors import NoisySensor
+
+
+@dataclass
+class FaultModel:
+    """A time-windowed sensor fault.
+
+    Kinds:
+
+    * ``"stuck"`` — the sensor repeats the last pre-fault value;
+    * ``"dropout"`` — the sensor reads zero (e.g. an I2C read failure
+      surfaced as an empty register);
+    * ``"spike"`` — readings are multiplied by ``magnitude``;
+    * ``"bias"`` — readings are offset by ``magnitude``.
+    """
+
+    kind: str
+    start_s: float
+    end_s: float
+    magnitude: float = 2.0
+
+    VALID_KINDS = ("stuck", "dropout", "spike", "bias")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(
+                f"kind must be one of {self.VALID_KINDS}, got {self.kind!r}"
+            )
+        if self.start_s >= self.end_s:
+            raise ValueError("fault window must have positive duration")
+
+    def active_at(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+class FaultySensor(NoisySensor):
+    """A sensor wrapper applying scheduled faults.
+
+    Drop-in replacement for :class:`NoisySensor`; the platform's clock
+    must be supplied through :meth:`set_time` before each read (the
+    simulator loop does this once per interval).
+    """
+
+    def __init__(
+        self, base: NoisySensor, faults: list[FaultModel] | None = None
+    ) -> None:
+        super().__init__(
+            name=f"{base.name}+faults",
+            noise_fraction=base.noise_fraction,
+            resolution=base.resolution,
+            floor=base.floor,
+        )
+        self.faults = list(faults or [])
+        self._now_s = 0.0
+        self._last_healthy: float | None = None
+
+    def add_fault(self, fault: FaultModel) -> None:
+        self.faults.append(fault)
+
+    def set_time(self, time_s: float) -> None:
+        self._now_s = time_s
+
+    def read(self, true_value: float, rng: np.random.Generator) -> float:
+        healthy = super().read(true_value, rng)
+        fault = next(
+            (f for f in self.faults if f.active_at(self._now_s)), None
+        )
+        if fault is None:
+            self._last_healthy = healthy
+            return healthy
+        if fault.kind == "stuck":
+            return (
+                self._last_healthy if self._last_healthy is not None else healthy
+            )
+        if fault.kind == "dropout":
+            return self.floor
+        if fault.kind == "spike":
+            return healthy * fault.magnitude
+        return max(self.floor, healthy + fault.magnitude)  # bias
+
+
+def inject_power_sensor_fault(soc, cluster_name: str, fault: FaultModel) -> FaultySensor:
+    """Replace one cluster's power sensor with a faulty wrapper.
+
+    Works for both :class:`~repro.platform.soc.ExynosSoC` (clusters
+    ``big``/``little``) and :class:`~repro.platform.manycore.ManyCoreSoC`.
+    Returns the wrapper so further faults can be scheduled.
+    """
+    clusters = getattr(soc, "clusters", None)
+    if callable(clusters):  # ExynosSoC exposes clusters() as a method
+        clusters = clusters()
+    if clusters is None:
+        clusters = [soc.big, soc.little]
+    for cluster in clusters:
+        if cluster.name == cluster_name:
+            if isinstance(cluster.power_sensor, FaultySensor):
+                cluster.power_sensor.add_fault(fault)
+                return cluster.power_sensor
+            wrapper = FaultySensor(cluster.power_sensor, [fault])
+            cluster.power_sensor = wrapper
+            _hook_clock(soc, wrapper)
+            return wrapper
+    raise ValueError(f"no cluster named {cluster_name!r}")
+
+
+def _hook_clock(soc, sensor: FaultySensor) -> None:
+    """Keep the fault window in sync with the simulator clock."""
+    original_step = soc.step
+
+    def stepped():
+        sensor.set_time(soc.time_s)
+        return original_step()
+
+    soc.step = stepped  # type: ignore[method-assign]

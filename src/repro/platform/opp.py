@@ -1,0 +1,106 @@
+"""Operating performance points (DVFS tables) for the simulated SoC.
+
+Frequency/voltage pairs modelled after the Exynos 5422 used on the
+ODROID-XU3: the "Big" Cortex-A15 cluster scales 200 MHz - 2.0 GHz, the
+"Little" Cortex-A7 cluster 200 MHz - 1.4 GHz, both in 100 MHz steps with
+the voltage rising roughly linearly across the range.  DVFS is applied
+per cluster (footnote 4 of the paper: the platform "provides only
+per-cluster power sensors and DVFS").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OPP:
+    """One operating point: frequency in GHz, supply voltage in volts."""
+
+    frequency_ghz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.voltage_v <= 0:
+            raise ValueError("OPP entries must be positive")
+
+
+class OPPTable:
+    """An ordered, immutable DVFS table with snapping and interpolation."""
+
+    def __init__(self, points: list[OPP], name: str = "opp") -> None:
+        if not points:
+            raise ValueError("OPP table must be non-empty")
+        ordered = sorted(points, key=lambda p: p.frequency_ghz)
+        freqs = [p.frequency_ghz for p in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("duplicate frequencies in OPP table")
+        volts = [p.voltage_v for p in ordered]
+        if any(b < a for a, b in zip(volts, volts[1:])):
+            raise ValueError("voltage must be non-decreasing with frequency")
+        self.name = name
+        self._points = tuple(ordered)
+        self._freqs = tuple(freqs)
+
+    @property
+    def points(self) -> tuple[OPP, ...]:
+        return self._points
+
+    @property
+    def min_frequency(self) -> float:
+        return self._freqs[0]
+
+    @property
+    def max_frequency(self) -> float:
+        return self._freqs[-1]
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        return self._freqs
+
+    def snap(self, frequency_ghz: float) -> OPP:
+        """Nearest valid operating point to a requested frequency.
+
+        Requests outside the table clamp to the extremes — this is the
+        actuator-saturation behaviour the controllers experience.
+        """
+        f = float(frequency_ghz)
+        if f <= self._freqs[0]:
+            return self._points[0]
+        if f >= self._freqs[-1]:
+            return self._points[-1]
+        index = bisect_left(self._freqs, f)
+        below, above = self._points[index - 1], self._points[index]
+        if f - below.frequency_ghz <= above.frequency_ghz - f:
+            return below
+        return above
+
+    def voltage_for(self, frequency_ghz: float) -> float:
+        """Voltage of the snapped operating point."""
+        return self.snap(frequency_ghz).voltage_v
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+def _linear_table(
+    f_min: float, f_max: float, v_min: float, v_max: float, step: float, name: str
+) -> OPPTable:
+    points = []
+    f = f_min
+    while f <= f_max + 1e-9:
+        fraction = (f - f_min) / (f_max - f_min) if f_max > f_min else 0.0
+        points.append(OPP(round(f, 3), round(v_min + fraction * (v_max - v_min), 4)))
+        f += step
+    return OPPTable(points, name=name)
+
+
+def big_cluster_opps() -> OPPTable:
+    """Cortex-A15-like table: 200 MHz @ 0.90 V up to 2.0 GHz @ 1.3625 V."""
+    return _linear_table(0.2, 2.0, 0.90, 1.3625, 0.1, "big-a15")
+
+
+def little_cluster_opps() -> OPPTable:
+    """Cortex-A7-like table: 200 MHz @ 0.90 V up to 1.4 GHz @ 1.25 V."""
+    return _linear_table(0.2, 1.4, 0.90, 1.25, 0.1, "little-a7")

@@ -1,0 +1,102 @@
+"""Cluster performance (throughput) model.
+
+Workload throughput responds to the two actuators the controllers own:
+
+* **Frequency** via a concave power law ``(f / f_max)^alpha`` — ``alpha``
+  close to 1 for compute-bound code, well below 1 for memory-bound code
+  whose DRAM accesses do not speed up with core clock.
+* **Core count** via Amdahl's law evaluated at the *effective* thread
+  count the scheduler can grant (fractional when threads time-share
+  cores with background tasks).
+
+The heterogeneity of the HMP enters through a per-cluster
+``ipc_factor``: an in-order A7 core sustains a fraction of the A15's
+instructions-per-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def amdahl_speedup(parallel_fraction: float, threads: float) -> float:
+    """Amdahl's law with a continuous thread count.
+
+    ``threads`` may be fractional (a thread receiving a 60% core share
+    contributes 0.6); values below 1 scale the whole execution linearly
+    (even the serial part only gets a fraction of a core).
+    """
+    if not 0 <= parallel_fraction <= 1:
+        raise ValueError("parallel_fraction must lie in [0, 1]")
+    if threads <= 0:
+        return 0.0
+    if threads < 1.0:
+        return threads
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / threads)
+
+
+def frequency_scale(frequency_ghz: float, f_max_ghz: float, alpha: float) -> float:
+    """Relative throughput at ``f`` vs. the cluster's maximum frequency."""
+    if f_max_ghz <= 0:
+        raise ValueError("f_max must be positive")
+    if frequency_ghz <= 0:
+        return 0.0
+    ratio = min(frequency_ghz / f_max_ghz, 1.0)
+    return ratio**alpha
+
+
+@dataclass(frozen=True)
+class ClusterPerfModel:
+    """Throughput characteristics of one cluster's cores.
+
+    ``ipc_factor`` expresses core strength relative to the Big cluster
+    (1.0 for the A15s, ~0.35 for the in-order A7s); ``f_max_ghz`` anchors
+    the frequency scale.
+    """
+
+    ipc_factor: float
+    f_max_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.ipc_factor <= 0 or self.f_max_ghz <= 0:
+            raise ValueError("perf model parameters must be positive")
+
+    def core_rate(self, frequency_ghz: float, freq_alpha: float) -> float:
+        """Relative single-core rate vs. a Big core at max frequency."""
+        return self.ipc_factor * frequency_scale(
+            frequency_ghz, self.f_max_ghz, freq_alpha
+        )
+
+    def workload_rate(
+        self,
+        peak_rate: float,
+        frequency_ghz: float,
+        effective_threads: float,
+        *,
+        parallel_fraction: float,
+        freq_alpha: float,
+        reference_threads: float = 4.0,
+    ) -> float:
+        """Throughput of a workload given allocation and interference.
+
+        ``peak_rate`` is the workload's rate at maximum frequency with
+        ``reference_threads`` unencumbered threads on this cluster.
+        """
+        if peak_rate < 0:
+            raise ValueError("peak_rate must be non-negative")
+        reference_speedup = amdahl_speedup(parallel_fraction, reference_threads)
+        if reference_speedup == 0:
+            return 0.0
+        speedup = amdahl_speedup(parallel_fraction, effective_threads)
+        fs = frequency_scale(frequency_ghz, self.f_max_ghz, freq_alpha)
+        return peak_rate * fs * speedup / reference_speedup
+
+
+def big_cluster_perf_model() -> ClusterPerfModel:
+    """Out-of-order A15-like cores at up to 2.0 GHz."""
+    return ClusterPerfModel(ipc_factor=1.0, f_max_ghz=2.0)
+
+
+def little_cluster_perf_model() -> ClusterPerfModel:
+    """In-order A7-like cores at up to 1.4 GHz."""
+    return ClusterPerfModel(ipc_factor=0.35, f_max_ghz=1.4)

@@ -1,0 +1,163 @@
+"""HMP task scheduler for background (non-QoS) tasks.
+
+Models the relevant behaviour of Linux's big.LITTLE HMP scheduler for
+the paper's scenario: the QoS application's threads run on the Big
+cluster; single-threaded background tasks "have no runtime restrictions,
+i.e., the Linux scheduler can freely migrate them between and within
+clusters".  We reproduce the load-balancing outcome: each background
+task lands on the cluster whose *relative load* (runnable threads per
+unit of compute capacity) its arrival raises the least, with the Little
+cluster preferred on ties (Linux's HMP scheduler "typically maps
+[low-priority] threads to a core on the low-power Little cluster").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime circular import with repro.workloads
+    from repro.workloads.base import BackgroundTask
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Background-task placement for one control interval."""
+
+    big_tasks: tuple[BackgroundTask, ...]
+    little_tasks: tuple[BackgroundTask, ...]
+
+    @property
+    def big_demand(self) -> float:
+        return sum(t.demand for t in self.big_tasks)
+
+    @property
+    def little_demand(self) -> float:
+        return sum(t.demand for t in self.little_tasks)
+
+
+@dataclass(frozen=True)
+class ClusterCapacity:
+    """Scheduling view of one cluster: slots and per-core strength."""
+
+    active_cores: int
+    core_strength: float  # relative compute capability of one core
+
+    @property
+    def capacity(self) -> float:
+        return self.active_cores * self.core_strength
+
+    def scheduling_capacity(self, strength_exponent: float) -> float:
+        """Capacity as the load balancer sees it.
+
+        Linux's HMP load balancing is *partially* capacity aware: it
+        weighs core strength, but far less than proportionally (runnable
+        counts dominate).  ``strength_exponent`` in (0, 1) interpolates
+        between pure thread-count balancing (0) and fully
+        strength-proportional balancing (1).
+        """
+        return self.active_cores * self.core_strength**strength_exponent
+
+
+class HMPScheduler:
+    """Greedy least-loaded placement with migration hysteresis.
+
+    The scheduler is stateful: a task stays on its current cluster
+    unless moving reduces its relative load by more than
+    ``migration_hysteresis``.  Without this stickiness the load
+    balancer re-shuffles every interval as the DVFS controllers move
+    cluster capacities, producing task-sloshing limit cycles no real
+    kernel exhibits (Linux balances on a coarser period and biases
+    toward the current CPU).
+    """
+
+    def __init__(
+        self,
+        *,
+        little_bias: float = 1e-6,
+        strength_exponent: float = 0.5,
+        migration_hysteresis: float = 0.35,
+    ) -> None:
+        # Bias nudges ties toward Little, matching Linux HMP behaviour
+        # for background work.
+        if not 0 <= strength_exponent <= 1:
+            raise ValueError("strength_exponent must lie in [0, 1]")
+        if migration_hysteresis < 0:
+            raise ValueError("migration_hysteresis must be non-negative")
+        self._little_bias = little_bias
+        self._strength_exponent = strength_exponent
+        self._migration_hysteresis = migration_hysteresis
+        self._previous: dict[str, str] = {}
+
+    def reset(self) -> None:
+        """Forget previous assignments (e.g. between experiments)."""
+        self._previous.clear()
+
+    def place(
+        self,
+        tasks: list[BackgroundTask],
+        *,
+        big: ClusterCapacity,
+        little: ClusterCapacity,
+        big_resident_threads: float = 0.0,
+        little_resident_threads: float = 0.0,
+    ) -> Placement:
+        """Assign each task to a cluster.
+
+        ``*_resident_threads`` count threads already pinned there (the
+        QoS application's threads on Big).  Tasks are weighted by their
+        core strength when computing load, so a Big slot absorbs more
+        work per unit of load than a Little slot.
+        """
+        big_load = big_resident_threads
+        little_load = little_resident_threads
+        big_assigned: list[BackgroundTask] = []
+        little_assigned: list[BackgroundTask] = []
+        active_names = set()
+        for task in sorted(tasks, key=lambda t: (-t.demand, t.name)):
+            active_names.add(task.name)
+            big_cost = self._relative_load(big_load + task.demand, big)
+            little_cost = (
+                self._relative_load(little_load + task.demand, little)
+                - self._little_bias
+            )
+            previous = self._previous.get(task.name)
+            if previous == "big":
+                little_cost *= 1.0 + self._migration_hysteresis
+            elif previous == "little":
+                big_cost *= 1.0 + self._migration_hysteresis
+            if little_cost <= big_cost:
+                little_assigned.append(task)
+                little_load += task.demand
+                self._previous[task.name] = "little"
+            else:
+                big_assigned.append(task)
+                big_load += task.demand
+                self._previous[task.name] = "big"
+        # Drop departed tasks so names can be reused across phases.
+        for name in list(self._previous):
+            if name not in active_names:
+                del self._previous[name]
+        return Placement(
+            big_tasks=tuple(big_assigned),
+            little_tasks=tuple(little_assigned),
+        )
+
+    def _relative_load(self, threads: float, cluster: ClusterCapacity) -> float:
+        capacity = cluster.scheduling_capacity(self._strength_exponent)
+        if capacity <= 0:
+            return float("inf")
+        return threads / capacity
+
+
+def fair_share(active_cores: int, runnable_threads: float) -> float:
+    """CFS-like per-thread core share on one cluster.
+
+    With ``A`` active cores and ``T`` runnable single-core threads each
+    thread receives ``min(1, A/T)`` of a core.
+    """
+    if active_cores < 0:
+        raise ValueError("active_cores must be non-negative")
+    if runnable_threads <= 0:
+        return 0.0
+    return min(1.0, active_cores / runnable_threads)

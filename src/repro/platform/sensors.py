@@ -1,0 +1,76 @@
+"""Sensor models: per-cluster power meters and per-core PMU counters.
+
+The real ODROID-XU3 exposes INA231 power sensors per cluster and ARM PMU
+performance counters per core.  Both are noisy, quantized instruments;
+the controllers must be robust to that, so the simulator reproduces
+multiplicative Gaussian noise plus a resolution floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class NoisySensor:
+    """A scalar sensor with multiplicative noise and quantization.
+
+    Parameters
+    ----------
+    noise_fraction:
+        Standard deviation of the multiplicative Gaussian noise.
+    resolution:
+        Quantization step of the readout (0 disables quantization).
+    floor:
+        Minimum reportable value (sensors cannot read below their
+        offset floor).
+    """
+
+    name: str
+    noise_fraction: float = 0.015
+    resolution: float = 0.0
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_fraction < 0:
+            raise ValueError("noise_fraction must be non-negative")
+        if self.resolution < 0:
+            raise ValueError("resolution must be non-negative")
+
+    def read(self, true_value: float, rng: np.random.Generator) -> float:
+        """One noisy readout of ``true_value``."""
+        value = float(true_value)
+        if self.noise_fraction > 0:
+            value *= float(np.clip(rng.normal(1.0, self.noise_fraction), 0.0, 2.0))
+        if self.resolution > 0:
+            value = round(value / self.resolution) * self.resolution
+        return max(value, self.floor)
+
+
+def power_sensor(cluster_name: str) -> NoisySensor:
+    """INA231-like cluster power sensor: ~1.5% noise, 5 mW resolution."""
+    return NoisySensor(
+        name=f"{cluster_name}-power",
+        noise_fraction=0.015,
+        resolution=0.005,
+        floor=0.0,
+    )
+
+
+def pmu_counter(core_name: str) -> NoisySensor:
+    """PMU-derived per-core rate counter.
+
+    Per-core instruction rates sampled at a 50 ms granularity fluctuate
+    substantially (scheduling quanta, cache warmth): ~5% relative noise.
+    Cluster-level aggregates average much of this away, which is one of
+    the reasons cluster-scoped models identify so much better than
+    per-core-scoped ones (Figures 5 and 15).
+    """
+    return NoisySensor(
+        name=f"{core_name}-pmu",
+        noise_fraction=0.05,
+        resolution=0.0,
+        floor=0.0,
+    )

@@ -1,0 +1,312 @@
+"""The simulated big.LITTLE SoC.
+
+Assembles OPP tables, power/performance models, sensors and the HMP
+scheduler into a discrete-time plant with exactly the sensor/actuator
+surface the paper's resource managers see on the ODROID-XU3:
+
+* per-cluster actuators: DVFS frequency (snapped to the OPP table) and
+  active core count (hotplug);
+* optional per-core idle-cycle-insertion actuators (used only by the
+  large-MIMO scalability experiments of Figures 4/5/15);
+* per-cluster power sensors, per-core PMU rate counters, and a
+  Heartbeats-based QoS reading for the foreground application.
+
+The simulation step is the 50 ms control interval of the paper's
+userspace daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.opp import OPPTable, big_cluster_opps, little_cluster_opps
+from repro.platform.perf import (
+    ClusterPerfModel,
+    big_cluster_perf_model,
+    little_cluster_perf_model,
+)
+from repro.platform.power import (
+    PowerModel,
+    big_cluster_power_model,
+    little_cluster_power_model,
+)
+from repro.platform.scheduler import ClusterCapacity, HMPScheduler, fair_share
+from repro.platform.sensors import NoisySensor, pmu_counter, power_sensor
+from repro.workloads.base import BackgroundTask, QoSWorkload
+from repro.workloads.heartbeats import HeartbeatMonitor
+
+
+class PlatformError(RuntimeError):
+    """Raised on invalid actuation or configuration."""
+
+
+class Cluster:
+    """One homogeneous core cluster with its actuators and sensors."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        n_cores: int,
+        opps: OPPTable,
+        power_model: PowerModel,
+        perf_model: ClusterPerfModel,
+    ) -> None:
+        if n_cores < 1:
+            raise PlatformError("cluster needs at least one core")
+        self.name = name
+        self.n_cores = n_cores
+        self.opps = opps
+        self.power_model = power_model
+        self.perf_model = perf_model
+        self._frequency_ghz = opps.max_frequency
+        self._active_cores = n_cores
+        self._idle_fractions = np.zeros(n_cores)
+        self.power_sensor: NoisySensor = power_sensor(name)
+        self.pmu_sensors: list[NoisySensor] = [
+            pmu_counter(f"{name}-core{i}") for i in range(n_cores)
+        ]
+
+    # ------------------------------ actuators -------------------------
+    @property
+    def frequency_ghz(self) -> float:
+        return self._frequency_ghz
+
+    def set_frequency(self, frequency_ghz: float) -> float:
+        """DVFS request; snaps to the nearest OPP and returns it."""
+        opp = self.opps.snap(frequency_ghz)
+        self._frequency_ghz = opp.frequency_ghz
+        return opp.frequency_ghz
+
+    @property
+    def voltage_v(self) -> float:
+        return self.opps.voltage_for(self._frequency_ghz)
+
+    @property
+    def active_cores(self) -> int:
+        return self._active_cores
+
+    def set_active_cores(self, count: float) -> int:
+        """Hotplug request; rounds and clamps to [1, n_cores]."""
+        snapped = int(round(float(count)))
+        snapped = max(1, min(self.n_cores, snapped))
+        self._active_cores = snapped
+        return snapped
+
+    @property
+    def idle_fractions(self) -> np.ndarray:
+        return self._idle_fractions.copy()
+
+    def set_idle_fraction(self, core: int, fraction: float) -> None:
+        """Per-core idle-cycle insertion (Figure 4's per-core actuator)."""
+        if not 0 <= core < self.n_cores:
+            raise PlatformError(f"core index {core} out of range")
+        self._idle_fractions[core] = float(np.clip(fraction, 0.0, 0.95))
+
+    # ------------------------------ derived ---------------------------
+    def effective_capacity(self) -> float:
+        """Core-equivalents available after idle-cycle insertion."""
+        active = self._idle_fractions[: self._active_cores]
+        return float(np.sum(1.0 - active))
+
+    def core_rate_ips(self) -> float:
+        """Instructions/s of one fully-busy core at the current OPP (G-inst/s)."""
+        # IPC-like constant folded into ipc_factor; 1 G-inst/s per GHz
+        # for a Big core at alpha=1.
+        return self.perf_model.ipc_factor * self._frequency_ghz
+
+
+@dataclass
+class ClusterTelemetry:
+    """Per-cluster sensor readings for one interval."""
+
+    frequency_ghz: float
+    voltage_v: float
+    active_cores: int
+    busy_core_equivalents: float
+    power_w: float
+    ips: float
+    per_core_ips: np.ndarray
+
+
+@dataclass
+class Telemetry:
+    """Full sensor snapshot the resource managers consume each interval."""
+
+    time_s: float
+    qos_rate: float
+    qos_raw: float
+    big: ClusterTelemetry
+    little: ClusterTelemetry
+
+    @property
+    def chip_power_w(self) -> float:
+        return self.big.power_w + self.little.power_w
+
+
+@dataclass
+class SoCConfig:
+    """Construction parameters for :class:`ExynosSoC`."""
+
+    dt_s: float = 0.05
+    seed: int = 2018
+    heartbeat_window_s: float = 0.10
+    cores_per_cluster: int = 4
+
+
+class ExynosSoC:
+    """The simulated Exynos-5422-like platform.
+
+    A single foreground :class:`QoSWorkload` runs (pinned) on the Big
+    cluster; background tasks are free to migrate.  Call
+    :meth:`step` once per 50 ms control interval.
+    """
+
+    def __init__(
+        self,
+        *,
+        qos_app: QoSWorkload | None = None,
+        background: list[BackgroundTask] | None = None,
+        config: SoCConfig | None = None,
+    ) -> None:
+        self.config = config or SoCConfig()
+        if self.config.dt_s <= 0:
+            raise PlatformError("dt must be positive")
+        self.big = Cluster(
+            "big",
+            n_cores=self.config.cores_per_cluster,
+            opps=big_cluster_opps(),
+            power_model=big_cluster_power_model(),
+            perf_model=big_cluster_perf_model(),
+        )
+        self.little = Cluster(
+            "little",
+            n_cores=self.config.cores_per_cluster,
+            opps=little_cluster_opps(),
+            power_model=little_cluster_power_model(),
+            perf_model=little_cluster_perf_model(),
+        )
+        self.qos_app = qos_app
+        self.background = list(background or [])
+        self.scheduler = HMPScheduler()
+        self.heartbeats = HeartbeatMonitor(
+            window_s=self.config.heartbeat_window_s
+        )
+        self.rng = np.random.default_rng(self.config.seed)
+        self.time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def add_background_task(self, task: BackgroundTask) -> None:
+        self.background.append(task)
+
+    def clusters(self) -> tuple[Cluster, Cluster]:
+        return self.big, self.little
+
+    # ------------------------------------------------------------------
+    def step(self) -> Telemetry:
+        """Advance one control interval and return sensor readings."""
+        now = self.time_s
+        active_bg = [t for t in self.background if t.active_at(now)]
+        qos_threads = float(self.qos_app.threads) if self.qos_app else 0.0
+        placement = self.scheduler.place(
+            active_bg,
+            big=ClusterCapacity(
+                active_cores=self.big.active_cores,
+                core_strength=self.big.core_rate_ips(),
+            ),
+            little=ClusterCapacity(
+                active_cores=self.little.active_cores,
+                core_strength=self.little.core_rate_ips(),
+            ),
+            big_resident_threads=qos_threads,
+        )
+
+        # --- Big cluster: QoS app + its share of background tasks -----
+        big_capacity = self.big.effective_capacity()
+        big_runnable = qos_threads + placement.big_demand
+        big_share = fair_share_capacity(big_capacity, big_runnable)
+        qos_effective_threads = qos_threads * big_share
+        qos_rate_raw = 0.0
+        if self.qos_app is not None:
+            qos_rate_raw = self.qos_app.rate(
+                self.big.perf_model,
+                self.big.frequency_ghz,
+                qos_effective_threads,
+                time_s=now,
+                rng=self.rng,
+            )
+            self.heartbeats.issue(now, qos_rate_raw * self.config.dt_s)
+        big_busy = min(big_capacity, big_runnable)
+
+        # --- Little cluster: background only ---------------------------
+        little_capacity = self.little.effective_capacity()
+        little_busy = min(little_capacity, placement.little_demand)
+
+        big_telemetry = self._cluster_telemetry(self.big, big_busy)
+        little_telemetry = self._cluster_telemetry(self.little, little_busy)
+
+        qos_rate = (
+            self.heartbeats.rate(now) if self.qos_app is not None else 0.0
+        )
+        telemetry = Telemetry(
+            time_s=now,
+            qos_rate=qos_rate,
+            qos_raw=qos_rate_raw,
+            big=big_telemetry,
+            little=little_telemetry,
+        )
+        self.time_s = now + self.config.dt_s
+        return telemetry
+
+    def _cluster_telemetry(
+        self, cluster: Cluster, busy_core_equivalents: float
+    ) -> ClusterTelemetry:
+        true_power = cluster.power_model.cluster_power(
+            cluster.frequency_ghz,
+            cluster.voltage_v,
+            cluster.active_cores,
+            busy_core_equivalents,
+        )
+        measured_power = cluster.power_sensor.read(true_power, self.rng)
+        per_core_ips = np.zeros(cluster.n_cores)
+        weights = 1.0 - cluster.idle_fractions
+        weights[cluster.active_cores:] = 0.0
+        total_weight = float(np.sum(weights))
+        core_rate = cluster.core_rate_ips()
+        total_ips = busy_core_equivalents * core_rate
+        for i in range(cluster.n_cores):
+            share = weights[i] / total_weight if total_weight > 0 else 0.0
+            per_core_ips[i] = cluster.pmu_sensors[i].read(
+                total_ips * share, self.rng
+            )
+        return ClusterTelemetry(
+            frequency_ghz=cluster.frequency_ghz,
+            voltage_v=cluster.voltage_v,
+            active_cores=cluster.active_cores,
+            busy_core_equivalents=busy_core_equivalents,
+            power_w=measured_power,
+            ips=float(np.sum(per_core_ips)),
+            per_core_ips=per_core_ips,
+        )
+
+
+def fair_share_capacity(capacity: float, runnable_threads: float) -> float:
+    """Per-thread core share when capacity may be fractional."""
+    if runnable_threads <= 0:
+        return 0.0
+    return min(1.0, capacity / runnable_threads)
+
+
+# Re-export for symmetry with the scheduler module.
+__all__ = [
+    "Cluster",
+    "ClusterTelemetry",
+    "ExynosSoC",
+    "PlatformError",
+    "SoCConfig",
+    "Telemetry",
+    "fair_share",
+    "fair_share_capacity",
+]

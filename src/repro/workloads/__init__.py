@@ -1,0 +1,51 @@
+"""Workload models: PARSEC + ML QoS applications, background tasks,
+the system-identification microbenchmark, and the Heartbeats monitor."""
+
+from repro.workloads.base import BackgroundTask, QoSWorkload, WorkloadPhase
+from repro.workloads.heartbeats import (
+    HeartbeatError,
+    HeartbeatMonitor,
+    HeartbeatRecord,
+)
+from repro.workloads.microbench import sysid_microbenchmark
+from repro.workloads.mlbench import (
+    k_means,
+    knn,
+    least_squares,
+    linear_regression,
+    ml_suite,
+)
+from repro.workloads.parsec import (
+    bodytrack,
+    canneal,
+    parsec_suite,
+    streamcluster,
+    x264,
+)
+
+
+def all_qos_workloads() -> tuple[QoSWorkload, ...]:
+    """The eight QoS applications of the paper's evaluation."""
+    return parsec_suite() + ml_suite()
+
+
+__all__ = [
+    "BackgroundTask",
+    "HeartbeatError",
+    "HeartbeatMonitor",
+    "HeartbeatRecord",
+    "QoSWorkload",
+    "WorkloadPhase",
+    "all_qos_workloads",
+    "bodytrack",
+    "canneal",
+    "k_means",
+    "knn",
+    "least_squares",
+    "linear_regression",
+    "ml_suite",
+    "parsec_suite",
+    "streamcluster",
+    "sysid_microbenchmark",
+    "x264",
+]

@@ -1,0 +1,83 @@
+"""Heartbeats API monitor.
+
+The paper's userspace daemon "implements the Heartbeats API monitor to
+measure QoS.  By periodically issuing heartbeats, the application
+informs the system about its current performance."  We reproduce the
+interface: the application registers heartbeats; the monitor turns them
+into a windowed rate the controllers consume, and holds the
+user-provided performance reference value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class HeartbeatError(RuntimeError):
+    """Raised on misuse of the heartbeat monitor."""
+
+
+@dataclass
+class HeartbeatRecord:
+    """One batch of heartbeats issued at a timestamp."""
+
+    time_s: float
+    count: float
+
+
+@dataclass
+class HeartbeatMonitor:
+    """Sliding-window heartbeat-rate estimator.
+
+    Parameters
+    ----------
+    window_s:
+        Width of the rate window.  The paper invokes controllers every
+        50 ms; a 0.25 s window smooths frame jitter without hiding the
+        dynamics the 50 ms control loop needs to see.
+    """
+
+    window_s: float = 0.25
+    _records: deque[HeartbeatRecord] = field(default_factory=deque)
+    _last_time: float = field(default=float("-inf"))
+    total_heartbeats: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise HeartbeatError("window_s must be positive")
+
+    def issue(self, time_s: float, count: float = 1.0) -> None:
+        """The application-side call: report ``count`` heartbeats."""
+        if count < 0:
+            raise HeartbeatError("heartbeat count must be non-negative")
+        if time_s < self._last_time:
+            raise HeartbeatError("heartbeats must be issued in time order")
+        self._last_time = time_s
+        self.total_heartbeats += count
+        self._records.append(HeartbeatRecord(time_s, count))
+        self._evict(time_s)
+
+    def _evict(self, now_s: float) -> None:
+        # The window covers (now - window, now].  A small tolerance
+        # absorbs floating-point drift in accumulated timestamps, which
+        # would otherwise let a stale record straddle the boundary and
+        # inflate the rate by one record's worth.
+        horizon = now_s - self.window_s + self.window_s * 1e-6
+        while self._records and self._records[0].time_s <= horizon:
+            self._records.popleft()
+
+    def rate(self, now_s: float | None = None) -> float:
+        """Heartbeats per second over the current window."""
+        if now_s is None:
+            now_s = self._last_time
+        if now_s == float("-inf"):
+            return 0.0
+        self._evict(now_s)
+        count = sum(r.count for r in self._records)
+        return count / self.window_s
+
+    def reset(self) -> None:
+        self._records.clear()
+        self._last_time = float("-inf")
+        self.total_heartbeats = 0.0

@@ -1,0 +1,46 @@
+"""System-identification microbenchmark.
+
+The paper trains controller models on "an in-house microbenchmark ...
+a sequence of independent multiply-accumulate operations performed over
+both sequentially and randomly accessed memory locations, thus yielding
+various levels of instruction-level and memory-level parallelism"
+(Section 5).  We model it as a QoS workload whose ILP/MLP mix is a
+constructor knob, so identification data can exercise a range of
+behaviours that "resembles or exceeds the variation we expect to see in
+typical mobile workloads".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import QoSWorkload
+
+
+def sysid_microbenchmark(
+    *,
+    mlp_fraction: float = 0.4,
+    variability: float = 0.015,
+) -> QoSWorkload:
+    """The identification workload.
+
+    Parameters
+    ----------
+    mlp_fraction:
+        0 = purely sequential multiply-accumulate (compute bound);
+        1 = purely random-access (memory bound).  Interpolates the
+        frequency-scaling exponent and thread scalability between the
+        two regimes.
+    variability:
+        Per-interval multiplicative noise; kept small so the stochastic
+        component of identification data is realistic but bounded.
+    """
+    if not 0 <= mlp_fraction <= 1:
+        raise ValueError("mlp_fraction must lie in [0, 1]")
+    freq_alpha = 0.95 - 0.45 * mlp_fraction
+    parallel_fraction = 0.96 - 0.10 * mlp_fraction
+    return QoSWorkload(
+        name=f"microbench(mlp={mlp_fraction:g})",
+        peak_rate=70.0,
+        parallel_fraction=parallel_fraction,
+        freq_alpha=freq_alpha,
+        variability=variability,
+    )

@@ -1,0 +1,63 @@
+"""Machine-learning workload models (Section 5).
+
+"We also use one of four machine-learning workloads as our QoS
+application: k-means, KNN, least squares, and linear regression.  These
+four workloads provide a wide range of data-intensive use cases."  All
+are data-intensive, hence moderately memory bound; k-means additionally
+alternates between a parallel assignment step and a cheaper reduction,
+which makes its response to core allocation lumpier (the paper notes
+MM-Perf cannot find a TDP-respecting configuration for k-means in the
+Emergency Phase).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import QoSWorkload, WorkloadPhase
+
+
+def k_means() -> QoSWorkload:
+    """Lloyd's k-means; alternating parallel/reduction iterations."""
+    return QoSWorkload(
+        name="k-means",
+        peak_rate=55.0,
+        parallel_fraction=0.82,
+        freq_alpha=0.62,
+        serial_phases=(
+            WorkloadPhase(4.0, 7.0, parallel_fraction=0.55),
+        ),
+    )
+
+
+def knn() -> QoSWorkload:
+    """k-nearest-neighbours classification; distance kernels dominate."""
+    return QoSWorkload(
+        name="KNN",
+        peak_rate=62.0,
+        parallel_fraction=0.91,
+        freq_alpha=0.72,
+    )
+
+
+def least_squares() -> QoSWorkload:
+    """Batched least-squares solves; BLAS-heavy, decent locality."""
+    return QoSWorkload(
+        name="least-squares",
+        peak_rate=66.0,
+        parallel_fraction=0.89,
+        freq_alpha=0.80,
+    )
+
+
+def linear_regression() -> QoSWorkload:
+    """Streaming linear-regression fit; bandwidth sensitive."""
+    return QoSWorkload(
+        name="linear-regression",
+        peak_rate=60.0,
+        parallel_fraction=0.87,
+        freq_alpha=0.68,
+    )
+
+
+def ml_suite() -> tuple[QoSWorkload, ...]:
+    """All four ML QoS applications of the evaluation."""
+    return (k_means(), knn(), least_squares(), linear_regression())

@@ -1,0 +1,174 @@
+"""Tests for the core automaton structure."""
+
+import pytest
+
+from repro.automata.automaton import (
+    Automaton,
+    AutomatonError,
+    State,
+    automaton_from_table,
+)
+from repro.automata.events import Alphabet, controllable, uncontrollable
+
+AB = Alphabet.of([controllable("a"), uncontrollable("b")])
+
+
+def simple_automaton() -> Automaton:
+    """S0 --a--> S1 --b--> S0, S1 marked."""
+    return automaton_from_table(
+        "simple",
+        AB,
+        transitions=[("S0", "a", "S1"), ("S1", "b", "S0")],
+        initial="S0",
+        marked=["S1"],
+    )
+
+
+class TestConstruction:
+    def test_from_table(self):
+        automaton = simple_automaton()
+        assert len(automaton) == 2
+        assert automaton.initial == State("S0")
+        assert automaton.is_marked("S1")
+
+    def test_add_state_flags(self):
+        automaton = Automaton("t", AB)
+        automaton.add_state("X", marked=True, forbidden=True, initial=True)
+        assert automaton.is_marked("X")
+        assert automaton.is_forbidden("X")
+        assert automaton.initial == State("X")
+
+    def test_transitions_create_states(self):
+        automaton = Automaton("t", AB)
+        automaton.add_transition("P", "a", "Q")
+        assert automaton.states == {State("P"), State("Q")}
+
+    def test_determinism_enforced(self):
+        automaton = Automaton("t", AB)
+        automaton.add_transition("P", "a", "Q")
+        with pytest.raises(AutomatonError):
+            automaton.add_transition("P", "a", "R")
+
+    def test_duplicate_transition_tolerated(self):
+        automaton = Automaton("t", AB)
+        automaton.add_transition("P", "a", "Q")
+        automaton.add_transition("P", "a", "Q")
+        assert len(automaton.transitions) == 1
+
+    def test_unknown_event_rejected(self):
+        automaton = Automaton("t", AB)
+        with pytest.raises(AutomatonError):
+            automaton.add_transition("P", "zzz", "Q")
+
+    def test_event_object_not_in_alphabet_rejected(self):
+        automaton = Automaton("t", AB)
+        with pytest.raises(AutomatonError):
+            automaton.add_transition("P", controllable("other"), "Q")
+
+    def test_mark_unknown_state_rejected(self):
+        automaton = Automaton("t", AB)
+        with pytest.raises(AutomatonError):
+            automaton.mark("nope")
+
+    def test_initial_required_for_queries(self):
+        automaton = Automaton("t", AB)
+        with pytest.raises(AutomatonError):
+            _ = automaton.initial
+        assert not automaton.has_initial
+
+
+class TestQueries:
+    def test_step(self):
+        automaton = simple_automaton()
+        assert automaton.step("S0", "a") == State("S1")
+        assert automaton.step("S0", "b") is None
+
+    def test_enabled_events(self):
+        automaton = simple_automaton()
+        assert {e.name for e in automaton.enabled_events("S0")} == {"a"}
+        assert {e.name for e in automaton.enabled_events("S1")} == {"b"}
+
+    def test_successors_predecessors(self):
+        automaton = simple_automaton()
+        assert automaton.successors("S0") == {State("S1")}
+        assert automaton.predecessors("S0") == {State("S1")}
+
+    def test_accepts(self):
+        automaton = simple_automaton()
+        assert automaton.accepts(["a"])
+        assert not automaton.accepts(["a", "b"])  # back at unmarked S0
+        assert automaton.accepts(["a", "b", "a"])
+        assert not automaton.accepts(["b"])  # disabled at S0
+
+    def test_run_trajectory(self):
+        automaton = simple_automaton()
+        trajectory = automaton.run(["a", "b"])
+        assert [s.name for s in trajectory] == ["S0", "S1", "S0"]
+
+    def test_run_on_disabled_event_raises(self):
+        automaton = simple_automaton()
+        with pytest.raises(AutomatonError):
+            automaton.run(["b"])
+
+
+class TestStructuralOps:
+    def test_copy_is_deep_for_structure(self):
+        automaton = simple_automaton()
+        clone = automaton.copy("clone")
+        clone.add_transition("S1", "a", "S2")
+        assert len(automaton) == 2
+        assert len(clone) == 3
+        assert clone.name == "clone"
+
+    def test_copy_preserves_flags(self):
+        automaton = simple_automaton()
+        automaton.forbid("S0")
+        clone = automaton.copy()
+        assert clone.is_forbidden("S0")
+        assert clone.is_marked("S1")
+        assert clone.initial == automaton.initial
+
+    def test_restricted_to_drops_transitions(self):
+        automaton = simple_automaton()
+        sub = automaton.restricted_to([State("S0")])
+        assert len(sub) == 1
+        assert len(sub.transitions) == 0
+        assert sub.has_initial
+
+    def test_restricted_to_without_initial(self):
+        automaton = simple_automaton()
+        sub = automaton.restricted_to([State("S1")])
+        assert not sub.has_initial
+
+    def test_relabel(self):
+        automaton = simple_automaton()
+        renamed = automaton.relabel({State("S0"): "A", State("S1"): "B"})
+        assert renamed.initial == State("A")
+        assert renamed.is_marked("B")
+        assert renamed.step("A", "a") == State("B")
+
+    def test_relabel_with_function(self):
+        automaton = simple_automaton()
+        renamed = automaton.relabel(lambda s: s.name.lower())
+        assert renamed.initial == State("s0")
+
+    def test_relabel_must_be_injective(self):
+        automaton = simple_automaton()
+        with pytest.raises(AutomatonError):
+            automaton.relabel(lambda s: "same")
+
+    def test_state_compose(self):
+        assert State("A").compose(State("B")) == State("A.B")
+
+
+class TestDot:
+    def test_to_dot_contains_states_and_edges(self):
+        automaton = simple_automaton()
+        automaton.forbid("S0")
+        dot = automaton.to_dot()
+        assert '"S0"' in dot and '"S1"' in dot
+        assert 'label="a"' in dot
+        assert "peripheries=2" in dot  # marked state
+        assert "color=red" in dot  # forbidden state
+        assert "style=dashed" in dot  # uncontrollable edge
+        assert "__init" in dot

@@ -1,0 +1,101 @@
+"""Tests for the DES event alphabet primitives."""
+
+import pytest
+
+from repro.automata.events import (
+    Alphabet,
+    AlphabetError,
+    Event,
+    controllable,
+    uncontrollable,
+)
+
+
+class TestEvent:
+    def test_controllable_constructor(self):
+        event = controllable("go")
+        assert event.name == "go"
+        assert event.controllable
+
+    def test_uncontrollable_constructor(self):
+        event = uncontrollable("fault")
+        assert not event.controllable
+
+    def test_default_is_observable(self):
+        assert Event("x").observable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Event("")
+
+    def test_equality_by_value(self):
+        assert controllable("a") == controllable("a")
+        assert controllable("a") != uncontrollable("a")
+
+    def test_hashable(self):
+        assert len({controllable("a"), controllable("a")}) == 1
+
+    def test_ordering_by_name(self):
+        assert sorted([Event("b"), Event("a")])[0].name == "a"
+
+    def test_str_shows_controllability(self):
+        assert "[c]" in str(controllable("a"))
+        assert "[u]" in str(uncontrollable("a"))
+
+
+class TestAlphabet:
+    def test_of_builds_from_iterable(self):
+        alphabet = Alphabet.of([controllable("a"), uncontrollable("b")])
+        assert len(alphabet) == 2
+
+    def test_contains_event_and_name(self):
+        alphabet = Alphabet.of([controllable("a")])
+        assert "a" in alphabet
+        assert controllable("a") in alphabet
+        assert uncontrollable("a") not in alphabet
+        assert 42 not in alphabet
+
+    def test_duplicate_same_attributes_ok(self):
+        alphabet = Alphabet.of([controllable("a"), controllable("a")])
+        assert len(alphabet) == 1
+
+    def test_conflicting_attributes_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet.of([controllable("a"), uncontrollable("a")])
+
+    def test_getitem(self):
+        alphabet = Alphabet.of([uncontrollable("fault")])
+        assert alphabet["fault"].controllable is False
+
+    def test_get_missing_returns_none(self):
+        assert Alphabet().get("nope") is None
+
+    def test_union_merges(self):
+        a = Alphabet.of([controllable("a")])
+        b = Alphabet.of([controllable("b")])
+        union = a.union(b)
+        assert union.names() == {"a", "b"}
+        # union does not mutate inputs
+        assert len(a) == 1 and len(b) == 1
+
+    def test_union_conflict_rejected(self):
+        a = Alphabet.of([controllable("a")])
+        b = Alphabet.of([uncontrollable("a")])
+        with pytest.raises(AlphabetError):
+            a.union(b)
+
+    def test_intersection(self):
+        a = Alphabet.of([controllable("a"), controllable("b")])
+        b = Alphabet.of([controllable("b"), controllable("c")])
+        assert a.intersection(b).names() == {"b"}
+
+    def test_controllable_partition(self):
+        alphabet = Alphabet.of(
+            [controllable("a"), uncontrollable("b"), controllable("c")]
+        )
+        assert {e.name for e in alphabet.controllable_events} == {"a", "c"}
+        assert {e.name for e in alphabet.uncontrollable_events} == {"b"}
+
+    def test_iteration_is_sorted(self):
+        alphabet = Alphabet.of([Event("z"), Event("a"), Event("m")])
+        assert [e.name for e in alphabet] == ["a", "m", "z"]

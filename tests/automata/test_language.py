@@ -1,0 +1,161 @@
+"""Tests for language-level operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.language import (
+    controllability_witness,
+    enumerate_words,
+    is_prefix_closed_witnessed,
+    is_sublanguage,
+    language_size,
+    languages_equal,
+)
+from repro.automata.synthesis import synthesize_supervisor
+
+from .test_properties import automata  # reuse the hypothesis strategy
+
+SIGMA = Alphabet.of(
+    [controllable("a"), controllable("b"), uncontrollable("u")]
+)
+
+
+def ab_loop():
+    return automaton_from_table(
+        "ab",
+        SIGMA,
+        transitions=[("S", "a", "T"), ("T", "b", "S")],
+        initial="S",
+        marked=["S"],
+    )
+
+
+class TestEnumeration:
+    def test_words_in_shortlex_order(self):
+        words = list(enumerate_words(ab_loop(), 4))
+        assert words[0] == ()
+        assert words == sorted(words, key=lambda w: (len(w), w))
+
+    def test_word_contents(self):
+        words = set(enumerate_words(ab_loop(), 3))
+        assert ("a",) in words
+        assert ("a", "b") in words
+        assert ("a", "b", "a") in words
+        assert ("b",) not in words
+
+    def test_marked_only(self):
+        words = set(enumerate_words(ab_loop(), 4, marked_only=True))
+        assert () in words
+        assert ("a",) not in words
+        assert ("a", "b") in words
+
+    def test_language_size(self):
+        # lengths 0..4: (), a, ab, aba, abab -> 5 words
+        assert language_size(ab_loop(), 4) == 5
+
+    def test_no_initial_is_empty(self):
+        from repro.automata.automaton import Automaton
+
+        empty = Automaton("e", SIGMA)
+        assert list(enumerate_words(empty, 3)) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_words(ab_loop(), -1))
+
+
+class TestInclusion:
+    def test_self_inclusion(self):
+        ok, witness = is_sublanguage(ab_loop(), ab_loop())
+        assert ok and witness is None
+
+    def test_strict_subset(self):
+        smaller = automaton_from_table(
+            "small",
+            SIGMA,
+            transitions=[("S", "a", "T")],
+            initial="S",
+            marked=["T"],
+        )
+        ok, _ = is_sublanguage(smaller, ab_loop())
+        assert ok
+        ok, witness = is_sublanguage(ab_loop(), smaller)
+        assert not ok
+        assert witness == ("a", "b")  # shortest word not in smaller
+
+    def test_languages_equal_ignores_state_names(self):
+        renamed = ab_loop().relabel(lambda s: s.name * 2)
+        assert languages_equal(ab_loop(), renamed)
+
+    def test_prefix_closure(self):
+        assert is_prefix_closed_witnessed(ab_loop())
+
+
+class TestControllabilityOnLanguages:
+    def test_witness_found(self):
+        plant = automaton_from_table(
+            "p",
+            SIGMA,
+            transitions=[("P", "a", "Q"), ("Q", "u", "P")],
+            initial="P",
+            marked=["P"],
+        )
+        bad_supervisor = automaton_from_table(
+            "s",
+            SIGMA,
+            transitions=[("S", "a", "T")],  # disables u after a
+            initial="S",
+            marked=["S", "T"],
+        )
+        witness = controllability_witness(plant, bad_supervisor)
+        assert witness == ("a", "u")
+
+    def test_synthesized_supervisor_has_no_witness(self):
+        plant = automaton_from_table(
+            "p",
+            SIGMA,
+            transitions=[
+                ("P", "a", "Q"),
+                ("Q", "u", "Bad"),
+                ("P", "b", "P"),
+            ],
+            initial="P",
+            marked=["P"],
+        )
+        spec = automaton_from_table(
+            "never-u",
+            Alphabet.of([SIGMA["u"]]),
+            transitions=[("Ok", "u", "No")],
+            initial="Ok",
+            marked=["Ok"],
+            forbidden=["No"],
+        )
+        result = synthesize_supervisor(plant, spec)
+        assert controllability_witness(plant, result.supervisor) is None
+
+
+class TestLanguageProperties:
+    @given(automata())
+    @settings(max_examples=40, deadline=None)
+    def test_enumerated_words_are_prefix_closed(self, automaton):
+        assert is_prefix_closed_witnessed(automaton, max_length=4)
+
+    @given(automata(name="P"), automata(name="S"))
+    @settings(max_examples=30, deadline=None)
+    def test_supervisor_language_included_in_plant(self, plant, spec):
+        result = synthesize_supervisor(plant, spec)
+        if result.is_empty:
+            return
+        ok, witness = is_sublanguage(result.supervisor, plant)
+        assert ok, witness
+
+    @given(automata(name="P"), automata(name="S"))
+    @settings(max_examples=30, deadline=None)
+    def test_supervisor_language_controllable(self, plant, spec):
+        result = synthesize_supervisor(plant, spec)
+        if result.is_empty:
+            return
+        assert controllability_witness(plant, result.supervisor) is None

@@ -1,0 +1,181 @@
+"""Tests for synchronous composition and reachability operators."""
+
+import pytest
+
+from repro.automata.automaton import AutomatonError, State, automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.operations import (
+    accessible,
+    accessible_states,
+    blocking_states,
+    coaccessible,
+    coaccessible_states,
+    compose_all,
+    is_nonblocking,
+    synchronous_composition,
+    trim,
+)
+
+SHARED = controllable("shared")
+PRIV_A = controllable("privA")
+PRIV_B = uncontrollable("privB")
+SIGMA_A = Alphabet.of([SHARED, PRIV_A])
+SIGMA_B = Alphabet.of([SHARED, PRIV_B])
+
+
+def automaton_a():
+    return automaton_from_table(
+        "A",
+        SIGMA_A,
+        transitions=[("A0", "shared", "A1"), ("A0", "privA", "A0")],
+        initial="A0",
+        marked=["A1"],
+    )
+
+
+def automaton_b():
+    return automaton_from_table(
+        "B",
+        SIGMA_B,
+        transitions=[("B0", "shared", "B1"), ("B1", "privB", "B0")],
+        initial="B0",
+        marked=["B1"],
+    )
+
+
+class TestSynchronousComposition:
+    def test_shared_events_synchronize(self):
+        c = synchronous_composition(automaton_a(), automaton_b())
+        # shared can only fire when both enable it
+        assert c.step("A0.B0", "shared") == State("A1.B1")
+        # after A has moved, B hasn't enabled shared so it's disabled
+        assert c.step("A1.B1", "shared") is None
+
+    def test_private_events_interleave(self):
+        c = synchronous_composition(automaton_a(), automaton_b())
+        assert c.step("A0.B0", "privA") == State("A0.B0")
+        # privB is only enabled where B enables it
+        assert c.step("A0.B0", "privB") is None
+        assert c.step("A1.B1", "privB") == State("A1.B0")
+
+    def test_marking_is_conjunction(self):
+        c = synchronous_composition(automaton_a(), automaton_b())
+        assert c.is_marked("A1.B1")
+        assert not c.is_marked("A0.B0")
+        assert not c.is_marked("A1.B0")
+
+    def test_forbidden_is_disjunction(self):
+        a = automaton_a()
+        a.forbid("A1")
+        c = synchronous_composition(a, automaton_b())
+        assert c.is_forbidden("A1.B1")
+        assert not c.is_forbidden("A0.B0")
+
+    def test_only_reachable_part_constructed(self):
+        a = automaton_a()
+        a.add_state("unreachable", marked=True)
+        c = synchronous_composition(a, automaton_b())
+        assert all("unreachable" not in s.name for s in c.states)
+
+    def test_alphabet_is_union(self):
+        c = synchronous_composition(automaton_a(), automaton_b())
+        assert c.alphabet.names() == {"shared", "privA", "privB"}
+
+    def test_composition_with_self_preserves_language_shape(self):
+        a = automaton_a()
+        c = synchronous_composition(a, automaton_a())
+        assert c.accepts(["shared"])
+        assert not c.accepts(["privA"])
+
+    def test_word_acceptance_semantics(self):
+        c = synchronous_composition(automaton_a(), automaton_b())
+        assert c.accepts(["privA", "shared"])
+        assert not c.accepts(["privA"])
+
+    def test_compose_all_three(self):
+        extra = automaton_from_table(
+            "C",
+            Alphabet.of([SHARED]),
+            transitions=[("C0", "shared", "C1")],
+            initial="C0",
+            marked=["C1"],
+        )
+        c = compose_all([automaton_a(), automaton_b(), extra], name="trio")
+        assert c.name == "trio"
+        assert c.step("A0.B0.C0", "shared") == State("A1.B1.C1")
+
+    def test_compose_all_empty_rejected(self):
+        with pytest.raises(AutomatonError):
+            compose_all([])
+
+    def test_compose_all_single(self):
+        a = automaton_a()
+        assert compose_all([a]) is a
+
+
+class TestReachability:
+    def make_chain(self):
+        """I -> M -> D, with D a dead end; M marked."""
+        sigma = Alphabet.of([controllable("x"), controllable("y")])
+        return automaton_from_table(
+            "chain",
+            sigma,
+            transitions=[("I", "x", "M"), ("M", "y", "D")],
+            initial="I",
+            marked=["M"],
+        )
+
+    def test_accessible_states(self):
+        automaton = self.make_chain()
+        automaton.add_state("orphan")
+        assert accessible_states(automaton) == {
+            State("I"),
+            State("M"),
+            State("D"),
+        }
+
+    def test_coaccessible_states(self):
+        automaton = self.make_chain()
+        assert coaccessible_states(automaton) == {State("I"), State("M")}
+
+    def test_trim_removes_dead_end_and_orphans(self):
+        automaton = self.make_chain()
+        automaton.add_state("orphan", marked=True)
+        trimmed = trim(automaton)
+        assert trimmed.states == {State("I"), State("M")}
+
+    def test_trim_is_nonblocking(self):
+        assert is_nonblocking(trim(self.make_chain()))
+
+    def test_blocking_states(self):
+        automaton = self.make_chain()
+        assert blocking_states(automaton) == {State("D")}
+
+    def test_nonblocking_detects_dead_end(self):
+        assert not is_nonblocking(self.make_chain())
+
+    def test_accessible_operator_keeps_initial(self):
+        automaton = self.make_chain()
+        automaton.add_state("orphan")
+        acc = accessible(automaton)
+        assert acc.has_initial
+        assert len(acc) == 3
+
+    def test_coaccessible_operator(self):
+        automaton = self.make_chain()
+        co = coaccessible(automaton)
+        assert State("D") not in co.states
+
+    def test_empty_automaton_nonblocking(self):
+        sigma = Alphabet.of([controllable("x")])
+        from repro.automata.automaton import Automaton
+
+        assert is_nonblocking(Automaton("empty", sigma))
+
+    def test_accessible_of_no_initial_is_empty(self):
+        from repro.automata.automaton import Automaton
+
+        sigma = Alphabet.of([controllable("x")])
+        automaton = Automaton("noinit", sigma)
+        automaton.add_state("floating")
+        assert accessible_states(automaton) == frozenset()

@@ -1,0 +1,165 @@
+"""Property-based tests for the DES toolkit (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.automaton import Automaton, State
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.operations import (
+    accessible_states,
+    coaccessible_states,
+    is_nonblocking,
+    synchronous_composition,
+    trim,
+)
+from repro.automata.synthesis import synthesize_supervisor
+from repro.automata.verification import check_controllability
+
+EVENTS = [
+    controllable("c1"),
+    controllable("c2"),
+    uncontrollable("u1"),
+    uncontrollable("u2"),
+]
+SIGMA = Alphabet.of(EVENTS)
+STATE_NAMES = ["Q0", "Q1", "Q2", "Q3", "Q4"]
+
+
+@st.composite
+def automata(draw, name="rand", max_states=5):
+    n_states = draw(st.integers(min_value=1, max_value=max_states))
+    states = STATE_NAMES[:n_states]
+    automaton = Automaton(name, SIGMA)
+    for state in states:
+        automaton.add_state(state)
+    automaton.set_initial(states[0])
+    n_transitions = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_transitions):
+        source = draw(st.sampled_from(states))
+        event = draw(st.sampled_from(EVENTS))
+        target = draw(st.sampled_from(states))
+        if automaton.step(source, event) is None:
+            automaton.add_transition(source, event, target)
+    marked = draw(st.lists(st.sampled_from(states), max_size=n_states))
+    for state in marked:
+        automaton.mark(state)
+    return automaton
+
+
+@st.composite
+def words(draw, max_length=6):
+    return draw(
+        st.lists(
+            st.sampled_from([e.name for e in EVENTS]), max_size=max_length
+        )
+    )
+
+
+class TestTrimProperties:
+    @given(automata())
+    @settings(max_examples=60, deadline=None)
+    def test_trim_is_nonblocking(self, automaton):
+        assert is_nonblocking(trim(automaton))
+
+    @given(automata())
+    @settings(max_examples=60, deadline=None)
+    def test_trim_is_idempotent(self, automaton):
+        once = trim(automaton)
+        twice = trim(once)
+        assert once.states == twice.states
+        assert once.transitions == twice.transitions
+
+    @given(automata())
+    @settings(max_examples=60, deadline=None)
+    def test_trim_subset_of_original(self, automaton):
+        trimmed = trim(automaton)
+        assert trimmed.states <= automaton.states
+        assert set(trimmed.transitions) <= set(automaton.transitions)
+
+    @given(automata())
+    @settings(max_examples=60, deadline=None)
+    def test_coaccessible_contains_marked_reachable(self, automaton):
+        reachable_marked = accessible_states(automaton) & automaton.marked
+        assert reachable_marked <= coaccessible_states(automaton)
+
+
+class TestCompositionProperties:
+    @given(automata(name="A"), automata(name="B"), st.lists(words(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_composition_is_commutative_on_language(self, a, b, samples):
+        ab = synchronous_composition(a, b)
+        ba = synchronous_composition(b, a)
+        for word in samples:
+            assert ab.accepts(word) == ba.accepts(word)
+
+    @given(automata(name="A"), st.lists(words(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_composition(self, a, samples):
+        """Composing with a universal single-state automaton over the
+        same alphabet leaves the language unchanged."""
+        universal = Automaton("U", SIGMA)
+        universal.add_state("u", marked=True, initial=True)
+        for event in EVENTS:
+            universal.add_transition("u", event, "u")
+        composed = synchronous_composition(a, universal)
+        for word in samples:
+            assert composed.accepts(word) == a.accepts(word)
+
+    @given(automata(name="A"), automata(name="B"))
+    @settings(max_examples=40, deadline=None)
+    def test_composition_states_are_pairs(self, a, b):
+        composed = synchronous_composition(a, b)
+        a_names = {s.name for s in a.states}
+        b_names = {s.name for s in b.states}
+        for state in composed.states:
+            left, right = state.name.split(".", 1)
+            assert left in a_names
+            assert right in b_names
+
+
+class TestSynthesisProperties:
+    @given(automata(name="P"), automata(name="S"))
+    @settings(max_examples=40, deadline=None)
+    def test_supervisor_is_controllable_and_nonblocking(self, plant, spec):
+        result = synthesize_supervisor(plant, spec)
+        if result.is_empty:
+            return
+        supervisor = result.supervisor
+        assert is_nonblocking(supervisor)
+        ok, violations = check_controllability(plant, supervisor)
+        assert ok, violations
+
+    @given(automata(name="P"), automata(name="S"), st.lists(words(), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_supervisor_language_within_plant(self, plant, spec, samples):
+        """Every word the supervisor can execute is executable by the
+        plant (the supervisor only restricts, never adds behaviour)."""
+        result = synthesize_supervisor(plant, spec)
+        if result.is_empty:
+            return
+        supervisor = result.supervisor
+        for word in samples:
+            state = supervisor.initial
+            plant_state: State | None = plant.initial
+            for event in word:
+                nxt = supervisor.step(state, event)
+                if nxt is None:
+                    break
+                state = nxt
+                assert plant_state is not None
+                plant_state = plant.step(plant_state, event)
+                assert plant_state is not None
+
+    @given(automata(name="P"), automata(name="S"))
+    @settings(max_examples=40, deadline=None)
+    def test_supervisor_avoids_forbidden_pairs(self, plant, spec):
+        """No supervisor state refines a forbidden plant/spec state."""
+        for state in plant.states:
+            if state.name in ("Q1",):
+                plant.forbid(state)
+        result = synthesize_supervisor(plant, spec)
+        if result.is_empty:
+            return
+        for state, pair in result.state_map.items():
+            assert not plant.is_forbidden(pair.plant)
+            assert not spec.is_forbidden(pair.spec)

@@ -1,0 +1,66 @@
+"""Round-trip tests for automaton serialization."""
+
+import json
+
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.serialization import (
+    automaton_from_dict,
+    automaton_to_dict,
+    dumps,
+    loads,
+)
+
+SIGMA = Alphabet.of([controllable("a"), uncontrollable("b")])
+
+
+def sample():
+    automaton = automaton_from_table(
+        "sample",
+        SIGMA,
+        transitions=[("S0", "a", "S1"), ("S1", "b", "S0")],
+        initial="S0",
+        marked=["S1"],
+        forbidden=["S0"],
+    )
+    return automaton
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample()
+        restored = automaton_from_dict(automaton_to_dict(original))
+        assert restored.name == original.name
+        assert restored.states == original.states
+        assert restored.initial == original.initial
+        assert restored.marked == original.marked
+        assert restored.forbidden == original.forbidden
+        assert restored.transitions == original.transitions
+
+    def test_event_attributes_survive(self):
+        restored = automaton_from_dict(automaton_to_dict(sample()))
+        assert restored.alphabet["a"].controllable
+        assert not restored.alphabet["b"].controllable
+
+    def test_json_round_trip(self):
+        text = dumps(sample())
+        json.loads(text)  # valid JSON
+        restored = loads(text)
+        assert restored.accepts(["a"])
+        assert not restored.accepts(["a", "b"])
+
+    def test_no_initial_round_trip(self):
+        from repro.automata.automaton import Automaton
+
+        automaton = Automaton("noinit", SIGMA)
+        automaton.add_state("lonely")
+        restored = automaton_from_dict(automaton_to_dict(automaton))
+        assert not restored.has_initial
+        assert len(restored) == 1
+
+    def test_case_study_supervisor_round_trip(self, verified_supervisor):
+        supervisor = verified_supervisor.supervisor
+        restored = loads(dumps(supervisor))
+        assert len(restored) == len(supervisor)
+        assert restored.transitions == supervisor.transitions
+        assert restored.marked == supervisor.marked

@@ -1,0 +1,249 @@
+"""Tests for Ramadge-Wonham supervisor synthesis."""
+
+import pytest
+
+from repro.automata.automaton import State, automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.synthesis import (
+    SynthesisError,
+    supremal_controllable,
+    synthesize_supervisor,
+)
+from repro.automata.verification import verify_supervisor
+
+
+def machine_breakdown_example():
+    """The classic small machine: start (c), finish (u), break (u),
+    repair (c).  Specification: never enter the broken state."""
+    sigma = Alphabet.of(
+        [
+            controllable("start"),
+            uncontrollable("finish"),
+            uncontrollable("break"),
+            controllable("repair"),
+        ]
+    )
+    plant = automaton_from_table(
+        "machine",
+        sigma,
+        transitions=[
+            ("Idle", "start", "Working"),
+            ("Working", "finish", "Idle"),
+            ("Working", "break", "Down"),
+            ("Down", "repair", "Idle"),
+        ],
+        initial="Idle",
+        marked=["Idle"],
+    )
+    spec_sigma = Alphabet.of([sigma["break"]])
+    spec = automaton_from_table(
+        "never-break",
+        spec_sigma,
+        transitions=[("Ok", "break", "Broken")],
+        initial="Ok",
+        marked=["Ok"],
+        forbidden=["Broken"],
+    )
+    return plant, spec
+
+
+class TestBasicSynthesis:
+    def test_unavoidable_uncontrollable_empties_supervisor(self):
+        """'break' is uncontrollable from Working, and Working is only
+        reachable via 'start' — so the supremal supervisor must disable
+        'start' entirely, leaving only the Idle state."""
+        plant, spec = machine_breakdown_example()
+        result = synthesize_supervisor(plant, spec)
+        assert not result.is_empty
+        assert len(result.supervisor) == 1
+        assert result.supervisor.initial.name == "Idle.Ok"
+        assert result.supervisor.enabled_events(result.supervisor.initial) == frozenset()
+
+    def test_controllable_hazard_is_simply_disabled(self):
+        """If 'break' were controllable, the supervisor keeps the work
+        loop and just disables 'break'."""
+        sigma = Alphabet.of(
+            [
+                controllable("start"),
+                uncontrollable("finish"),
+                controllable("break"),
+            ]
+        )
+        plant = automaton_from_table(
+            "machine",
+            sigma,
+            transitions=[
+                ("Idle", "start", "Working"),
+                ("Working", "finish", "Idle"),
+                ("Working", "break", "Down"),
+            ],
+            initial="Idle",
+            marked=["Idle"],
+        )
+        spec = automaton_from_table(
+            "never-break",
+            Alphabet.of([sigma["break"]]),
+            transitions=[("Ok", "break", "Broken")],
+            initial="Ok",
+            marked=["Ok"],
+            forbidden=["Broken"],
+        )
+        supervisor = supremal_controllable(plant, spec)
+        assert len(supervisor) == 2
+        working = State("Working.Ok")
+        assert {e.name for e in supervisor.enabled_events(working)} == {
+            "finish"
+        }
+
+    def test_synthesized_supervisor_verifies(self):
+        plant, spec = machine_breakdown_example()
+        supervisor = supremal_controllable(plant, spec)
+        report = verify_supervisor(plant, supervisor)
+        assert report.verified
+
+    def test_result_bookkeeping(self):
+        plant, spec = machine_breakdown_example()
+        result = synthesize_supervisor(plant, spec)
+        assert result.iterations >= 1
+        # Working.Ok removed for controllability (break escapes).
+        assert State("Working.Ok") in result.removed_uncontrollable
+        assert all(
+            s in result.state_map for s in result.supervisor.states
+        )
+
+    def test_missing_initials_rejected(self):
+        plant, spec = machine_breakdown_example()
+        from repro.automata.automaton import Automaton
+
+        empty = Automaton("empty", plant.alphabet)
+        with pytest.raises(SynthesisError):
+            synthesize_supervisor(empty, spec)
+        with pytest.raises(SynthesisError):
+            synthesize_supervisor(plant, empty)
+
+
+class TestBlockingRemoval:
+    def test_blocking_branch_pruned(self):
+        """A controllable branch into a livelock (no marked state) must
+        be pruned by trimming even though it violates no spec."""
+        sigma = Alphabet.of(
+            [controllable("good"), controllable("bad"), controllable("loop")]
+        )
+        plant = automaton_from_table(
+            "p",
+            sigma,
+            transitions=[
+                ("S", "good", "Done"),
+                ("S", "bad", "Stuck"),
+                ("Stuck", "loop", "Stuck"),
+            ],
+            initial="S",
+            marked=["Done"],
+        )
+        spec = automaton_from_table(
+            "anything",
+            sigma,
+            transitions=[
+                ("T", "good", "T"),
+                ("T", "bad", "T"),
+                ("T", "loop", "T"),
+            ],
+            initial="T",
+            marked=["T"],
+        )
+        result = synthesize_supervisor(plant, spec)
+        names = {s.name for s in result.supervisor.states}
+        assert names == {"S.T", "Done.T"}
+        assert any("Stuck" in s.name for s in result.removed_blocking)
+
+    def test_uncontrollable_cascade(self):
+        """Pruning an unsafe state must cascade backwards through
+        uncontrollable edges."""
+        sigma = Alphabet.of(
+            [controllable("c"), uncontrollable("u1"), uncontrollable("u2")]
+        )
+        plant = automaton_from_table(
+            "p",
+            sigma,
+            transitions=[
+                ("A", "c", "B"),
+                ("B", "u1", "C"),
+                ("C", "u2", "Bad"),
+            ],
+            initial="A",
+            marked=["A", "B", "C"],
+        )
+        spec = automaton_from_table(
+            "no-u2",
+            Alphabet.of([sigma["u2"]]),
+            transitions=[("Ok", "u2", "Broken")],
+            initial="Ok",
+            marked=["Ok"],
+            forbidden=["Broken"],
+        )
+        result = synthesize_supervisor(plant, spec)
+        # C enables u2 -> forbidden, so C is pruned; B enables u1 -> C,
+        # so B is pruned; the supervisor must disable c at A.
+        assert {s.name for s in result.supervisor.states} == {"A.Ok"}
+
+    def test_spec_with_larger_alphabet_constrains_silently(self):
+        """Events private to the spec never fire; plant runs free."""
+        sigma_p = Alphabet.of([controllable("x")])
+        plant = automaton_from_table(
+            "p",
+            sigma_p,
+            transitions=[("P0", "x", "P0")],
+            initial="P0",
+            marked=["P0"],
+        )
+        sigma_s = Alphabet.of([controllable("x"), controllable("ghost")])
+        spec = automaton_from_table(
+            "s",
+            sigma_s,
+            transitions=[("S0", "x", "S0"), ("S0", "ghost", "S1")],
+            initial="S0",
+            marked=["S0"],
+        )
+        supervisor = supremal_controllable(plant, spec)
+        assert len(supervisor) == 1
+        assert supervisor.accepts(["x", "x"])
+
+
+class TestSupremality:
+    def test_supervisor_is_least_restrictive_on_safe_paths(self):
+        """Safe controllable alternatives survive synthesis."""
+        sigma = Alphabet.of(
+            [
+                controllable("safe"),
+                controllable("risky"),
+                uncontrollable("boom"),
+                uncontrollable("ok"),
+            ]
+        )
+        plant = automaton_from_table(
+            "p",
+            sigma,
+            transitions=[
+                ("S", "safe", "A"),
+                ("S", "risky", "B"),
+                ("A", "ok", "S"),
+                ("B", "boom", "Dead"),
+                ("B", "ok", "S"),
+            ],
+            initial="S",
+            marked=["S"],
+        )
+        spec = automaton_from_table(
+            "no-boom",
+            Alphabet.of([sigma["boom"]]),
+            transitions=[("Ok", "boom", "Bad")],
+            initial="Ok",
+            marked=["Ok"],
+            forbidden=["Bad"],
+        )
+        supervisor = supremal_controllable(plant, spec)
+        start = supervisor.initial
+        enabled = {e.name for e in supervisor.enabled_events(start)}
+        # risky leads to B where uncontrollable boom escapes -> disabled;
+        # safe must remain enabled (supremality).
+        assert enabled == {"safe"}

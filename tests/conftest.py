@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Identification experiments and supervisor synthesis take ~1 s each, so
+they are session-scoped and shared across the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesis_flow import build_case_study_supervisor
+from repro.managers.identification import (
+    identify_big_cluster,
+    identify_full_system,
+    identify_little_cluster,
+    identify_percore_system,
+)
+
+
+@pytest.fixture(scope="session")
+def big_system():
+    return identify_big_cluster()
+
+
+@pytest.fixture(scope="session")
+def little_system():
+    return identify_little_cluster()
+
+
+@pytest.fixture(scope="session")
+def full_system():
+    return identify_full_system()
+
+
+@pytest.fixture(scope="session")
+def percore_system():
+    return identify_percore_system()
+
+
+@pytest.fixture(scope="session")
+def verified_supervisor():
+    return build_case_study_supervisor()

@@ -1,0 +1,93 @@
+"""Tests for the controller complexity model (Figure 6)."""
+
+import pytest
+
+from repro.control.complexity import (
+    MIMODimensions,
+    adaptive_invocation_operations,
+    dimensions_for_cores,
+    matvec_operations,
+    operations_sweep,
+    spectr_operations,
+)
+
+
+class TestDimensions:
+    def test_paper_matrix_sizing(self):
+        # "For a 2x2 MIMO, these matrices are up to 4x4 for a
+        # second-order model."
+        dims = MIMODimensions(n_inputs=2, n_outputs=2, order=2)
+        assert dims.a_rows == 4
+        assert dims.a_cols == 4
+
+    def test_fourth_order_example(self):
+        # "the fourth-order model used by Pothukuchi et al., resulting
+        # in a maximum matrix size 6x6"; adding one actuator -> 7x6.
+        dims = MIMODimensions(n_inputs=2, n_outputs=2, order=4)
+        assert (dims.a_rows, dims.a_cols) == (6, 6)
+        bigger = MIMODimensions(n_inputs=3, n_outputs=2, order=4)
+        assert (bigger.a_rows, bigger.a_cols) == (7, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MIMODimensions(n_inputs=0, n_outputs=1, order=1)
+
+    def test_dimensions_for_cores_exynos_10x10(self):
+        # Figure 4's 10x10: 8 cores -> 8 per-core + 2 per-cluster channels.
+        dims = dimensions_for_cores(8, order=2)
+        assert dims.n_inputs == 10
+        assert dims.n_outputs == 10
+
+    def test_dimensions_for_cores_validation(self):
+        with pytest.raises(ValueError):
+            dimensions_for_cores(0, order=2)
+
+
+class TestOperationCounts:
+    def test_matvec_formula(self):
+        dims = MIMODimensions(n_inputs=2, n_outputs=2, order=2)
+        # A:4x4 + B:4x2 + C:2x4 + D:2x2 = 16+8+8+4
+        assert matvec_operations(dims) == 36
+
+    def test_adaptive_exceeds_matvec(self):
+        dims = dimensions_for_cores(8, order=2)
+        assert adaptive_invocation_operations(dims) > matvec_operations(dims)
+
+    def test_growth_with_cores(self):
+        counts = [
+            adaptive_invocation_operations(dimensions_for_cores(c, 4))
+            for c in (10, 20, 40, 70)
+        ]
+        assert counts == sorted(counts)
+        # super-linear growth: doubling cores much more than doubles ops
+        assert counts[1] > 4 * counts[0]
+
+    def test_order_insignificant_when_cores_large(self):
+        # "The order becomes insignificant once #cores >> order."
+        low = adaptive_invocation_operations(dimensions_for_cores(70, 2))
+        high = adaptive_invocation_operations(dimensions_for_cores(70, 8))
+        assert high / low < 1.2
+        low_small = adaptive_invocation_operations(dimensions_for_cores(4, 2))
+        high_small = adaptive_invocation_operations(dimensions_for_cores(4, 8))
+        assert high_small / low_small > 1.5
+
+    def test_sweep_structure(self):
+        sweep = operations_sweep([10, 20], [2, 4])
+        assert set(sweep) == {2, 4}
+        assert set(sweep[2]) == {10, 20}
+        assert sweep[4][20] > sweep[2][10]
+
+
+class TestSpectrScaling:
+    def test_linear_in_clusters(self):
+        ops_8 = spectr_operations(8, 2)
+        ops_16 = spectr_operations(16, 2)
+        ops_32 = spectr_operations(32, 2)
+        assert (ops_16 - ops_8) == (ops_32 - ops_16) / 2
+
+    def test_vastly_cheaper_than_monolithic(self):
+        monolithic = adaptive_invocation_operations(
+            dimensions_for_cores(64, 2)
+        )
+        modular = spectr_operations(64, 2)
+        assert monolithic / modular > 1000

@@ -1,0 +1,55 @@
+"""Tests for gain libraries and the schedule log."""
+
+import numpy as np
+import pytest
+
+from repro.control.gains import GainLibrary, GainLibraryError, GainScheduleLog
+from repro.control.lqg import design_lqg_servo
+from repro.control.statespace import StateSpaceModel
+
+
+def make_gains(name):
+    model = StateSpaceModel(
+        A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0]]
+    )
+    return design_lqg_servo(
+        model, output_weights=[1.0], effort_weights=[1.0], name=name
+    )
+
+
+class TestGainLibrary:
+    def test_register_and_get(self):
+        library = GainLibrary()
+        library.register(make_gains("qos"))
+        assert library.get("qos").name == "qos"
+        assert "qos" in library
+        assert len(library) == 1
+
+    def test_duplicate_rejected(self):
+        library = GainLibrary()
+        library.register(make_gains("qos"))
+        with pytest.raises(GainLibraryError):
+            library.register(make_gains("qos"))
+
+    def test_unknown_lookup_lists_available(self):
+        library = GainLibrary(name="lib")
+        library.register(make_gains("power"))
+        with pytest.raises(GainLibraryError, match="power"):
+            library.get("nope")
+
+    def test_names_sorted(self):
+        library = GainLibrary()
+        library.register(make_gains("z"))
+        library.register(make_gains("a"))
+        assert library.names() == ("a", "z")
+
+
+class TestGainScheduleLog:
+    def test_record_and_query(self):
+        log = GainScheduleLog()
+        log.record(0.1, "big", "qos")
+        log.record(5.2, "big", "power")
+        log.record(5.2, "little", "power")
+        assert log.switch_count == 3
+        assert log.switches_for("big") == [(0.1, "qos"), (5.2, "power")]
+        assert log.switches_for("nothing") == []

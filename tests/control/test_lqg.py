@@ -1,0 +1,325 @@
+"""Tests for the LQG servo controller and gain design."""
+
+import numpy as np
+import pytest
+
+from repro.control.lqg import (
+    ActuatorLimits,
+    LQGServoController,
+    design_lqg_servo,
+)
+from repro.control.statespace import ModelError, OperatingPoint, StateSpaceModel
+
+
+def plant_2x2():
+    """A well-behaved 2-input 2-output plant with cross-coupling."""
+    return StateSpaceModel(
+        A=[[0.6, 0.1], [0.05, 0.5]],
+        B=[[0.8, 0.3], [0.2, 0.7]],
+        C=[[1.0, 0.2], [0.1, 1.0]],
+        D=np.zeros((2, 2)),
+    )
+
+
+def wide_limits(n=2):
+    return ActuatorLimits(lower=[-100.0] * n, upper=[100.0] * n)
+
+
+def run_closed_loop(controller, model, refs, steps=300, disturbance=None):
+    controller.set_reference(refs)
+    x = np.zeros(model.n_states)
+    u = np.zeros(model.n_inputs)
+    history = []
+    for k in range(steps):
+        y = model.C @ x + model.D @ u
+        if disturbance is not None:
+            y = y + disturbance(k)
+        u = controller.step(y)
+        x = model.A @ x + model.B @ u
+        history.append(y)
+    return np.asarray(history)
+
+
+class TestDesign:
+    def test_gain_shapes(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        assert gains.K_state.shape == (2, 2)
+        assert gains.K_integral.shape == (2, 2)
+        assert gains.L.shape == (2, 2)
+
+    def test_weight_dimension_checks(self):
+        with pytest.raises(ModelError):
+            design_lqg_servo(
+                plant_2x2(), output_weights=[1], effort_weights=[1, 1]
+            )
+        with pytest.raises(ModelError):
+            design_lqg_servo(
+                plant_2x2(), output_weights=[1, 1], effort_weights=[1]
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ModelError):
+            design_lqg_servo(
+                plant_2x2(), output_weights=[-1, 1], effort_weights=[1, 1]
+            )
+        with pytest.raises(ModelError):
+            design_lqg_servo(
+                plant_2x2(), output_weights=[1, 1], effort_weights=[0, 1]
+            )
+
+    def test_priority_masks_integrator(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[30, 1], effort_weights=[1, 1]
+        )
+        assert gains.integral_mask.tolist() == [1.0, 0.0]
+        assert np.allclose(gains.K_integral[:, 1], 0.0)
+
+    def test_balanced_weights_keep_both_integrators(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        assert gains.integral_mask.tolist() == [1.0, 1.0]
+
+    def test_all_outputs_below_threshold_impossible(self):
+        # The favoured output always has relative weight 1 >= threshold,
+        # so at least one integrator is always active.
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[0.001, 0.001], effort_weights=[1, 1]
+        )
+        assert gains.integral_mask.sum() == 2.0
+
+    def test_operations_count_positive_and_scales(self):
+        small = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        assert small.operations_per_invocation() > 0
+
+
+class TestTracking:
+    def test_tracks_both_references(self):
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        history = run_closed_loop(controller, model, [1.0, -0.5])
+        assert history[-1] == pytest.approx([1.0, -0.5], abs=1e-3)
+
+    def test_priority_output_wins_under_conflict(self):
+        """With a rank-deficient effective target, the favoured output
+        is servoed and the other floats."""
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[30, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        history = run_closed_loop(controller, model, [1.0, 100.0])
+        assert history[-1][0] == pytest.approx(1.0, abs=1e-2)
+        assert abs(history[-1][1] - 100.0) > 50  # not chased
+
+    def test_rejects_constant_output_disturbance(self):
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        history = run_closed_loop(
+            controller,
+            model,
+            [0.5, 0.5],
+            disturbance=lambda k: np.array([0.3, 0.0]),
+        )
+        assert history[-1] == pytest.approx([0.5, 0.5], abs=1e-2)
+
+    def test_reference_dimension_checked(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        with pytest.raises(ModelError):
+            controller.set_reference([1.0])
+
+    def test_operating_point_dimensions_checked(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        with pytest.raises(ModelError):
+            LQGServoController(
+                gains, OperatingPoint(u=np.zeros(3), y=np.zeros(2)), wide_limits(3)
+            )
+
+
+class TestSaturation:
+    def test_outputs_respect_limits(self):
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        limits = ActuatorLimits(lower=[-0.1, -0.1], upper=[0.1, 0.1])
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), limits
+        )
+        controller.set_reference([10.0, 10.0])
+        for _ in range(50):
+            u = controller.step(np.zeros(2))
+            assert np.all(u <= 0.1 + 1e-12)
+            assert np.all(u >= -0.1 - 1e-12)
+
+    def test_antiwindup_recovers_quickly(self):
+        """After a long saturated stretch, integrators must not be wound
+        up: when the reference returns to a feasible value the output
+        re-converges within a reasonable horizon."""
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        limits = ActuatorLimits(lower=[-0.5, -0.5], upper=[0.5, 0.5])
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), limits
+        )
+        x = np.zeros(2)
+        u = np.zeros(2)
+        controller.set_reference([50.0, 50.0])  # unreachable
+        for _ in range(100):
+            y = model.C @ x
+            u = controller.step(y)
+            x = model.A @ x + model.B @ u
+        controller.set_reference([0.2, 0.2])  # feasible again
+        history = []
+        for _ in range(120):
+            y = model.C @ x
+            u = controller.step(y)
+            x = model.A @ x + model.B @ u
+            history.append(y.copy())
+        assert np.allclose(history[-1], [0.2, 0.2], atol=0.02)
+
+    def test_slew_limit_respected(self):
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        limits = ActuatorLimits(
+            lower=[-10, -10], upper=[10, 10], max_step=[0.2, 0.2]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), limits
+        )
+        controller.set_reference([5.0, 5.0])
+        previous = np.zeros(2)
+        for _ in range(30):
+            u = controller.step(np.zeros(2))
+            assert np.all(np.abs(u - previous) <= 0.2 + 1e-12)
+            previous = u
+
+    def test_limit_validation(self):
+        with pytest.raises(ModelError):
+            ActuatorLimits(lower=[1.0], upper=[0.0])
+        with pytest.raises(ModelError):
+            ActuatorLimits(lower=[0.0], upper=[1.0], max_step=[0.0])
+        with pytest.raises(ModelError):
+            ActuatorLimits(lower=[0.0], upper=[1.0], max_step=[0.1, 0.2])
+
+
+class TestGainSwitching:
+    def test_switch_dimension_check(self):
+        model = plant_2x2()
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        other_model = StateSpaceModel(
+            A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0]]
+        )
+        other = design_lqg_servo(
+            other_model, output_weights=[1], effort_weights=[1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        with pytest.raises(ModelError):
+            controller.switch_gains(other)
+
+    def test_bumpless_switch_reduces_command_jump(self):
+        """The bumpless re-initialization must produce a smaller
+        actuation discontinuity than a hard integrator-preserving
+        switch (one integration step of the new error always remains)."""
+        model = plant_2x2()
+        qos = design_lqg_servo(
+            model, output_weights=[30, 1], effort_weights=[1, 1], name="qos"
+        )
+        power = design_lqg_servo(
+            model, output_weights=[1, 30], effort_weights=[1, 1], name="power"
+        )
+
+        def jump(bumpless: bool) -> float:
+            controller = LQGServoController(
+                qos,
+                OperatingPoint(u=np.zeros(2), y=np.zeros(2)),
+                wide_limits(),
+            )
+            controller.set_reference([1.0, 0.0])
+            x = np.zeros(2)
+            u = np.zeros(2)
+            for _ in range(100):
+                y = model.C @ x
+                u = controller.step(y)
+                x = model.A @ x + model.B @ u
+            u_before = u.copy()
+            controller.switch_gains(power, bumpless=bumpless)
+            u_after = controller.step(model.C @ x)
+            return float(np.linalg.norm(u_after - u_before))
+
+        assert jump(True) <= jump(False)
+        assert jump(True) < 0.6
+
+    def test_switch_changes_tracked_output(self):
+        model = plant_2x2()
+        qos = design_lqg_servo(
+            model, output_weights=[30, 1], effort_weights=[1, 1], name="qos"
+        )
+        power = design_lqg_servo(
+            model, output_weights=[1, 30], effort_weights=[1, 1], name="power"
+        )
+        controller = LQGServoController(
+            qos, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        run_args = dict(steps=250)
+        history = run_closed_loop(controller, model, [1.0, -1.0], **run_args)
+        assert history[-1][0] == pytest.approx(1.0, abs=1e-2)
+        controller.switch_gains(power)
+        history = run_closed_loop(controller, model, [1.0, -1.0], **run_args)
+        assert history[-1][1] == pytest.approx(-1.0, abs=1e-2)
+
+    def test_state_snapshot_keys(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        snapshot = controller.state_snapshot()
+        assert set(snapshot) == {"xhat", "z", "du_prev"}
+
+    def test_reset_clears_state(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), wide_limits()
+        )
+        controller.set_reference([1.0, 1.0])
+        for _ in range(5):
+            controller.step([0.0, 0.0])
+        controller.reset()
+        snapshot = controller.state_snapshot()
+        assert np.allclose(snapshot["z"], 0.0)
+        assert controller.invocations == 0

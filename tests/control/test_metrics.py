@@ -1,0 +1,113 @@
+"""Tests for tracking-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.control.metrics import (
+    TrackingSummary,
+    overshoot_percent,
+    settling_time,
+    steady_state_error,
+    steady_state_error_percent,
+)
+
+
+class TestSteadyStateError:
+    def test_constant_trace(self):
+        trace = np.full(100, 55.0)
+        assert steady_state_error(trace, 60.0) == pytest.approx(5.0)
+
+    def test_uses_tail_only(self):
+        trace = np.concatenate([np.zeros(60), np.full(40, 58.0)])
+        assert steady_state_error(trace, 60.0, tail_fraction=0.4) == (
+            pytest.approx(2.0)
+        )
+
+    def test_percent_sign_convention(self):
+        # exceeding the reference -> negative (paper Figure 14 caption)
+        over = steady_state_error_percent(np.full(50, 5.5), 5.0)
+        under = steady_state_error_percent(np.full(50, 4.5), 5.0)
+        assert over == pytest.approx(-10.0)
+        assert under == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_error(np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            steady_state_error(np.ones(5), 1.0, tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            steady_state_error_percent(np.ones(5), 0.0)
+
+
+class TestSettlingTime:
+    def test_first_order_decay(self):
+        times = np.arange(200) * 0.05
+        signal = 1.0 - np.exp(-times / 0.5)  # settles toward 1
+        ts = settling_time(times, signal, band=0.05, final_value=1.0)
+        # |1 - signal| <= 0.05 when t >= 0.5*ln(20) ~ 1.5 s
+        assert ts == pytest.approx(1.5, abs=0.1)
+
+    def test_never_settles(self):
+        times = np.arange(100) * 0.05
+        signal = np.sin(times * 10)  # oscillates forever
+        assert settling_time(times, signal, final_value=0.0) == float("inf")
+
+    def test_already_settled(self):
+        times = np.arange(50) * 0.05
+        assert settling_time(times, np.ones(50)) == pytest.approx(0.0)
+
+    def test_default_final_value_from_tail(self):
+        times = np.arange(100) * 0.1
+        signal = np.concatenate([np.zeros(50), np.full(50, 2.0)])
+        ts = settling_time(times, signal, band=0.05)
+        assert ts == pytest.approx(5.0, abs=0.2)
+
+    def test_tighter_band_takes_longer(self):
+        times = np.arange(300) * 0.05
+        signal = 1.0 - np.exp(-times / 0.8)
+        loose = settling_time(times, signal, band=0.10, final_value=1.0)
+        tight = settling_time(times, signal, band=0.02, final_value=1.0)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            settling_time(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            settling_time(np.arange(1.0), np.arange(1.0))
+
+
+class TestOvershoot:
+    def test_no_overshoot(self):
+        trace = np.linspace(0, 1, 50)
+        assert overshoot_percent(trace, 1.0) == 0.0
+
+    def test_ten_percent_overshoot(self):
+        trace = np.concatenate([np.linspace(0, 1.1, 50), np.full(50, 1.0)])
+        assert overshoot_percent(trace, 1.0) == pytest.approx(10.0, abs=0.5)
+
+    def test_downward_step(self):
+        trace = np.concatenate([np.linspace(2, 0.9, 50), np.full(50, 1.0)])
+        assert overshoot_percent(trace, 1.0, initial=2.0) == pytest.approx(
+            10.0, abs=0.5
+        )
+
+    def test_zero_step_returns_zero(self):
+        assert overshoot_percent(np.ones(10), 1.0, initial=1.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overshoot_percent(np.array([]), 1.0)
+
+
+class TestTrackingSummary:
+    def test_from_trace_bundles_everything(self):
+        times = np.arange(200) * 0.05
+        signal = 60.0 * (1.0 - np.exp(-times / 0.4))
+        summary = TrackingSummary.from_trace(times, signal, 60.0)
+        assert summary.reference == 60.0
+        assert summary.steady_state_error == pytest.approx(0.0, abs=0.5)
+        assert summary.steady_state_error_percent == pytest.approx(
+            0.0, abs=1.0
+        )
+        assert 0 < summary.settling_time_s < 3.0
+        assert summary.mean < 60.0

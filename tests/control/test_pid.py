@@ -1,0 +1,122 @@
+"""Tests for the discrete PID SISO controller."""
+
+import pytest
+
+from repro.control.pid import PIDController, PIDGains
+
+
+def run_first_order(controller, *, gain=1.0, pole=0.8, steps=200, y0=0.0):
+    """Close the loop around y' = pole*y + gain*u."""
+    y = y0
+    history = []
+    for _ in range(steps):
+        u = controller.step(y)
+        y = pole * y + gain * u
+        history.append(y)
+    return history
+
+
+class TestGainsValidation:
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ValueError):
+            PIDGains(kp=-1.0, ki=0.0, kd=0.0)
+
+    def test_zero_gains_allowed(self):
+        gains = PIDGains(kp=0.0, ki=0.0, kd=0.0)
+        assert gains.kp == 0.0
+
+    def test_controller_validation(self):
+        gains = PIDGains(kp=1.0, ki=0.0, kd=0.0)
+        with pytest.raises(ValueError):
+            PIDController(gains, dt=0.0)
+        with pytest.raises(ValueError):
+            PIDController(gains, output_limits=(1.0, -1.0))
+
+
+class TestTracking:
+    def test_pi_reaches_reference(self):
+        controller = PIDController(
+            PIDGains(kp=0.4, ki=1.2, kd=0.0), dt=0.05
+        )
+        controller.set_reference(2.0)
+        history = run_first_order(controller)
+        assert history[-1] == pytest.approx(2.0, abs=1e-2)
+
+    def test_p_only_has_steady_state_error(self):
+        controller = PIDController(PIDGains(kp=0.5, ki=0.0, kd=0.0), dt=0.05)
+        controller.set_reference(2.0)
+        history = run_first_order(controller)
+        assert 0.1 < abs(history[-1] - 2.0)
+
+    def test_tracks_negative_reference(self):
+        controller = PIDController(
+            PIDGains(kp=0.4, ki=1.2, kd=0.0), dt=0.05
+        )
+        controller.set_reference(-1.0)
+        history = run_first_order(controller)
+        assert history[-1] == pytest.approx(-1.0, abs=1e-2)
+
+    def test_gain_scheduling_swap(self):
+        controller = PIDController(PIDGains(kp=0.1, ki=0.1, kd=0.0), dt=0.05)
+        controller.set_reference(1.0)
+        run_first_order(controller, steps=20)
+        controller.set_gains(PIDGains(kp=0.4, ki=1.5, kd=0.0, name="hot"))
+        history = run_first_order(controller, steps=200)
+        assert controller.gains.name == "hot"
+        assert history[-1] == pytest.approx(1.0, abs=1e-2)
+
+
+class TestSaturationAndWindup:
+    def test_output_clamped(self):
+        controller = PIDController(
+            PIDGains(kp=10.0, ki=0.0, kd=0.0),
+            output_limits=(-0.5, 0.5),
+        )
+        controller.set_reference(100.0)
+        assert controller.step(0.0) == 0.5
+        controller.set_reference(-100.0)
+        assert controller.step(0.0) == -0.5
+
+    def test_antiwindup_limits_overshoot(self):
+        def overshoot(with_limits):
+            limits = (-0.4, 0.4) if with_limits else (-1e9, 1e9)
+            controller = PIDController(
+                PIDGains(kp=0.2, ki=2.0, kd=0.0),
+                dt=0.05,
+                output_limits=limits,
+            )
+            controller.set_reference(3.0)  # needs u=0.6 > limit
+            history = run_first_order(controller, steps=100)
+            # Switch to a reachable reference; measure overshoot.
+            controller.set_reference(0.5)
+            history = run_first_order(controller, steps=150, y0=history[-1])
+            return max(history) if with_limits else None, history[-1]
+
+        peak, final = overshoot(True)
+        assert final == pytest.approx(0.5, abs=0.15)
+
+    def test_invocation_counter(self):
+        controller = PIDController(PIDGains(kp=1.0, ki=0.0, kd=0.0))
+        for _ in range(7):
+            controller.step(0.0)
+        assert controller.invocations == 7
+        controller.reset()
+        assert controller.invocations == 0
+
+
+class TestDerivative:
+    def test_derivative_opposes_fast_changes(self):
+        controller = PIDController(
+            PIDGains(kp=0.0, ki=0.0, kd=0.1), dt=0.1
+        )
+        controller.set_reference(0.0)
+        controller.step(0.0)  # establish previous error
+        # measurement jumps up -> error drops -> derivative negative
+        assert controller.step(1.0) < 0.0
+
+    def test_first_step_has_no_derivative_kick(self):
+        controller = PIDController(
+            PIDGains(kp=0.0, ki=0.0, kd=100.0), dt=0.01
+        )
+        controller.set_reference(5.0)
+        assert controller.step(0.0) == 0.0

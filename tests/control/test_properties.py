@@ -1,0 +1,176 @@
+"""Property-based tests for the control substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.control.lqg import ActuatorLimits, design_lqg_servo
+from repro.control.metrics import (
+    overshoot_percent,
+    steady_state_error,
+    steady_state_error_percent,
+)
+from repro.control.residuals import autocorrelation, confidence_bound
+from repro.control.riccati import is_stabilizing, lqr_gain, solve_dare
+from repro.control.statespace import OperatingPoint, StateSpaceModel
+from repro.control.sysid import staircase_signal
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def stable_systems(draw, n_max=3, m_max=2):
+    n = draw(st.integers(1, n_max))
+    m = draw(st.integers(1, m_max))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n))
+    radius = np.abs(np.linalg.eigvals(A)).max()
+    A *= draw(st.floats(0.1, 0.95)) / max(radius, 1e-9)
+    B = rng.normal(size=(n, m))
+    return A, B
+
+
+class TestRiccatiProperties:
+    @given(stable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_dare_solution_is_psd_and_fixed_point(self, system):
+        A, B = system
+        n, m = A.shape[0], B.shape[1]
+        Q, R = np.eye(n), np.eye(m)
+        P = solve_dare(A, B, Q, R)
+        assert np.allclose(P, P.T, atol=1e-8)
+        assert np.all(np.linalg.eigvalsh(P) >= -1e-8)
+        gain_term = np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+        residual = A.T @ P @ A - (A.T @ P @ B) @ gain_term + Q - P
+        assert np.max(np.abs(residual)) < 1e-6
+
+    @given(stable_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_lqr_always_stabilizes(self, system):
+        A, B = system
+        K = lqr_gain(A, B, np.eye(A.shape[0]), np.eye(B.shape[1]))
+        assert is_stabilizing(A, B, K)
+
+
+class TestOperatingPointProperties:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=4),
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=4),
+        st.lists(finite_floats, min_size=1, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_roundtrip(self, centers, scales, values):
+        size = min(len(centers), len(scales), len(values))
+        op = OperatingPoint(
+            u=centers[:size],
+            y=centers[:size],
+            u_scale=scales[:size],
+            y_scale=scales[:size],
+        )
+        u = np.asarray(values[:size])
+        assert np.allclose(op.denormalize_u(op.normalize_u(u)), u, atol=1e-6)
+        assert np.allclose(op.denormalize_y(op.normalize_y(u)), u, atol=1e-6)
+
+
+class TestMetricsProperties:
+    @given(
+        st.lists(finite_floats, min_size=5, max_size=60),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_sign_convention(self, values, reference):
+        trace = np.asarray(values)
+        error = steady_state_error(trace, reference)
+        tail = trace[int(np.floor(trace.size * 0.6)):]
+        assert error == pytest.approx(reference - tail.mean(), abs=1e-8)
+        percent = steady_state_error_percent(trace, reference)
+        assert np.sign(percent) == np.sign(error) or error == 0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_overshoot_non_negative(self, values):
+        trace = np.asarray(values)
+        assert overshoot_percent(trace, 1.0) >= 0.0
+
+
+class TestResidualProperties:
+    @given(st.integers(30, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_confidence_bound_decreases_with_samples(self, n):
+        assert confidence_bound(n + 10) < confidence_bound(n)
+
+    @given(st.integers(0, 5000), st.integers(2, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_autocorrelation_bounded_and_symmetric(self, seed, max_lag):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=max_lag * 10)
+        corr = autocorrelation(x, max_lag)
+        assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+        assert np.allclose(corr, corr[::-1], atol=1e-9)
+        assert corr[max_lag] == pytest.approx(1.0)
+
+
+class TestStaircaseProperties:
+    @given(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=1, max_size=6
+        ),
+        st.integers(1, 5),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_staircase_only_emits_given_levels(self, levels, hold, repeats):
+        signal = staircase_signal(levels, hold, repeats=repeats)
+        assert set(np.round(signal, 9)) <= set(
+            np.round(np.asarray(levels, dtype=float), 9)
+        )
+
+    @given(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=1, max_size=6
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_each_level_held_exactly(self, levels, hold):
+        signal = staircase_signal(levels, hold, mirror=False)
+        assert signal.size == len(levels) * hold
+        for index, level in enumerate(levels):
+            chunk = signal[index * hold : (index + 1) * hold]
+            assert np.all(chunk == float(level))
+
+
+class TestServoSaturationProperty:
+    @given(st.integers(0, 1000), st.floats(0.05, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_commands_always_within_limits(self, seed, bound):
+        rng = np.random.default_rng(seed)
+        model = StateSpaceModel(
+            A=[[0.6, 0.1], [0.0, 0.5]],
+            B=[[1.0, 0.2], [0.1, 0.9]],
+            C=np.eye(2),
+            D=np.zeros((2, 2)),
+        )
+        gains = design_lqg_servo(
+            model, output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        limits = ActuatorLimits(
+            lower=[-bound, -bound], upper=[bound, bound], max_step=[0.1, 0.1]
+        )
+        from repro.control.lqg import LQGServoController
+
+        controller = LQGServoController(
+            gains, OperatingPoint(u=np.zeros(2), y=np.zeros(2)), limits
+        )
+        controller.set_reference(rng.normal(size=2) * 10)
+        previous = np.zeros(2)
+        for _ in range(40):
+            u = controller.step(rng.normal(size=2))
+            assert np.all(u <= bound + 1e-9)
+            assert np.all(u >= -bound - 1e-9)
+            assert np.all(np.abs(u - previous) <= 0.1 + 1e-9)
+            previous = u

@@ -1,0 +1,123 @@
+"""Tests for residual autocorrelation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.control.residuals import (
+    analyze_residuals,
+    autocorrelation,
+    confidence_bound,
+    whiteness_score,
+)
+
+
+class TestConfidenceBound:
+    def test_99_percent_three_sigma(self):
+        # paper: "A confidence level of 99% results in a confidence
+        # interval that spans three standard deviations."
+        bound = confidence_bound(100, level=0.99)
+        assert bound == pytest.approx(2.5758 / 10.0, rel=1e-4)
+
+    def test_shrinks_with_samples(self):
+        assert confidence_bound(400) < confidence_bound(100)
+
+    def test_levels(self):
+        assert confidence_bound(100, 0.90) < confidence_bound(100, 0.95)
+        with pytest.raises(ValueError):
+            confidence_bound(100, 0.5)
+        with pytest.raises(ValueError):
+            confidence_bound(1)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        corr = autocorrelation(x, max_lag=10)
+        assert corr[10] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        corr = autocorrelation(rng.normal(size=200), max_lag=15)
+        assert np.allclose(corr, corr[::-1])
+
+    def test_length(self):
+        corr = autocorrelation(np.arange(50.0), max_lag=7)
+        assert corr.size == 15
+
+    def test_constant_signal_is_zero(self):
+        corr = autocorrelation(np.ones(50), max_lag=5)
+        assert np.allclose(corr, 0.0)
+
+    def test_alternating_signal_strongly_negative_at_lag1(self):
+        x = np.array([1.0, -1.0] * 50)
+        corr = autocorrelation(x, max_lag=3)
+        assert corr[4] == pytest.approx(-1.0, abs=0.05)  # lag +1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(1), max_lag=1)
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(5), max_lag=5)
+
+
+class TestAnalyzeResiduals:
+    def test_white_noise_mostly_within_interval(self):
+        rng = np.random.default_rng(2)
+        residuals = rng.normal(size=(500, 2))
+        analyses = analyze_residuals(residuals, max_lag=20)
+        assert len(analyses) == 2
+        for analysis in analyses:
+            assert analysis.violation_fraction <= 0.1
+            assert analysis.max_excursion < 2.0
+
+    def test_sine_contaminated_residuals_violate(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(400)
+        residuals = (
+            np.sin(2 * np.pi * t / 25)[:, np.newaxis]
+            + 0.1 * rng.normal(size=(400, 1))
+        )
+        analysis = analyze_residuals(residuals, max_lag=20)[0]
+        assert not analysis.within_confidence
+        assert analysis.max_excursion > 3.0
+        assert analysis.violations > 5
+
+    def test_row_column_orientation_handled(self):
+        rng = np.random.default_rng(4)
+        residuals = rng.normal(size=(2, 300))  # channels as rows
+        analyses = analyze_residuals(residuals, max_lag=10)
+        assert len(analyses) == 2
+
+    def test_violations_exclude_lag_zero(self):
+        rng = np.random.default_rng(5)
+        analysis = analyze_residuals(
+            rng.normal(size=(500, 1)), max_lag=10
+        )[0]
+        # lag 0 correlation is 1.0 >> bound but must not count
+        zero_index = np.where(analysis.lags == 0)[0][0]
+        assert analysis.correlation[zero_index] == pytest.approx(1.0)
+        assert analysis.violations < analysis.lags.size
+
+
+class TestWhitenessScore:
+    def test_white_scores_high(self):
+        rng = np.random.default_rng(6)
+        assert whiteness_score(rng.normal(size=(500, 2))) > 0.85
+
+    def test_correlated_scores_lower_than_white(self):
+        rng = np.random.default_rng(7)
+        white = rng.normal(size=(400, 1))
+        t = np.arange(400)
+        colored = np.sin(2 * np.pi * t / 30)[:, np.newaxis] + 0.1 * white
+        assert whiteness_score(colored) < whiteness_score(white)
+
+    def test_identification_quality_ordering(
+        self, big_system, full_system, percore_system
+    ):
+        """The paper's Figure 15 ordering: the 2x2 model's residuals are
+        whiter than the 4x2's, which are whiter than the 10x10's."""
+        small = whiteness_score(big_system.validation_residuals)
+        mid = whiteness_score(full_system.validation_residuals)
+        large = whiteness_score(percore_system.validation_residuals)
+        assert small >= mid >= large

@@ -1,0 +1,131 @@
+"""Tests for the DARE solver and LQR/Kalman gains."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_discrete_are
+
+from repro.control.riccati import (
+    RiccatiError,
+    closed_loop_matrix,
+    is_stabilizing,
+    kalman_gain,
+    lqr_gain,
+    solve_dare,
+)
+
+
+def random_stable_system(seed, n=3, m=2):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n))
+    A *= 0.9 / max(np.abs(np.linalg.eigvals(A)).max(), 1e-9)
+    B = rng.normal(size=(n, m))
+    Q = np.eye(n)
+    R = np.eye(m)
+    return A, B, Q, R
+
+
+class TestSolveDare:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_scipy(self, seed):
+        A, B, Q, R = random_stable_system(seed)
+        ours = solve_dare(A, B, Q, R)
+        scipy_p = solve_discrete_are(A, B, Q, R)
+        assert np.allclose(ours, scipy_p, rtol=1e-6, atol=1e-8)
+
+    def test_scalar_case_closed_form(self):
+        # x' = a x + b u; P solves the scalar DARE.
+        a, b, q, r = 0.8, 1.0, 1.0, 1.0
+        P = solve_dare([[a]], [[b]], [[q]], [[r]])[0, 0]
+        residual = a * P * a - P - (a * P * b) ** 2 / (r + b * P * b) + q
+        assert residual == pytest.approx(0.0, abs=1e-8)
+
+    def test_solution_is_symmetric_psd(self):
+        A, B, Q, R = random_stable_system(7)
+        P = solve_dare(A, B, Q, R)
+        assert np.allclose(P, P.T)
+        assert np.all(np.linalg.eigvalsh(P) >= -1e-9)
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            solve_dare(np.eye(2), np.ones((2, 1)), np.eye(3), np.eye(1))
+        with pytest.raises(ValueError):
+            solve_dare(np.eye(2), np.ones((2, 1)), np.eye(2), np.eye(2))
+
+    def test_unstabilizable_unstable_mode_diverges(self):
+        # Unstable mode with no control authority: no stabilizing
+        # solution, the iteration must not silently "converge".
+        A = np.array([[1.5, 0.0], [0.0, 0.5]])
+        B = np.array([[0.0], [1.0]])
+        with pytest.raises(RiccatiError):
+            solve_dare(A, B, np.eye(2), np.eye(1), max_iter=500)
+
+
+class TestLqrGain:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_gain_stabilizes(self, seed):
+        A, B, Q, R = random_stable_system(seed)
+        K = lqr_gain(A, B, Q, R)
+        assert is_stabilizing(A, B, K)
+
+    def test_stabilizes_unstable_but_controllable_plant(self):
+        A = np.array([[1.2, 0.3], [0.0, 1.1]])
+        B = np.array([[1.0], [1.0]])
+        K = lqr_gain(A, B, np.eye(2), np.eye(1))
+        assert is_stabilizing(A, B, K)
+
+    def test_matches_scipy_gain(self):
+        A, B, Q, R = random_stable_system(11)
+        K = lqr_gain(A, B, Q, R)
+        P = solve_discrete_are(A, B, Q, R)
+        K_ref = np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+        assert np.allclose(K, K_ref, rtol=1e-6, atol=1e-8)
+
+    def test_heavier_effort_shrinks_gain(self):
+        A, B, Q, R = random_stable_system(3)
+        K_cheap = lqr_gain(A, B, Q, R)
+        K_dear = lqr_gain(A, B, Q, 100.0 * R)
+        assert np.linalg.norm(K_dear) < np.linalg.norm(K_cheap)
+
+
+class TestKalmanGain:
+    def test_observer_converges(self):
+        A = np.array([[0.9, 0.1], [0.0, 0.8]])
+        C = np.array([[1.0, 0.0]])
+        L = kalman_gain(A, C, 0.01 * np.eye(2), 0.1 * np.eye(1))
+        # Observer error dynamics A - L C must be stable.
+        eigenvalues = np.linalg.eigvals(A - L @ C)
+        assert np.all(np.abs(eigenvalues) < 1.0)
+
+    def test_shape(self):
+        A = np.eye(3) * 0.5
+        C = np.ones((2, 3))
+        L = kalman_gain(A, C, np.eye(3), np.eye(2))
+        assert L.shape == (3, 2)
+
+    def test_estimation_tracks_true_state(self):
+        rng = np.random.default_rng(0)
+        A = np.array([[0.95, 0.1], [0.0, 0.9]])
+        B = np.array([[0.0], [1.0]])
+        C = np.array([[1.0, 0.0]])
+        L = kalman_gain(A, C, 1e-3 * np.eye(2), 1e-2 * np.eye(1))
+        x = np.array([1.0, -1.0])
+        xhat = np.zeros(2)
+        for _ in range(200):
+            u = rng.normal(size=1)
+            y = C @ x + rng.normal(scale=0.01, size=1)
+            xhat = A @ xhat + B @ u + L @ (y - C @ xhat)
+            x = A @ x + B @ u
+        assert np.linalg.norm(x - xhat) < 0.1
+
+
+class TestHelpers:
+    def test_closed_loop_matrix(self):
+        A = np.eye(2)
+        B = np.eye(2)
+        K = 0.5 * np.eye(2)
+        assert np.allclose(closed_loop_matrix(A, B, K), 0.5 * np.eye(2))
+
+    def test_is_stabilizing_false_for_zero_gain_unstable(self):
+        A = np.array([[1.5]])
+        B = np.array([[1.0]])
+        assert not is_stabilizing(A, B, np.zeros((1, 1)))

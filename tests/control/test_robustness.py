@@ -1,0 +1,112 @@
+"""Tests for robust stability analysis with uncertainty guardbands."""
+
+import numpy as np
+import pytest
+
+from repro.control.lqg import LQGServoController, ActuatorLimits, design_lqg_servo
+from repro.control.robustness import (
+    closed_loop_spectral_radius,
+    closed_loop_system_matrix,
+    perturbed_plant,
+    robust_stability_analysis,
+)
+from repro.control.statespace import OperatingPoint, StateSpaceModel
+
+
+def plant():
+    return StateSpaceModel(
+        A=[[0.6, 0.1], [0.05, 0.5]],
+        B=[[0.8, 0.3], [0.2, 0.7]],
+        C=[[1.0, 0.2], [0.1, 1.0]],
+        D=np.zeros((2, 2)),
+    )
+
+
+def gains():
+    return design_lqg_servo(
+        plant(), output_weights=[1, 1], effort_weights=[1, 1]
+    )
+
+
+class TestClosedLoopMatrix:
+    def test_nominal_closed_loop_is_stable(self):
+        radius = closed_loop_spectral_radius(plant(), gains())
+        assert radius < 1.0
+
+    def test_matrix_dimensions(self):
+        matrix = closed_loop_system_matrix(plant(), gains())
+        n_plant, n_ctrl, p = 2, 2, 2
+        assert matrix.shape == (n_plant + n_ctrl + p,) * 2
+
+    def test_matrix_predicts_simulation(self):
+        """The analytic closed-loop matrix must describe the same
+        dynamics the actual controller produces (zero references)."""
+        model = plant()
+        g = gains()
+        matrix = closed_loop_system_matrix(model, g)
+        radius = float(np.max(np.abs(np.linalg.eigvals(matrix))))
+        controller = LQGServoController(
+            g,
+            OperatingPoint(u=np.zeros(2), y=np.zeros(2)),
+            ActuatorLimits(lower=[-1e9, -1e9], upper=[1e9, 1e9]),
+        )
+        controller.set_reference([0.0, 0.0])
+        x = np.array([1.0, -1.0])  # initial perturbation
+        u = np.zeros(2)
+        norms = []
+        for _ in range(120):
+            y = model.C @ x
+            u = controller.step(y)
+            x = model.A @ x + model.B @ u
+            norms.append(np.linalg.norm(x))
+        assert radius < 1.0
+        assert norms[-1] < 1e-3  # simulation decays as predicted
+
+
+class TestPerturbedPlant:
+    def test_output_scaling(self):
+        perturbed = perturbed_plant(plant(), [1.5, 0.7])
+        assert np.allclose(perturbed.C[0], 1.5 * plant().C[0])
+        assert np.allclose(perturbed.C[1], 0.7 * plant().C[1])
+        assert np.allclose(perturbed.A, plant().A)
+
+
+class TestGuardbandSweep:
+    def test_paper_guardbands_pass(self):
+        """50% QoS / 30% power guardbands (footnote 7) must hold for a
+        reasonably-tuned design."""
+        report = robust_stability_analysis(plant(), gains(), [0.5, 0.3])
+        assert report.robustly_stable
+        assert report.margin > 0.0
+        assert report.vertices_checked == 4
+
+    def test_extreme_uncertainty_fails(self):
+        report = robust_stability_analysis(plant(), gains(), [25.0, 25.0])
+        assert not report.robustly_stable
+        assert report.margin < 0.0
+
+    def test_worst_vertex_reported(self):
+        report = robust_stability_analysis(plant(), gains(), [0.5, 0.3])
+        assert len(report.worst_vertex) == 2
+        assert all(s in (0.5, 1.5, 0.7, 1.3) for s in report.worst_vertex)
+
+    def test_guardband_dimension_checked(self):
+        with pytest.raises(ValueError):
+            robust_stability_analysis(plant(), gains(), [0.5])
+
+    def test_zero_guardband_matches_nominal(self):
+        report = robust_stability_analysis(plant(), gains(), [0.0, 0.0])
+        nominal = closed_loop_spectral_radius(plant(), gains())
+        assert report.worst_radius == pytest.approx(nominal)
+
+    def test_identified_cluster_design_is_robust(self, big_system):
+        """The deployed Big-cluster gain sets survive the paper's
+        guardbands against their own identified model."""
+        from repro.managers.mimo import build_gain_library
+
+        library = build_gain_library(big_system)
+        for name in library.names():
+            report = robust_stability_analysis(
+                big_system.model, library.get(name), [0.5, 0.3]
+            )
+            assert report.robustly_stable, name

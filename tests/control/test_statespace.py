@@ -1,0 +1,157 @@
+"""Tests for discrete-time state-space models."""
+
+import numpy as np
+import pytest
+
+from repro.control.statespace import ModelError, OperatingPoint, StateSpaceModel
+
+
+def first_order(a=0.5, b=1.0, c=1.0, d=0.0):
+    return StateSpaceModel(A=[[a]], B=[[b]], C=[[c]], D=[[d]])
+
+
+def two_by_two():
+    return StateSpaceModel(
+        A=[[0.5, 0.1], [0.0, 0.3]],
+        B=[[1.0, 0.0], [0.0, 1.0]],
+        C=[[1.0, 0.0], [0.0, 1.0]],
+        D=np.zeros((2, 2)),
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        model = two_by_two()
+        assert model.n_states == 2
+        assert model.n_inputs == 2
+        assert model.n_outputs == 2
+        assert model.order == 2
+
+    def test_non_square_a_rejected(self):
+        with pytest.raises(ModelError):
+            StateSpaceModel(
+                A=[[1.0, 0.0]], B=[[1.0]], C=[[1.0]], D=[[0.0]]
+            )
+
+    def test_b_row_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            StateSpaceModel(
+                A=[[0.5]], B=[[1.0], [2.0]], C=[[1.0]], D=[[0.0]]
+            )
+
+    def test_d_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            StateSpaceModel(
+                A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0, 1.0]]
+            )
+
+    def test_nonpositive_dt_rejected(self):
+        with pytest.raises(ModelError):
+            StateSpaceModel(
+                A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0]], dt=0.0
+            )
+
+
+class TestDynamics:
+    def test_poles(self):
+        model = two_by_two()
+        assert sorted(np.round(model.poles().real, 6)) == [0.3, 0.5]
+
+    def test_stability(self):
+        assert first_order(a=0.9).is_stable()
+        assert not first_order(a=1.1).is_stable()
+        assert not first_order(a=0.99).is_stable(margin=0.05)
+
+    def test_spectral_radius(self):
+        assert first_order(a=-0.7).spectral_radius() == pytest.approx(0.7)
+
+    def test_dc_gain_first_order(self):
+        # y_ss for unit step: c*b/(1-a) + d
+        model = first_order(a=0.5, b=1.0, c=2.0, d=0.5)
+        assert model.dc_gain()[0, 0] == pytest.approx(2.0 / 0.5 + 0.5)
+
+    def test_step_response_converges_to_dc_gain(self):
+        model = first_order(a=0.5)
+        response = model.step_response(horizon=60)
+        assert response[-1, 0] == pytest.approx(
+            model.dc_gain()[0, 0], rel=1e-6
+        )
+
+    def test_simulate_matches_manual_recursion(self):
+        model = two_by_two()
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(20, 2))
+        states, outputs = model.simulate(inputs)
+        x = np.zeros(2)
+        for t in range(20):
+            assert np.allclose(outputs[t], model.C @ x)
+            x = model.A @ x + model.B @ inputs[t]
+            assert np.allclose(states[t + 1], x)
+
+    def test_simulate_input_width_checked(self):
+        with pytest.raises(ModelError):
+            two_by_two().simulate(np.ones((5, 3)))
+
+    def test_simulate_with_initial_state(self):
+        model = first_order(a=0.5)
+        _, outputs = model.simulate(np.zeros((3, 1)), x0=[2.0])
+        assert outputs[0, 0] == pytest.approx(2.0)
+        assert outputs[1, 0] == pytest.approx(1.0)
+
+
+class TestStructural:
+    def test_controllability_of_reachable_system(self):
+        assert two_by_two().is_controllable()
+
+    def test_uncontrollable_mode_detected(self):
+        model = StateSpaceModel(
+            A=[[0.5, 0.0], [0.0, 0.3]],
+            B=[[1.0], [0.0]],  # second mode unreachable
+            C=[[1.0, 1.0]],
+            D=[[0.0]],
+        )
+        assert not model.is_controllable()
+
+    def test_observability(self):
+        assert two_by_two().is_observable()
+        model = StateSpaceModel(
+            A=[[0.5, 0.0], [0.0, 0.3]],
+            B=[[1.0], [1.0]],
+            C=[[1.0, 0.0]],  # second mode unobservable
+            D=[[0.0]],
+        )
+        assert not model.is_observable()
+
+    def test_matrix_shapes(self):
+        model = two_by_two()
+        assert model.controllability_matrix().shape == (2, 4)
+        assert model.observability_matrix().shape == (4, 2)
+
+    def test_scaled_multiplies_gain(self):
+        model = first_order()
+        scaled = model.scaled(1.3)
+        assert scaled.dc_gain()[0, 0] == pytest.approx(
+            1.3 * model.dc_gain()[0, 0]
+        )
+        assert np.allclose(scaled.A, model.A)  # dynamics untouched
+
+
+class TestOperatingPoint:
+    def test_normalize_denormalize_roundtrip(self):
+        op = OperatingPoint(
+            u=[1.4, 3.0], y=[50.0, 3.0], u_scale=[0.5, 1.0], y_scale=[10.0, 1.0]
+        )
+        u = np.array([1.9, 2.0])
+        assert np.allclose(op.denormalize_u(op.normalize_u(u)), u)
+        y = np.array([60.0, 4.5])
+        assert np.allclose(op.denormalize_y(op.normalize_y(y)), y)
+
+    def test_default_scales_are_ones(self):
+        op = OperatingPoint(u=[1.0], y=[2.0])
+        assert np.allclose(op.u_scale, [1.0])
+        assert op.normalize_y([3.0])[0] == pytest.approx(1.0)
+
+    def test_normalization_centers(self):
+        op = OperatingPoint(u=[2.0], y=[10.0], u_scale=[2.0], y_scale=[5.0])
+        assert op.normalize_u([4.0])[0] == pytest.approx(1.0)
+        assert op.normalize_y([10.0])[0] == pytest.approx(0.0)

@@ -1,0 +1,217 @@
+"""Tests for ARX identification and excitation signals."""
+
+import numpy as np
+import pytest
+
+from repro.control.statespace import ModelError
+from repro.control.sysid import (
+    ARXModel,
+    fit_percent,
+    identify_arx,
+    multi_input_staircase,
+    r_squared_per_output,
+    recommend_order,
+    staircase_signal,
+)
+
+
+def simulate_true_arx(coeffs, na, nb, u, noise=0.0, seed=0):
+    """Generate data from a known ARX system."""
+    rng = np.random.default_rng(seed)
+    n_outputs = coeffs.shape[0]
+    horizon = u.shape[0]
+    y = np.zeros((horizon, n_outputs))
+    lag = max(na, nb)
+    for t in range(lag, horizon):
+        phi = np.concatenate(
+            [y[t - i] for i in range(1, na + 1)]
+            + [u[t - j] for j in range(1, nb + 1)]
+        )
+        y[t] = coeffs @ phi + noise * rng.normal(size=n_outputs)
+    return y
+
+
+class TestStaircase:
+    def test_levels_and_hold(self):
+        signal = staircase_signal([1.0, 2.0, 3.0], hold=2, mirror=False)
+        assert signal.tolist() == [1, 1, 2, 2, 3, 3]
+
+    def test_mirror_sweeps_back(self):
+        signal = staircase_signal([1.0, 2.0, 3.0], hold=1)
+        assert signal.tolist() == [1, 2, 3, 2]
+
+    def test_repeats(self):
+        signal = staircase_signal([1.0, 2.0], hold=1, repeats=2, mirror=False)
+        assert signal.tolist() == [1, 2, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staircase_signal([], hold=1)
+        with pytest.raises(ValueError):
+            staircase_signal([1.0], hold=0)
+
+    def test_multi_input_single_mode_varies_one_at_a_time(self):
+        block = multi_input_staircase([[1, 2, 3], [10, 20]], hold=2, mode="single")
+        # First segment: input 0 varies, input 1 held at its median.
+        seg_len = len(staircase_signal([1, 2, 3], 2))
+        first = block[:seg_len]
+        assert np.all(first[:, 1] == 15.0)
+        assert first[:, 0].min() == 1.0 and first[:, 0].max() == 3.0
+
+    def test_multi_input_all_mode_shape(self):
+        block = multi_input_staircase([[1, 2], [10, 20]], hold=3, mode="all")
+        assert block.shape[1] == 2
+        assert block[:, 0].max() == 2.0
+        assert block[:, 1].max() == 20.0
+
+    def test_multi_input_mode_validated(self):
+        with pytest.raises(ValueError):
+            multi_input_staircase([[1, 2]], hold=1, mode="weird")
+
+
+class TestIdentification:
+    def test_recovers_known_siso_system(self):
+        # y(t) = 0.6 y(t-1) + 0.5 u(t-1)
+        coeffs = np.array([[0.6, 0.5]])
+        u = staircase_signal([-1, 0, 1, 2], hold=5, repeats=4)[:, np.newaxis]
+        y = simulate_true_arx(coeffs, 1, 1, u)
+        result = identify_arx(u, y, na=1, nb=1)
+        assert np.allclose(result.model.coeffs, coeffs, atol=1e-6)
+        assert result.r_squared > 0.999
+
+    def test_recovers_known_mimo_system(self):
+        # 2-output, 2-input, first order.
+        coeffs = np.array(
+            [[0.5, 0.1, 0.4, 0.0], [0.0, 0.6, 0.1, 0.3]]
+        )
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=(400, 2))
+        y = simulate_true_arx(coeffs, 1, 1, u)
+        result = identify_arx(u, y, na=1, nb=1)
+        assert np.allclose(result.model.coeffs, coeffs, atol=1e-6)
+
+    def test_noise_degrades_r_squared(self):
+        coeffs = np.array([[0.6, 0.5]])
+        u = staircase_signal([-1, 0, 1], hold=4, repeats=6)[:, np.newaxis]
+        clean = identify_arx(
+            u, simulate_true_arx(coeffs, 1, 1, u, noise=0.0), na=1, nb=1
+        )
+        noisy = identify_arx(
+            u, simulate_true_arx(coeffs, 1, 1, u, noise=0.3), na=1, nb=1
+        )
+        assert noisy.r_squared < clean.r_squared
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ModelError):
+            identify_arx(np.zeros((3, 1)), np.zeros((3, 1)), na=2, nb=2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            identify_arx(np.zeros((10, 1)), np.zeros((9, 1)))
+
+    def test_design_flow_gate(self):
+        coeffs = np.array([[0.6, 0.5]])
+        u = staircase_signal([-1, 0, 1], hold=4, repeats=6)[:, np.newaxis]
+        result = identify_arx(
+            u, simulate_true_arx(coeffs, 1, 1, u), na=1, nb=1
+        )
+        assert result.meets_design_flow_gate()
+        assert result.meets_design_flow_gate(threshold=0.99)
+
+
+class TestARXModel:
+    def test_coeff_shape_validated(self):
+        with pytest.raises(ModelError):
+            ARXModel(na=1, nb=1, n_inputs=1, n_outputs=1, coeffs=np.zeros((1, 3)))
+
+    def test_predict_one_step_copies_warmup(self):
+        model = ARXModel(
+            na=1, nb=1, n_inputs=1, n_outputs=1,
+            coeffs=np.array([[0.5, 1.0]]),
+        )
+        u = np.ones((5, 1))
+        y = np.arange(5.0)[:, np.newaxis]
+        yhat = model.predict_one_step(u, y)
+        assert yhat[0, 0] == y[0, 0]  # warmup row copied
+        assert yhat[1, 0] == pytest.approx(0.5 * y[0, 0] + 1.0)
+
+    def test_free_run_simulation_matches_truth(self):
+        coeffs = np.array([[0.7, 0.3]])
+        u = staircase_signal([0, 1, 2], hold=4)[:, np.newaxis]
+        y_true = simulate_true_arx(coeffs, 1, 1, u)
+        model = ARXModel(
+            na=1, nb=1, n_inputs=1, n_outputs=1, coeffs=coeffs
+        )
+        y_sim = model.simulate(u, y_init=y_true[:1])
+        assert np.allclose(y_sim, y_true, atol=1e-9)
+
+    def test_statespace_realization_equivalent(self):
+        """The companion-form realization reproduces the ARX recursion."""
+        coeffs = np.array(
+            [[0.5, 0.1, 0.4, 0.0], [0.0, 0.6, 0.1, 0.3]]
+        )
+        model = ARXModel(
+            na=1, nb=1, n_inputs=2, n_outputs=2, coeffs=coeffs
+        )
+        ss = model.to_statespace()
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(50, 2))
+        y_arx = model.simulate(u)
+        _, y_ss = ss.simulate(u)
+        # The state-space output lags the ARX labelling by construction
+        # (x(t) holds the t-1 history); compare from the second sample.
+        assert np.allclose(y_ss[1:], y_arx[1:], atol=1e-9)
+
+    def test_statespace_higher_order_equivalent(self):
+        """For na > 1 the warmup conventions differ (ARX.simulate zeroes
+        the first max(na,nb) outputs; the realization responds to u from
+        t=0), so the trajectories agree once the stable transient has
+        decayed."""
+        rng = np.random.default_rng(4)
+        u = rng.normal(size=(300, 1))
+        coeffs = np.array([[0.4, 0.2, 0.5, -0.2]])  # na=2, nb=2
+        y = simulate_true_arx(coeffs, 2, 2, u)
+        model = ARXModel(
+            na=2, nb=2, n_inputs=1, n_outputs=1, coeffs=coeffs
+        )
+        ss = model.to_statespace()
+        _, y_ss = ss.simulate(u)
+        assert np.allclose(y_ss[100:], y[100:], atol=1e-6)
+
+    def test_statespace_dims(self):
+        model = ARXModel(
+            na=2, nb=3, n_inputs=2, n_outputs=2,
+            coeffs=np.zeros((2, 2 * 2 + 3 * 2)),
+        )
+        ss = model.to_statespace()
+        assert ss.n_states == 2 * 2 + 3 * 2
+        assert ss.n_inputs == 2
+        assert ss.n_outputs == 2
+
+
+class TestScores:
+    def test_r_squared_perfect(self):
+        y = np.arange(10.0)[:, np.newaxis]
+        assert r_squared_per_output(y, y)[0] == pytest.approx(1.0)
+
+    def test_r_squared_mean_predictor_is_zero(self):
+        y = np.arange(10.0)[:, np.newaxis]
+        yhat = np.full_like(y, y.mean())
+        assert r_squared_per_output(y, yhat)[0] == pytest.approx(0.0)
+
+    def test_fit_percent_perfect(self):
+        y = np.arange(10.0)[:, np.newaxis]
+        assert fit_percent(y, y)[0] == pytest.approx(100.0)
+
+    def test_fit_percent_worse_than_mean_is_negative(self):
+        y = np.arange(10.0)[:, np.newaxis]
+        yhat = -y
+        assert fit_percent(y, yhat)[0] < 0.0
+
+    def test_recommend_order_picks_true_order(self):
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=(600, 1))
+        coeffs = np.array([[0.4, 0.3, 0.5, -0.2]])  # true order 2
+        y = simulate_true_arx(coeffs, 2, 2, u, noise=0.01)
+        order = recommend_order(u, y, candidates=(1, 2, 3))
+        assert order == 2

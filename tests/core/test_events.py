@@ -1,0 +1,148 @@
+"""Tests for the telemetry -> DES event abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import CRITICAL, QOS_MET, QOS_NOT_MET, SAFE_POWER
+from repro.core.events import EventAbstractor, ThreeBandThresholds
+from repro.platform.soc import ClusterTelemetry, Telemetry
+
+
+def telemetry(qos=60.0, big_power=3.0, little_power=0.2, time_s=0.0):
+    def cluster(power):
+        return ClusterTelemetry(
+            frequency_ghz=1.0,
+            voltage_v=1.0,
+            active_cores=4,
+            busy_core_equivalents=4.0,
+            power_w=power,
+            ips=1.0,
+            per_core_ips=np.full(4, 0.25),
+        )
+
+    return Telemetry(
+        time_s=time_s,
+        qos_rate=qos,
+        qos_raw=qos,
+        big=cluster(big_power),
+        little=cluster(little_power),
+    )
+
+
+def classify(abstractor, *, qos=60.0, chip=3.2, budget=5.0):
+    return abstractor.classify(
+        telemetry(qos=qos, big_power=chip - 0.2, little_power=0.2),
+        qos_reference=60.0 if qos is None else 60.0,
+        power_budget_w=budget,
+    )
+
+
+class TestThresholdValidation:
+    def test_band_ordering(self):
+        with pytest.raises(ValueError):
+            ThreeBandThresholds(uncapping_fraction=1.1, capping_fraction=1.0)
+
+    def test_qos_tolerance(self):
+        with pytest.raises(ValueError):
+            ThreeBandThresholds(qos_tolerance=0.0)
+
+    def test_grace_and_dwell(self):
+        with pytest.raises(ValueError):
+            ThreeBandThresholds(escalation_grace=0)
+        with pytest.raises(ValueError):
+            ThreeBandThresholds(uncapping_dwell=0)
+
+
+class TestQoSEvents:
+    def test_qos_met_within_tolerance(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor, qos=58.5)  # 97% of 60 = 58.2
+        assert QOS_MET in events
+
+    def test_qos_not_met(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor, qos=50.0)
+        assert QOS_NOT_MET in events
+
+    def test_exactly_one_qos_event(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor)
+        assert (QOS_MET in events) != (QOS_NOT_MET in events)
+
+
+class TestPowerEvents:
+    def test_critical_on_budget_violation(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor, chip=5.5, budget=5.0)
+        assert events[0] == CRITICAL
+        assert abstractor.capping_active
+
+    def test_no_critical_inside_band(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor, chip=4.9, budget=5.0)
+        assert CRITICAL not in events
+
+    def test_no_spurious_safe_power_without_episode(self):
+        abstractor = EventAbstractor()
+        events = classify(abstractor, chip=1.0, budget=5.0)
+        assert SAFE_POWER not in events
+
+    def test_safe_power_after_dwell(self):
+        th = ThreeBandThresholds(uncapping_dwell=3)
+        abstractor = EventAbstractor(th)
+        classify(abstractor, chip=5.5, budget=5.0)  # critical
+        seen = []
+        for _ in range(4):
+            seen.append(classify(abstractor, chip=3.0, budget=5.0))
+        flat = [e for events in seen for e in events]
+        assert SAFE_POWER in flat
+        # but not before the dwell expires
+        assert SAFE_POWER not in seen[0]
+        assert SAFE_POWER not in seen[1]
+        assert not abstractor.capping_active
+
+    def test_dwell_reset_by_band_reentry(self):
+        th = ThreeBandThresholds(uncapping_dwell=3)
+        abstractor = EventAbstractor(th)
+        classify(abstractor, chip=5.5, budget=5.0)
+        classify(abstractor, chip=3.0, budget=5.0)
+        classify(abstractor, chip=3.0, budget=5.0)
+        classify(abstractor, chip=4.8, budget=5.0)  # back inside band
+        events = classify(abstractor, chip=3.0, budget=5.0)
+        assert SAFE_POWER not in events  # counter restarted
+
+
+class TestEscalation:
+    def test_no_escalation_during_grace(self):
+        th = ThreeBandThresholds(escalation_grace=3)
+        abstractor = EventAbstractor(th)
+        assert CRITICAL in classify(abstractor, chip=5.5, budget=5.0)
+        # grace period: still above cap but no new critical
+        assert CRITICAL not in classify(abstractor, chip=5.4, budget=5.0)
+        assert CRITICAL not in classify(abstractor, chip=5.4, budget=5.0)
+
+    def test_escalation_after_grace_with_persistent_overcap(self):
+        th = ThreeBandThresholds(escalation_grace=3)
+        abstractor = EventAbstractor(th)
+        classify(abstractor, chip=5.5, budget=5.0)
+        seen = []
+        for _ in range(4):
+            seen.append(CRITICAL in classify(abstractor, chip=5.4, budget=5.0))
+        assert any(seen)
+
+    def test_single_overcap_blip_does_not_escalate(self):
+        th = ThreeBandThresholds(escalation_grace=2)
+        abstractor = EventAbstractor(th)
+        classify(abstractor, chip=5.5, budget=5.0)
+        classify(abstractor, chip=4.5, budget=5.0)
+        classify(abstractor, chip=4.5, budget=5.0)
+        # one isolated reading above cap after the grace: streak < 2
+        events = classify(abstractor, chip=5.3, budget=5.0)
+        assert CRITICAL not in events
+
+    def test_reset(self):
+        abstractor = EventAbstractor()
+        classify(abstractor, chip=5.5, budget=5.0)
+        abstractor.reset()
+        assert not abstractor.capping_active
+        assert abstractor.events_emitted == 0

@@ -1,0 +1,133 @@
+"""Tests for policy-bundle persistence (the firmware-upgrade path)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (
+    BUNDLE_MANIFEST,
+    BundleError,
+    PolicyBundle,
+    bundle_from_design,
+    load_bundle,
+    save_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def design_bundle(verified_supervisor, big_system, little_system):
+    return bundle_from_design(
+        verified_supervisor,
+        {"big": big_system, "little": little_system},
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip_structure(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path / "bundle")
+        loaded = load_bundle(tmp_path / "bundle")
+        assert len(loaded.supervisor) == len(design_bundle.supervisor)
+        assert set(loaded.gain_libraries) == {"big", "little"}
+        assert loaded.gain_libraries["big"].names() == ("power", "qos")
+
+    def test_round_trip_gain_matrices(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path / "bundle")
+        loaded = load_bundle(tmp_path / "bundle")
+        original = design_bundle.gain_libraries["big"].get("qos")
+        restored = loaded.gain_libraries["big"].get("qos")
+        assert np.allclose(original.K_state, restored.K_state)
+        assert np.allclose(original.K_integral, restored.K_integral)
+        assert np.allclose(original.L, restored.L)
+        assert np.allclose(original.model.A, restored.model.A)
+        assert restored.model.dt == original.model.dt
+        assert np.allclose(
+            original.integral_mask, restored.integral_mask
+        )
+
+    def test_round_trip_operating_points(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path / "bundle")
+        loaded = load_bundle(tmp_path / "bundle")
+        original = design_bundle.operating_points["big"]
+        restored = loaded.operating_points["big"]
+        assert np.allclose(original.u, restored.u)
+        assert np.allclose(original.y_scale, restored.y_scale)
+
+    def test_loaded_bundle_verifies(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path / "bundle")
+        loaded = load_bundle(tmp_path / "bundle")
+        assert loaded.verify()
+
+    def test_bundle_without_plant_verifies_nonblocking(
+        self, design_bundle, tmp_path
+    ):
+        stripped = PolicyBundle(
+            supervisor=design_bundle.supervisor,
+            plant=None,
+            gain_libraries=design_bundle.gain_libraries,
+            operating_points=design_bundle.operating_points,
+        )
+        save_bundle(stripped, tmp_path / "noplant")
+        loaded = load_bundle(tmp_path / "noplant")
+        assert loaded.plant is None
+        assert loaded.verify()
+
+
+class TestErrorHandling:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(BundleError, match=BUNDLE_MANIFEST):
+            load_bundle(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / BUNDLE_MANIFEST).write_text("{not json")
+        with pytest.raises(BundleError, match="corrupt"):
+            load_bundle(tmp_path)
+
+    def test_wrong_format_version(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path)
+        manifest = json.loads((tmp_path / BUNDLE_MANIFEST).read_text())
+        manifest["format"] = "other/9"
+        (tmp_path / BUNDLE_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="unsupported"):
+            load_bundle(tmp_path)
+
+    def test_missing_arrays_detected(self, design_bundle, tmp_path):
+        save_bundle(design_bundle, tmp_path)
+        manifest = json.loads((tmp_path / BUNDLE_MANIFEST).read_text())
+        manifest["subsystems"]["big"]["gain_sets"].append("ghost")
+        (tmp_path / BUNDLE_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="missing array"):
+            load_bundle(tmp_path)
+
+
+class TestDeployedBundleRuns:
+    def test_loaded_gains_drive_a_controller(
+        self, design_bundle, tmp_path
+    ):
+        """The firmware-upgrade story end to end: a freshly-loaded
+        bundle instantiates a working closed-loop controller."""
+        from repro.control.lqg import LQGServoController
+        from repro.managers.mimo import cluster_actuator_limits
+        from repro.platform.soc import ExynosSoC
+        from repro.workloads import x264
+
+        save_bundle(design_bundle, tmp_path / "deploy")
+        loaded = load_bundle(tmp_path / "deploy")
+        soc = ExynosSoC(qos_app=x264())
+        soc.big.set_frequency(1.0)
+        controller = LQGServoController(
+            loaded.gain_libraries["big"].get("qos"),
+            loaded.operating_points["big"],
+            cluster_actuator_limits(soc.big),
+        )
+        controller.set_reference([60.0, 4.0])
+        tail = []
+        for k in range(150):
+            telemetry = soc.step()
+            u = controller.step(
+                [telemetry.qos_rate, telemetry.big.power_w]
+            )
+            soc.big.set_frequency(float(u[0]))
+            if k > 110:
+                tail.append(telemetry.qos_rate)
+        assert np.mean(tail) == pytest.approx(60.0, rel=0.06)

@@ -1,0 +1,206 @@
+"""Tests for the case-study plant models and specifications."""
+
+import pytest
+
+from repro.automata.operations import accessible_states, is_nonblocking
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    CRITICAL,
+    DECREASE_CRITICAL_POWER,
+    QOS_MET,
+    QOS_NOT_MET,
+    SAFE_POWER,
+    SWITCH_GAINS,
+    SWITCH_QOS,
+    case_study_alphabet,
+)
+from repro.core.plant_model import (
+    case_study_plant,
+    gain_mode_plant,
+    power_capping_plant,
+    qos_tracking_plant,
+)
+from repro.core.specification import (
+    budget_lock_spec,
+    case_study_specification,
+    three_band_spec,
+)
+
+
+class TestAlphabet:
+    def test_observation_events_uncontrollable(self):
+        sigma = case_study_alphabet()
+        for name in (CRITICAL, SAFE_POWER, QOS_MET, QOS_NOT_MET):
+            assert not sigma[name].controllable
+
+    def test_decision_events_controllable(self):
+        sigma = case_study_alphabet()
+        for name in (SWITCH_GAINS, SWITCH_QOS, CONTROL_POWER):
+            assert sigma[name].controllable
+
+    def test_twelve_events(self):
+        assert len(case_study_alphabet()) == 12
+
+
+class TestPowerCappingPlant:
+    def test_mild_action_may_fail_hard_action_resolves(self):
+        plant = power_capping_plant()
+        # mild path: Capping1 -> Mild1, escalation to Capping2 possible
+        mild = plant.step("Capping1", CONTROL_POWER)
+        assert mild is not None
+        assert plant.step(mild, CRITICAL).name == "Capping2"
+        # hard path: resolves the current violation; a later critical
+        # (e.g. the budget moved again) starts a FRESH capping cycle
+        hard = plant.step("Capping1", DECREASE_CRITICAL_POWER)
+        assert hard is not None
+        assert plant.step(hard, SAFE_POWER) is not None
+        assert plant.step(hard, CRITICAL).name == "Capping1"
+
+    def test_mild_only_path_ends_after_three_criticals(self):
+        """Without a hard intervention, at most three escalating
+        criticals are possible before the plant forces the hard drop."""
+        plant = power_capping_plant()
+        state = plant.initial
+        count = 0
+        while True:
+            nxt = plant.step(state, CRITICAL)
+            if nxt is None:
+                break
+            count += 1
+            mild = plant.step(nxt, CONTROL_POWER)
+            if mild is None:
+                break
+            state = mild
+        assert count == 3
+
+    def test_safe_is_only_marked_state(self):
+        plant = power_capping_plant()
+        assert plant.marked == {next(iter(plant.marked))}
+        assert plant.is_marked("Safe")
+
+    def test_nonblocking(self):
+        assert is_nonblocking(power_capping_plant())
+
+
+class TestGainModePlant:
+    def test_switch_sequence(self):
+        plant = gain_mode_plant()
+        s = plant.run([CRITICAL, SWITCH_GAINS, SAFE_POWER, SWITCH_QOS])
+        assert s[-1].name == "QoSMode"
+
+    def test_new_critical_cancels_restore(self):
+        plant = gain_mode_plant()
+        s = plant.run([CRITICAL, SWITCH_GAINS, SAFE_POWER, CRITICAL])
+        assert s[-1].name == "PowerMode"
+
+    def test_qos_mode_does_not_enable_safe_power(self):
+        plant = gain_mode_plant()
+        assert plant.step("QoSMode", SAFE_POWER) is None
+
+
+class TestQoSTrackingPlant:
+    def test_budget_actions_gated_by_qos_state(self):
+        plant = qos_tracking_plant()
+        met_events = {e.name for e in plant.enabled_events("Met")}
+        not_met_events = {e.name for e in plant.enabled_events("NotMet")}
+        assert "decreaseBigPower" in met_events
+        assert "increaseBigPower" not in met_events
+        assert "increaseBigPower" in not_met_events
+        assert "decreaseBigPower" not in not_met_events
+
+    def test_observations_self_loop(self):
+        plant = qos_tracking_plant()
+        assert plant.step("Met", QOS_MET).name == "Met"
+        assert plant.step("NotMet", QOS_NOT_MET).name == "NotMet"
+
+
+class TestComposedPlant:
+    def test_reachable_size(self):
+        plant = case_study_plant()
+        assert len(plant) == 28
+        assert len(accessible_states(plant)) == 28
+
+    def test_critical_synchronizes_subplants(self):
+        plant = case_study_plant()
+        nxt = plant.step(plant.initial, CRITICAL)
+        assert nxt is not None
+        # both the capping process and the gain mode moved
+        assert "Capping1" in nxt.name
+        assert "NeedSwitch" in nxt.name
+
+    def test_nonblocking(self):
+        assert is_nonblocking(case_study_plant())
+
+
+class TestSpecifications:
+    def test_three_band_forbidden_after_three_criticals(self):
+        spec = three_band_spec()
+        state = spec.initial
+        for _ in range(3):
+            state = spec.step(state, CRITICAL)
+            assert state is not None
+        assert spec.is_forbidden(state)
+
+    def test_safe_power_resets_the_count(self):
+        spec = three_band_spec()
+        trajectory = spec.run(
+            [CRITICAL, CRITICAL, SAFE_POWER, CRITICAL, CRITICAL]
+        )
+        assert not spec.is_forbidden(trajectory[-1])
+
+    def test_configurable_interval_count(self):
+        spec = three_band_spec(max_capping_intervals=1)
+        state = spec.step(spec.initial, CRITICAL)
+        state = spec.step(state, CRITICAL)
+        assert spec.is_forbidden(state)
+        with pytest.raises(ValueError):
+            three_band_spec(max_capping_intervals=0)
+
+    def test_budget_lock_blocks_increases_while_capping(self):
+        spec = budget_lock_spec()
+        locked = spec.step(spec.initial, CRITICAL)
+        enabled = {e.name for e in spec.enabled_events(locked)}
+        assert "increaseBigPower" not in enabled
+        free_again = spec.step(locked, SAFE_POWER)
+        enabled = {e.name for e in spec.enabled_events(free_again)}
+        assert "increaseBigPower" in enabled
+
+    def test_composed_specification(self):
+        spec = case_study_specification()
+        assert len(spec) >= 4
+        assert any(spec.is_forbidden(s) for s in spec.states)
+
+
+class TestInterventionResetSemantics:
+    def test_hard_intervention_resets_the_count(self):
+        from repro.core.alphabet import DECREASE_CRITICAL_POWER
+
+        spec = three_band_spec()
+        trajectory = spec.run(
+            [CRITICAL, CRITICAL, DECREASE_CRITICAL_POWER, CRITICAL, CRITICAL]
+        )
+        assert not spec.is_forbidden(trajectory[-1])
+
+    def test_mild_action_does_not_reset(self):
+        """controlPower is not in the spec's alphabet: the count keeps
+        climbing through mild interventions (that is the point)."""
+        spec = three_band_spec()
+        assert CONTROL_POWER not in spec.alphabet
+
+    def test_closed_loop_budget_change_recoverable(self):
+        """With the cyclic plant, the composed closed loop can handle
+        an unbounded sequence of budget emergencies: critical -> hard
+        drop -> critical -> hard drop -> ... never blocks and never
+        reaches a forbidden state."""
+        from repro.core.alphabet import DECREASE_CRITICAL_POWER, SWITCH_GAINS
+        from repro.core.synthesis_flow import build_case_study_supervisor
+
+        supervisor = build_case_study_supervisor().supervisor
+        state = supervisor.initial
+        for _ in range(5):  # five successive emergencies
+            state = supervisor.step(state, CRITICAL)
+            assert state is not None, "critical must stay enabled"
+            for action in (SWITCH_GAINS, DECREASE_CRITICAL_POWER):
+                nxt = supervisor.step(state, action)
+                if nxt is not None:
+                    state = nxt

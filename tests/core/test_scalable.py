@@ -1,0 +1,94 @@
+"""Tests for scalable (N-cluster) supervisor synthesis."""
+
+import pytest
+
+from repro.core.scalable import (
+    build_scalable_supervisor,
+    decrease_power_event,
+    increase_power_event,
+    scalable_alphabet,
+    scalable_plant,
+    scalable_qos_tracking_plant,
+    scalable_specification,
+)
+
+
+class TestAlphabet:
+    def test_per_cluster_events(self):
+        sigma = scalable_alphabet(3)
+        for cluster in range(3):
+            assert increase_power_event(cluster) in sigma
+            assert decrease_power_event(cluster) in sigma
+        assert "increasePower3" not in sigma
+
+    def test_event_count_linear(self):
+        assert len(scalable_alphabet(2)) == 8 + 4
+        assert len(scalable_alphabet(8)) == 8 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scalable_alphabet(0)
+
+
+class TestScalablePlant:
+    def test_qos_tracking_stays_two_states(self):
+        for n in (1, 4, 16):
+            assert len(scalable_qos_tracking_plant(n)) == 2
+
+    def test_plant_state_count_constant(self):
+        sizes = {n: len(scalable_plant(n)) for n in (2, 4, 8)}
+        assert len(set(sizes.values())) == 1
+
+    def test_plant_transitions_grow_linearly(self):
+        t2 = len(scalable_plant(2).transitions)
+        t4 = len(scalable_plant(4).transitions)
+        t8 = len(scalable_plant(8).transitions)
+        # constant slope per added cluster: (t8-t4) spans twice the
+        # clusters of (t4-t2)
+        assert t8 - t4 == 2 * (t4 - t2)
+
+
+class TestScalableSupervisor:
+    @pytest.mark.parametrize("n_clusters", [1, 2, 4, 8])
+    def test_verified_for_any_cluster_count(self, n_clusters):
+        result = build_scalable_supervisor(n_clusters)
+        assert result.verified
+
+    def test_supervisor_states_constant(self):
+        sizes = {
+            n: len(build_scalable_supervisor(n).supervisor)
+            for n in (2, 4, 8)
+        }
+        assert len(set(sizes.values())) == 1
+
+    def test_supervisor_transitions_linear(self):
+        t = {
+            n: len(build_scalable_supervisor(n).supervisor.transitions)
+            for n in (2, 4, 8)
+        }
+        assert t[8] - t[4] == 2 * (t[4] - t[2])
+
+    def test_budget_lock_enforced_at_scale(self):
+        result = build_scalable_supervisor(4)
+        supervisor = result.supervisor
+        for state in supervisor.states:
+            if state.name.endswith(".Locked"):
+                enabled = {
+                    e.name for e in supervisor.enabled_events(state)
+                }
+                for cluster in range(4):
+                    assert increase_power_event(cluster) not in enabled
+
+    def test_two_cluster_case_matches_structure_of_case_study(
+        self, verified_supervisor
+    ):
+        scalable = build_scalable_supervisor(2)
+        # Same state count as the hand-built case study (event names for
+        # budget regulation differ, structure matches).
+        assert len(scalable.supervisor) == len(
+            verified_supervisor.supervisor
+        )
+
+    def test_specification_composes(self):
+        spec = scalable_specification(4)
+        assert any(spec.is_forbidden(s) for s in spec.states)

@@ -1,0 +1,172 @@
+"""Tests for the runtime supervisor engine and action policy."""
+
+import pytest
+
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.core.supervisor import (
+    PriorityPolicy,
+    SupervisorEngine,
+    SupervisorRuntimeError,
+)
+
+SIGMA = Alphabet.of(
+    [
+        uncontrollable("alarm"),
+        uncontrollable("clear"),
+        controllable("act"),
+        controllable("trim"),
+    ]
+)
+
+
+def small_supervisor():
+    """Normal: trim allowed.  After alarm: must act, then wait for clear."""
+    return automaton_from_table(
+        "sup",
+        SIGMA,
+        transitions=[
+            ("Normal", "trim", "Normal"),
+            ("Normal", "alarm", "Alarmed"),
+            ("Alarmed", "act", "Acting"),
+            ("Acting", "clear", "Normal"),
+        ],
+        initial="Normal",
+        marked=["Normal"],
+    )
+
+
+class TestEngineBasics:
+    def test_initial_state(self):
+        engine = SupervisorEngine(small_supervisor())
+        assert engine.state.name == "Normal"
+
+    def test_observe_advances(self):
+        engine = SupervisorEngine(small_supervisor())
+        assert engine.observe("alarm")
+        assert engine.state.name == "Alarmed"
+
+    def test_observe_disabled_is_ignored(self):
+        engine = SupervisorEngine(small_supervisor())
+        assert not engine.observe("clear")
+        assert engine.state.name == "Normal"
+
+    def test_enabled_actions_only_controllable(self):
+        engine = SupervisorEngine(small_supervisor())
+        assert engine.enabled_actions() == ("trim",)
+        assert set(engine.enabled_events()) == {"alarm", "trim"}
+
+    def test_execute_disabled_action_raises(self):
+        engine = SupervisorEngine(small_supervisor())
+        with pytest.raises(SupervisorRuntimeError):
+            engine.execute("act")
+
+    def test_execute_advances(self):
+        engine = SupervisorEngine(small_supervisor())
+        engine.observe("alarm")
+        engine.execute("act")
+        assert engine.state.name == "Acting"
+
+    def test_reset(self):
+        engine = SupervisorEngine(small_supervisor())
+        engine.observe("alarm")
+        engine.reset()
+        assert engine.state.name == "Normal"
+        assert engine.invocations == 0
+
+
+class TestPriorityPolicy:
+    def test_highest_priority_first(self):
+        policy = PriorityPolicy(priorities=("act", "trim"))
+        assert policy.select(("trim", "act")) == ("act", "trim")
+
+    def test_guard_blocks_action(self):
+        policy = PriorityPolicy(
+            priorities=("act", "trim"), guards={"act": lambda: False}
+        )
+        assert policy.select(("trim", "act")) == ("trim",)
+
+    def test_max_actions(self):
+        policy = PriorityPolicy(
+            priorities=("act", "trim"), max_actions_per_invocation=1
+        )
+        assert policy.select(("trim", "act")) == ("act",)
+
+    def test_unknown_enabled_actions_ignored(self):
+        policy = PriorityPolicy(priorities=("act",))
+        assert policy.select(("other",)) == ()
+
+
+class TestInvoke:
+    def test_full_invocation_cycle(self):
+        engine = SupervisorEngine(small_supervisor(), record_trace=True)
+        policy = PriorityPolicy(priorities=("act", "trim"))
+        fired = []
+        effects = {"act": lambda: fired.append("act")}
+        executed = engine.invoke(
+            ["alarm"], policy, time_s=1.0, effects=effects
+        )
+        assert executed == ("act",)
+        assert fired == ["act"]
+        assert engine.state.name == "Acting"
+        trace = engine.trace[-1]
+        assert trace.observed == ("alarm",)
+        assert trace.executed == ("act",)
+        assert trace.time_s == 1.0
+
+    def test_ignored_observations_recorded(self):
+        engine = SupervisorEngine(small_supervisor(), record_trace=True)
+        policy = PriorityPolicy(priorities=())
+        engine.invoke(["clear", "alarm"], policy)
+        trace = engine.trace[-1]
+        assert trace.ignored == ("clear",)
+        assert trace.observed == ("alarm",)
+
+    def test_actions_limited_per_invocation(self):
+        sigma = Alphabet.of([controllable("a")])
+        looping = automaton_from_table(
+            "loop",
+            sigma,
+            transitions=[("S", "a", "S")],
+            initial="S",
+            marked=["S"],
+        )
+        engine = SupervisorEngine(looping)
+        policy = PriorityPolicy(
+            priorities=("a",), max_actions_per_invocation=3
+        )
+        executed = engine.invoke([], policy)
+        assert executed == ("a", "a", "a")
+
+    def test_invocation_counter(self):
+        engine = SupervisorEngine(small_supervisor())
+        policy = PriorityPolicy(priorities=())
+        engine.invoke([], policy)
+        engine.invoke([], policy)
+        assert engine.invocations == 2
+
+    def test_guard_reevaluated_between_actions(self):
+        sigma = Alphabet.of([controllable("a")])
+        looping = automaton_from_table(
+            "loop",
+            sigma,
+            transitions=[("S", "a", "S")],
+            initial="S",
+            marked=["S"],
+        )
+        engine = SupervisorEngine(looping)
+        allowed = {"count": 0}
+
+        def guard():
+            return allowed["count"] < 1
+
+        def effect():
+            allowed["count"] += 1
+
+        policy = PriorityPolicy(
+            priorities=("a",),
+            guards={"a": guard},
+            max_actions_per_invocation=5,
+        )
+        executed = engine.invoke([], policy, effects={"a": effect})
+        assert executed == ("a",)  # guard turned false after one firing

@@ -1,0 +1,105 @@
+"""Tests for the five-step synthesis flow on the case study."""
+
+import pytest
+
+from repro.automata.automaton import Automaton
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    DECREASE_CRITICAL_POWER,
+    INCREASE_BIG_POWER,
+    case_study_alphabet,
+)
+from repro.core.plant_model import case_study_plant
+from repro.core.specification import case_study_specification
+from repro.core.synthesis_flow import (
+    SynthesisFlowError,
+    build_case_study_supervisor,
+    synthesize_and_verify,
+)
+
+
+class TestCaseStudySupervisor:
+    def test_is_verified(self, verified_supervisor):
+        assert verified_supervisor.verified
+        assert verified_supervisor.verification.nonblocking
+        assert verified_supervisor.verification.controllable
+
+    def test_supervisor_smaller_than_plant(self, verified_supervisor):
+        assert len(verified_supervisor.supervisor) < len(
+            verified_supervisor.plant
+        )
+
+    def test_synthesis_pruned_the_risky_mild_path(self, verified_supervisor):
+        """The key formal result: after a second consecutive critical the
+        supervisor must *not* offer the mild controlPower action (a third
+        critical would hit the forbidden Threshold state) — only the hard
+        decreaseCriticalPower survives."""
+        supervisor = verified_supervisor.supervisor
+        capping2 = [
+            s
+            for s in supervisor.states
+            if s.name.split(".")[0] == "Capping2"
+        ]
+        assert capping2
+        for state in capping2:
+            enabled = {e.name for e in supervisor.enabled_events(state)}
+            assert CONTROL_POWER not in enabled
+            assert DECREASE_CRITICAL_POWER in enabled
+
+    def test_mild_path_allowed_on_first_critical(self, verified_supervisor):
+        supervisor = verified_supervisor.supervisor
+        capping1 = [
+            s for s in supervisor.states if s.name.startswith("Capping1.")
+        ]
+        assert capping1
+        for state in capping1:
+            enabled = {e.name for e in supervisor.enabled_events(state)}
+            assert CONTROL_POWER in enabled
+
+    def test_budget_increases_disabled_while_locked(self, verified_supervisor):
+        supervisor = verified_supervisor.supervisor
+        for state in supervisor.states:
+            if state.name.endswith(".Locked"):
+                enabled = {e.name for e in supervisor.enabled_events(state)}
+                assert INCREASE_BIG_POWER not in enabled
+
+    def test_some_states_pruned_for_controllability(self, verified_supervisor):
+        assert len(verified_supervisor.synthesis.removed_uncontrollable) > 0
+
+    def test_summary_mentions_checks(self, verified_supervisor):
+        summary = verified_supervisor.summary()
+        assert "nonblocking" in summary
+        assert "PASS" in summary
+
+    def test_ideal_state_reachable_from_everywhere(self, verified_supervisor):
+        """Nonblocking in the paper's words: the marked 'ideal' state is
+        reachable from every supervisor state."""
+        from repro.automata.operations import coaccessible_states
+
+        supervisor = verified_supervisor.supervisor
+        assert supervisor.states <= coaccessible_states(supervisor)
+
+
+class TestSynthesizeAndVerify:
+    def test_unachievable_spec_raises(self):
+        sigma = case_study_alphabet()
+        plant = case_study_plant(sigma)
+        # A spec whose initial state is forbidden is unachievable.
+        impossible = Automaton("impossible", sigma)
+        impossible.add_state("Bad", forbidden=True, initial=True)
+        with pytest.raises(SynthesisFlowError):
+            synthesize_and_verify(plant, impossible)
+
+    def test_build_twice_is_consistent(self, verified_supervisor):
+        again = build_case_study_supervisor()
+        assert len(again.supervisor) == len(verified_supervisor.supervisor)
+        assert (
+            again.supervisor.transitions
+            == verified_supervisor.supervisor.transitions
+        )
+
+    def test_case_study_spec_composes(self):
+        spec = case_study_specification()
+        plant = case_study_plant()
+        result = synthesize_and_verify(plant, spec)
+        assert result.verified

@@ -1,0 +1,61 @@
+"""Tests for the reproduction report and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    def test_filtered_report(self):
+        report = generate_report(include=("table 1", "figure 6"))
+        assert set(report.sections) == {"Table 1", "Figure 6"}
+        text = report.format_text()
+        assert "SPECTR" in text
+        assert "Figure 6" in text
+
+    def test_timings_recorded(self):
+        report = generate_report(include=("table 1",))
+        assert report.timings_s["Table 1"] >= 0.0
+
+    def test_unknown_filter_yields_empty(self):
+        report = generate_report(include=("no such section",))
+        assert report.sections == {}
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["synthesize", "4"])
+        assert args.n_clusters == 4
+        args = parser.parse_args(["run", "x264", "--manager", "FS"])
+        assert args.manager == "FS"
+
+    def test_synthesize_command(self, capsys):
+        code = main(["synthesize", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nonblocking" in out
+        assert "PASS" in out
+
+    def test_report_command_filtered(self, capsys):
+        code = main(["report", "table 1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        code = main(["run", "x264", "--manager", "MM-Pow"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MM-Pow on x264" in out
+        assert "safe" in out
+
+    def test_run_unknown_workload(self, capsys):
+        code = main(["run", "doom"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_design_flow_command(self, capsys):
+        code = main(["design-flow"])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import three_phase_scenario
+from repro.managers.mm import mm_perf
+from repro.workloads import x264
+
+
+@pytest.fixture(scope="module")
+def short_trace(big_system, little_system):
+    scenario = three_phase_scenario(phase_duration_s=2.0)
+    return run_scenario(
+        lambda soc, goals: mm_perf(
+            soc, goals, big_system=big_system, little_system=little_system
+        ),
+        x264(),
+        scenario,
+        seed=7,
+    )
+
+
+class TestTraceStructure:
+    def test_lengths_consistent(self, short_trace):
+        steps = int(6.0 / 0.05)
+        assert short_trace.times.shape == (steps,)
+        assert short_trace.qos.shape == (steps,)
+        assert short_trace.chip_power.shape == (steps,)
+        assert len(short_trace.gain_sets) == steps
+
+    def test_reference_series_follow_phases(self, short_trace):
+        assert np.all(short_trace.qos_reference == 60.0)
+        budgets = short_trace.power_reference
+        assert budgets[0] == pytest.approx(5.0)
+        mid = int(3.0 / 0.05)
+        assert budgets[mid] == pytest.approx(3.3)
+        assert budgets[-1] == pytest.approx(5.0)
+
+    def test_chip_power_is_cluster_sum(self, short_trace):
+        assert np.allclose(
+            short_trace.chip_power,
+            short_trace.big_power + short_trace.little_power,
+        )
+
+    def test_actuation_series_in_range(self, short_trace):
+        assert np.all(short_trace.big_frequency >= 0.2)
+        assert np.all(short_trace.big_frequency <= 2.0)
+        assert np.all(short_trace.big_cores >= 1)
+        assert np.all(short_trace.big_cores <= 4)
+
+    def test_manager_and_workload_named(self, short_trace):
+        assert short_trace.manager == "MM-Perf"
+        assert short_trace.workload == "x264"
+
+
+class TestPhaseSlicing:
+    def test_slices_partition_trace(self, short_trace):
+        total = sum(
+            short_trace.phase_slice(i).stop - short_trace.phase_slice(i).start
+            for i in range(3)
+        )
+        assert total == short_trace.times.size
+
+    def test_phase_metrics_per_phase(self, short_trace):
+        metrics = short_trace.phase_metrics()
+        assert len(metrics) == 3
+        assert metrics[0].phase.name == "safe"
+        for pm in metrics:
+            assert pm.qos.reference == 60.0
+            assert pm.power.reference == pm.phase.power_budget_w
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, big_system, little_system):
+        scenario = three_phase_scenario(phase_duration_s=1.0)
+
+        def factory(soc, goals):
+            return mm_perf(
+                soc, goals, big_system=big_system, little_system=little_system
+            )
+
+        a = run_scenario(factory, x264(), scenario, seed=3)
+        b = run_scenario(factory, x264(), scenario, seed=3)
+        assert np.allclose(a.qos, b.qos)
+        assert np.allclose(a.chip_power, b.chip_power)
+
+    def test_different_seed_different_noise(self, big_system, little_system):
+        scenario = three_phase_scenario(phase_duration_s=1.0)
+
+        def factory(soc, goals):
+            return mm_perf(
+                soc, goals, big_system=big_system, little_system=little_system
+            )
+
+        a = run_scenario(factory, x264(), scenario, seed=3)
+        b = run_scenario(factory, x264(), scenario, seed=4)
+        assert not np.allclose(a.qos, b.qos)

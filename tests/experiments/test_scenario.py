@@ -1,0 +1,60 @@
+"""Tests for scenario definitions."""
+
+import pytest
+
+from repro.experiments.scenario import Phase, Scenario, three_phase_scenario
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase("p", duration_s=0.0, power_budget_w=5.0, qos_reference=60.0)
+        with pytest.raises(ValueError):
+            Phase("p", duration_s=1.0, power_budget_w=0.0, qos_reference=60.0)
+        with pytest.raises(ValueError):
+            Phase(
+                "p",
+                duration_s=1.0,
+                power_budget_w=5.0,
+                qos_reference=60.0,
+                background_arrivals=-1,
+            )
+
+
+class TestScenario:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            Scenario(phases=())
+
+    def test_three_phase_defaults(self):
+        scenario = three_phase_scenario()
+        assert len(scenario.phases) == 3
+        assert scenario.total_duration_s == pytest.approx(15.0)
+        assert scenario.phases[0].name == "safe"
+        assert scenario.phases[1].power_budget_w == pytest.approx(3.3)
+        assert scenario.phases[2].background_arrivals == 4
+
+    def test_phase_boundaries(self):
+        scenario = three_phase_scenario(phase_duration_s=2.0)
+        assert scenario.phase_boundaries() == [0.0, 2.0, 4.0]
+
+    def test_phase_at(self):
+        scenario = three_phase_scenario()
+        assert scenario.phase_at(0.0).name == "safe"
+        assert scenario.phase_at(5.0).name == "emergency"
+        assert scenario.phase_at(14.99).name == "disturbance"
+        assert scenario.phase_at(1e9).name == "disturbance"
+
+    def test_background_tasks_arrive_at_phase_start(self):
+        scenario = three_phase_scenario()
+        tasks = scenario.background_tasks()
+        assert len(tasks) == 4
+        assert all(t.arrival_s == pytest.approx(10.0) for t in tasks)
+
+    def test_customization(self):
+        scenario = three_phase_scenario(
+            qos_reference=30.0, tdp_w=4.0, background_tasks=2
+        )
+        assert scenario.phases[0].qos_reference == 30.0
+        assert scenario.phases[2].power_budget_w == 4.0
+        assert len(scenario.background_tasks()) == 2

@@ -1,0 +1,57 @@
+"""Tests for table generation."""
+
+import pytest
+
+from repro.experiments.tables import (
+    ATTRIBUTES,
+    ApproachRow,
+    format_matrix,
+    format_table1,
+    table1_rows,
+)
+
+
+class TestTable1:
+    def test_five_rows(self):
+        assert len(table1_rows()) == 5
+
+    def test_spectr_covers_everything(self):
+        spectr = table1_rows()[-1]
+        assert "SPECTR" in spectr.methods
+        assert all(c == "Y" for c in spectr.coverage)
+
+    def test_siso_partial_scalability(self):
+        siso = next(r for r in table1_rows() if "SISO" in r.methods)
+        index = ATTRIBUTES.index("Scalability")
+        assert siso.coverage[index] == "*"
+
+    def test_mimo_lacks_scalability_and_autonomy(self):
+        mimo = next(
+            r for r in table1_rows() if r.methods == "MIMO Control Theory"
+        )
+        assert mimo.coverage[ATTRIBUTES.index("Scalability")] == "-"
+        assert mimo.coverage[ATTRIBUTES.index("Autonomy")] == "-"
+
+    def test_format_contains_all_rows(self):
+        text = format_table1()
+        for row in table1_rows():
+            assert row.methods in text
+
+    def test_row_validation(self):
+        with pytest.raises(ValueError):
+            ApproachRow("X", "bad", ("Y",))
+        with pytest.raises(ValueError):
+            ApproachRow("X", "bad", ("Q",) * 6)
+
+
+class TestFormatMatrix:
+    def test_renders_values(self):
+        text = format_matrix(
+            "title",
+            ("row1",),
+            ("c1", "c2"),
+            {"row1": {"c1": 1.5, "c2": -2.0}},
+        )
+        assert "title" in text
+        assert "1.5" in text
+        assert "-2.0" in text

@@ -1,0 +1,127 @@
+"""Closed-loop behaviour tests for the MM-Pow / MM-Perf / FS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.managers.base import ManagerGoals
+from repro.managers.fs import FullSystemMIMO
+from repro.managers.mm import mm_perf, mm_pow
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+def run_manager(manager_factory, *, background=0, budget=5.0, steps=120, seed=2018):
+    soc = ExynosSoC(
+        qos_app=x264(),
+        background=[BackgroundTask(f"bg{i}") for i in range(background)],
+        config=SoCConfig(seed=seed),
+    )
+    soc.big.set_frequency(1.0)
+    soc.little.set_frequency(0.6)
+    manager = manager_factory(soc, ManagerGoals(60.0, budget))
+    qos, power = [], []
+    for _ in range(steps):
+        telemetry = soc.step()
+        manager.control(telemetry)
+        qos.append(telemetry.qos_rate)
+        power.append(telemetry.chip_power_w)
+    tail = slice(-40, None)
+    return float(np.mean(qos[tail])), float(np.mean(power[tail])), manager
+
+
+class TestManagerGoals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManagerGoals(0.0, 5.0)
+        with pytest.raises(ValueError):
+            ManagerGoals(60.0, -1.0)
+
+    def test_goal_updates(self, big_system, little_system):
+        soc = ExynosSoC(qos_app=x264())
+        manager = mm_pow(
+            soc,
+            ManagerGoals(60.0, 5.0),
+            big_system=big_system,
+            little_system=little_system,
+        )
+        manager.set_power_budget(3.3)
+        assert manager.goals.power_budget_w == 3.3
+        assert manager.goals.qos_reference == 60.0
+        manager.set_qos_reference(30.0)
+        assert manager.goals.qos_reference == 30.0
+
+
+class TestMMPerf:
+    def test_meets_qos_when_achievable(self, big_system, little_system):
+        qos, power, _ = run_manager(
+            lambda soc, g: mm_perf(
+                soc, g, big_system=big_system, little_system=little_system
+            )
+        )
+        assert qos == pytest.approx(60.0, rel=0.04)
+        assert power < 5.0  # saves power vs the budget
+
+    def test_ignores_tdp_under_disturbance(self, big_system, little_system):
+        """MM-Perf 'violates the TDP in all cases, but always achieves
+        the highest QoS' in the disturbance scenario."""
+        qos, power, _ = run_manager(
+            lambda soc, g: mm_perf(
+                soc, g, big_system=big_system, little_system=little_system
+            ),
+            background=4,
+        )
+        assert power > 5.5  # breaks the 5 W budget
+        assert qos > 45.0
+
+    def test_actuation_log_populated(self, big_system, little_system):
+        _, _, manager = run_manager(
+            lambda soc, g: mm_perf(
+                soc, g, big_system=big_system, little_system=little_system
+            ),
+            steps=10,
+        )
+        assert len(manager.actuation_log) == 10
+        assert manager.actuation_log[0].gain_set == "qos"
+
+
+class TestMMPow:
+    def test_burns_the_power_budget(self, big_system, little_system):
+        """MM-Pow consumes its power reference and overshoots QoS."""
+        qos, power, _ = run_manager(
+            lambda soc, g: mm_pow(
+                soc, g, big_system=big_system, little_system=little_system
+            )
+        )
+        assert power > 4.4
+        assert qos > 60.0  # exceeds the reference
+
+    def test_respects_lowered_budget(self, big_system, little_system):
+        qos, power, _ = run_manager(
+            lambda soc, g: mm_pow(
+                soc, g, big_system=big_system, little_system=little_system
+            ),
+            budget=3.3,
+        )
+        assert power == pytest.approx(3.3, abs=0.4)
+        assert qos < 60.0  # QoS sacrificed
+
+
+class TestFS:
+    def test_tracks_chip_power_budget(self, full_system):
+        qos, power, _ = run_manager(
+            lambda soc, g: FullSystemMIMO(soc, g, system=full_system)
+        )
+        assert power == pytest.approx(5.0, abs=0.35)
+        assert qos > 60.0  # maximizes performance under the cap
+
+    def test_obeys_tdp_under_disturbance(self, full_system):
+        qos, power, _ = run_manager(
+            lambda soc, g: FullSystemMIMO(soc, g, system=full_system),
+            background=4,
+        )
+        assert power < 5.4
+
+    def test_requires_4x2_model(self, big_system):
+        soc = ExynosSoC(qos_app=x264())
+        with pytest.raises(ValueError):
+            FullSystemMIMO(soc, ManagerGoals(60.0, 5.0), system=big_system)

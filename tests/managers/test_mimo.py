@@ -1,0 +1,116 @@
+"""Tests for the per-cluster MIMO wrapper and gain libraries."""
+
+import numpy as np
+import pytest
+
+from repro.managers.mimo import (
+    POWER_GAINS,
+    QOS_GAINS,
+    ClusterMIMO,
+    build_gain_library,
+    cluster_actuator_limits,
+)
+from repro.platform.soc import ExynosSoC
+from repro.workloads import x264
+
+
+@pytest.fixture()
+def soc():
+    return ExynosSoC(qos_app=x264())
+
+
+class TestGainLibrary:
+    def test_both_gain_sets_designed(self, big_system):
+        library = build_gain_library(big_system)
+        assert library.names() == (POWER_GAINS, QOS_GAINS)
+
+    def test_priority_structure(self, big_system):
+        library = build_gain_library(big_system)
+        qos = library.get(QOS_GAINS)
+        power = library.get(POWER_GAINS)
+        # QoS gains servo output 0 only; power gains servo output 1 only.
+        assert qos.integral_mask.tolist() == [1.0, 0.0]
+        assert power.integral_mask.tolist() == [0.0, 1.0]
+
+    def test_priority_ratio_is_30_to_1(self, big_system):
+        library = build_gain_library(big_system)
+        qos = library.get(QOS_GAINS)
+        ratio = qos.Q_output[0, 0] / qos.Q_output[1, 1]
+        assert ratio == pytest.approx(30.0)
+
+    def test_power_set_detuned(self, big_system):
+        """The power gain set carries extra gain margin (scaled effort)."""
+        library = build_gain_library(big_system)
+        qos = library.get(QOS_GAINS)
+        power = library.get(POWER_GAINS)
+        assert np.trace(power.R_effort) > np.trace(qos.R_effort)
+
+
+class TestActuatorLimits:
+    def test_bounds_match_cluster(self, soc):
+        limits = cluster_actuator_limits(soc.big)
+        assert limits.lower.tolist() == [0.2, 1.0]
+        assert limits.upper.tolist() == [2.0, 4.0]
+
+    def test_slew_limits_present(self, soc):
+        limits = cluster_actuator_limits(soc.big)
+        assert limits.max_step is not None
+        assert limits.max_step[0] == pytest.approx(0.3)
+
+
+class TestClusterMIMO:
+    def test_build_and_step(self, soc, big_system):
+        mimo = ClusterMIMO.build(soc.big, big_system)
+        mimo.set_references(60.0, 4.0)
+        frequency, cores = mimo.step(30.0, 2.0)
+        assert 0.2 <= frequency <= 2.0
+        assert 1 <= cores <= 4
+
+    def test_switch_gains_reports_change(self, soc, big_system):
+        mimo = ClusterMIMO.build(soc.big, big_system)
+        assert mimo.active_gains == QOS_GAINS
+        assert mimo.switch_gains(POWER_GAINS)
+        assert mimo.active_gains == POWER_GAINS
+        assert not mimo.switch_gains(POWER_GAINS)  # no-op
+
+    def test_hotplug_deadband_prevents_flapping(self, soc, big_system):
+        mimo = ClusterMIMO.build(soc.big, big_system)
+        soc.big.set_active_cores(3)
+        # A command close to the current count must not toggle a core.
+        current = soc.big.active_cores
+        mimo.controller._z[:] = 0.0  # neutral controller state
+        # Directly exercise the deadband logic via step with a command
+        # engineered near the boundary: emulate by calling the cluster
+        # only when the continuous command crosses the deadband.
+        before = soc.big.active_cores
+        mimo.step(60.0, 3.0)
+        # Whatever the command was, the count changes by at most 1
+        # (slew) and only if it moved past the deadband.
+        assert abs(soc.big.active_cores - before) <= 1
+
+    def test_tracks_qos_in_closed_loop(self, soc, big_system):
+        mimo = ClusterMIMO.build(soc.big, big_system)
+        mimo.set_references(60.0, 4.0)
+        soc.big.set_frequency(1.0)
+        soc.little.set_frequency(0.6)
+        tail = []
+        for k in range(160):
+            telemetry = soc.step()
+            mimo.step(telemetry.qos_rate, telemetry.big.power_w)
+            if k > 120:
+                tail.append(telemetry.qos_rate)
+        assert np.mean(tail) == pytest.approx(60.0, rel=0.05)
+
+    def test_power_gains_track_power_in_closed_loop(self, soc, big_system):
+        mimo = ClusterMIMO.build(
+            soc.big, big_system, initial_gains=POWER_GAINS
+        )
+        mimo.set_references(60.0, 4.5)
+        soc.big.set_frequency(1.0)
+        tail = []
+        for k in range(140):
+            telemetry = soc.step()
+            mimo.step(telemetry.qos_rate, telemetry.big.power_w)
+            if k > 100:
+                tail.append(telemetry.big.power_w)
+        assert np.mean(tail) == pytest.approx(4.5, rel=0.1)

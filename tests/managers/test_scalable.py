@@ -1,0 +1,91 @@
+"""Tests for the hierarchical N-cluster SPECTR manager."""
+
+import numpy as np
+import pytest
+
+from repro.managers.base import ManagerGoals
+from repro.managers.mimo import POWER_GAINS, QOS_GAINS
+from repro.managers.scalable import ScalableSPECTR
+from repro.platform.manycore import ManyCoreSoC
+from repro.platform.soc import SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+@pytest.fixture()
+def builder(big_system, little_system):
+    def build(n_little=3, bg=0, budget=6.0, seed=1):
+        soc = ManyCoreSoC(
+            n_little=n_little,
+            qos_app=x264(),
+            background=[BackgroundTask(f"bg{i}") for i in range(bg)],
+            config=SoCConfig(seed=seed),
+        )
+        soc.clusters[0].set_frequency(1.0)
+        manager = ScalableSPECTR(
+            soc,
+            ManagerGoals(60.0, budget),
+            host_system=big_system,
+            little_system=little_system,
+        )
+        return soc, manager
+
+    return build
+
+
+def drive(soc, manager, steps):
+    qos, power = [], []
+    for _ in range(steps):
+        telemetry = soc.step()
+        manager.control(telemetry)
+        qos.append(telemetry.qos_rate)
+        power.append(telemetry.chip_power_w)
+    return np.asarray(qos), np.asarray(power)
+
+
+class TestConstruction:
+    def test_one_mimo_per_cluster(self, builder):
+        soc, manager = builder(n_little=5)
+        assert len(manager.mimos) == 6
+        assert manager.name == "SPECTR[6]"
+
+    def test_budget_split_within_tdp(self, builder):
+        _, manager = builder(n_little=3, budget=6.0)
+        assert sum(manager.power_refs) <= 6.0 + 1e-9
+
+
+class TestClosedLoop:
+    def test_meets_qos_when_unloaded(self, builder):
+        soc, manager = builder()
+        qos, power = drive(soc, manager, 160)
+        assert np.mean(qos[-50:]) == pytest.approx(60.0, rel=0.05)
+        assert np.mean(power[-50:]) < 6.0
+
+    def test_caps_power_under_heavy_background(self, builder):
+        soc, manager = builder(bg=8)
+        qos, power = drive(soc, manager, 220)
+        assert np.mean(power[-60:]) < 6.0 * 1.05
+        assert manager.mimos[0].active_gains == POWER_GAINS
+
+    def test_eight_clusters(self, builder):
+        soc, manager = builder(n_little=7, bg=12, budget=7.0)
+        _, power = drive(soc, manager, 220)
+        assert np.mean(power[-60:]) < 7.0 * 1.05
+
+    def test_emergency_response(self, builder):
+        soc, manager = builder()
+        drive(soc, manager, 120)
+        assert manager.mimos[0].active_gains == QOS_GAINS
+        manager.set_power_budget(3.5)
+        _, power = drive(soc, manager, 140)
+        assert manager.mimos[0].active_gains == POWER_GAINS
+        assert np.mean(power[-40:]) < 3.8
+
+    def test_gain_switch_applies_to_every_cluster(self, builder):
+        soc, manager = builder(n_little=3)
+        drive(soc, manager, 100)
+        manager.set_power_budget(3.0)
+        drive(soc, manager, 60)
+        for mimo in manager.mimos:
+            assert mimo.active_gains == POWER_GAINS
+        switched = {name for _, name, _ in manager.gain_log.entries}
+        assert len(switched) == 4  # all clusters logged

@@ -1,0 +1,85 @@
+"""Tests for the nested-SISO baseline (Table 1, Row C)."""
+
+import numpy as np
+import pytest
+
+from repro.managers.base import ManagerGoals
+from repro.managers.siso import NestedSISOManager
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+def run(bg=0, budget=5.0, steps=160, seed=2018):
+    soc = ExynosSoC(
+        qos_app=x264(),
+        background=[BackgroundTask(f"bg{i}") for i in range(bg)],
+        config=SoCConfig(seed=seed),
+    )
+    soc.big.set_frequency(1.0)
+    soc.little.set_frequency(0.6)
+    manager = NestedSISOManager(soc, ManagerGoals(60.0, budget))
+    qos, power = [], []
+    for _ in range(steps):
+        telemetry = soc.step()
+        manager.control(telemetry)
+        qos.append(telemetry.qos_rate)
+        power.append(telemetry.chip_power_w)
+    tail = slice(-50, None)
+    return (
+        float(np.mean(qos[tail])),
+        float(np.mean(power[tail])),
+        float(np.std(qos[tail])),
+        manager,
+    )
+
+
+class TestNestedSISO:
+    def test_tracks_qos_when_power_allows(self):
+        qos, power, _, _ = run()
+        assert qos == pytest.approx(60.0, rel=0.06)
+        assert power < 5.0
+
+    def test_outer_loop_caps_power(self):
+        qos, power, _, manager = run(budget=3.3)
+        assert power == pytest.approx(3.3, abs=0.45)
+        assert qos < 60.0  # ceiling binds
+        assert manager.frequency_ceiling < 1.6
+
+    def test_caps_power_under_background_load(self):
+        _, power, _, _ = run(bg=4)
+        assert power == pytest.approx(5.0, abs=0.5)
+
+    def test_cannot_use_the_core_knob(self):
+        """A SISO loop has one actuator: core counts never move."""
+        soc = ExynosSoC(qos_app=x264())
+        manager = NestedSISOManager(soc, ManagerGoals(60.0, 5.0))
+        cores_before = soc.big.active_cores
+        for _ in range(80):
+            manager.control(soc.step())
+        assert soc.big.active_cores == cores_before
+
+    def test_no_autonomy_no_priorities(self):
+        """Row C of Table 1: the nested loops have no notion of
+        priority objectives — there is nothing to switch when goals
+        change (contrast with SPECTR's gain scheduling)."""
+        _, _, _, manager = run(steps=30)
+        gain_sets = {r.gain_set for r in manager.actuation_log}
+        assert gain_sets == {"siso"}
+
+    def test_loops_fight_when_goals_conflict(self):
+        """With the QoS reference unreachable under the power budget,
+        the inner loop pins the frequency to the outer loop's ceiling —
+        the two loops are coupled only through that clamp."""
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=3))
+        soc.big.set_frequency(1.0)
+        manager = NestedSISOManager(soc, ManagerGoals(80.0, 3.0))
+        for _ in range(200):
+            manager.control(soc.step())
+        assert soc.big.frequency_ghz == pytest.approx(
+            manager.frequency_ceiling, abs=0.11
+        )
+
+    def test_actuation_log(self):
+        _, _, _, manager = run(steps=12)
+        assert len(manager.actuation_log) == 12
+        assert manager.actuation_log[0].gain_set == "siso"

@@ -1,0 +1,161 @@
+"""Tests for the SPECTR manager: supervisor wiring and autonomy."""
+
+import numpy as np
+import pytest
+
+from repro.managers.base import ManagerGoals
+from repro.managers.mimo import POWER_GAINS, QOS_GAINS
+from repro.managers.spectr import SPECTRManager
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+def make_manager(soc, big_system, little_system, verified, **kwargs):
+    return SPECTRManager(
+        soc,
+        ManagerGoals(60.0, 5.0),
+        big_system=big_system,
+        little_system=little_system,
+        verified_supervisor=verified,
+        **kwargs,
+    )
+
+
+def drive(soc, manager, steps):
+    qos, power = [], []
+    for _ in range(steps):
+        telemetry = soc.step()
+        manager.control(telemetry)
+        qos.append(telemetry.qos_rate)
+        power.append(telemetry.chip_power_w)
+    return np.asarray(qos), np.asarray(power)
+
+
+@pytest.fixture()
+def spectr_setup(big_system, little_system, verified_supervisor):
+    def build(background=0, seed=2018):
+        soc = ExynosSoC(
+            qos_app=x264(),
+            background=[BackgroundTask(f"bg{i}") for i in range(background)],
+            config=SoCConfig(seed=seed),
+        )
+        soc.big.set_frequency(1.0)
+        soc.little.set_frequency(0.6)
+        manager = make_manager(
+            soc, big_system, little_system, verified_supervisor
+        )
+        return soc, manager
+
+    return build
+
+
+class TestConstruction:
+    def test_starts_with_qos_gains(self, spectr_setup):
+        _, manager = spectr_setup()
+        assert manager.big_mimo.active_gains == QOS_GAINS
+        assert manager.little_mimo.active_gains == QOS_GAINS
+
+    def test_supervisor_period_validated(
+        self, big_system, little_system, verified_supervisor
+    ):
+        soc = ExynosSoC(qos_app=x264())
+        with pytest.raises(ValueError):
+            make_manager(
+                soc,
+                big_system,
+                little_system,
+                verified_supervisor,
+                supervisor_period=0,
+            )
+
+    def test_initial_budget_split(self, spectr_setup):
+        _, manager = spectr_setup()
+        assert manager.big_power_ref_w == pytest.approx(0.8 * 5.0)
+        assert manager.big_power_ref_w + manager.little_power_ref_w <= 5.0
+
+
+class TestSupervisorInvocation:
+    def test_supervisor_runs_every_other_tick(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 10)
+        assert manager.engine.invocations == 5
+
+    def test_engine_trace_recorded(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 10)
+        assert len(manager.engine.trace) == 5
+        assert all(t.state for t in manager.engine.trace)
+
+
+class TestSafePhase:
+    def test_meets_qos_and_saves_power(self, spectr_setup):
+        soc, manager = spectr_setup()
+        qos, power = drive(soc, manager, 120)
+        assert np.mean(qos[-40:]) == pytest.approx(60.0, rel=0.04)
+        assert np.mean(power[-40:]) < 4.6  # below the 5 W budget
+
+    def test_stays_in_qos_mode(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 120)
+        assert manager.big_mimo.active_gains == QOS_GAINS
+
+
+class TestEmergencyResponse:
+    def test_switches_to_power_gains_on_budget_drop(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 100)
+        manager.set_power_budget(3.3)
+        drive(soc, manager, 40)
+        assert manager.big_mimo.active_gains == POWER_GAINS
+        assert manager.gain_log.switch_count >= 1
+
+    def test_power_capped_after_emergency(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 100)
+        manager.set_power_budget(3.3)
+        _, power = drive(soc, manager, 120)
+        assert np.mean(power[-40:]) < 3.5
+
+    def test_returns_to_qos_mode_when_budget_restored(self, spectr_setup):
+        soc, manager = spectr_setup()
+        drive(soc, manager, 100)
+        manager.set_power_budget(3.3)
+        drive(soc, manager, 100)
+        manager.set_power_budget(5.0)
+        drive(soc, manager, 30)
+        switches = [g for _, _, g in manager.gain_log.entries]
+        assert QOS_GAINS in switches  # switched back at least once
+
+
+class TestDisturbance:
+    def test_obeys_tdp_with_background_load(self, spectr_setup):
+        soc, manager = spectr_setup(background=4)
+        _, power = drive(soc, manager, 200)
+        assert np.mean(power[-60:]) < 5.2
+
+    def test_budget_references_never_exceed_tdp(self, spectr_setup):
+        soc, manager = spectr_setup(background=4)
+        drive(soc, manager, 200)
+        for record in manager.actuation_log:
+            total = record.big_power_ref_w + record.little_power_ref_w
+            assert total <= manager.goals.power_budget_w + 1e-9
+
+
+class TestFormalGuaranteesAtRuntime:
+    def test_engine_state_always_valid(self, spectr_setup):
+        soc, manager = spectr_setup(background=4)
+        drive(soc, manager, 150)
+        assert manager.engine.state in manager.engine.automaton.states
+
+    def test_executed_actions_were_enabled(self, spectr_setup):
+        """Every action the runtime executed appears as a transition of
+        the verified supervisor automaton from the pre-state."""
+        soc, manager = spectr_setup()
+        drive(soc, manager, 100)
+        manager.set_power_budget(3.3)
+        drive(soc, manager, 100)
+        automaton = manager.engine.automaton
+        # replay the trace
+        for entry in manager.engine.trace:
+            for action in entry.executed:
+                assert automaton.alphabet[action].controllable

@@ -1,0 +1,111 @@
+"""Tests for fault injection and manager robustness under faults."""
+
+import numpy as np
+import pytest
+
+from repro.platform.faults import (
+    FaultModel,
+    FaultySensor,
+    inject_power_sensor_fault,
+)
+from repro.platform.sensors import NoisySensor
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads import x264
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel("weird", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            FaultModel("stuck", 1.0, 1.0)
+
+    def test_window(self):
+        fault = FaultModel("stuck", 1.0, 2.0)
+        assert fault.active_at(1.0)
+        assert not fault.active_at(2.0)
+
+
+class TestFaultySensor:
+    def make(self, kind, magnitude=2.0):
+        base = NoisySensor("s", noise_fraction=0.0)
+        return FaultySensor(
+            base, [FaultModel(kind, 1.0, 2.0, magnitude=magnitude)]
+        )
+
+    def test_healthy_outside_window(self):
+        sensor = self.make("dropout")
+        rng = np.random.default_rng(0)
+        sensor.set_time(0.5)
+        assert sensor.read(3.0, rng) == 3.0
+        sensor.set_time(2.5)
+        assert sensor.read(3.0, rng) == 3.0
+
+    def test_dropout_reads_floor(self):
+        sensor = self.make("dropout")
+        sensor.set_time(1.5)
+        assert sensor.read(3.0, np.random.default_rng(0)) == 0.0
+
+    def test_stuck_repeats_last_healthy(self):
+        sensor = self.make("stuck")
+        rng = np.random.default_rng(0)
+        sensor.set_time(0.9)
+        sensor.read(3.0, rng)
+        sensor.set_time(1.5)
+        assert sensor.read(99.0, rng) == 3.0
+
+    def test_stuck_without_history_passes_through(self):
+        sensor = self.make("stuck")
+        sensor.set_time(1.5)
+        assert sensor.read(4.0, np.random.default_rng(0)) == 4.0
+
+    def test_spike_multiplies(self):
+        sensor = self.make("spike", magnitude=3.0)
+        sensor.set_time(1.5)
+        assert sensor.read(2.0, np.random.default_rng(0)) == 6.0
+
+    def test_bias_offsets(self):
+        sensor = self.make("bias", magnitude=1.5)
+        sensor.set_time(1.5)
+        assert sensor.read(2.0, np.random.default_rng(0)) == 3.5
+
+    def test_add_fault(self):
+        sensor = self.make("dropout")
+        sensor.add_fault(FaultModel("spike", 3.0, 4.0))
+        sensor.set_time(3.5)
+        assert sensor.read(2.0, np.random.default_rng(0)) == 4.0
+
+
+class TestInjection:
+    def test_injects_into_exynos(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=1))
+        wrapper = inject_power_sensor_fault(
+            soc, "big", FaultModel("spike", 0.5, 1.0, magnitude=2.0)
+        )
+        assert isinstance(soc.big.power_sensor, FaultySensor)
+        # During the window, big power readings double.
+        readings = []
+        for _ in range(30):
+            telemetry = soc.step()
+            readings.append((telemetry.time_s, telemetry.big.power_w))
+        before = np.mean([p for t, p in readings if t < 0.45])
+        during = np.mean([p for t, p in readings if 0.55 <= t < 0.95])
+        assert during > 1.6 * before
+
+    def test_second_injection_reuses_wrapper(self):
+        soc = ExynosSoC(qos_app=x264())
+        first = inject_power_sensor_fault(
+            soc, "big", FaultModel("spike", 0.5, 1.0)
+        )
+        second = inject_power_sensor_fault(
+            soc, "big", FaultModel("dropout", 2.0, 3.0)
+        )
+        assert first is second
+        assert len(second.faults) == 2
+
+    def test_unknown_cluster_rejected(self):
+        soc = ExynosSoC(qos_app=x264())
+        with pytest.raises(ValueError):
+            inject_power_sensor_fault(
+                soc, "nope", FaultModel("spike", 0.0, 1.0)
+            )

@@ -1,0 +1,102 @@
+"""Tests for the many-cluster platform."""
+
+import numpy as np
+import pytest
+
+from repro.platform.manycore import ManyCoreSoC, MultiClusterScheduler
+from repro.platform.soc import PlatformError, SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+def make_soc(n_little=3, bg=0, seed=1):
+    return ManyCoreSoC(
+        n_little=n_little,
+        qos_app=x264(),
+        background=[BackgroundTask(f"bg{i}") for i in range(bg)],
+        config=SoCConfig(seed=seed),
+    )
+
+
+def settle(soc, steps=40):
+    telemetry = None
+    for _ in range(steps):
+        telemetry = soc.step()
+    return telemetry
+
+
+class TestConstruction:
+    def test_cluster_count(self):
+        soc = make_soc(n_little=5)
+        assert soc.n_clusters == 6
+        assert soc.host.name == "big0"
+        assert soc.clusters[1].name == "little0"
+
+    def test_negative_little_rejected(self):
+        with pytest.raises(PlatformError):
+            ManyCoreSoC(n_little=-1)
+
+    def test_zero_little_allowed(self):
+        soc = ManyCoreSoC(n_little=0, qos_app=x264())
+        assert soc.n_clusters == 1
+        telemetry = settle(soc, steps=5)
+        assert len(telemetry.clusters) == 1
+
+
+class TestTelemetry:
+    def test_chip_power_is_sum(self):
+        soc = make_soc()
+        telemetry = settle(soc)
+        assert telemetry.chip_power_w == pytest.approx(
+            sum(c.power_w for c in telemetry.clusters)
+        )
+
+    def test_qos_app_runs_on_host(self):
+        soc = make_soc()
+        soc.host.set_frequency(2.0)
+        telemetry = settle(soc, steps=60)
+        assert telemetry.qos_rate == pytest.approx(80.0, rel=0.06)
+        assert telemetry.clusters[0].busy_core_equivalents > 3.5
+
+    def test_background_spreads_over_littles(self):
+        soc = make_soc(bg=6)
+        for cluster in soc.clusters:
+            cluster.set_frequency(cluster.opps.max_frequency)
+        telemetry = settle(soc)
+        little_busy = [
+            c.busy_core_equivalents for c in telemetry.clusters[1:]
+        ]
+        assert sum(little_busy) > 2.0  # littles absorb background work
+
+    def test_deterministic_with_seed(self):
+        a = settle(make_soc(seed=9))
+        b = settle(make_soc(seed=9))
+        assert a.qos_rate == b.qos_rate
+        assert a.chip_power_w == b.chip_power_w
+
+
+class TestMultiClusterScheduler:
+    def test_sticky_assignment(self):
+        soc = make_soc(bg=4)
+        scheduler = soc.scheduler
+        tasks = [t for t in soc.background]
+        first = scheduler.place(tasks, soc.clusters, [4.0, 0, 0, 0])
+        second = scheduler.place(tasks, soc.clusters, [4.0, 0, 0, 0])
+        names_first = [sorted(t.name for t in group) for group in first]
+        names_second = [sorted(t.name for t in group) for group in second]
+        assert names_first == names_second
+
+    def test_departed_tasks_forgotten(self):
+        scheduler = MultiClusterScheduler()
+        soc = make_soc()
+        scheduler.place(
+            [BackgroundTask("t0")], soc.clusters, [0, 0, 0, 0]
+        )
+        scheduler.place([], soc.clusters, [0, 0, 0, 0])
+        assert scheduler._previous == {}
+
+    def test_all_tasks_placed(self):
+        scheduler = MultiClusterScheduler()
+        soc = make_soc()
+        tasks = [BackgroundTask(f"t{i}") for i in range(7)]
+        groups = scheduler.place(tasks, soc.clusters, [4.0, 0, 0, 0])
+        assert sum(len(g) for g in groups) == 7

@@ -1,0 +1,71 @@
+"""Tests for OPP (DVFS) tables."""
+
+import pytest
+
+from repro.platform.opp import OPP, OPPTable, big_cluster_opps, little_cluster_opps
+
+
+class TestOPP:
+    def test_positive_values_required(self):
+        with pytest.raises(ValueError):
+            OPP(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OPP(1.0, -0.1)
+
+
+class TestOPPTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OPPTable([])
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            OPPTable([OPP(1.0, 1.0), OPP(1.0, 1.1)])
+
+    def test_voltage_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            OPPTable([OPP(1.0, 1.2), OPP(2.0, 1.0)])
+
+    def test_points_sorted(self):
+        table = OPPTable([OPP(2.0, 1.2), OPP(1.0, 1.0)])
+        assert table.min_frequency == 1.0
+        assert table.max_frequency == 2.0
+
+    def test_snap_to_nearest(self):
+        table = OPPTable([OPP(1.0, 1.0), OPP(1.1, 1.05), OPP(1.2, 1.1)])
+        assert table.snap(1.04).frequency_ghz == 1.0
+        assert table.snap(1.06).frequency_ghz == 1.1
+        assert table.snap(1.15).frequency_ghz == 1.1  # ties go down
+
+    def test_snap_clamps(self):
+        table = OPPTable([OPP(1.0, 1.0), OPP(2.0, 1.2)])
+        assert table.snap(0.1).frequency_ghz == 1.0
+        assert table.snap(9.9).frequency_ghz == 2.0
+
+    def test_voltage_for(self):
+        table = OPPTable([OPP(1.0, 1.0), OPP(2.0, 1.2)])
+        assert table.voltage_for(2.3) == 1.2
+
+
+class TestExynosTables:
+    def test_big_range(self):
+        table = big_cluster_opps()
+        assert table.min_frequency == pytest.approx(0.2)
+        assert table.max_frequency == pytest.approx(2.0)
+        assert len(table) == 19  # 100 MHz steps
+
+    def test_little_range(self):
+        table = little_cluster_opps()
+        assert table.min_frequency == pytest.approx(0.2)
+        assert table.max_frequency == pytest.approx(1.4)
+        assert len(table) == 13
+
+    def test_big_voltage_endpoints(self):
+        table = big_cluster_opps()
+        assert table.voltage_for(0.2) == pytest.approx(0.90)
+        assert table.voltage_for(2.0) == pytest.approx(1.3625)
+
+    def test_voltage_monotone(self):
+        for table in (big_cluster_opps(), little_cluster_opps()):
+            volts = [p.voltage_v for p in table.points]
+            assert volts == sorted(volts)

@@ -1,0 +1,105 @@
+"""Tests for the cluster performance model."""
+
+import pytest
+
+from repro.platform.perf import (
+    ClusterPerfModel,
+    amdahl_speedup,
+    big_cluster_perf_model,
+    frequency_scale,
+    little_cluster_perf_model,
+)
+
+
+class TestAmdahl:
+    def test_single_thread_is_baseline(self):
+        assert amdahl_speedup(0.9, 1.0) == pytest.approx(1.0)
+
+    def test_fully_serial_never_speeds_up(self):
+        assert amdahl_speedup(0.0, 8.0) == pytest.approx(1.0)
+
+    def test_fully_parallel_is_linear(self):
+        assert amdahl_speedup(1.0, 4.0) == pytest.approx(4.0)
+
+    def test_classic_value(self):
+        # p=0.9, n=4 -> 1/(0.1 + 0.225) ~ 3.077
+        assert amdahl_speedup(0.9, 4.0) == pytest.approx(3.0769, rel=1e-3)
+
+    def test_monotone_in_threads(self):
+        values = [amdahl_speedup(0.9, n) for n in (1, 2, 3, 4, 8)]
+        assert values == sorted(values)
+
+    def test_fractional_threads_below_one_scale_linearly(self):
+        assert amdahl_speedup(0.9, 0.5) == pytest.approx(0.5)
+
+    def test_zero_threads(self):
+        assert amdahl_speedup(0.9, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+
+
+class TestFrequencyScale:
+    def test_at_max_is_one(self):
+        assert frequency_scale(2.0, 2.0, 0.85) == pytest.approx(1.0)
+
+    def test_compute_bound_is_linear(self):
+        assert frequency_scale(1.0, 2.0, 1.0) == pytest.approx(0.5)
+
+    def test_memory_bound_is_flatter(self):
+        compute = frequency_scale(1.0, 2.0, 1.0)
+        memory = frequency_scale(1.0, 2.0, 0.5)
+        assert memory > compute  # less penalty at low frequency
+
+    def test_zero_frequency(self):
+        assert frequency_scale(0.0, 2.0, 0.8) == 0.0
+
+    def test_clamped_above_max(self):
+        assert frequency_scale(3.0, 2.0, 0.8) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frequency_scale(1.0, 0.0, 0.8)
+
+
+class TestClusterPerfModel:
+    def test_big_core_stronger_than_little(self):
+        big = big_cluster_perf_model()
+        little = little_cluster_perf_model()
+        assert big.core_rate(1.4, 0.85) > little.core_rate(1.4, 0.85)
+
+    def test_workload_rate_at_reference_allocation(self):
+        """peak_rate is attained at f_max with the reference threads."""
+        model = big_cluster_perf_model()
+        rate = model.workload_rate(
+            80.0, 2.0, 4.0, parallel_fraction=0.93, freq_alpha=0.85
+        )
+        assert rate == pytest.approx(80.0)
+
+    def test_workload_rate_decreases_with_interference(self):
+        model = big_cluster_perf_model()
+        clean = model.workload_rate(
+            80.0, 2.0, 4.0, parallel_fraction=0.93, freq_alpha=0.85
+        )
+        contended = model.workload_rate(
+            80.0, 2.0, 2.5, parallel_fraction=0.93, freq_alpha=0.85
+        )
+        assert contended < clean
+
+    def test_workload_rate_zero_threads(self):
+        model = big_cluster_perf_model()
+        assert model.workload_rate(
+            80.0, 2.0, 0.0, parallel_fraction=0.9, freq_alpha=0.85
+        ) == 0.0
+
+    def test_negative_peak_rejected(self):
+        model = big_cluster_perf_model()
+        with pytest.raises(ValueError):
+            model.workload_rate(
+                -1.0, 2.0, 4.0, parallel_fraction=0.9, freq_alpha=0.85
+            )
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            ClusterPerfModel(ipc_factor=0.0, f_max_ghz=2.0)

@@ -1,0 +1,80 @@
+"""Tests for the cluster power model."""
+
+import pytest
+
+from repro.platform.power import (
+    PowerModel,
+    big_cluster_power_model,
+    little_cluster_power_model,
+)
+
+
+class TestValidation:
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(-0.1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            PowerModel(0.1, 0.0, 0.0, idle_core_fraction=1.5)
+
+    def test_negative_active_cores_rejected(self):
+        model = big_cluster_power_model()
+        with pytest.raises(ValueError):
+            model.cluster_power(1.0, 1.0, -1, 0.0)
+
+
+class TestMonotonicity:
+    def test_increases_with_frequency(self):
+        model = big_cluster_power_model()
+        low = model.cluster_power(1.0, 1.0, 4, 4.0)
+        high = model.cluster_power(2.0, 1.0, 4, 4.0)
+        assert high > low
+
+    def test_increases_with_voltage(self):
+        model = big_cluster_power_model()
+        low = model.cluster_power(1.0, 1.0, 4, 4.0)
+        high = model.cluster_power(1.0, 1.3, 4, 4.0)
+        assert high > low
+
+    def test_increases_with_busy_cores(self):
+        model = big_cluster_power_model()
+        idle = model.cluster_power(1.0, 1.0, 4, 0.0)
+        busy = model.cluster_power(1.0, 1.0, 4, 4.0)
+        assert busy > idle
+
+    def test_active_but_idle_cores_cost_leakage(self):
+        model = big_cluster_power_model()
+        one_active = model.cluster_power(1.0, 1.0, 1, 0.0)
+        four_active = model.cluster_power(1.0, 1.0, 4, 0.0)
+        assert four_active > one_active
+
+    def test_busy_clamped_to_active(self):
+        model = big_cluster_power_model()
+        capped = model.cluster_power(1.0, 1.0, 2, 10.0)
+        exact = model.cluster_power(1.0, 1.0, 2, 2.0)
+        assert capped == pytest.approx(exact)
+
+
+class TestCalibration:
+    """Anchors that keep the simulated envelope on the paper's scale."""
+
+    def test_big_max_power_near_6_4_w(self):
+        model = big_cluster_power_model()
+        power = model.cluster_power(2.0, 1.3625, 4, 4.0)
+        assert 6.0 < power < 6.8
+
+    def test_big_efficient_point_near_3_7_w(self):
+        model = big_cluster_power_model()
+        power = model.cluster_power(1.4, 1.208, 4, 4.0)
+        assert 3.2 < power < 4.1
+
+    def test_little_max_power_near_1_w(self):
+        model = little_cluster_power_model()
+        power = model.cluster_power(1.4, 1.25, 4, 4.0)
+        assert 0.7 < power < 1.3
+
+    def test_big_hungrier_than_little(self):
+        big = big_cluster_power_model()
+        little = little_cluster_power_model()
+        assert big.cluster_power(1.4, 1.2, 4, 4.0) > 3 * little.cluster_power(
+            1.4, 1.2, 4, 4.0
+        )

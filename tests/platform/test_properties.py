@@ -1,0 +1,130 @@
+"""Property-based tests for the platform substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.opp import big_cluster_opps, little_cluster_opps
+from repro.platform.perf import amdahl_speedup, frequency_scale
+from repro.platform.power import big_cluster_power_model
+from repro.platform.scheduler import fair_share
+from repro.workloads.heartbeats import HeartbeatMonitor
+
+frequencies = st.floats(0.05, 3.0, allow_nan=False)
+fractions = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestOPPProperties:
+    @given(frequencies)
+    @settings(max_examples=80, deadline=None)
+    def test_snap_returns_table_entry(self, f):
+        for table in (big_cluster_opps(), little_cluster_opps()):
+            opp = table.snap(f)
+            assert opp in table.points
+
+    @given(frequencies)
+    @settings(max_examples=80, deadline=None)
+    def test_snap_is_nearest(self, f):
+        table = big_cluster_opps()
+        chosen = table.snap(f)
+        best = min(abs(p.frequency_ghz - f) for p in table.points)
+        assert abs(chosen.frequency_ghz - f) == pytest.approx(best)
+
+    @given(frequencies)
+    @settings(max_examples=80, deadline=None)
+    def test_snap_idempotent(self, f):
+        table = big_cluster_opps()
+        once = table.snap(f)
+        assert table.snap(once.frequency_ghz) == once
+
+
+class TestPowerProperties:
+    @given(
+        st.floats(0.2, 2.0),
+        st.floats(0.9, 1.4),
+        st.integers(1, 4),
+        st.floats(0.0, 4.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_power_positive_and_monotone_in_busy(self, f, v, cores, busy):
+        model = big_cluster_power_model()
+        power = model.cluster_power(f, v, cores, busy)
+        assert power > 0
+        more = model.cluster_power(f, v, cores, min(busy + 0.5, cores))
+        assert more >= power - 1e-12
+
+    @given(st.floats(0.2, 1.9), st.floats(0.9, 1.4), st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_power_monotone_in_frequency(self, f, v, cores):
+        model = big_cluster_power_model()
+        low = model.cluster_power(f, v, cores, cores)
+        high = model.cluster_power(f + 0.1, v, cores, cores)
+        assert high > low
+
+
+class TestPerfProperties:
+    @given(fractions, st.floats(0.1, 32.0))
+    @settings(max_examples=80, deadline=None)
+    def test_amdahl_bounded_by_threads_and_limit(self, p, n):
+        speedup = amdahl_speedup(p, n)
+        assert 0 <= speedup <= max(n, 1.0) + 1e-9
+        if p < 1.0 and n >= 1.0:
+            assert speedup <= 1.0 / (1.0 - p) + 1e-9
+
+    @given(fractions, st.floats(1.0, 16.0), st.floats(0.1, 8.0))
+    @settings(max_examples=80, deadline=None)
+    def test_amdahl_monotone_in_threads(self, p, n, extra):
+        assert amdahl_speedup(p, n + extra) >= amdahl_speedup(p, n) - 1e-12
+
+    @given(st.floats(0.01, 2.0), st.floats(0.2, 1.2))
+    @settings(max_examples=80, deadline=None)
+    def test_frequency_scale_in_unit_interval(self, f, alpha):
+        value = frequency_scale(f, 2.0, alpha)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSchedulerProperties:
+    @given(st.integers(0, 8), st.floats(0.0, 32.0))
+    @settings(max_examples=80, deadline=None)
+    def test_fair_share_bounds(self, cores, threads):
+        share = fair_share(cores, threads)
+        assert 0.0 <= share <= 1.0
+        if threads > 0 and cores >= threads:
+            assert share == 1.0
+
+
+class TestHeartbeatProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 0.2, allow_nan=False),
+                st.floats(0.0, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_windowed_rate_matches_manual_count(self, deltas_counts):
+        monitor = HeartbeatMonitor(window_s=0.3)
+        now = 0.0
+        issued: list[tuple[float, float]] = []
+        for delta, count in deltas_counts:
+            now += delta
+            monitor.issue(now, count)
+            issued.append((now, count))
+        expected = sum(
+            c
+            for t, c in issued
+            if t > now - 0.3 + 0.3 * 1e-6
+        ) / 0.3
+        assert monitor.rate(now) == pytest.approx(expected, rel=1e-6)
+
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_total_heartbeats_is_sum(self, counts):
+        monitor = HeartbeatMonitor()
+        for index, count in enumerate(counts):
+            monitor.issue(index * 0.05, count)
+        assert monitor.total_heartbeats == pytest.approx(sum(counts))

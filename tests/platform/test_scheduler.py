@@ -1,0 +1,142 @@
+"""Tests for the HMP background-task scheduler."""
+
+import pytest
+
+from repro.platform.scheduler import ClusterCapacity, HMPScheduler, fair_share
+from repro.workloads.base import BackgroundTask
+
+
+def big_cap(cores=4, strength=2.0):
+    return ClusterCapacity(active_cores=cores, core_strength=strength)
+
+
+def little_cap(cores=4, strength=0.35):
+    return ClusterCapacity(active_cores=cores, core_strength=strength)
+
+
+class TestFairShare:
+    def test_undersubscribed_full_share(self):
+        assert fair_share(4, 2.0) == 1.0
+
+    def test_oversubscribed_divides(self):
+        assert fair_share(4, 8.0) == pytest.approx(0.5)
+
+    def test_no_threads(self):
+        assert fair_share(4, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fair_share(-1, 2.0)
+
+
+class TestClusterCapacity:
+    def test_capacity(self):
+        assert big_cap().capacity == pytest.approx(8.0)
+
+    def test_scheduling_capacity_interpolates(self):
+        cap = big_cap()
+        assert cap.scheduling_capacity(0.0) == pytest.approx(4.0)
+        assert cap.scheduling_capacity(1.0) == pytest.approx(8.0)
+        assert 4.0 < cap.scheduling_capacity(0.5) < 8.0
+
+
+class TestPlacement:
+    def test_first_tasks_prefer_idle_little(self):
+        scheduler = HMPScheduler()
+        tasks = [BackgroundTask("t0")]
+        placement = scheduler.place(
+            tasks, big=big_cap(), little=little_cap(),
+            big_resident_threads=4.0,
+        )
+        assert len(placement.little_tasks) == 1
+
+    def test_many_tasks_split_between_clusters(self):
+        scheduler = HMPScheduler()
+        tasks = [BackgroundTask(f"t{i}") for i in range(4)]
+        placement = scheduler.place(
+            tasks, big=big_cap(), little=little_cap(),
+            big_resident_threads=4.0,
+        )
+        assert len(placement.big_tasks) >= 1
+        assert len(placement.little_tasks) >= 1
+        assert len(placement.big_tasks) + len(placement.little_tasks) == 4
+
+    def test_demand_accounting(self):
+        scheduler = HMPScheduler()
+        tasks = [BackgroundTask(f"t{i}", demand=0.5) for i in range(2)]
+        placement = scheduler.place(
+            tasks, big=big_cap(), little=little_cap()
+        )
+        assert placement.big_demand + placement.little_demand == (
+            pytest.approx(1.0)
+        )
+
+    def test_zero_capacity_cluster_avoided(self):
+        scheduler = HMPScheduler()
+        tasks = [BackgroundTask("t0")]
+        placement = scheduler.place(
+            tasks,
+            big=big_cap(),
+            little=ClusterCapacity(active_cores=0, core_strength=0.35),
+        )
+        assert len(placement.big_tasks) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMPScheduler(strength_exponent=2.0)
+        with pytest.raises(ValueError):
+            HMPScheduler(migration_hysteresis=-0.1)
+
+
+class TestHysteresis:
+    def test_assignment_is_sticky_under_small_capacity_changes(self):
+        """A modest frequency change must not re-shuffle tasks (the
+        task-sloshing limit cycle the hysteresis exists to prevent)."""
+        scheduler = HMPScheduler(migration_hysteresis=0.35)
+        tasks = [BackgroundTask(f"t{i}") for i in range(4)]
+        first = scheduler.place(
+            tasks, big=big_cap(strength=2.0), little=little_cap(strength=0.35),
+            big_resident_threads=4.0,
+        )
+        assignment_1 = ({t.name for t in first.big_tasks},
+                        {t.name for t in first.little_tasks})
+        # Big slows down a little (1.7 GHz instead of 2.0)
+        second = scheduler.place(
+            tasks, big=big_cap(strength=1.7), little=little_cap(strength=0.35),
+            big_resident_threads=4.0,
+        )
+        assignment_2 = ({t.name for t in second.big_tasks},
+                        {t.name for t in second.little_tasks})
+        assert assignment_1 == assignment_2
+
+    def test_large_imbalance_still_migrates(self):
+        scheduler = HMPScheduler(migration_hysteresis=0.35)
+        tasks = [BackgroundTask("t0")]
+        first = scheduler.place(
+            tasks, big=big_cap(), little=little_cap(),
+            big_resident_threads=4.0,
+        )
+        assert len(first.little_tasks) == 1
+        # Little cluster collapses to one slow core while Big empties.
+        second = scheduler.place(
+            tasks,
+            big=big_cap(cores=4, strength=2.0),
+            little=ClusterCapacity(active_cores=1, core_strength=0.05),
+            big_resident_threads=0.0,
+        )
+        assert len(second.big_tasks) == 1
+
+    def test_departed_tasks_forgotten(self):
+        scheduler = HMPScheduler()
+        tasks = [BackgroundTask("t0")]
+        scheduler.place(tasks, big=big_cap(), little=little_cap())
+        scheduler.place([], big=big_cap(), little=little_cap())
+        assert scheduler._previous == {}
+
+    def test_reset(self):
+        scheduler = HMPScheduler()
+        scheduler.place(
+            [BackgroundTask("t0")], big=big_cap(), little=little_cap()
+        )
+        scheduler.reset()
+        assert scheduler._previous == {}

@@ -1,0 +1,54 @@
+"""Tests for sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.platform.sensors import NoisySensor, pmu_counter, power_sensor
+
+
+class TestNoisySensor:
+    def test_deterministic_with_seed(self):
+        sensor = NoisySensor("s", noise_fraction=0.05)
+        a = sensor.read(10.0, np.random.default_rng(42))
+        b = sensor.read(10.0, np.random.default_rng(42))
+        assert a == b
+
+    def test_noise_is_multiplicative(self):
+        sensor = NoisySensor("s", noise_fraction=0.02)
+        rng = np.random.default_rng(0)
+        readings = np.array([sensor.read(100.0, rng) for _ in range(500)])
+        assert readings.std() == pytest.approx(2.0, rel=0.3)
+        assert readings.mean() == pytest.approx(100.0, rel=0.01)
+
+    def test_zero_noise_exact(self):
+        sensor = NoisySensor("s", noise_fraction=0.0)
+        assert sensor.read(3.14, np.random.default_rng(0)) == 3.14
+
+    def test_quantization(self):
+        sensor = NoisySensor("s", noise_fraction=0.0, resolution=0.005)
+        value = sensor.read(1.2345, np.random.default_rng(0))
+        assert value == pytest.approx(round(1.2345 / 0.005) * 0.005)
+
+    def test_floor(self):
+        sensor = NoisySensor("s", noise_fraction=0.0, floor=0.5)
+        assert sensor.read(0.1, np.random.default_rng(0)) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisySensor("s", noise_fraction=-0.1)
+        with pytest.raises(ValueError):
+            NoisySensor("s", resolution=-1.0)
+
+
+class TestFactories:
+    def test_power_sensor_properties(self):
+        sensor = power_sensor("big")
+        assert "big" in sensor.name
+        assert sensor.resolution == 0.005
+
+    def test_pmu_counter_noisier_than_power_sensor(self):
+        # Per-core rates at 50 ms granularity fluctuate more than the
+        # integrating cluster power sensor reads.
+        assert pmu_counter("big-core0").noise_fraction > power_sensor(
+            "big"
+        ).noise_fraction

@@ -1,0 +1,163 @@
+"""Tests for the simulated big.LITTLE SoC."""
+
+import numpy as np
+import pytest
+
+from repro.platform.soc import ExynosSoC, PlatformError, SoCConfig
+from repro.workloads import BackgroundTask, x264
+
+
+def make_soc(**kwargs):
+    return ExynosSoC(qos_app=x264(), **kwargs)
+
+
+def settle(soc, steps=40):
+    telemetry = None
+    for _ in range(steps):
+        telemetry = soc.step()
+    return telemetry
+
+
+class TestActuators:
+    def test_frequency_snaps_to_opp(self):
+        soc = make_soc()
+        applied = soc.big.set_frequency(1.234)
+        assert applied == pytest.approx(1.2)
+        assert soc.big.frequency_ghz == pytest.approx(1.2)
+
+    def test_frequency_clamps(self):
+        soc = make_soc()
+        assert soc.big.set_frequency(99.0) == pytest.approx(2.0)
+        assert soc.little.set_frequency(99.0) == pytest.approx(1.4)
+
+    def test_active_cores_rounds_and_clamps(self):
+        soc = make_soc()
+        assert soc.big.set_active_cores(2.6) == 3
+        assert soc.big.set_active_cores(0.0) == 1
+        assert soc.big.set_active_cores(9.0) == 4
+
+    def test_idle_fraction_bounds(self):
+        soc = make_soc()
+        soc.big.set_idle_fraction(0, 0.5)
+        assert soc.big.idle_fractions[0] == 0.5
+        soc.big.set_idle_fraction(0, 2.0)
+        assert soc.big.idle_fractions[0] == 0.95
+        with pytest.raises(PlatformError):
+            soc.big.set_idle_fraction(7, 0.1)
+
+    def test_voltage_follows_frequency(self):
+        soc = make_soc()
+        soc.big.set_frequency(0.2)
+        low = soc.big.voltage_v
+        soc.big.set_frequency(2.0)
+        assert soc.big.voltage_v > low
+
+
+class TestTelemetry:
+    def test_chip_power_is_sum(self):
+        soc = make_soc()
+        telemetry = settle(soc)
+        assert telemetry.chip_power_w == pytest.approx(
+            telemetry.big.power_w + telemetry.little.power_w
+        )
+
+    def test_time_advances_by_dt(self):
+        soc = make_soc()
+        t0 = soc.step().time_s
+        t1 = soc.step().time_s
+        assert t1 - t0 == pytest.approx(soc.config.dt_s)
+
+    def test_deterministic_given_seed(self):
+        a = settle(make_soc(config=SoCConfig(seed=5)))
+        b = settle(make_soc(config=SoCConfig(seed=5)))
+        assert a.qos_rate == b.qos_rate
+        assert a.big.power_w == b.big.power_w
+
+    def test_per_core_ips_sums_to_cluster(self):
+        soc = make_soc()
+        telemetry = settle(soc)
+        assert telemetry.big.ips == pytest.approx(
+            float(np.sum(telemetry.big.per_core_ips))
+        )
+
+    def test_inactive_cores_report_zero_ips(self):
+        soc = make_soc()
+        soc.big.set_active_cores(2)
+        telemetry = settle(soc)
+        assert np.all(telemetry.big.per_core_ips[2:] == 0.0)
+
+
+class TestQoSBehaviour:
+    def test_qos_increases_with_frequency(self):
+        soc = make_soc()
+        soc.big.set_frequency(0.8)
+        slow = settle(soc).qos_rate
+        soc.big.set_frequency(2.0)
+        fast = settle(soc).qos_rate
+        assert fast > slow * 1.5
+
+    def test_qos_increases_with_cores(self):
+        soc = make_soc()
+        soc.big.set_active_cores(1)
+        few = settle(soc).qos_rate
+        soc.big.set_active_cores(4)
+        many = settle(soc).qos_rate
+        assert many > few * 1.5
+
+    def test_max_allocation_hits_peak_rate(self):
+        soc = make_soc(config=SoCConfig(seed=1))
+        soc.big.set_frequency(2.0)
+        soc.big.set_active_cores(4)
+        telemetry = settle(soc, steps=60)
+        assert telemetry.qos_rate == pytest.approx(80.0, rel=0.06)
+
+    def test_background_tasks_reduce_qos(self):
+        clean = make_soc(config=SoCConfig(seed=3))
+        clean.big.set_frequency(2.0)
+        qos_clean = settle(clean).qos_rate
+        noisy = ExynosSoC(
+            qos_app=x264(),
+            background=[BackgroundTask(f"bg{i}") for i in range(4)],
+            config=SoCConfig(seed=3),
+        )
+        noisy.big.set_frequency(2.0)
+        noisy.little.set_frequency(1.4)
+        qos_noisy = settle(noisy).qos_rate
+        assert qos_noisy < 0.9 * qos_clean
+
+    def test_background_tasks_arrive_on_schedule(self):
+        soc = ExynosSoC(
+            qos_app=x264(),
+            background=[BackgroundTask("late", arrival_s=1.0)],
+            config=SoCConfig(seed=2),
+        )
+        soc.little.set_frequency(1.0)
+        early = settle(soc, steps=10)  # t < 1.0
+        assert early.little.busy_core_equivalents == 0.0
+        late = settle(soc, steps=30)  # t > 1.0
+        assert late.little.busy_core_equivalents > 0.0
+
+    def test_idle_insertion_reduces_capacity(self):
+        soc = make_soc()
+        full = soc.big.effective_capacity()
+        soc.big.set_idle_fraction(0, 0.5)
+        assert soc.big.effective_capacity() == pytest.approx(full - 0.5)
+
+    def test_no_qos_app_reports_zero(self):
+        soc = ExynosSoC(qos_app=None)
+        telemetry = settle(soc, steps=5)
+        assert telemetry.qos_rate == 0.0
+        assert telemetry.qos_raw == 0.0
+
+
+class TestConfig:
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(PlatformError):
+            ExynosSoC(qos_app=x264(), config=SoCConfig(dt_s=0.0))
+
+    def test_power_within_mobile_envelope(self):
+        soc = make_soc()
+        soc.big.set_frequency(2.0)
+        soc.little.set_frequency(1.4)
+        telemetry = settle(soc)
+        assert 3.0 < telemetry.chip_power_w < 8.0

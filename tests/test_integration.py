@@ -1,0 +1,179 @@
+"""Integration tests: the paper's headline claims on the full scenario.
+
+These run the complete three-phase x264 experiment for all four
+resource managers on the simulated platform and assert the *shape* of
+the paper's results (Section 5.1) — who wins, in which phase, and by
+roughly what kind of margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import three_phase_scenario
+from repro.managers.fs import FullSystemMIMO
+from repro.managers.mm import mm_perf, mm_pow
+from repro.managers.spectr import SPECTRManager
+from repro.workloads import canneal, x264
+
+
+@pytest.fixture(scope="module")
+def x264_traces(big_system, little_system, full_system, verified_supervisor):
+    scenario = three_phase_scenario()
+    factories = {
+        "MM-Perf": lambda soc, goals: mm_perf(
+            soc, goals, big_system=big_system, little_system=little_system
+        ),
+        "MM-Pow": lambda soc, goals: mm_pow(
+            soc, goals, big_system=big_system, little_system=little_system
+        ),
+        "FS": lambda soc, goals: FullSystemMIMO(
+            soc, goals, system=full_system
+        ),
+        "SPECTR": lambda soc, goals: SPECTRManager(
+            soc,
+            goals,
+            big_system=big_system,
+            little_system=little_system,
+            verified_supervisor=verified_supervisor,
+        ),
+    }
+    return {
+        name: run_scenario(factory, x264(), scenario, seed=2018)
+        for name, factory in factories.items()
+    }
+
+
+def phase_mean(trace, phase_index, series):
+    sl = trace.phase_slice(phase_index)
+    return float(getattr(trace, series)[sl][40:].mean())
+
+
+class TestSafePhase:
+    """Phase 1: QoS reference achievable within TDP."""
+
+    def test_spectr_and_mmperf_meet_qos(self, x264_traces):
+        for name in ("SPECTR", "MM-Perf"):
+            qos = phase_mean(x264_traces[name], 0, "qos")
+            assert qos == pytest.approx(60.0, rel=0.05), name
+
+    def test_spectr_and_mmperf_save_power(self, x264_traces):
+        """Paper: 'both MM-Perf and SPECTR reduce power consumption ...
+        while maintaining FPS within 10% of the reference'."""
+        for name in ("SPECTR", "MM-Perf"):
+            power = phase_mean(x264_traces[name], 0, "chip_power")
+            assert power < 0.9 * 5.0, name
+
+    def test_power_trackers_consume_the_budget(self, x264_traces):
+        """Paper: 'FS and MM-Pow controllers unnecessarily exceed the
+        reference FPS value and, as a result, consume excessive power'."""
+        for name in ("FS", "MM-Pow"):
+            qos = phase_mean(x264_traces[name], 0, "qos")
+            power = phase_mean(x264_traces[name], 0, "chip_power")
+            assert qos > 60.0, name
+            assert power > 0.9 * 5.0, name
+
+    def test_power_savers_beat_power_trackers(self, x264_traces):
+        saver = phase_mean(x264_traces["SPECTR"], 0, "chip_power")
+        tracker = phase_mean(x264_traces["MM-Pow"], 0, "chip_power")
+        assert saver < tracker - 0.3
+
+
+class TestEmergencyPhase:
+    """Phase 2: the power envelope drops to 3.3 W."""
+
+    def test_power_aware_managers_track_the_cap(self, x264_traces):
+        for name in ("SPECTR", "MM-Pow", "FS"):
+            power = phase_mean(x264_traces[name], 1, "chip_power")
+            assert power == pytest.approx(3.3, abs=0.45), name
+
+    def test_mmperf_cannot_react_to_the_emergency(self, x264_traces):
+        """MM-Perf has no supervisory coordinator: it keeps serving QoS
+        and ignores the new envelope."""
+        power = phase_mean(x264_traces["MM-Perf"], 1, "chip_power")
+        assert power > 3.3 + 0.4
+
+    def test_fs_settles_slower_than_spectr(self, x264_traces):
+        """Paper Section 5.1.1: FS's larger state space makes its power
+        response sluggish (2.07 s vs SPECTR's 1.28 s)."""
+        from repro.control.metrics import settling_time
+
+        def power_settling(name):
+            trace = x264_traces[name]
+            sl = trace.phase_slice(1)
+            return settling_time(
+                trace.times[sl], trace.chip_power[sl], band=0.08
+            )
+
+        assert power_settling("FS") > power_settling("SPECTR")
+
+
+class TestDisturbancePhase:
+    """Phase 3: TDP restored, background tasks make QoS unachievable."""
+
+    def test_mmperf_violates_tdp_for_highest_qos(self, x264_traces):
+        qos = phase_mean(x264_traces["MM-Perf"], 2, "qos")
+        power = phase_mean(x264_traces["MM-Perf"], 2, "chip_power")
+        assert power > 5.0 * 1.1
+        others = [
+            phase_mean(x264_traces[n], 2, "qos")
+            for n in ("SPECTR", "MM-Pow", "FS")
+        ]
+        assert qos > max(others)
+
+    def test_capped_managers_obey_tdp(self, x264_traces):
+        for name in ("SPECTR", "MM-Pow", "FS"):
+            power = phase_mean(x264_traces[name], 2, "chip_power")
+            assert power < 5.0 * 1.08, name
+
+    def test_spectr_adapts_priorities(self, x264_traces):
+        """SPECTR behaved like MM-Perf in phase 1 and must behave like a
+        power capper (not like MM-Perf) in phase 3."""
+        spectr_power = phase_mean(x264_traces["SPECTR"], 2, "chip_power")
+        mmperf_power = phase_mean(x264_traces["MM-Perf"], 2, "chip_power")
+        assert spectr_power < mmperf_power - 1.0
+
+
+class TestSPECTRGainSchedule:
+    def test_gain_switches_align_with_phase_changes(self, x264_traces):
+        trace = x264_traces["SPECTR"]
+        switches = [
+            (trace.times[i], trace.gain_sets[i])
+            for i in range(1, len(trace.gain_sets))
+            if trace.gain_sets[i] != trace.gain_sets[i - 1]
+        ]
+        switch_times = [t for t, _ in switches]
+        # A switch to power-oriented gains shortly after the emergency
+        # begins at t=5.
+        assert any(5.0 <= t <= 6.5 for t in switch_times)
+        # No thrashing: a handful of switches across the whole run.
+        assert len(switches) <= 8
+
+    def test_spectr_qos_mode_in_phase1(self, x264_traces):
+        trace = x264_traces["SPECTR"]
+        sl = trace.phase_slice(0)
+        gains = trace.gain_sets[sl.start + 40 : sl.stop]
+        assert gains.count("qos") / len(gains) > 0.9
+
+
+class TestCannealSerialPhase:
+    def test_no_manager_meets_qos_in_phase1(
+        self, big_system, little_system, verified_supervisor
+    ):
+        """Paper Section 5.1.2: canneal's serialized input processing
+        keeps every manager away from the QoS reference in phase 1."""
+        scenario = three_phase_scenario()
+        trace = run_scenario(
+            lambda soc, goals: SPECTRManager(
+                soc,
+                goals,
+                big_system=big_system,
+                little_system=little_system,
+                verified_supervisor=verified_supervisor,
+            ),
+            canneal(),
+            scenario,
+            seed=2018,
+        )
+        qos = phase_mean(trace, 0, "qos")
+        assert qos < 0.95 * 60.0

@@ -1,0 +1,130 @@
+"""Tests for workload models."""
+
+import numpy as np
+import pytest
+
+from repro.platform.perf import big_cluster_perf_model
+from repro.workloads.base import BackgroundTask, QoSWorkload, WorkloadPhase
+
+
+def workload(**overrides):
+    defaults = dict(
+        name="wl",
+        peak_rate=80.0,
+        parallel_fraction=0.9,
+        freq_alpha=0.85,
+    )
+    defaults.update(overrides)
+    return QoSWorkload(**defaults)
+
+
+class TestValidation:
+    def test_positive_peak_required(self):
+        with pytest.raises(ValueError):
+            workload(peak_rate=0.0)
+
+    def test_parallel_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            workload(parallel_fraction=1.5)
+
+    def test_freq_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            workload(freq_alpha=0.0)
+
+    def test_thread_count(self):
+        with pytest.raises(ValueError):
+            workload(threads=0)
+
+    def test_variability_non_negative(self):
+        with pytest.raises(ValueError):
+            workload(variability=-0.1)
+
+
+class TestRate:
+    def test_peak_at_reference_allocation(self):
+        w = workload()
+        perf = big_cluster_perf_model()
+        assert w.rate(perf, 2.0, 4.0) == pytest.approx(80.0)
+
+    def test_monotone_in_frequency(self):
+        w = workload()
+        perf = big_cluster_perf_model()
+        rates = [w.rate(perf, f, 4.0) for f in (0.5, 1.0, 1.5, 2.0)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_threads(self):
+        w = workload()
+        perf = big_cluster_perf_model()
+        rates = [w.rate(perf, 2.0, n) for n in (1.0, 2.0, 3.0, 4.0)]
+        assert rates == sorted(rates)
+
+    def test_noise_bounded(self):
+        w = workload(variability=0.05)
+        perf = big_cluster_perf_model()
+        rng = np.random.default_rng(0)
+        rates = [w.rate(perf, 2.0, 4.0, rng=rng) for _ in range(300)]
+        assert np.std(rates) / np.mean(rates) == pytest.approx(0.05, rel=0.3)
+        assert min(rates) > 0.5 * 80.0
+
+    def test_allocation_speedup_substantial(self):
+        w = workload()
+        perf = big_cluster_perf_model()
+        speedup = w.allocation_speedup(
+            perf, min_frequency_ghz=0.6, max_frequency_ghz=2.0
+        )
+        assert speedup > 3.0
+
+
+class TestPhases:
+    def test_phase_overrides_parallel_fraction(self):
+        w = workload(
+            serial_phases=(WorkloadPhase(1.0, 2.0, parallel_fraction=0.2),)
+        )
+        assert w.parallel_fraction_at(0.5) == 0.9
+        assert w.parallel_fraction_at(1.5) == 0.2
+        assert w.parallel_fraction_at(2.5) == 0.9
+
+    def test_phase_boundaries_half_open(self):
+        phase = WorkloadPhase(1.0, 2.0, parallel_fraction=0.2)
+        assert phase.contains(1.0)
+        assert not phase.contains(2.0)
+
+    def test_serial_phase_reduces_core_benefit(self):
+        w = workload(
+            serial_phases=(WorkloadPhase(0.0, 10.0, parallel_fraction=0.3),)
+        )
+        perf = big_cluster_perf_model()
+        gain_serial = w.rate(perf, 2.0, 4.0, time_s=5.0) / w.rate(
+            perf, 2.0, 1.0, time_s=5.0
+        )
+        gain_parallel = w.rate(perf, 2.0, 4.0, time_s=15.0) / w.rate(
+            perf, 2.0, 1.0, time_s=15.0
+        )
+        assert gain_serial < gain_parallel
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(2.0, 1.0, parallel_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadPhase(0.0, 1.0, parallel_fraction=1.5)
+
+
+class TestBackgroundTask:
+    def test_activity_window(self):
+        task = BackgroundTask("t", arrival_s=1.0, departure_s=3.0)
+        assert not task.active_at(0.5)
+        assert task.active_at(1.0)
+        assert task.active_at(2.9)
+        assert not task.active_at(3.0)
+
+    def test_default_runs_forever(self):
+        task = BackgroundTask("t")
+        assert task.active_at(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundTask("t", demand=0.0)
+        with pytest.raises(ValueError):
+            BackgroundTask("t", demand=1.5)
+        with pytest.raises(ValueError):
+            BackgroundTask("t", arrival_s=5.0, departure_s=5.0)

@@ -1,0 +1,77 @@
+"""Tests for the Heartbeats API monitor."""
+
+import pytest
+
+from repro.workloads.heartbeats import HeartbeatError, HeartbeatMonitor
+
+
+class TestIssueAndRate:
+    def test_constant_rate_measured_exactly(self):
+        monitor = HeartbeatMonitor(window_s=0.25)
+        for k in range(20):
+            monitor.issue(k * 0.05, count=3.0)  # 60 hb/s
+        assert monitor.rate() == pytest.approx(60.0)
+
+    def test_rate_uses_window_only(self):
+        monitor = HeartbeatMonitor(window_s=0.2)
+        # fast early, slow late
+        for k in range(10):
+            monitor.issue(k * 0.05, count=5.0)
+        for k in range(10, 20):
+            monitor.issue(k * 0.05, count=1.0)
+        assert monitor.rate() == pytest.approx(1.0 / 0.05, rel=0.01)
+
+    def test_empty_monitor_rate_zero(self):
+        assert HeartbeatMonitor().rate() == 0.0
+
+    def test_rate_at_explicit_time_evicts(self):
+        monitor = HeartbeatMonitor(window_s=0.1)
+        monitor.issue(0.0, count=2.0)
+        assert monitor.rate(now_s=10.0) == 0.0
+
+    def test_total_heartbeats_accumulates(self):
+        monitor = HeartbeatMonitor()
+        monitor.issue(0.0, count=2.0)
+        monitor.issue(0.05, count=3.0)
+        assert monitor.total_heartbeats == 5.0
+
+    def test_float_drift_does_not_inflate_rate(self):
+        """Accumulated 0.05s timestamps drift in floating point; the
+        window must still hold exactly window/dt records."""
+        monitor = HeartbeatMonitor(window_s=0.25)
+        t = 0.0
+        for _ in range(400):
+            monitor.issue(t, count=4.0)  # exactly 80/s
+            t += 0.05
+        assert monitor.rate() == pytest.approx(80.0, rel=1e-6)
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        monitor = HeartbeatMonitor()
+        with pytest.raises(HeartbeatError):
+            monitor.issue(0.0, count=-1.0)
+
+    def test_time_must_not_go_backwards(self):
+        monitor = HeartbeatMonitor()
+        monitor.issue(1.0)
+        with pytest.raises(HeartbeatError):
+            monitor.issue(0.5)
+
+    def test_same_time_allowed(self):
+        monitor = HeartbeatMonitor()
+        monitor.issue(1.0)
+        monitor.issue(1.0)
+        assert monitor.total_heartbeats == 2.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(HeartbeatError):
+            HeartbeatMonitor(window_s=0.0)
+
+    def test_reset(self):
+        monitor = HeartbeatMonitor()
+        monitor.issue(0.0, count=5.0)
+        monitor.reset()
+        assert monitor.rate() == 0.0
+        assert monitor.total_heartbeats == 0.0
+        monitor.issue(0.0)  # time ordering restarts cleanly

@@ -1,0 +1,82 @@
+"""Tests for the PARSEC / ML workload suites and the microbenchmark."""
+
+import pytest
+
+from repro.workloads import (
+    all_qos_workloads,
+    bodytrack,
+    canneal,
+    k_means,
+    knn,
+    least_squares,
+    linear_regression,
+    ml_suite,
+    parsec_suite,
+    streamcluster,
+    sysid_microbenchmark,
+    x264,
+)
+
+
+class TestSuites:
+    def test_parsec_suite_contents(self):
+        names = {w.name for w in parsec_suite()}
+        assert names == {"x264", "bodytrack", "canneal", "streamcluster"}
+
+    def test_ml_suite_contents(self):
+        names = {w.name for w in ml_suite()}
+        assert names == {"k-means", "KNN", "least-squares", "linear-regression"}
+
+    def test_all_eight_workloads(self):
+        assert len(all_qos_workloads()) == 8
+
+    def test_all_use_four_threads(self):
+        # "For all experiments, each QoS application uses four threads."
+        assert all(w.threads == 4 for w in all_qos_workloads())
+
+
+class TestBenchmarkCharacter:
+    def test_x264_uses_fps(self):
+        assert x264().qos_unit == "FPS"
+
+    def test_x264_is_compute_leaning(self):
+        assert x264().freq_alpha > streamcluster().freq_alpha
+
+    def test_streamcluster_most_memory_bound_in_parsec(self):
+        alphas = {w.name: w.freq_alpha for w in parsec_suite()}
+        assert min(alphas, key=alphas.get) == "streamcluster"
+
+    def test_canneal_has_serial_phase(self):
+        w = canneal()
+        assert w.serial_phases
+        phase = w.serial_phases[0]
+        assert phase.parallel_fraction < w.parallel_fraction
+
+    def test_canneal_serial_window_configurable(self):
+        w = canneal(serial_start_s=2.0, serial_end_s=4.0)
+        assert w.parallel_fraction_at(3.0) < w.parallel_fraction_at(5.0)
+
+    def test_bodytrack_scales_well(self):
+        assert bodytrack().parallel_fraction >= 0.9
+
+    def test_kmeans_has_reduction_phase(self):
+        assert k_means().serial_phases
+
+    def test_ml_workloads_data_intensive(self):
+        for w in (k_means(), knn(), least_squares(), linear_regression()):
+            assert w.freq_alpha < 0.85  # all memory-sensitive
+
+
+class TestMicrobenchmark:
+    def test_mlp_fraction_controls_memory_boundness(self):
+        compute = sysid_microbenchmark(mlp_fraction=0.0)
+        memory = sysid_microbenchmark(mlp_fraction=1.0)
+        assert compute.freq_alpha > memory.freq_alpha
+        assert compute.parallel_fraction > memory.parallel_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sysid_microbenchmark(mlp_fraction=1.5)
+
+    def test_low_variability_for_identification(self):
+        assert sysid_microbenchmark().variability <= 0.02
