@@ -6,7 +6,7 @@ gain generation, robustness verification under the 50%/30% guardbands,
 and a closed-loop functional check.
 """
 
-from repro.core.design_flow import run_design_flow
+from repro.experiments.design_flow import run_design_flow
 
 
 def test_design_flow(benchmark, save_result):

@@ -9,7 +9,7 @@ under the 50%/30% uncertainty guardbands, and a closed-loop functional
 check — and prints the step-by-step report an HMP architect would review.
 """
 
-from repro.core.design_flow import run_design_flow
+from repro.experiments.design_flow import run_design_flow
 from repro.managers.base import ManagerGoals
 
 
@@ -38,11 +38,8 @@ def main() -> None:
     # policy bundle and reload it without re-running synthesis/design.
     import tempfile
 
-    from repro.core.persistence import (
-        bundle_from_design,
-        load_bundle,
-        save_bundle,
-    )
+    from repro.core.persistence import load_bundle, save_bundle
+    from repro.managers.bundle import bundle_from_design
 
     assert report.supervisor is not None
     bundle = bundle_from_design(report.supervisor, report.subsystems)

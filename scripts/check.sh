@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 test suite + static analysis.
+#
+# This is the single command CI runs (see .github/workflows/ci.yml) and
+# the one to run locally before pushing.  It fails if either
+#   * any tier-1 test fails, or
+#   * `python -m repro.analysis src/` reports an error-severity finding
+#     (artifact defects, lint errors, architecture-layer violations).
+#
+# Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
+# only when installed, so the gate works on the bare numpy toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== static analysis (repro.analysis) =="
+python -m repro.analysis src/
+
+if command -v ruff >/dev/null 2>&1; then
+    echo
+    echo "== ruff =="
+    ruff check src tests
+fi
+if command -v mypy >/dev/null 2>&1; then
+    echo
+    echo "== mypy =="
+    mypy
+fi
+
+echo
+echo "All checks passed."

@@ -31,7 +31,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_design_flow(_args: argparse.Namespace) -> int:
-    from repro.core.design_flow import run_design_flow
+    from repro.experiments.design_flow import run_design_flow
 
     report = run_design_flow()
     print(report.format_text())
@@ -94,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="regenerate the paper's tables/figures"
     )
-    p_report.add_argument("sections", nargs="*", default=[])
+    p_report.add_argument("sections", nargs="*", default=())
     p_report.set_defaults(func=_cmd_report)
 
     p_flow = sub.add_parser(

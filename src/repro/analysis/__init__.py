@@ -1,0 +1,53 @@
+"""Static analysis for the SPECTR reproduction: pre-deployment gates.
+
+SPECTR's guarantee rests on artifacts that are verified *before* they
+reach the 50 ms control loop (Figure 11 steps 4-5).  This package makes
+that discipline a repo-wide gate with three analyzers sharing one
+finding/severity/report core:
+
+* :mod:`repro.analysis.artifacts` — validates serialized control
+  artifacts (automaton JSON, policy bundles with LQG gain sets) without
+  running the plant;
+* :mod:`repro.analysis.lint` — repo-specific AST lint (mutable
+  defaults, bare excepts, float equality in control math, dtype-less
+  numpy allocation in hot paths, missing ``__all__``, unit-suffix
+  conventions);
+* :mod:`repro.analysis.arch` — enforces the architecture layering of
+  DESIGN.md by walking import graphs.
+
+Run everything with ``python -m repro.analysis [paths...]``; the exit
+code is nonzero iff any error-severity finding was produced.
+"""
+
+from repro.analysis.arch import ALLOWED_IMPORTS, check_architecture
+from repro.analysis.artifacts import (
+    analyze_automaton_file,
+    analyze_bundle_dir,
+)
+from repro.analysis.automata_checks import (
+    check_automaton_payload,
+    check_modular_alphabets,
+    check_supervisor_against_plant,
+)
+from repro.analysis.cli import analyze_paths, main
+from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.gain_checks import check_gains
+from repro.analysis.lint import lint_file, lint_source
+
+__all__ = [
+    "ALLOWED_IMPORTS",
+    "Finding",
+    "Report",
+    "Severity",
+    "analyze_automaton_file",
+    "analyze_bundle_dir",
+    "analyze_paths",
+    "check_architecture",
+    "check_automaton_payload",
+    "check_gains",
+    "check_modular_alphabets",
+    "check_supervisor_against_plant",
+    "lint_file",
+    "lint_source",
+    "main",
+]

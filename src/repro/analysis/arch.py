@@ -1,0 +1,145 @@
+"""Architecture-layer checker for the ``repro`` package.
+
+Enforces the layering documented in DESIGN.md by walking the import
+graph with ``ast`` (no imports are executed):
+
+====================  ====  =============================================
+package               rank  may import
+====================  ====  =============================================
+``automata``          0     (stdlib/numpy only)
+``control``           0     (stdlib/numpy only)
+``platform``          1     rank 0; ``workloads`` (peer)
+``workloads``         1     rank 0; ``platform`` (peer)
+``core``              2     ranks 0-1
+``analysis``          2     rank 0; ``core`` (artifact formats)
+``managers``          3     ranks 0-2
+``experiments``       4     ranks 0-3 and ``analysis``
+====================  ====  =============================================
+
+In particular ``platform`` and ``workloads`` must import neither
+``managers`` nor ``experiments``, and ``core`` (the formally-verified
+supervisory layer) must not depend on anything above it — the supervisor
+must stay auditable in isolation, because it is the one component the
+paper verifies offline (Figure 11 steps 4-5) and trusts blindly at
+runtime.  Modules at the package root (``repro/__init__.py``,
+``repro/__main__.py``) are the composition root and may import any layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["ALLOWED_IMPORTS", "check_architecture", "import_edges"]
+
+# package -> packages it may import (itself is always allowed).
+ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
+    "automata": frozenset(),
+    "control": frozenset(),
+    "platform": frozenset({"automata", "control", "workloads"}),
+    "workloads": frozenset({"automata", "control", "platform"}),
+    "analysis": frozenset({"automata", "control", "core"}),
+    "core": frozenset({"automata", "control", "platform", "workloads"}),
+    "managers": frozenset(
+        {"automata", "control", "platform", "workloads", "core"}
+    ),
+    "experiments": frozenset(
+        {
+            "automata",
+            "control",
+            "platform",
+            "workloads",
+            "core",
+            "managers",
+            "analysis",
+        }
+    ),
+}
+
+
+def _imported_packages(tree: ast.AST) -> list[tuple[int, str]]:
+    """(line, subpackage) pairs for every ``repro.<pkg>`` import."""
+    edges: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and module.startswith("repro."):
+                edges.append((node.lineno, module.split(".")[1]))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro."):
+                    edges.append((node.lineno, alias.name.split(".")[1]))
+    return edges
+
+
+def import_edges(
+    package_root: Path,
+) -> dict[str, list[tuple[str, int, str]]]:
+    """Import graph of a ``repro`` package tree.
+
+    Maps each subpackage to ``(file, line, imported_subpackage)`` edges.
+    ``package_root`` is the directory containing ``repro``'s
+    ``__init__.py``.
+    """
+    graph: dict[str, list[tuple[str, int, str]]] = {}
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if len(relative.parts) == 1:
+            continue  # composition root: repro/__init__.py, __main__.py
+        package = relative.parts[0]
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue  # the lint pass reports the syntax error
+        for line, imported in _imported_packages(tree):
+            graph.setdefault(package, []).append((str(path), line, imported))
+    return graph
+
+
+def check_architecture(
+    package_root: str | Path,
+    *,
+    allowed: Mapping[str, Iterable[str]] | None = None,
+) -> list[Finding]:
+    """Report every import that violates the layer rules (REPRO-R001).
+
+    Unknown packages (a new top-level subpackage not yet assigned to a
+    layer) get a warning (REPRO-R002) so the layer map stays complete.
+    """
+    package_root = Path(package_root)
+    rules = {
+        package: frozenset(targets)
+        for package, targets in (allowed or ALLOWED_IMPORTS).items()
+    }
+    findings: list[Finding] = []
+    for package, edges in import_edges(package_root).items():
+        if package not in rules:
+            findings.append(
+                Finding(
+                    path=str(package_root / package),
+                    line=0,
+                    rule="REPRO-R002",
+                    severity=Severity.WARNING,
+                    message=f"package {package!r} is not in the architecture "
+                    "layer map; add it to ALLOWED_IMPORTS",
+                )
+            )
+            continue
+        permitted = rules[package] | {package}
+        for file_path, line, imported in edges:
+            if imported not in permitted:
+                findings.append(
+                    Finding(
+                        path=file_path,
+                        line=line,
+                        rule="REPRO-R001",
+                        severity=Severity.ERROR,
+                        message=f"layer violation: {package!r} may not import "
+                        f"repro.{imported} (allowed: "
+                        f"{', '.join(sorted(permitted - {package})) or 'none'})",
+                    )
+                )
+    return findings

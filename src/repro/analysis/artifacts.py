@@ -1,0 +1,174 @@
+"""File-level artifact analysis: JSON automata and policy bundles.
+
+Maps on-disk control artifacts to the checks in
+:mod:`repro.analysis.automata_checks` and
+:mod:`repro.analysis.gain_checks`:
+
+* ``*.json`` containing an automaton payload (the
+  :mod:`repro.automata.serialization` format) — structural, reachability
+  and round-trip checks;
+* a directory with a ``bundle.json`` manifest (the
+  :mod:`repro.core.persistence` policy-bundle format) — per-automaton
+  checks, cross-module alphabet consistency, closed-loop
+  controllability/nonblocking of supervisor vs bundled plant, and
+  numeric checks on every gain set in ``gains.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.automata_checks import (
+    check_automaton_payload,
+    check_modular_alphabets,
+    check_supervisor_against_plant,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.gain_checks import check_gains
+from repro.automata.serialization import automaton_from_dict
+from repro.core.persistence import BUNDLE_MANIFEST, gains_from_arrays
+
+__all__ = [
+    "analyze_automaton_file",
+    "analyze_bundle_dir",
+    "looks_like_automaton_payload",
+    "looks_like_bundle_dir",
+]
+
+
+def _finding(path: str, rule: str, message: str) -> Finding:
+    return Finding(
+        path=path, line=1, rule=rule, severity=Severity.ERROR, message=message
+    )
+
+
+def looks_like_automaton_payload(payload: Any) -> bool:
+    """Heuristic: a dict with the serialization format's key shape."""
+    return isinstance(payload, dict) and {
+        "states",
+        "transitions",
+        "events",
+    } <= payload.keys()
+
+
+def looks_like_bundle_dir(path: Path) -> bool:
+    return path.is_dir() and (path / BUNDLE_MANIFEST).is_file()
+
+
+def analyze_automaton_file(path: str | Path) -> list[Finding]:
+    """Check one serialized automaton JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [_finding(str(path), "REPRO-A001", f"unreadable JSON: {exc}")]
+    if not looks_like_automaton_payload(payload):
+        return [
+            _finding(
+                str(path),
+                "REPRO-A001",
+                "JSON file is not an automaton payload (missing "
+                "states/transitions/events keys)",
+            )
+        ]
+    return check_automaton_payload(payload, str(path))
+
+
+def analyze_bundle_dir(path: str | Path) -> list[Finding]:
+    """Check a policy-bundle directory end to end."""
+    path = Path(path)
+    manifest_path = path / BUNDLE_MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [
+            _finding(str(manifest_path), "REPRO-A001", f"unreadable manifest: {exc}")
+        ]
+    if manifest.get("format") != "spectr-policy-bundle/1":
+        return [
+            _finding(
+                str(manifest_path),
+                "REPRO-A001",
+                f"unsupported bundle format {manifest.get('format')!r}",
+            )
+        ]
+
+    findings: list[Finding] = []
+    payloads: dict[str, Any] = {}
+    for role in ("supervisor", "plant"):
+        payload = manifest.get(role)
+        if payload is None:
+            if role == "supervisor":
+                findings.append(
+                    _finding(
+                        str(manifest_path),
+                        "REPRO-A001",
+                        "bundle has no supervisor automaton",
+                    )
+                )
+            continue
+        payloads[role] = payload
+        findings.extend(
+            check_automaton_payload(payload, f"{manifest_path}#{role}")
+        )
+
+    findings.extend(check_modular_alphabets(payloads, str(manifest_path)))
+
+    clean_so_far = not any(f.severity == Severity.ERROR for f in findings)
+    if clean_so_far and "supervisor" in payloads and "plant" in payloads:
+        findings.extend(
+            check_supervisor_against_plant(
+                automaton_from_dict(payloads["plant"]),
+                automaton_from_dict(payloads["supervisor"]),
+                str(manifest_path),
+            )
+        )
+
+    findings.extend(_analyze_bundle_gains(path, manifest))
+    return findings
+
+
+def _analyze_bundle_gains(path: Path, manifest: dict[str, Any]) -> list[Finding]:
+    gains_path = path / "gains.npz"
+    subsystems = manifest.get("subsystems", {})
+    if not subsystems:
+        return []
+    if not gains_path.is_file():
+        return [
+            _finding(
+                str(gains_path),
+                "REPRO-G002",
+                "manifest declares gain sets but gains.npz is missing",
+            )
+        ]
+    try:
+        with np.load(gains_path) as data:
+            arrays = {key: data[key] for key in data.files}
+    except (OSError, ValueError) as exc:
+        return [
+            _finding(str(gains_path), "REPRO-G001", f"unreadable gains.npz: {exc}")
+        ]
+
+    findings: list[Finding] = []
+    for subsystem, meta in subsystems.items():
+        for gain_name in meta.get("gain_sets", ()):
+            prefix = f"{subsystem}/{gain_name}"
+            try:
+                gains = gains_from_arrays(arrays, prefix, gain_name)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                findings.append(
+                    _finding(
+                        str(gains_path),
+                        "REPRO-G002",
+                        f"gain set {prefix!r} cannot be reconstructed: {exc}",
+                    )
+                )
+                continue
+            findings.extend(
+                check_gains(gains, f"{gains_path}#{prefix}")
+            )
+    return findings

@@ -1,0 +1,314 @@
+"""Static validation of serialized DES automata artifacts.
+
+A supervisor automaton is the only design artifact deployed at runtime
+(Section 4.3.3), and the paper's flow assumes it was verified *before*
+deployment.  A hand-edited JSON automaton (or one produced by a buggy
+exporter) can silently break every downstream guarantee, so this module
+re-checks the structural invariants on the raw payload — without
+constructing the runtime objects first, since e.g. a nondeterministic
+payload cannot even be loaded.
+
+All checks operate on the dictionary form produced by
+:func:`repro.automata.serialization.automaton_to_dict`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.findings import Finding, Severity
+from repro.automata.automaton import Automaton
+from repro.automata.serialization import automaton_from_dict, automaton_to_dict
+from repro.automata.verification import verify_supervisor
+
+__all__ = [
+    "check_automaton_payload",
+    "check_modular_alphabets",
+    "check_supervisor_against_plant",
+]
+
+
+def _finding(
+    path: str, rule: str, severity: Severity, message: str
+) -> Finding:
+    return Finding(path=path, line=1, rule=rule, severity=severity, message=message)
+
+
+def _structural_findings(payload: Mapping[str, Any], path: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for key in ("name", "events", "states", "transitions"):
+        if key not in payload:
+            findings.append(
+                _finding(
+                    path,
+                    "REPRO-A001",
+                    Severity.ERROR,
+                    f"automaton payload missing required key {key!r}",
+                )
+            )
+    return findings
+
+
+def check_automaton_payload(
+    payload: Mapping[str, Any], path: str = "<payload>"
+) -> list[Finding]:
+    """All structural checks on one serialized automaton.
+
+    Returns findings for: malformed payloads (A001), nondeterministic
+    transitions (A002), unknown states/events in transitions (A003/A004),
+    missing initial state (A005), no marked state (A006), unreachable
+    states (A007, warning), blocking states (A008) and serialization
+    round-trip mismatches (A009).
+    """
+    findings = _structural_findings(payload, path)
+    if findings:
+        return findings
+
+    name = payload.get("name", "?")
+    events = {entry.get("name") for entry in payload.get("events", ())}
+    states = set(payload.get("states", ()))
+    marked = set(payload.get("marked", ()))
+    initial = payload.get("initial")
+    transitions = [tuple(row) for row in payload.get("transitions", ())]
+
+    # Determinism: one target per (source, event).
+    seen: dict[tuple[str, str], str] = {}
+    for source, event, target in transitions:
+        key = (source, event)
+        previous = seen.get(key)
+        if previous is not None and previous != target:
+            findings.append(
+                _finding(
+                    path,
+                    "REPRO-A002",
+                    Severity.ERROR,
+                    f"nondeterministic transition in {name!r}: {source} on "
+                    f"{event!r} goes to both {previous} and {target}",
+                )
+            )
+        else:
+            seen[key] = target
+
+    # Referential integrity.
+    for source, event, target in transitions:
+        for state in (source, target):
+            if state not in states:
+                findings.append(
+                    _finding(
+                        path,
+                        "REPRO-A003",
+                        Severity.ERROR,
+                        f"transition references unknown state {state!r}",
+                    )
+                )
+        if event not in events:
+            findings.append(
+                _finding(
+                    path,
+                    "REPRO-A004",
+                    Severity.ERROR,
+                    f"transition references unknown event {event!r}",
+                )
+            )
+
+    if initial is None:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A005",
+                Severity.ERROR,
+                f"automaton {name!r} has no initial state",
+            )
+        )
+    elif initial not in states:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A003",
+                Severity.ERROR,
+                f"initial state {initial!r} not in state set",
+            )
+        )
+
+    if not marked:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A006",
+                Severity.ERROR,
+                f"automaton {name!r} has no marked state — every reachable "
+                "state is blocking by definition",
+            )
+        )
+    for state in marked - states:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A003",
+                Severity.ERROR,
+                f"marked state {state!r} not in state set",
+            )
+        )
+
+    if any(f.severity == Severity.ERROR for f in findings):
+        # Reachability and round-trip are only meaningful on a payload
+        # that is structurally sound.
+        return findings
+
+    # Forward reachability from the initial state.
+    forward: dict[str, set[str]] = {}
+    backward: dict[str, set[str]] = {}
+    for source, _event, target in transitions:
+        forward.setdefault(source, set()).add(target)
+        backward.setdefault(target, set()).add(source)
+    reachable = _closure({initial}, forward)
+    unreachable = states - reachable
+    if unreachable:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A007",
+                Severity.WARNING,
+                f"{len(unreachable)} unreachable state(s): "
+                f"{sorted(unreachable)}",
+            )
+        )
+
+    # Coaccessibility: backward closure from the marked states.
+    coaccessible = _closure(marked, backward)
+    blocking = sorted(reachable - coaccessible)
+    if blocking:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A008",
+                Severity.ERROR,
+                f"{len(blocking)} reachable state(s) cannot reach a marked "
+                f"state (blocking): {blocking}",
+            )
+        )
+
+    # Serialization round-trip: load and re-dump, compare canonical forms.
+    try:
+        automaton = automaton_from_dict(dict(payload))
+    except Exception as exc:  # noqa: BLE001 - any load failure is a finding
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A009",
+                Severity.ERROR,
+                f"payload fails to deserialize: {exc}",
+            )
+        )
+        return findings
+    if _canonical(automaton_to_dict(automaton)) != _canonical(payload):
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A009",
+                Severity.ERROR,
+                "serialization round-trip mismatch: re-serializing the "
+                "loaded automaton does not reproduce the payload",
+            )
+        )
+    return findings
+
+
+def _closure(start: Iterable[str], adjacency: Mapping[str, set[str]]) -> set[str]:
+    seen = set(start)
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return seen
+
+
+def _canonical(payload: Mapping[str, Any]) -> tuple:
+    """Order-insensitive view of an automaton payload."""
+    return (
+        payload.get("name"),
+        frozenset(
+            (e["name"], bool(e.get("controllable", True)), bool(e.get("observable", True)))
+            for e in payload.get("events", ())
+        ),
+        frozenset(payload.get("states", ())),
+        payload.get("initial"),
+        frozenset(payload.get("marked", ())),
+        frozenset(payload.get("forbidden", ())),
+        frozenset(tuple(t) for t in payload.get("transitions", ())),
+    )
+
+
+def check_modular_alphabets(
+    payloads: Mapping[str, Mapping[str, Any]], path: str = "<bundle>"
+) -> list[Finding]:
+    """Cross-module alphabet consistency (rule A010).
+
+    Synchronous composition identifies events by *name*; two composed
+    modules that disagree on an event's controllability (or
+    observability) make synthesis unsound, so any such disagreement in a
+    set of artifacts shipped together is an error.
+    """
+    findings: list[Finding] = []
+    seen: dict[str, tuple[str, bool, bool]] = {}
+    for module_name, payload in payloads.items():
+        for entry in payload.get("events", ()):
+            event = entry.get("name")
+            attrs = (
+                bool(entry.get("controllable", True)),
+                bool(entry.get("observable", True)),
+            )
+            previous = seen.get(event)
+            if previous is not None and previous[1:] != attrs:
+                findings.append(
+                    _finding(
+                        path,
+                        "REPRO-A010",
+                        Severity.ERROR,
+                        f"alphabet mismatch: event {event!r} is "
+                        f"(controllable={previous[1]}, observable={previous[2]}) "
+                        f"in {previous[0]!r} but (controllable={attrs[0]}, "
+                        f"observable={attrs[1]}) in {module_name!r}",
+                    )
+                )
+            else:
+                seen[event] = (module_name, *attrs)
+    return findings
+
+
+def check_supervisor_against_plant(
+    plant: Automaton, supervisor: Automaton, path: str = "<bundle>"
+) -> list[Finding]:
+    """Closed-loop checks: controllability (A011) and nonblocking (A012).
+
+    Mirrors the pre-deployment verification of Figure 11 steps 4-5: the
+    supervisor must never disable a plant-enabled uncontrollable event,
+    and the synchronous product ``plant || supervisor`` must be
+    nonblocking.
+    """
+    findings: list[Finding] = []
+    report = verify_supervisor(plant, supervisor)
+    for violation in report.violations:
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A011",
+                Severity.ERROR,
+                f"supervisor disables uncontrollable event: {violation}",
+            )
+        )
+    if not report.nonblocking:
+        blocked = sorted(s.name for s in report.blocking_states)
+        findings.append(
+            _finding(
+                path,
+                "REPRO-A012",
+                Severity.ERROR,
+                f"closed loop (plant || supervisor) blocks at: {blocked}",
+            )
+        )
+    return findings

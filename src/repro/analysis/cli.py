@@ -1,0 +1,173 @@
+"""Command line for the static-analysis subsystem.
+
+``python -m repro.analysis [paths...]`` walks the given files and
+directories (default: the repository's ``src`` tree if present,
+otherwise the current directory) and runs:
+
+* the repo-specific AST lint on every ``*.py`` file;
+* the artifact verifier on every automaton ``*.json`` file and every
+  policy-bundle directory (``bundle.json`` + ``gains.npz``);
+* the architecture-layer checker on any walked ``repro`` package tree.
+
+Exit code 0 iff no error-severity finding was produced — warnings are
+printed but do not fail the run (use ``--strict`` to fail on warnings
+too).  This is the single pre-merge gate wired into CI via
+``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.arch import check_architecture
+from repro.analysis.artifacts import (
+    analyze_automaton_file,
+    analyze_bundle_dir,
+    looks_like_automaton_payload,
+    looks_like_bundle_dir,
+)
+from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.lint import lint_file
+
+__all__ = ["analyze_paths", "main"]
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "output"}
+
+
+def _walk(paths: Iterable[Path]) -> tuple[list[Path], list[Path], list[Path]]:
+    """Partition inputs into (python files, json files, bundle dirs)."""
+    python_files: list[Path] = []
+    json_files: list[Path] = []
+    bundle_dirs: list[Path] = []
+
+    def visit_dir(directory: Path) -> None:
+        if looks_like_bundle_dir(directory):
+            bundle_dirs.append(directory)
+            return
+        for child in sorted(directory.iterdir()):
+            if child.name in _SKIP_DIRS or child.name.startswith("."):
+                continue
+            if child.is_dir():
+                visit_dir(child)
+            else:
+                visit_file(child)
+
+    def visit_file(file: Path) -> None:
+        if file.suffix == ".py":
+            python_files.append(file)
+        elif file.suffix == ".json" and file.name != "bundle.json":
+            json_files.append(file)
+
+    for path in paths:
+        if path.is_dir():
+            visit_dir(path)
+        elif path.exists():
+            if looks_like_bundle_dir(path.parent) and path.name == "bundle.json":
+                bundle_dirs.append(path.parent)
+            else:
+                visit_file(path)
+    return python_files, json_files, bundle_dirs
+
+
+def _find_package_roots(paths: Iterable[Path]) -> list[Path]:
+    """Directories containing a ``repro/__init__.py`` under the inputs."""
+    roots: set[Path] = set()
+    for path in paths:
+        if not path.is_dir():
+            path = path.parent
+        # The input itself may live inside the package tree.
+        for candidate in (path, *path.resolve().parents):
+            if (candidate / "repro" / "__init__.py").is_file():
+                roots.add(candidate)
+                break
+        for init in path.rglob("repro/__init__.py"):
+            roots.add(init.parent.parent)
+    return sorted(roots)
+
+
+def _is_automaton_json(path: Path) -> bool:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return looks_like_automaton_payload(payload)
+
+
+def analyze_paths(paths: Sequence[str | Path]) -> Report:
+    """Run all three analyzers over ``paths`` and aggregate a report.
+
+    JSON files named explicitly are always treated as automaton
+    artifacts; JSON files *discovered* while walking a directory are
+    analyzed only when they have the serialization format's key shape,
+    so unrelated data files (benchmark results, configs) pass through.
+    """
+    resolved = [Path(p) for p in paths]
+    explicit = {p for p in resolved if p.is_file()}
+    report = Report()
+    for path in resolved:
+        # A gate that silently passes on a typo'd path is no gate.
+        if not path.exists():
+            report.add(
+                Finding(
+                    path=str(path),
+                    line=0,
+                    rule="REPRO-C001",
+                    severity=Severity.ERROR,
+                    message="input path does not exist",
+                )
+            )
+    python_files, json_files, bundle_dirs = _walk(resolved)
+    json_files = [
+        f for f in json_files if f in explicit or _is_automaton_json(f)
+    ]
+
+    for file in python_files:
+        report.extend(lint_file(file))
+    report.files_checked += len(python_files)
+
+    for file in json_files:
+        report.extend(analyze_automaton_file(file))
+    for bundle in bundle_dirs:
+        report.extend(analyze_bundle_dir(bundle))
+    report.artifacts_checked += len(json_files) + len(bundle_dirs)
+
+    for root in _find_package_roots(resolved):
+        report.extend(check_architecture(root / "repro"))
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="SPECTR static analysis: artifact verifier, AST lint, "
+        "architecture-layer checker",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: ./src if present, "
+        "else .)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only errors (and warnings with --strict)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    report = analyze_paths(paths)
+
+    failing = Severity.WARNING if args.strict else Severity.ERROR
+    min_shown = failing if args.quiet else Severity.INFO
+    print(report.format_text(min_severity=min_shown))
+    has_failures = any(f.severity >= failing for f in report.findings)
+    return 1 if has_failures else 0

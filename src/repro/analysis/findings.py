@@ -1,0 +1,100 @@
+"""Shared finding/severity/report core for all analyzers.
+
+Every analyzer (artifact verifier, AST lint, architecture checker)
+produces a stream of :class:`Finding` objects that one :class:`Report`
+aggregates.  The CLI exit code is derived from the report: any
+error-severity finding fails the run, mirroring how the paper's design
+flow refuses to deploy a supervisor that fails verification (Figure 11,
+steps 4-5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; only ``ERROR`` fails a run."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by an analyzer.
+
+    ``path`` is the artifact or source file; findings that refer to an
+    artifact as a whole (e.g. an unstable gain set) anchor at line 1.
+    ``rule`` is a stable identifier like ``REPRO-A003`` so CI annotations
+    and suppressions can reference it.
+    """
+
+    path: str
+    line: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.severity}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Report:
+    """Aggregated findings from one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    artifacts_checked: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(sorted(self.findings))
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(
+            f for f in sorted(self.findings) if f.severity == Severity.ERROR
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.files_checked} files, {self.artifacts_checked} artifacts "
+            f"checked: {self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings, "
+            f"{self.count(Severity.INFO)} notes"
+        )
+
+    def format_text(self, *, min_severity: Severity = Severity.INFO) -> str:
+        lines = [
+            f.format() for f in self if f.severity >= min_severity
+        ]
+        lines.append(self.summary())
+        return "\n".join(lines)

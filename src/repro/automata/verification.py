@@ -20,7 +20,11 @@ from dataclasses import dataclass
 
 from repro.automata.automaton import Automaton, State
 from repro.automata.events import Event
-from repro.automata.operations import blocking_states, is_nonblocking
+from repro.automata.operations import (
+    blocking_states,
+    is_nonblocking,
+    synchronous_composition,
+)
 
 
 @dataclass(frozen=True)
@@ -88,15 +92,13 @@ def check_controllability(
         plant_state, sup_state = frontier.popleft()
         sup_enabled = supervisor.enabled_events(sup_state)
         for event in plant.enabled_events(plant_state):
-            permitted = event.controllable is False or event in sup_enabled
-            if not event.controllable and event not in sup_enabled:
-                violations.append(
-                    ControllabilityViolation(plant_state, sup_state, event)
-                )
-                continue
             if event not in sup_enabled:
-                continue  # supervisor (legally) disables a controllable event
-            assert permitted
+                if not event.controllable:
+                    violations.append(
+                        ControllabilityViolation(plant_state, sup_state, event)
+                    )
+                # else: the supervisor legally disables a controllable event.
+                continue
             next_plant = plant.step(plant_state, event)
             next_sup = supervisor.step(sup_state, event)
             if next_plant is None or next_sup is None:
@@ -109,9 +111,21 @@ def check_controllability(
 
 
 def verify_supervisor(plant: Automaton, supervisor: Automaton) -> VerificationReport:
-    """Run both property checks and bundle the verdicts."""
-    nonblocking = check_nonblocking(supervisor)
-    blocked = blocking_states(supervisor)
+    """Run both property checks and bundle the verdicts.
+
+    Nonblocking is checked on the synchronous product ``plant ||
+    supervisor`` — the actual closed loop — not on the supervisor alone:
+    a supervisor that is nonblocking in isolation can still drive the
+    closed loop into a state from which no marked state is reachable
+    (e.g. it marks a state the plant cannot complete a task from).  The
+    reported blocking states are composite ``plant.supervisor`` states of
+    the closed loop.
+    """
+    closed_loop = synchronous_composition(
+        plant, supervisor, name=f"{plant.name}||{supervisor.name}"
+    )
+    nonblocking = check_nonblocking(closed_loop)
+    blocked = blocking_states(closed_loop)
     controllable, violations = check_controllability(plant, supervisor)
     return VerificationReport(
         nonblocking=nonblocking,

@@ -40,7 +40,7 @@ class LQGGains:
 
     def __post_init__(self) -> None:
         if self.integral_mask is None:
-            self.integral_mask = np.ones(self.model.n_outputs)
+            self.integral_mask = np.ones(self.model.n_outputs, dtype=float)
         else:
             self.integral_mask = np.asarray(self.integral_mask, float).ravel()
 
@@ -132,15 +132,15 @@ def design_lqg_servo(
     p_act = active.size
     A_aug = np.block(
         [
-            [model.A, np.zeros((n, p_act))],
+            [model.A, np.zeros((n, p_act), dtype=float)],
             [-C_act, np.eye(p_act)],
         ]
     )
     B_aug = np.vstack([model.B, -D_act])
     Q_aug = np.block(
         [
-            [state_weight * (model.C.T @ Qy @ model.C), np.zeros((n, p_act))],
-            [np.zeros((p_act, n)), integral_weight * np.diag(qy[active])],
+            [state_weight * (model.C.T @ Qy @ model.C), np.zeros((n, p_act), dtype=float)],
+            [np.zeros((p_act, n), dtype=float), integral_weight * np.diag(qy[active])],
         ]
     )
     # Keep the augmented cost positive definite so the DARE is well posed.
@@ -149,7 +149,7 @@ def design_lqg_servo(
 
     K = lqr_gain(A_aug, B_aug, Q_aug, R_aug)
     K_state = K[:, :n]
-    K_integral = np.zeros((m, p))
+    K_integral = np.zeros((m, p), dtype=float)
     K_integral[:, active] = K[:, n:]
 
     W = process_noise * np.eye(n)
@@ -278,9 +278,9 @@ class LQGServoController:
             self._z = z * gains.integral_mask
 
     def reset(self) -> None:
-        self._xhat = np.zeros(self.gains.n_states)
-        self._z = np.zeros(self.gains.n_outputs)
-        self._du_prev = np.zeros(self.gains.n_inputs)
+        self._xhat = np.zeros(self.gains.n_states, dtype=float)
+        self._z = np.zeros(self.gains.n_outputs, dtype=float)
+        self._du_prev = np.zeros(self.gains.n_inputs, dtype=float)
         self._u_prev = self.operating_point.u.copy()
         self.invocations = 0
 

@@ -142,19 +142,19 @@ class StateSpaceModel:
     def controllability_matrix(self) -> np.ndarray:
         """``[B, AB, ..., A^{n-1}B]``."""
         blocks = [self.B]
-        power = self.B
+        term = self.B
         for _ in range(self.n_states - 1):
-            power = self.A @ power
-            blocks.append(power)
+            term = self.A @ term
+            blocks.append(term)
         return np.hstack(blocks)
 
     def observability_matrix(self) -> np.ndarray:
         """``[C; CA; ...; CA^{n-1}]``."""
         blocks = [self.C]
-        power = self.C
+        term = self.C
         for _ in range(self.n_states - 1):
-            power = power @ self.A
-            blocks.append(power)
+            term = term @ self.A
+            blocks.append(term)
         return np.vstack(blocks)
 
     def is_controllable(self, tol: float = 1e-9) -> bool:

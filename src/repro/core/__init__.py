@@ -18,16 +18,10 @@ from repro.core.alphabet import (
     UNCONTROLLABLE_EVENTS,
     case_study_alphabet,
 )
-from repro.core.design_flow import (
-    DesignFlowReport,
-    FlowStep,
-    run_design_flow,
-)
 from repro.core.events import EventAbstractor, ThreeBandThresholds
 from repro.core.persistence import (
     BundleError,
     PolicyBundle,
-    bundle_from_design,
     load_bundle,
     save_bundle,
 )
@@ -69,9 +63,7 @@ __all__ = [
     "DECREASE_CRITICAL_POWER",
     "DECREASE_LITTLE_POWER",
     "BundleError",
-    "DesignFlowReport",
     "EventAbstractor",
-    "FlowStep",
     "INCREASE_BIG_POWER",
     "INCREASE_LITTLE_POWER",
     "PolicyBundle",
@@ -89,7 +81,6 @@ __all__ = [
     "UNCONTROLLABLE_EVENTS",
     "VerifiedSupervisor",
     "budget_lock_spec",
-    "bundle_from_design",
     "build_case_study_supervisor",
     "build_scalable_supervisor",
     "case_study_alphabet",
@@ -99,7 +90,6 @@ __all__ = [
     "load_bundle",
     "power_capping_plant",
     "qos_tracking_plant",
-    "run_design_flow",
     "save_bundle",
     "scalable_alphabet",
     "scalable_plant",

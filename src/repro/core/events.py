@@ -80,10 +80,10 @@ class EventAbstractor:
         """Events for one supervisor invocation, highest urgency first."""
         th = self.thresholds
         events: list[str] = []
-        chip_power = telemetry.chip_power_w
-        over_cap = chip_power > th.capping_fraction * power_budget_w
+        chip_power_w = telemetry.chip_power_w
+        over_cap = chip_power_w > th.capping_fraction * power_budget_w
         below_uncapping = (
-            chip_power < th.uncapping_fraction * power_budget_w
+            chip_power_w < th.uncapping_fraction * power_budget_w
         )
         if below_uncapping:
             self._below_uncapping_count += 1

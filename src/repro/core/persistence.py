@@ -70,9 +70,15 @@ def _gains_to_arrays(gains: LQGGains, prefix: str) -> dict[str, np.ndarray]:
     }
 
 
-def _gains_from_arrays(
+def gains_from_arrays(
     arrays: dict[str, np.ndarray], prefix: str, name: str
 ) -> LQGGains:
+    """Reconstruct one :class:`LQGGains` from flat ``prefix/key`` arrays.
+
+    Public because the static artifact analyzer
+    (:mod:`repro.analysis`) reads gain files through the same path the
+    runtime loader uses.
+    """
     def get(key: str) -> np.ndarray:
         full = f"{prefix}/{key}"
         if full not in arrays:
@@ -168,7 +174,7 @@ def load_bundle(directory: str | Path) -> PolicyBundle:
         library = GainLibrary(name=f"{subsystem}-gains")
         for gain_name in meta["gain_sets"]:
             library.register(
-                _gains_from_arrays(
+                gains_from_arrays(
                     arrays, f"{subsystem}/{gain_name}", gain_name
                 )
             )
@@ -180,34 +186,6 @@ def load_bundle(directory: str | Path) -> PolicyBundle:
     return PolicyBundle(
         supervisor=supervisor,
         plant=plant,
-        gain_libraries=libraries,
-        operating_points=operating_points,
-    )
-
-
-def bundle_from_design(
-    verified_supervisor,
-    subsystems: dict[str, "object"],
-) -> PolicyBundle:
-    """Assemble a bundle from design-flow artifacts.
-
-    ``subsystems`` maps names to
-    :class:`~repro.managers.identification.IdentifiedSystem`; gain
-    libraries are (re)designed with the standard priorities.
-    """
-    from repro.managers.mimo import build_gain_library
-
-    libraries = {
-        name: build_gain_library(system)
-        for name, system in subsystems.items()
-    }
-    operating_points = {
-        name: system.operating_point
-        for name, system in subsystems.items()
-    }
-    return PolicyBundle(
-        supervisor=verified_supervisor.supervisor,
-        plant=verified_supervisor.plant,
         gain_libraries=libraries,
         operating_points=operating_points,
     )

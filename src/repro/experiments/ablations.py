@@ -34,7 +34,7 @@ def _spectr_factory(
     *,
     gain_scheduling: bool = True,
     reference_regulation: bool = True,
-    supervisor_period: int = 2,
+    supervisor_period_epochs: int = 2,
     name: str = "SPECTR",
 ):
     supervisor = case_study_supervisor()
@@ -46,7 +46,7 @@ def _spectr_factory(
             big_system=systems.big,
             little_system=systems.little,
             verified_supervisor=supervisor,
-            supervisor_period=supervisor_period,
+            supervisor_period_epochs=supervisor_period_epochs,
             enable_gain_scheduling=gain_scheduling,
             enable_reference_regulation=reference_regulation,
             name=name,
@@ -131,7 +131,7 @@ def ablate_supervisor_period(
     traces = {
         f"period {p} ({p * 50} ms)": run_scenario(
             _spectr_factory(
-                systems, supervisor_period=p, name=f"SPECTR-p{p}"
+                systems, supervisor_period_epochs=p, name=f"SPECTR-p{p}"
             ),
             x264(),
             scenario,
@@ -147,7 +147,7 @@ def ablate_supervisor_period(
 def tdp_violation_fraction(trace: ScenarioTrace, phase: int) -> float:
     """Fraction of a phase's intervals spent above 105% of the budget."""
     sl = trace.phase_slice(phase)
-    budget = trace.power_reference[sl]
-    power = trace.chip_power[sl]
-    over = power > 1.05 * budget
+    budget_w = trace.power_reference[sl]
+    power_w = trace.chip_power[sl]
+    over = power_w > 1.05 * budget_w
     return float(over.mean())

@@ -13,6 +13,11 @@ Nine steps, automated end to end on the simulated platform:
 8. Verify robustness under the uncertainty guardbands.
 9. Functional verification: close the loop in simulation and check the
    overall response before implementation.
+
+This module lives in :mod:`repro.experiments` (the top architectural
+layer) because steps 5-9 orchestrate managers, workloads and the
+scenario runner; ``repro.core`` supplies only the supervisory-control
+steps 2-4 and must not depend on the layers above it.
 """
 
 from __future__ import annotations

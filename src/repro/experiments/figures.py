@@ -155,13 +155,13 @@ def fig3_conflicting_goals(
         )
         mimo.set_references(fps_reference, big_power_reference)
         fps = np.zeros(steps)
-        power = np.zeros(steps)
+        power_w = np.zeros(steps)
         for k in range(steps):
             telemetry = soc.step()
             mimo.step(telemetry.qos_rate, telemetry.big.power_w)
             fps[k] = telemetry.qos_rate
-            power[k] = telemetry.big.power_w
-        runs[gain_set] = {"fps": fps, "power": power}
+            power_w[k] = telemetry.big.power_w
+        runs[gain_set] = {"fps": fps, "power": power_w}
     return Fig3Result(
         times=times,
         fps_oriented=runs[QOS_GAINS],

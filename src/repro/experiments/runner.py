@@ -123,10 +123,10 @@ def run_scenario(
     times = np.zeros(steps)
     qos = np.zeros(steps)
     qos_ref = np.zeros(steps)
-    chip_power = np.zeros(steps)
+    chip_power_w = np.zeros(steps)
     power_ref = np.zeros(steps)
-    big_power = np.zeros(steps)
-    little_power = np.zeros(steps)
+    big_power_w = np.zeros(steps)
+    little_power_w = np.zeros(steps)
     big_freq = np.zeros(steps)
     big_cores = np.zeros(steps)
     little_freq = np.zeros(steps)
@@ -146,10 +146,10 @@ def run_scenario(
         times[k] = telemetry.time_s
         qos[k] = telemetry.qos_rate
         qos_ref[k] = phase.qos_reference
-        chip_power[k] = telemetry.chip_power_w
+        chip_power_w[k] = telemetry.chip_power_w
         power_ref[k] = phase.power_budget_w
-        big_power[k] = telemetry.big.power_w
-        little_power[k] = telemetry.little.power_w
+        big_power_w[k] = telemetry.big.power_w
+        little_power_w[k] = telemetry.little.power_w
         big_freq[k] = soc.big.frequency_ghz
         big_cores[k] = soc.big.active_cores
         little_freq[k] = soc.little.frequency_ghz
@@ -164,10 +164,10 @@ def run_scenario(
         times=times,
         qos=qos,
         qos_reference=qos_ref,
-        chip_power=chip_power,
+        chip_power=chip_power_w,
         power_reference=power_ref,
-        big_power=big_power,
-        little_power=little_power,
+        big_power=big_power_w,
+        little_power=little_power_w,
         big_frequency=big_freq,
         big_cores=big_cores,
         little_frequency=little_freq,

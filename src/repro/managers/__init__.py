@@ -11,6 +11,7 @@
 """
 
 from repro.managers.base import ActuationRecord, ManagerGoals, ResourceManager
+from repro.managers.bundle import bundle_from_design
 from repro.managers.fs import FullSystemMIMO
 from repro.managers.identification import (
     IdentifiedSystem,
@@ -45,6 +46,7 @@ __all__ = [
     "ScalableSPECTR",
     "UncoordinatedDualMIMO",
     "build_gain_library",
+    "bundle_from_design",
     "cluster_actuator_limits",
     "identify_big_cluster",
     "identify_full_system",

@@ -1,0 +1,42 @@
+"""Assembling deployable policy bundles from design-flow artifacts.
+
+:class:`~repro.core.persistence.PolicyBundle` is the serialized artifact
+(core layer); this module owns the *construction* of a bundle from
+identified subsystems because gain-library design lives in
+:mod:`repro.managers.mimo` and the core layer must not import managers.
+"""
+
+from __future__ import annotations
+
+from repro.core.persistence import PolicyBundle
+from repro.core.synthesis_flow import VerifiedSupervisor
+from repro.managers.identification import IdentifiedSystem
+from repro.managers.mimo import build_gain_library
+
+__all__ = ["bundle_from_design"]
+
+
+def bundle_from_design(
+    verified_supervisor: VerifiedSupervisor,
+    subsystems: dict[str, IdentifiedSystem],
+) -> PolicyBundle:
+    """Assemble a bundle from design-flow artifacts.
+
+    ``subsystems`` maps names to
+    :class:`~repro.managers.identification.IdentifiedSystem`; gain
+    libraries are (re)designed with the standard priorities.
+    """
+    libraries = {
+        name: build_gain_library(system)
+        for name, system in subsystems.items()
+    }
+    operating_points = {
+        name: system.operating_point
+        for name, system in subsystems.items()
+    }
+    return PolicyBundle(
+        supervisor=verified_supervisor.supervisor,
+        plant=verified_supervisor.plant,
+        gain_libraries=libraries,
+        operating_points=operating_points,
+    )

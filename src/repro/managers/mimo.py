@@ -83,7 +83,7 @@ def build_gain_library(
         (QOS_GAINS, qos_outputs, 1.0),
         (POWER_GAINS, power_outputs, power_effort_scale),
     ):
-        weights = np.ones(model.n_outputs)
+        weights = np.ones(model.n_outputs, dtype=float)
         weights[list(favoured)] = QOS_PRIORITY_RATIO
         efforts = [
             w * effort_scale for w in _effort_weights(model.n_inputs)

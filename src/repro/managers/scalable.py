@@ -48,7 +48,7 @@ class ScalableSPECTR:
         host_system: IdentifiedSystem,
         little_system: IdentifiedSystem,
         verified_supervisor: VerifiedSupervisor | None = None,
-        supervisor_period: int = 2,
+        supervisor_period_epochs: int = 2,
         thresholds: ThreeBandThresholds | None = None,
     ) -> None:
         self.soc = soc
@@ -64,14 +64,14 @@ class ScalableSPECTR:
         )
         self.engine = SupervisorEngine(self.verified.supervisor)
         self.abstractor = EventAbstractor(thresholds)
-        self.supervisor_period = supervisor_period
+        self.supervisor_period_epochs = supervisor_period_epochs
         self.gain_log = GainScheduleLog()
-        budget = goals.power_budget_w
+        budget_w = goals.power_budget_w
         n_little = soc.n_clusters - 1
-        self.power_refs = [HOST_SHARE * budget] + [
+        self.power_refs = [HOST_SHARE * budget_w] + [
             max(
                 LITTLE_FLOOR_W,
-                (0.9 - HOST_SHARE) * budget / max(n_little, 1),
+                (0.9 - HOST_SHARE) * budget_w / max(n_little, 1),
             )
         ] * n_little
         self._tick = 0
@@ -114,7 +114,7 @@ class ScalableSPECTR:
 
     def control(self, telemetry: ManyCoreTelemetry) -> None:
         self._telemetry = telemetry
-        if self._tick % self.supervisor_period == 0:
+        if self._tick % self.supervisor_period_epochs == 0:
             events = self.abstractor.classify(
                 telemetry,  # type: ignore[arg-type]  # duck-typed power
                 qos_reference=self.goals.qos_reference,
@@ -164,12 +164,12 @@ class ScalableSPECTR:
         for index, mimo in enumerate(self.mimos):
             if mimo.switch_gains(QOS_GAINS):
                 self.gain_log.record(now, f"cluster{index}", QOS_GAINS)
-        budget = self.goals.power_budget_w
+        budget_w = self.goals.power_budget_w
         n_little = self.soc.n_clusters - 1
-        self.power_refs = [HOST_SHARE * budget] + [
+        self.power_refs = [HOST_SHARE * budget_w] + [
             max(
                 LITTLE_FLOOR_W,
-                (0.9 - HOST_SHARE) * budget / max(n_little, 1),
+                (0.9 - HOST_SHARE) * budget_w / max(n_little, 1),
             )
         ] * n_little
 

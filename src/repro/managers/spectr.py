@@ -71,7 +71,7 @@ class SPECTRManager(ResourceManager):
         big_system: IdentifiedSystem,
         little_system: IdentifiedSystem,
         verified_supervisor: VerifiedSupervisor | None = None,
-        supervisor_period: int = 2,
+        supervisor_period_epochs: int = 2,
         thresholds: ThreeBandThresholds | None = None,
         enable_gain_scheduling: bool = True,
         enable_reference_regulation: bool = True,
@@ -87,8 +87,8 @@ class SPECTRManager(ResourceManager):
         :mod:`repro.experiments.ablations`).
         """
         super().__init__(soc, goals, name=name)
-        if supervisor_period < 1:
-            raise ValueError("supervisor_period must be >= 1")
+        if supervisor_period_epochs < 1:
+            raise ValueError("supervisor_period_epochs must be >= 1")
         self.enable_gain_scheduling = enable_gain_scheduling
         self.enable_reference_regulation = enable_reference_regulation
         self.big_mimo = ClusterMIMO.build(
@@ -102,7 +102,7 @@ class SPECTRManager(ResourceManager):
             self.verified.supervisor, record_trace=True
         )
         self.abstractor = EventAbstractor(thresholds)
-        self.supervisor_period = supervisor_period
+        self.supervisor_period_epochs = supervisor_period_epochs
         self.gain_log = GainScheduleLog()
         self.big_power_ref_w = INITIAL_BIG_SHARE * goals.power_budget_w
         self.little_power_ref_w = max(
@@ -136,7 +136,7 @@ class SPECTRManager(ResourceManager):
     # ------------------------------------------------------------------
     def control(self, telemetry: Telemetry) -> None:
         self._telemetry = telemetry
-        if self._tick % self.supervisor_period == 0:
+        if self._tick % self.supervisor_period_epochs == 0:
             self._supervise(telemetry)
         self.big_mimo.set_references(
             self.goals.qos_reference, self.big_power_ref_w

@@ -193,14 +193,14 @@ class ManyCoreSoC:
     def _cluster_telemetry(
         self, cluster: Cluster, busy: float
     ) -> ClusterTelemetry:
-        true_power = cluster.power_model.cluster_power(
+        true_power_w = cluster.power_model.cluster_power(
             cluster.frequency_ghz,
             cluster.voltage_v,
             cluster.active_cores,
             busy,
         )
-        measured_power = cluster.power_sensor.read(true_power, self.rng)
-        per_core = np.zeros(cluster.n_cores)
+        measured_power_w = cluster.power_sensor.read(true_power_w, self.rng)
+        per_core = np.zeros(cluster.n_cores, dtype=float)
         weights = 1.0 - cluster.idle_fractions
         weights[cluster.active_cores:] = 0.0
         total_weight = float(np.sum(weights))
@@ -215,7 +215,7 @@ class ManyCoreSoC:
             voltage_v=cluster.voltage_v,
             active_cores=cluster.active_cores,
             busy_core_equivalents=busy,
-            power_w=measured_power,
+            power_w=measured_power_w,
             ips=float(np.sum(per_core)),
             per_core_ips=per_core,
         )

@@ -63,7 +63,7 @@ class Cluster:
         self.perf_model = perf_model
         self._frequency_ghz = opps.max_frequency
         self._active_cores = n_cores
-        self._idle_fractions = np.zeros(n_cores)
+        self._idle_fractions = np.zeros(n_cores, dtype=float)
         self.power_sensor: NoisySensor = power_sensor(name)
         self.pmu_sensors: list[NoisySensor] = [
             pmu_counter(f"{name}-core{i}") for i in range(n_cores)
@@ -263,14 +263,14 @@ class ExynosSoC:
     def _cluster_telemetry(
         self, cluster: Cluster, busy_core_equivalents: float
     ) -> ClusterTelemetry:
-        true_power = cluster.power_model.cluster_power(
+        true_power_w = cluster.power_model.cluster_power(
             cluster.frequency_ghz,
             cluster.voltage_v,
             cluster.active_cores,
             busy_core_equivalents,
         )
-        measured_power = cluster.power_sensor.read(true_power, self.rng)
-        per_core_ips = np.zeros(cluster.n_cores)
+        measured_power_w = cluster.power_sensor.read(true_power_w, self.rng)
+        per_core_ips = np.zeros(cluster.n_cores, dtype=float)
         weights = 1.0 - cluster.idle_fractions
         weights[cluster.active_cores:] = 0.0
         total_weight = float(np.sum(weights))
@@ -286,7 +286,7 @@ class ExynosSoC:
             voltage_v=cluster.voltage_v,
             active_cores=cluster.active_cores,
             busy_core_equivalents=busy_core_equivalents,
-            power_w=measured_power,
+            power_w=measured_power_w,
             ips=float(np.sum(per_core_ips)),
             per_core_ips=per_core_ips,
         )

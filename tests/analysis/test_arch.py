@@ -1,0 +1,95 @@
+"""Tests for the architecture-layer checker."""
+
+from pathlib import Path
+
+from repro.analysis.arch import ALLOWED_IMPORTS, check_architecture, import_edges
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def make_tree(root: Path, files: dict[str, str]) -> Path:
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root / "repro"
+
+
+class TestCheckArchitecture:
+    def test_repo_tree_has_no_violations(self):
+        assert check_architecture(SRC_REPRO) == []
+
+    def test_upward_import_is_r001_error(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/automata/__init__.py": "",
+                "repro/automata/bad.py": "from repro.managers import spectr\n",
+                "repro/managers/__init__.py": "",
+            },
+        )
+        findings = check_architecture(package)
+        assert len(findings) == 1
+        assert findings[0].rule == "REPRO-R001"
+        assert findings[0].path.endswith("bad.py")
+        assert findings[0].line == 1
+        assert "managers" in findings[0].message
+
+    def test_composition_root_may_import_anything(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "from repro.experiments import runner\n",
+                "repro/__main__.py": "from repro.managers import spectr\n",
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_unmapped_package_is_r002_warning(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/newpkg/__init__.py": "",
+                "repro/newpkg/mod.py": "from repro.core import events\n",
+            },
+        )
+        findings = check_architecture(package)
+        assert [f.rule for f in findings] == ["REPRO-R002"]
+
+    def test_peer_imports_between_platform_and_workloads_allowed(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/platform/__init__.py": "from repro.workloads import qos\n",
+                "repro/workloads/__init__.py": "from repro.platform import soc\n",
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_platform_must_not_import_managers(self):
+        # The invariant the ISSUE calls out explicitly.
+        for package in ("platform", "workloads"):
+            allowed = ALLOWED_IMPORTS[package]
+            assert "managers" not in allowed
+            assert "experiments" not in allowed
+
+
+class TestImportEdges:
+    def test_edges_carry_file_and_line(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/core/__init__.py": "",
+                "repro/core/mod.py": "import numpy\nfrom repro.control import lqg\n",
+            },
+        )
+        graph = import_edges(package)
+        assert list(graph) == ["core"]
+        (file_path, line, imported) = graph["core"][0]
+        assert file_path.endswith("mod.py")
+        assert line == 2
+        assert imported == "control"

@@ -1,0 +1,141 @@
+"""Golden bad-artifact fixtures through the file-level analyzers.
+
+Each committed fixture under ``fixtures/`` seeds exactly one defect and
+must therefore produce exactly one error finding — the analyzer must
+neither miss the defect nor cascade extra noise from it.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.artifacts import (
+    analyze_automaton_file,
+    analyze_bundle_dir,
+    looks_like_automaton_payload,
+)
+from repro.analysis.findings import Severity
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable
+from repro.control.gains import GainLibrary
+from repro.control.lqg import LQGGains
+from repro.control.statespace import OperatingPoint, StateSpaceModel
+from repro.core.persistence import PolicyBundle, save_bundle
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def errors(findings):
+    return [f for f in findings if f.severity == Severity.ERROR]
+
+
+def scalar_gains(name, k_state, k_integral):
+    model = StateSpaceModel(
+        A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0]], dt=0.05, name="toy"
+    )
+    return LQGGains(
+        name=name,
+        model=model,
+        K_state=np.array([[float(k_state)]]),
+        K_integral=np.array([[float(k_integral)]]),
+        L=np.array([[0.5]]),
+        Q_output=np.eye(1),
+        R_effort=np.eye(1),
+        integral_mask=np.ones(1),
+    )
+
+
+def bundle_with(gains):
+    supervisor = automaton_from_table(
+        "sup",
+        Alphabet.of([controllable("tick")]),
+        transitions=[("S0", "tick", "S0")],
+        initial="S0",
+        marked=["S0"],
+    )
+    library = GainLibrary(name="big")
+    library.register(gains)
+    return PolicyBundle(
+        supervisor=supervisor,
+        plant=None,
+        gain_libraries={"big": library},
+        operating_points={"big": OperatingPoint(u=[1.0], y=[1.0])},
+    )
+
+
+class TestGoldenFixtures:
+    def test_nondeterministic_automaton_exactly_one_error(self):
+        path = FIXTURES / "nondeterministic_automaton.json"
+        findings = analyze_automaton_file(path)
+        errs = errors(findings)
+        assert len(errs) == 1
+        assert errs[0].rule == "REPRO-A002"
+        assert errs[0].path == str(path)
+        assert errs[0].line == 1  # file:line in the formatted output
+
+    def test_alphabet_mismatch_bundle_exactly_one_error(self):
+        findings = analyze_bundle_dir(FIXTURES / "alphabet_mismatch_bundle")
+        errs = errors(findings)
+        assert len(errs) == 1
+        assert errs[0].rule == "REPRO-A010"
+        assert "toggle" in errs[0].message
+
+    def test_unstable_gain_set_exactly_one_error(self, tmp_path):
+        # k_state=-0.8 puts a closed-loop eigenvalue at 1.3.
+        bundle_dir = save_bundle(
+            bundle_with(scalar_gains("unstable", -0.8, 0.0)),
+            tmp_path / "bundle",
+        )
+        findings = analyze_bundle_dir(bundle_dir)
+        errs = errors(findings)
+        assert len(errs) == 1
+        assert errs[0].rule == "REPRO-G003"
+        assert "gains.npz#big/unstable" in errs[0].path
+
+    def test_clean_automaton_has_no_findings(self):
+        assert analyze_automaton_file(FIXTURES / "clean_automaton.json") == []
+
+    def test_clean_bundle_has_no_findings(self, tmp_path):
+        bundle_dir = save_bundle(
+            bundle_with(scalar_gains("stable", 0.5, -0.25)),
+            tmp_path / "bundle",
+        )
+        assert analyze_bundle_dir(bundle_dir) == []
+
+
+class TestArtifactEdgeCases:
+    def test_non_automaton_json_named_explicitly_is_a001(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps({"foo": 1}))
+        findings = analyze_automaton_file(path)
+        assert [f.rule for f in findings] == ["REPRO-A001"]
+
+    def test_unreadable_json_is_a001(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert [f.rule for f in analyze_automaton_file(path)] == ["REPRO-A001"]
+
+    def test_bundle_with_bad_format_is_a001(self, tmp_path):
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "bundle.json").write_text(json.dumps({"format": "v99"}))
+        findings = analyze_bundle_dir(bundle)
+        assert [f.rule for f in findings] == ["REPRO-A001"]
+
+    def test_missing_gains_file_is_g002(self, tmp_path):
+        bundle_dir = save_bundle(
+            bundle_with(scalar_gains("stable", 0.5, -0.25)),
+            tmp_path / "bundle",
+        )
+        (bundle_dir / "gains.npz").unlink()
+        findings = analyze_bundle_dir(bundle_dir)
+        assert [f.rule for f in findings] == ["REPRO-G002"]
+        assert "missing" in findings[0].message
+
+    def test_payload_heuristic(self):
+        assert looks_like_automaton_payload(
+            {"states": [], "transitions": [], "events": []}
+        )
+        assert not looks_like_automaton_payload({"states": []})
+        assert not looks_like_automaton_payload([1, 2])

@@ -1,0 +1,147 @@
+"""Unit tests for the serialized-automaton artifact checks."""
+
+from repro.analysis.automata_checks import (
+    check_automaton_payload,
+    check_modular_alphabets,
+    check_supervisor_against_plant,
+)
+from repro.analysis.findings import Severity
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+
+
+def payload(**overrides):
+    """A minimal clean automaton payload (toggle machine)."""
+    base = {
+        "name": "toy",
+        "events": [{"name": "a", "controllable": True, "observable": True}],
+        "states": ["S0", "S1"],
+        "initial": "S0",
+        "marked": ["S0"],
+        "forbidden": [],
+        "transitions": [["S0", "a", "S1"], ["S1", "a", "S0"]],
+    }
+    base.update(overrides)
+    return base
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+def errors(findings):
+    return [f for f in findings if f.severity == Severity.ERROR]
+
+
+class TestPayloadChecks:
+    def test_clean_payload_has_no_findings(self):
+        assert check_automaton_payload(payload()) == []
+
+    def test_missing_key_is_a001(self):
+        bad = payload()
+        del bad["transitions"]
+        assert rules(check_automaton_payload(bad)) == ["REPRO-A001"]
+
+    def test_nondeterminism_is_exactly_one_a002(self):
+        bad = payload(
+            states=["S0", "S1", "S2"],
+            marked=["S1", "S2"],
+            transitions=[["S0", "a", "S1"], ["S0", "a", "S2"]],
+        )
+        findings = check_automaton_payload(bad)
+        assert rules(errors(findings)) == ["REPRO-A002"]
+
+    def test_unknown_state_is_a003(self):
+        bad = payload(transitions=[["S0", "a", "GHOST"]])
+        assert "REPRO-A003" in rules(check_automaton_payload(bad))
+
+    def test_unknown_event_is_a004(self):
+        bad = payload(transitions=[["S0", "zap", "S1"]])
+        assert "REPRO-A004" in rules(check_automaton_payload(bad))
+
+    def test_missing_initial_is_a005(self):
+        assert "REPRO-A005" in rules(check_automaton_payload(payload(initial=None)))
+
+    def test_no_marked_state_is_a006(self):
+        assert "REPRO-A006" in rules(check_automaton_payload(payload(marked=[])))
+
+    def test_unreachable_state_is_a007_warning_only(self):
+        shape = payload(
+            states=["S0", "S1", "ORPHAN"],
+            transitions=[["S0", "a", "S1"], ["S1", "a", "S0"]],
+        )
+        findings = check_automaton_payload(shape)
+        assert rules(findings) == ["REPRO-A007"]
+        assert errors(findings) == []
+
+    def test_blocking_state_is_a008(self):
+        bad = payload(
+            states=["S0", "S1", "DEAD"],
+            transitions=[
+                ["S0", "a", "S1"],
+                ["S1", "a", "DEAD"],
+            ],
+        )
+        assert rules(check_automaton_payload(bad)) == ["REPRO-A008"]
+
+
+class TestModularAlphabets:
+    def test_consistent_alphabets_pass(self):
+        findings = check_modular_alphabets(
+            {"m1": payload(), "m2": payload(name="other")}
+        )
+        assert findings == []
+
+    def test_controllability_conflict_is_exactly_one_a010(self):
+        conflicting = payload(
+            name="other",
+            events=[{"name": "a", "controllable": False, "observable": True}],
+        )
+        findings = check_modular_alphabets({"m1": payload(), "m2": conflicting})
+        assert rules(findings) == ["REPRO-A010"]
+        assert "controllable" in findings[0].message
+
+
+class TestClosedLoopChecks:
+    SIGMA = Alphabet.of([uncontrollable("fault"), controllable("fix")])
+
+    def plant(self):
+        return automaton_from_table(
+            "plant",
+            self.SIGMA,
+            transitions=[("P0", "fault", "P1"), ("P1", "fix", "P0")],
+            initial="P0",
+            marked=["P0"],
+        )
+
+    def test_exact_copy_passes(self):
+        findings = check_supervisor_against_plant(
+            self.plant(), self.plant().copy("sup")
+        )
+        assert findings == []
+
+    def test_disabled_uncontrollable_is_a011(self):
+        supervisor = automaton_from_table(
+            "sup",
+            self.SIGMA,
+            transitions=[],  # disables 'fault' at the initial state
+            initial="T0",
+            marked=["T0"],
+        )
+        findings = check_supervisor_against_plant(self.plant(), supervisor)
+        assert "REPRO-A011" in rules(findings)
+
+    def test_blocking_product_is_a012(self):
+        # Supervisor follows 'fault' but never re-enables 'fix': the
+        # supervisor alone is nonblocking (T1 is marked) yet the product
+        # is stuck at P1.T1 with no path back to a marked pair.
+        supervisor = automaton_from_table(
+            "sup",
+            self.SIGMA,
+            transitions=[("T0", "fault", "T1")],
+            initial="T0",
+            marked=["T0", "T1"],
+        )
+        findings = check_supervisor_against_plant(self.plant(), supervisor)
+        assert rules(findings) == ["REPRO-A012"]
+        assert "blocks" in findings[0].message

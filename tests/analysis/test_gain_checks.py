@@ -1,0 +1,120 @@
+"""Unit tests for the numeric LQG gain-set checks.
+
+All tests use a scalar plant (A=0.5, B=C=1, D=0) where the augmented
+closed loop [[0.5-k1, -k2], [-1, 1]] and the observer 0.5-L can be
+checked by hand.
+"""
+
+import numpy as np
+
+from repro.analysis.findings import Severity
+from repro.analysis.gain_checks import check_gains
+from repro.control.lqg import LQGGains
+from repro.control.statespace import StateSpaceModel
+
+
+def scalar_gains(
+    name="toy",
+    k_state=0.5,
+    k_integral=-0.25,
+    observer_gain=0.5,
+    **overrides,
+):
+    """Gains for the scalar plant; defaults are stable (radius 0.5)."""
+    fields = {
+        "name": name,
+        "model": StateSpaceModel(
+            A=[[0.5]], B=[[1.0]], C=[[1.0]], D=[[0.0]], dt=0.05, name="toy"
+        ),
+        "K_state": np.array([[float(k_state)]]),
+        "K_integral": np.array([[float(k_integral)]]),
+        "L": np.array([[float(observer_gain)]]),
+        "Q_output": np.eye(1),
+        "R_effort": np.eye(1),
+        "integral_mask": np.ones(1),
+    }
+    fields.update(overrides)
+    return LQGGains(**fields)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestCheckGains:
+    def test_stable_gains_are_clean(self):
+        assert check_gains(scalar_gains()) == []
+
+    def test_nan_is_exactly_one_g001_and_short_circuits(self):
+        findings = check_gains(
+            scalar_gains(K_state=np.array([[np.nan]]))
+        )
+        assert rules(findings) == ["REPRO-G001"]
+
+    def test_wrong_shape_is_g002(self):
+        findings = check_gains(scalar_gains(L=np.zeros((2, 2))))
+        assert rules(findings) == ["REPRO-G002"]
+
+    def test_bad_integral_mask_shape_is_g002(self):
+        findings = check_gains(
+            scalar_gains(integral_mask=np.ones(3))
+        )
+        assert rules(findings) == ["REPRO-G002"]
+
+    def test_unstable_closed_loop_is_exactly_one_g003_error(self):
+        # k1=-0.8 puts an eigenvalue at 1.3, outside the unit circle.
+        findings = check_gains(scalar_gains(k_state=-0.8, k_integral=0.0))
+        assert rules(findings) == ["REPRO-G003"]
+        assert findings[0].severity == Severity.ERROR
+        assert "unstable" in findings[0].message
+
+    def test_marginal_closed_loop_is_g003_warning(self):
+        # k1=0, k2=-0.0005 puts the largest eigenvalue at ~0.999:
+        # stable, but within the no-margin band.
+        findings = check_gains(scalar_gains(k_state=0.0, k_integral=-0.0005))
+        assert rules(findings) == ["REPRO-G003"]
+        assert findings[0].severity == Severity.WARNING
+
+    def test_unstable_observer_is_g004(self):
+        # L=2 puts the estimator error pole at 0.5-2 = -1.5.
+        findings = check_gains(scalar_gains(observer_gain=2.0))
+        assert rules(findings) == ["REPRO-G004"]
+
+    def test_negative_q_is_g005(self):
+        findings = check_gains(scalar_gains(Q_output=-np.eye(1)))
+        assert rules(findings) == ["REPRO-G005"]
+        assert "semidefinite" in findings[0].message
+
+    def test_singular_r_is_g005(self):
+        findings = check_gains(scalar_gains(R_effort=np.zeros((1, 1))))
+        assert rules(findings) == ["REPRO-G005"]
+        assert "positive definite" in findings[0].message
+
+    def test_asymmetric_q_is_g005(self):
+        # Two decoupled copies of the stable scalar loop.
+        gains = scalar_gains(
+            model=StateSpaceModel(
+                A=np.eye(2) * 0.5,
+                B=np.eye(2),
+                C=np.eye(2),
+                D=np.zeros((2, 2)),
+                dt=0.05,
+            ),
+            K_state=np.eye(2) * 0.5,
+            K_integral=np.eye(2) * -0.25,
+            L=np.eye(2) * 0.5,
+            Q_output=np.array([[1.0, 0.5], [0.0, 1.0]]),
+            R_effort=np.eye(2),
+            integral_mask=np.ones(2),
+        )
+        findings = check_gains(gains)
+        assert rules(findings) == ["REPRO-G005"]
+        assert "symmetric" in findings[0].message
+
+    def test_findings_carry_the_artifact_path(self):
+        findings = check_gains(
+            scalar_gains(k_state=-0.8, k_integral=0.0),
+            path="bundle/gains.npz#big/power",
+        )
+        assert findings[0].path == "bundle/gains.npz#big/power"
+        assert findings[0].line == 1

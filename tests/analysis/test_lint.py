@@ -1,0 +1,124 @@
+"""Tests for the repo-specific AST lint rules."""
+
+from repro.analysis.findings import Severity
+from repro.analysis.lint import lint_source
+
+COLD = "src/repro/experiments/mod.py"
+HOT = "src/repro/managers/mod.py"
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestL001MutableDefaults:
+    def test_list_default_is_error(self):
+        findings = lint_source("def f(x=[]):\n    return x\n", COLD)
+        assert rules(findings) == ["REPRO-L001"]
+
+    def test_dict_constructor_default_is_error(self):
+        findings = lint_source("def f(x=dict()):\n    return x\n", COLD)
+        assert rules(findings) == ["REPRO-L001"]
+
+    def test_argparse_style_default_kwarg_is_error(self):
+        source = (
+            "import argparse\n"
+            "parser = argparse.ArgumentParser()\n"
+            'parser.add_argument("--x", default=[])\n'
+        )
+        findings = lint_source(source, COLD)
+        assert rules(findings) == ["REPRO-L001"]
+        assert findings[0].line == 3
+
+    def test_none_default_is_fine(self):
+        assert lint_source("def f(x=None):\n    return x\n", COLD) == []
+
+
+class TestL002BareExcept:
+    def test_bare_except_is_error(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        assert rules(lint_source(source, COLD)) == ["REPRO-L002"]
+
+    def test_typed_except_is_fine(self):
+        source = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert lint_source(source, COLD) == []
+
+
+class TestL003FloatEquality:
+    def test_nonzero_float_equality_is_error(self):
+        assert rules(lint_source("ok = x == 1.5\n", COLD)) == ["REPRO-L003"]
+
+    def test_not_equal_also_flagged(self):
+        assert rules(lint_source("ok = 0.1 != x\n", COLD)) == ["REPRO-L003"]
+
+    def test_exact_zero_comparison_allowed(self):
+        # np.clip saturation checks legitimately compare against 0.0.
+        assert lint_source("ok = x == 0.0\n", COLD) == []
+
+    def test_integer_equality_allowed(self):
+        assert lint_source("ok = x == 3\n", COLD) == []
+
+
+class TestL004NumpyDtype:
+    def test_hot_path_zeros_without_dtype_warns(self):
+        source = "import numpy as np\ndef f():\n    return np.zeros(3)\n"
+        findings = lint_source(source, HOT)
+        assert rules(findings) == ["REPRO-L004"]
+        assert findings[0].severity == Severity.WARNING
+
+    def test_hot_path_zeros_with_dtype_is_fine(self):
+        source = "import numpy as np\ndef f():\n    return np.zeros(3, dtype=float)\n"
+        assert lint_source(source, HOT) == []
+
+    def test_cold_path_is_exempt(self):
+        source = "import numpy as np\ndef f():\n    return np.zeros(3)\n"
+        assert lint_source(source, COLD) == []
+
+
+class TestL005DunderAll:
+    def test_init_with_imports_and_no_all_is_error(self):
+        source = "from repro.core import events\n"
+        findings = lint_source(source, "src/repro/core/__init__.py")
+        assert rules(findings) == ["REPRO-L005"]
+
+    def test_init_with_all_is_fine(self):
+        source = 'from repro.core import events\n__all__ = ["events"]\n'
+        assert lint_source(source, "src/repro/core/__init__.py") == []
+
+    def test_plain_module_needs_no_all(self):
+        assert lint_source("from repro.core import events\n", COLD) == []
+
+
+class TestL006UnitSuffixes:
+    def test_unsuffixed_parameter_warns(self):
+        findings = lint_source("def f(period):\n    return period\n", COLD)
+        assert rules(findings) == ["REPRO-L006"]
+        assert findings[0].severity == Severity.WARNING
+
+    def test_unsuffixed_local_warns(self):
+        source = "def f():\n    power = 3.0\n    return power\n"
+        assert rules(lint_source(source, COLD)) == ["REPRO-L006"]
+
+    def test_unit_suffix_is_fine(self):
+        source = "def f(period_ms, budget_w):\n    return period_ms + budget_w\n"
+        assert lint_source(source, COLD) == []
+
+    def test_count_suffix_is_fine(self):
+        assert lint_source("def f(period_epochs):\n    return period_epochs\n", COLD) == []
+
+    def test_all_caps_constant_is_exempt(self):
+        # ALL_CAPS names label DES events, not physical quantities.
+        assert lint_source("SAFE_POWER = 2\n", COLD) == []
+
+    def test_dataclass_field_names_are_exempt(self):
+        source = (
+            "class Phase:\n"
+            "    power = 1.0\n"
+        )
+        assert lint_source(source, COLD) == []
+
+
+class TestSyntaxError:
+    def test_unparseable_source_is_l000(self):
+        findings = lint_source("def f(:\n", COLD)
+        assert rules(findings) == ["REPRO-L000"]

@@ -86,6 +86,60 @@ class TestControllability:
         assert ok
 
 
+class TestClosedLoopNonblocking:
+    """Nonblocking must be judged on plant || supervisor, not the
+    supervisor alone."""
+
+    SIGMA = Alphabet.of([controllable("a"), controllable("b")])
+
+    def test_supervisor_nonblocking_alone_but_product_blocks(self):
+        # Plant needs a then b to reach its marked state; the supervisor
+        # only ever offers a.  Every supervisor state reaches a marked
+        # state, so the supervisor alone is nonblocking — but the product
+        # is stuck at P1.T1 forever.
+        plant_ = automaton_from_table(
+            "chain",
+            self.SIGMA,
+            transitions=[("P0", "a", "P1"), ("P1", "b", "P2")],
+            initial="P0",
+            marked=["P2"],
+        )
+        supervisor = automaton_from_table(
+            "sup",
+            self.SIGMA,
+            transitions=[("T0", "a", "T1")],
+            initial="T0",
+            marked=["T1"],
+        )
+        assert check_nonblocking(supervisor)
+
+        report = verify_supervisor(plant_, supervisor)
+        assert report.controllable  # only controllable events disabled
+        assert not report.nonblocking
+        assert not report.verified
+        assert report.blocking_states
+        assert any("P1" in s.name for s in report.blocking_states)
+
+    def test_product_nonblocking_when_supervisor_completes_the_chain(self):
+        plant_ = automaton_from_table(
+            "chain",
+            self.SIGMA,
+            transitions=[("P0", "a", "P1"), ("P1", "b", "P2")],
+            initial="P0",
+            marked=["P2"],
+        )
+        supervisor = automaton_from_table(
+            "sup",
+            self.SIGMA,
+            transitions=[("T0", "a", "T1"), ("T1", "b", "T2")],
+            initial="T0",
+            marked=["T2"],
+        )
+        report = verify_supervisor(plant_, supervisor)
+        assert report.verified
+        assert report.blocking_states == frozenset()
+
+
 class TestVerifyReport:
     def test_report_pass(self):
         report = verify_supervisor(plant(), plant().copy("sup"))

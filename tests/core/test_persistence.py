@@ -9,10 +9,10 @@ from repro.core.persistence import (
     BUNDLE_MANIFEST,
     BundleError,
     PolicyBundle,
-    bundle_from_design,
     load_bundle,
     save_bundle,
 )
+from repro.managers.bundle import bundle_from_design
 
 
 @pytest.fixture(scope="module")

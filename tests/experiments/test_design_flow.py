@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.design_flow import run_design_flow
+from repro.experiments.design_flow import run_design_flow
 from repro.managers.base import ManagerGoals
 
 

@@ -65,7 +65,7 @@ class TestConstruction:
                 big_system,
                 little_system,
                 verified_supervisor,
-                supervisor_period=0,
+                supervisor_period_epochs=0,
             )
 
     def test_initial_budget_split(self, spectr_setup):
