@@ -2,10 +2,13 @@
 # Pre-merge gate: tier-1 test suite + static analysis.
 #
 # This is the single command CI runs (see .github/workflows/ci.yml) and
-# the one to run locally before pushing.  It fails if either
-#   * any tier-1 test fails, or
+# the one to run locally before pushing.  It fails if any of
+#   * any tier-1 test fails,
 #   * `python -m repro.analysis src/` reports an error-severity finding
-#     (artifact defects, lint errors, architecture-layer violations).
+#     (artifact defects, lint errors, architecture-layer violations),
+#   * `python -m repro.resilience --smoke` records an invariant
+#     violation (the fault-campaign smoke: SPECTR under every sensor
+#     and actuator fault kind must stay on the verified envelope).
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -20,6 +23,10 @@ python -m pytest -x -q
 echo
 echo "== static analysis (repro.analysis) =="
 python -m repro.analysis src/
+
+echo
+echo "== resilience fault-campaign smoke =="
+python -m repro.resilience --smoke
 
 if command -v ruff >/dev/null 2>&1; then
     echo

@@ -19,7 +19,10 @@ per-cluster MIMO (LQG) controllers.  This package provides:
 * :mod:`repro.core` — SPECTR's high-level plant models, specifications,
   synthesis flow, and runtime supervisor engine;
 * :mod:`repro.experiments` — scenario runner and per-figure data
-  generation for every table and figure of the paper's evaluation.
+  generation for every table and figure of the paper's evaluation;
+* :mod:`repro.resilience` — runtime resilience: telemetry guards,
+  supervisor invariant monitoring, graceful degradation, and the
+  fault-campaign harness behind ``python -m repro.resilience``.
 
 Quickstart::
 

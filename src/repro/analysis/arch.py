@@ -14,6 +14,7 @@ package               rank  may import
 ``analysis``          2     rank 0; ``core`` (artifact formats)
 ``managers``          3     ranks 0-2
 ``experiments``       4     ranks 0-3 and ``analysis``
+``resilience``        5     ranks 0-4 (top layer)
 ====================  ====  =============================================
 
 In particular ``platform`` and ``workloads`` must import neither
@@ -55,6 +56,20 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "core",
             "managers",
             "analysis",
+        }
+    ),
+    # Top layer: may see everything below; nothing below may import it.
+    # Managers/experiments integrate with it through duck-typed
+    # attachment points (``manager.resilience``, runner setup hooks).
+    "resilience": frozenset(
+        {
+            "automata",
+            "control",
+            "platform",
+            "workloads",
+            "core",
+            "managers",
+            "experiments",
         }
     ),
 }

@@ -29,6 +29,12 @@ Rules
     ``budget_w``...).  The 50 ms-epoch code mixes seconds, milliseconds
     and watts freely; unsuffixed names like ``period`` or ``power`` have
     caused unit mix-ups in every runtime-manager codebase we reference.
+``REPRO-L007`` (error, resilience hot paths only)
+    ``except``-and-continue: an exception handler whose body is nothing
+    but ``pass``/``continue`` in the resilience/guard hot paths
+    (``resilience/``, ``platform/faults.py``).  Faults must be
+    *recorded*, not swallowed — a guard that silently drops a failed
+    validation turns a detectable sensor fault into an invisible one.
 """
 
 from __future__ import annotations
@@ -38,16 +44,29 @@ from pathlib import Path
 
 from repro.analysis.findings import Finding, Severity
 
-__all__ = ["lint_source", "lint_file", "HOT_PATH_FRAGMENTS"]
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "HOT_PATH_FRAGMENTS",
+    "RESILIENCE_PATH_FRAGMENTS",
+]
 
 # Modules on the 50 ms control epoch (rule L004 applies only here).
 HOT_PATH_FRAGMENTS = (
     "managers/",
     "platform/",
+    "resilience/",
     "control/lqg.py",
     "control/pid.py",
     "core/supervisor.py",
     "core/events.py",
+)
+
+# Fault-handling code where exceptions must be recorded, never
+# swallowed (rule L007 applies only here).
+RESILIENCE_PATH_FRAGMENTS = (
+    "resilience/",
+    "platform/faults.py",
 )
 
 _NUMPY_ALLOCATORS = {"zeros", "ones", "empty"}
@@ -97,6 +116,13 @@ def _is_hot_path(path: str) -> bool:
     return any(fragment in normalized for fragment in HOT_PATH_FRAGMENTS)
 
 
+def _is_resilience_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(
+        fragment in normalized for fragment in RESILIENCE_PATH_FRAGMENTS
+    )
+
+
 def _missing_unit_suffix(name: str) -> bool:
     if name.isupper():  # ALL_CAPS constants name DES events, not quantities
         return False
@@ -124,6 +150,7 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.hot = _is_hot_path(path)
+        self.resilience = _is_resilience_path(path)
         self.findings: list[Finding] = []
         self.numpy_aliases: set[str] = set()
         self._class_depth = 0
@@ -222,7 +249,7 @@ class _Linter(ast.NodeVisitor):
                     "pin the dtype (e.g. dtype=float)",
                 )
 
-    # -- L002: bare except ---------------------------------------------
+    # -- L002: bare except / L007: except-and-continue -----------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
             self._add(
@@ -231,6 +258,17 @@ class _Linter(ast.NodeVisitor):
                 Severity.ERROR,
                 "bare `except:` catches SystemExit/KeyboardInterrupt; "
                 "name the exceptions you can actually handle",
+            )
+        if self.resilience and all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in node.body
+        ):
+            self._add(
+                node.lineno,
+                "REPRO-L007",
+                Severity.ERROR,
+                "exception swallowed in a resilience hot path; faults "
+                "must be recorded (append an event/violation), not "
+                "silently dropped",
             )
         self.generic_visit(node)
 

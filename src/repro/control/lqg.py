@@ -333,6 +333,19 @@ class LQGServoController:
         self.invocations += 1
         return u
 
+    def predicted_outputs(self) -> np.ndarray:
+        """Physical output vector the Kalman observer currently expects.
+
+        This is the model's one-step prediction ``C @ xhat + D @ du``
+        mapped back to physical units — the best model-based estimate of
+        the plant outputs available *without* a fresh measurement.  The
+        telemetry guard uses it to substitute readings from quarantined
+        sensors so the closed loop survives sensor dropouts.
+        """
+        g = self.gains
+        dy_pred = g.model.C @ self._xhat + g.model.D @ self._du_prev
+        return self.operating_point.denormalize_y(dy_pred)
+
     def state_snapshot(self) -> dict[str, np.ndarray]:
         """Internal state (for logging/diagnostics)."""
         return {

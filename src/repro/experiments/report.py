@@ -24,6 +24,28 @@ from repro.experiments.figures import (
 )
 from repro.experiments.tables import format_table1
 
+def format_markdown_table(
+    headers: list[str], rows: list[list[str]]
+) -> str:
+    """Render a GitHub-flavoured markdown table with aligned columns."""
+    cells = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    n_cols = max(len(row) for row in cells)
+    for row in cells:
+        row.extend("" for _ in range(n_cols - len(row)))
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(n_cols)
+    ]
+
+    def render(row: list[str]) -> str:
+        padded = (cell.ljust(widths[col]) for col, cell in enumerate(row))
+        return "| " + " | ".join(padded) + " |"
+
+    lines = [render(cells[0])]
+    lines.append("| " + " | ".join("-" * w for w in widths) + " |")
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
 SECTIONS = (
     ("Table 1", lambda: format_table1()),
     ("Figure 3", lambda: fig3_conflicting_goals().format_text()),

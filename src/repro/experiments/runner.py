@@ -47,6 +47,11 @@ class ScenarioTrace:
     little_frequency: np.ndarray
     little_cores: np.ndarray
     gain_sets: list[str] = field(default_factory=list)
+    # Resilience pipeline outputs (populated when the manager has a
+    # pipeline attached; see repro.resilience).
+    guard_events: list = field(default_factory=list)
+    invariant_violations: list = field(default_factory=list)
+    degrade_events: list = field(default_factory=list)
 
     def phase_slice(self, index: int) -> slice:
         starts = self.scenario.phase_boundaries()
@@ -96,6 +101,8 @@ def run_scenario(
     seed: int = 2018,
     initial_big_frequency: float = 1.0,
     initial_little_frequency: float = 0.6,
+    soc_setup: Callable[[ExynosSoC], None] | None = None,
+    manager_setup: Callable[[ResourceManager], None] | None = None,
 ) -> ScenarioTrace:
     """Execute one (manager, workload, scenario) combination.
 
@@ -103,6 +110,10 @@ def run_scenario(
     ``set_power_budget`` / ``set_qos_reference`` — mirroring the paper's
     setup where reference values are system/user inputs every manager
     receives (Figure 13 plots the same reference lines for all four).
+
+    ``soc_setup`` runs after platform construction (fault injection
+    point); ``manager_setup`` runs after manager construction
+    (resilience-pipeline / actuator-proxy attachment point).
     """
     soc = ExynosSoC(
         qos_app=workload,
@@ -111,6 +122,8 @@ def run_scenario(
     )
     soc.big.set_frequency(initial_big_frequency)
     soc.little.set_frequency(initial_little_frequency)
+    if soc_setup is not None:
+        soc_setup(soc)
 
     first = scenario.phases[0]
     goals = ManagerGoals(
@@ -118,6 +131,8 @@ def run_scenario(
         power_budget_w=first.power_budget_w,
     )
     manager = manager_factory(soc, goals)
+    if manager_setup is not None:
+        manager_setup(manager)
 
     steps = int(round(scenario.total_duration_s / soc.config.dt_s))
     times = np.zeros(steps)
@@ -157,6 +172,7 @@ def run_scenario(
         record = manager.actuation_log[-1] if manager.actuation_log else None
         gain_sets.append(record.gain_set if record else "")
 
+    pipeline = getattr(manager, "resilience", None)
     return ScenarioTrace(
         manager=manager.name,
         workload=workload.name,
@@ -173,4 +189,7 @@ def run_scenario(
         little_frequency=little_freq,
         little_cores=little_cores,
         gain_sets=gain_sets,
+        guard_events=list(getattr(pipeline, "guard_events", ())),
+        invariant_violations=list(getattr(pipeline, "violations", ())),
+        degrade_events=list(getattr(pipeline, "degrade_events", ())),
     )

@@ -45,7 +45,17 @@ class ActuationRecord:
 
 
 class ResourceManager(ABC):
-    """Base class: owns the actuators of one :class:`ExynosSoC`."""
+    """Base class: owns the actuators of one :class:`ExynosSoC`.
+
+    :meth:`control` is a template method: it routes each telemetry
+    sample through an optional resilience pipeline (telemetry guard
+    before the decision, invariant monitor and degradation policy
+    after) around the subclass's :meth:`_control` decision logic.  The
+    pipeline is duck-typed — any object with ``before_control`` /
+    ``after_control`` attached via :meth:`attach_resilience` works — so
+    this package never imports ``repro.resilience`` (which sits above
+    ``managers`` in the architecture layering).
+    """
 
     def __init__(self, soc: ExynosSoC, goals: ManagerGoals, *, name: str) -> None:
         self.soc = soc
@@ -53,11 +63,70 @@ class ResourceManager(ABC):
         self.name = name
         self.actuation_log: list[ActuationRecord] = field(default_factory=list)  # type: ignore[assignment]
         self.actuation_log = []
+        self.resilience = None
 
     # ------------------------------------------------------------------
-    @abstractmethod
     def control(self, telemetry: Telemetry) -> None:
-        """Consume one telemetry sample and actuate the platform."""
+        """Consume one telemetry sample and actuate the platform.
+
+        With a resilience pipeline attached, the sample is validated
+        (and possibly repaired) first, and the resulting actuations are
+        checked against the runtime invariants afterwards.
+        """
+        if self.resilience is not None:
+            telemetry = self.resilience.before_control(self, telemetry)
+        self._control(telemetry)
+        if self.resilience is not None:
+            self.resilience.after_control(self, telemetry)
+
+    @abstractmethod
+    def _control(self, telemetry: Telemetry) -> None:
+        """Subclass decision logic: consume telemetry, actuate knobs."""
+
+    def attach_resilience(self, pipeline) -> None:
+        """Attach a resilience pipeline (``repro.resilience`` object).
+
+        The pipeline must expose ``before_control(manager, telemetry)
+        -> telemetry`` and ``after_control(manager, telemetry)``.
+        """
+        for hook in ("before_control", "after_control"):
+            if not callable(getattr(pipeline, hook, None)):
+                raise TypeError(
+                    f"resilience pipeline lacks a callable {hook!r} hook"
+                )
+        self.resilience = pipeline
+
+    def observer_estimates(self) -> dict[str, float]:
+        """Model-based estimates of plant outputs, if the manager has any.
+
+        Managers built on LQG observers override this to export their
+        Kalman predictions (keys among ``qos``, ``big_power``,
+        ``little_power``); the telemetry guard uses them to substitute
+        quarantined sensor readings.  The default is no estimates.
+        """
+        return {}
+
+    def actuation_surface(self, cluster):
+        """The object to actuate for ``cluster`` — its proxy if wrapped.
+
+        Managers should route DVFS/hotplug writes through this so an
+        attached :class:`~repro.platform.faults.ActuatorProxy` (bounded
+        retry + hold-last-good) is honoured when present.
+        """
+        proxy = getattr(self, "_actuator_proxies", None)
+        if proxy is not None and cluster.name in proxy:
+            return proxy[cluster.name]
+        return cluster
+
+    def attach_actuator_proxy(self, cluster_name: str, proxy) -> None:
+        """Register an actuation proxy for the named cluster."""
+        if getattr(self, "_actuator_proxies", None) is None:
+            self._actuator_proxies = {}
+        self._actuator_proxies[cluster_name] = proxy
+        self._on_proxy_attached(cluster_name, proxy)
+
+    def _on_proxy_attached(self, cluster_name: str, proxy) -> None:
+        """Hook for subclasses to rebind internal actuation targets."""
 
     def set_qos_reference(self, qos_reference: float) -> None:
         """User-level goal change (Heartbeats API reference value)."""

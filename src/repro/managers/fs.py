@@ -69,19 +69,27 @@ class FullSystemMIMO(ResourceManager):
     # toggling when the continuous command hovers at a rounding boundary.
     hotplug_deadband = 0.6
 
-    def control(self, telemetry: Telemetry) -> None:
+    def observer_estimates(self) -> dict[str, float]:
+        # FS measures [QoS, chip power]; chip power cannot be split
+        # back into per-cluster readings, so only QoS is exported.
+        y = self.controller.predicted_outputs()
+        return {"qos": float(y[0])}
+
+    def _control(self, telemetry: Telemetry) -> None:
         self.controller.set_reference(
             [self.goals.qos_reference, self.goals.power_budget_w]
         )
         u = self.controller.step(
             np.array([telemetry.qos_rate, telemetry.chip_power_w])
         )
-        self.soc.big.set_frequency(float(u[0]))
-        if abs(float(u[1]) - self.soc.big.active_cores) >= self.hotplug_deadband:
-            self.soc.big.set_active_cores(float(u[1]))
-        self.soc.little.set_frequency(float(u[2]))
-        if abs(float(u[3]) - self.soc.little.active_cores) >= self.hotplug_deadband:
-            self.soc.little.set_active_cores(float(u[3]))
+        big = self.actuation_surface(self.soc.big)
+        little = self.actuation_surface(self.soc.little)
+        big.set_frequency(float(u[0]))
+        if abs(float(u[1]) - big.active_cores) >= self.hotplug_deadband:
+            big.set_active_cores(float(u[1]))
+        little.set_frequency(float(u[2]))
+        if abs(float(u[3]) - little.active_cores) >= self.hotplug_deadband:
+            little.set_active_cores(float(u[3]))
         self.record_actuation(
             telemetry.time_s,
             big_power_ref_w=self.goals.power_budget_w,

@@ -53,7 +53,21 @@ class UncoordinatedDualMIMO(ResourceManager):
             soc.little, little_system, initial_gains=gain_set
         )
 
-    def control(self, telemetry: Telemetry) -> None:
+    def _on_proxy_attached(self, cluster_name: str, proxy) -> None:
+        for mimo in (self.big_mimo, self.little_mimo):
+            if mimo.cluster.name == cluster_name:
+                mimo.cluster = proxy
+
+    def observer_estimates(self) -> dict[str, float]:
+        big_y = self.big_mimo.controller.predicted_outputs()
+        little_y = self.little_mimo.controller.predicted_outputs()
+        return {
+            "qos": float(big_y[0]),
+            "big_power": float(big_y[1]),
+            "little_power": float(little_y[1]),
+        }
+
+    def _control(self, telemetry: Telemetry) -> None:
         big_power_ref = BIG_BUDGET_SHARE * self.goals.power_budget_w
         little_power_ref = LITTLE_BUDGET_SHARE * self.goals.power_budget_w
         self.big_mimo.set_references(self.goals.qos_reference, big_power_ref)

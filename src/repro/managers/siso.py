@@ -64,7 +64,7 @@ class NestedSISOManager(ResourceManager):
         """The outer loop's current frequency cap on the Big cluster."""
         return self._ceiling
 
-    def control(self, telemetry: Telemetry) -> None:
+    def _control(self, telemetry: Telemetry) -> None:
         soc = self.soc
         # Outer loop: move the Big-cluster frequency ceiling to keep
         # chip power at the budget.
@@ -85,11 +85,11 @@ class NestedSISOManager(ResourceManager):
         big_target = min(
             self._ceiling, soc.big.frequency_ghz + big_delta
         )
-        soc.big.set_frequency(big_target)
+        self.actuation_surface(soc.big).set_frequency(big_target)
 
         self.little_inner.set_reference(LITTLE_IPS_REFERENCE)
         little_delta = self.little_inner.step(telemetry.little.ips)
-        soc.little.set_frequency(
+        self.actuation_surface(soc.little).set_frequency(
             soc.little.frequency_ghz + little_delta
         )
 

@@ -134,7 +134,21 @@ class SPECTRManager(ResourceManager):
     # ------------------------------------------------------------------
     # ResourceManager interface
     # ------------------------------------------------------------------
-    def control(self, telemetry: Telemetry) -> None:
+    def _on_proxy_attached(self, cluster_name: str, proxy) -> None:
+        for mimo in (self.big_mimo, self.little_mimo):
+            if mimo.cluster.name == cluster_name:
+                mimo.cluster = proxy
+
+    def observer_estimates(self) -> dict[str, float]:
+        big_y = self.big_mimo.controller.predicted_outputs()
+        little_y = self.little_mimo.controller.predicted_outputs()
+        return {
+            "qos": float(big_y[0]),
+            "big_power": float(big_y[1]),
+            "little_power": float(little_y[1]),
+        }
+
+    def _control(self, telemetry: Telemetry) -> None:
         self._telemetry = telemetry
         if self._tick % self.supervisor_period_epochs == 0:
             self._supervise(telemetry)

@@ -31,6 +31,7 @@ from repro.platform.soc import (
     PlatformError,
     SoCConfig,
     fair_share_capacity,
+    sync_cluster_clocks,
 )
 from repro.workloads.base import BackgroundTask, QoSWorkload
 from repro.workloads.heartbeats import HeartbeatMonitor
@@ -152,6 +153,7 @@ class ManyCoreSoC:
     def step(self) -> ManyCoreTelemetry:
         """Advance one control interval."""
         now = self.time_s
+        sync_cluster_clocks(self.clusters, now)
         active_bg = [t for t in self.background if t.active_at(now)]
         qos_threads = float(self.qos_app.threads) if self.qos_app else 0.0
         resident = [0.0] * self.n_clusters

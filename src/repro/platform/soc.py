@@ -68,6 +68,9 @@ class Cluster:
         self.pmu_sensors: list[NoisySensor] = [
             pmu_counter(f"{name}-core{i}") for i in range(n_cores)
         ]
+        # Optional fault-injection layer consulted by the actuators
+        # (set by repro.platform.faults.inject_actuator_fault).
+        self.actuator_faults = None
 
     # ------------------------------ actuators -------------------------
     @property
@@ -75,10 +78,21 @@ class Cluster:
         return self._frequency_ghz
 
     def set_frequency(self, frequency_ghz: float) -> float:
-        """DVFS request; snaps to the nearest OPP and returns it."""
-        opp = self.opps.snap(frequency_ghz)
-        self._frequency_ghz = opp.frequency_ghz
-        return opp.frequency_ghz
+        """DVFS request; snaps to the nearest OPP and returns it.
+
+        When a fault-injection layer is attached, the request passes
+        through it first (it may be rejected, clamped, applied
+        partially, or delayed); the value that survives is snapped to
+        the OPP table like any governor write.
+        """
+        target_ghz = self.opps.snap(frequency_ghz).frequency_ghz
+        if self.actuator_faults is not None:
+            target_ghz = self.actuator_faults.filter_frequency(
+                self._frequency_ghz, target_ghz
+            )
+            target_ghz = self.opps.snap(target_ghz).frequency_ghz
+        self._frequency_ghz = target_ghz
+        return target_ghz
 
     @property
     def voltage_v(self) -> float:
@@ -89,7 +103,16 @@ class Cluster:
         return self._active_cores
 
     def set_active_cores(self, count: float) -> int:
-        """Hotplug request; rounds and clamps to [1, n_cores]."""
+        """Hotplug request; rounds and clamps to [1, n_cores].
+
+        A request dropped by an attached fault-injection layer leaves
+        the active count unchanged (silent hotplug failure).
+        """
+        if (
+            self.actuator_faults is not None
+            and not self.actuator_faults.allow_hotplug()
+        ):
+            return self._active_cores
         snapped = int(round(float(count)))
         snapped = max(1, min(self.n_cores, snapped))
         self._active_cores = snapped
@@ -208,6 +231,7 @@ class ExynosSoC:
     def step(self) -> Telemetry:
         """Advance one control interval and return sensor readings."""
         now = self.time_s
+        sync_cluster_clocks(self.clusters(), now)
         active_bg = [t for t in self.background if t.active_at(now)]
         qos_threads = float(self.qos_app.threads) if self.qos_app else 0.0
         placement = self.scheduler.place(
@@ -292,6 +316,27 @@ class ExynosSoC:
         )
 
 
+def sync_cluster_clocks(clusters, time_s: float) -> None:
+    """Propagate the simulator clock to every time-aware sensor/actuator.
+
+    Called once per control interval by the SoC step loops.  Any object
+    exposing ``set_time`` (fault-injection sensor wrappers, actuator
+    fault layers) is time-aware; plain sensors are skipped.  This is
+    native clock propagation — fault injection never wraps ``soc.step``,
+    so injecting faults on multiple clusters cannot double-wrap the
+    step loop.
+    """
+    for cluster in clusters:
+        for instrument in (
+            cluster.power_sensor,
+            *cluster.pmu_sensors,
+            cluster.actuator_faults,
+        ):
+            clock_setter = getattr(instrument, "set_time", None)
+            if clock_setter is not None:
+                clock_setter(time_s)
+
+
 def fair_share_capacity(capacity: float, runnable_threads: float) -> float:
     """Per-thread core share when capacity may be fractional."""
     if runnable_threads <= 0:
@@ -309,4 +354,5 @@ __all__ = [
     "Telemetry",
     "fair_share",
     "fair_share_capacity",
+    "sync_cluster_clocks",
 ]

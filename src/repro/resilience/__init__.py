@@ -1,0 +1,63 @@
+"""Runtime resilience: guards, invariant monitoring, degradation.
+
+The paper proves properties about the supervisor automaton at synthesis
+time; this package defends and *checks* those properties at runtime:
+
+* :mod:`repro.resilience.guard` — telemetry validation (NaN/Inf,
+  range, stuck, staleness) with a per-sensor health state machine and
+  observer-based substitution;
+* :mod:`repro.resilience.monitor` — runtime verification of the
+  supervisor invariants by independent automaton replay, plus numeric
+  reference invariants;
+* :mod:`repro.resilience.degrade` — graceful degradation to a
+  known-safe state when trust in sensing or control is lost;
+* :mod:`repro.resilience.pipeline` — the composable pipeline managers
+  attach via ``attach_resilience`` (duck-typed; ``managers`` never
+  imports this package);
+* :mod:`repro.resilience.campaign` — the fault-campaign harness behind
+  ``python -m repro.resilience``.
+"""
+
+from repro.resilience.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignRun,
+    run_campaign,
+)
+from repro.resilience.degrade import (
+    DegradationPolicy,
+    DegradeConfig,
+    DegradeEvent,
+)
+from repro.resilience.guard import (
+    CHANNELS,
+    GuardConfig,
+    GuardEvent,
+    SensorHealth,
+    TelemetryGuard,
+)
+from repro.resilience.monitor import (
+    InvariantMonitor,
+    InvariantViolation,
+    MonitorConfig,
+)
+from repro.resilience.pipeline import ResiliencePipeline
+
+__all__ = [
+    "CHANNELS",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRun",
+    "DegradationPolicy",
+    "DegradeConfig",
+    "DegradeEvent",
+    "GuardConfig",
+    "GuardEvent",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MonitorConfig",
+    "ResiliencePipeline",
+    "SensorHealth",
+    "TelemetryGuard",
+    "run_campaign",
+]

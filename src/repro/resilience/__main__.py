@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.resilience``."""
+
+from repro.resilience.cli import main
+
+raise SystemExit(main())

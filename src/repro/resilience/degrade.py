@@ -1,0 +1,117 @@
+"""Graceful degradation: a known-safe state when trust is lost.
+
+When the telemetry guard quarantines a power sensor, the chip's power
+draw is unobservable — and an unobservable power rail under a thermal
+budget is exactly the situation the paper's guarantees cannot cover.
+Likewise a recorded invariant violation means the manager is off its
+verified envelope.  In either case this policy drives the platform to a
+configurable known-safe state (minimum frequency, budget-floor
+references) every epoch until the condition clears, then re-engages
+normal control after ``release_clean_epochs`` consecutive clean epochs.
+Engage/release events are recorded and surfaced in
+:class:`~repro.experiments.runner.ScenarioTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.managers.spectr import BIG_POWER_FLOOR_W, LITTLE_POWER_FLOOR_W
+from repro.resilience.guard import SensorHealth
+
+__all__ = ["DegradationPolicy", "DegradeConfig", "DegradeEvent"]
+
+
+@dataclass(frozen=True)
+class DegradeConfig:
+    """What triggers degradation and what the safe state looks like."""
+
+    engage_on_quarantine: bool = True
+    engage_on_violation: bool = True
+    # Guard channels whose quarantine makes power unobservable.
+    power_channels: tuple[str, ...] = ("big_power", "little_power")
+    # Consecutive clean epochs before normal control is re-engaged.
+    release_clean_epochs: int = 20
+    # Safe-state references (the SPECTR budget floors by default).
+    safe_big_power_ref_w: float = BIG_POWER_FLOOR_W
+    safe_little_power_ref_w: float = LITTLE_POWER_FLOOR_W
+
+    def __post_init__(self) -> None:
+        if self.release_clean_epochs < 1:
+            raise ValueError("release_clean_epochs must be >= 1")
+
+
+@dataclass
+class DegradeEvent:
+    """One engage/release decision, recorded for traces and reports."""
+
+    time_s: float
+    action: str  # "engage" | "release"
+    reason: str
+
+
+class DegradationPolicy:
+    """Drives the platform to the safe state while trust is lost."""
+
+    def __init__(self, config: DegradeConfig | None = None) -> None:
+        self.config = config or DegradeConfig()
+        self.engaged = False
+        self.events: list[DegradeEvent] = []
+        self.engage_count = 0
+        self._clean_epochs = 0
+        self._seen_violation_count = 0
+
+    # ------------------------------------------------------------------
+    def _trigger_reason(self, guard, monitor) -> str | None:
+        cfg = self.config
+        if cfg.engage_on_quarantine and guard is not None:
+            for channel in cfg.power_channels:
+                if guard.state(channel) == SensorHealth.QUARANTINED:
+                    return f"quarantined:{channel}"
+        if cfg.engage_on_violation and monitor is not None:
+            fresh = len(monitor.violations) - self._seen_violation_count
+            self._seen_violation_count = len(monitor.violations)
+            if fresh > 0:
+                return f"violations:+{fresh}"
+        return None
+
+    # ------------------------------------------------------------------
+    def apply(self, manager, telemetry, *, guard=None, monitor=None) -> None:
+        """One epoch's engage/hold/release decision (after control)."""
+        reason = self._trigger_reason(guard, monitor)
+        if reason is not None:
+            self._clean_epochs = 0
+            if not self.engaged:
+                self.engaged = True
+                self.engage_count += 1
+                self.events.append(
+                    DegradeEvent(
+                        time_s=telemetry.time_s,
+                        action="engage",
+                        reason=reason,
+                    )
+                )
+        elif self.engaged:
+            self._clean_epochs += 1
+            if self._clean_epochs >= self.config.release_clean_epochs:
+                self.engaged = False
+                self.events.append(
+                    DegradeEvent(
+                        time_s=telemetry.time_s,
+                        action="release",
+                        reason=f"clean for {self._clean_epochs} epochs",
+                    )
+                )
+        if self.engaged:
+            self._enforce_safe_state(manager)
+
+    def _enforce_safe_state(self, manager) -> None:
+        """Re-assert the safe state (the manager actuated this epoch)."""
+        soc = manager.soc
+        for cluster in (soc.big, soc.little):
+            surface = manager.actuation_surface(cluster)
+            surface.set_frequency(cluster.opps.min_frequency)
+        if hasattr(manager, "big_power_ref_w"):
+            manager.big_power_ref_w = self.config.safe_big_power_ref_w
+        if hasattr(manager, "little_power_ref_w"):
+            manager.little_power_ref_w = self.config.safe_little_power_ref_w

@@ -1,0 +1,321 @@
+"""Telemetry guard: validate every sensor reading before control.
+
+The paper's managers trust their sensors blindly; a single NaN or a
+frozen power register would corrupt the Kalman estimators and walk the
+supervisor's event abstraction off its verified envelope.  The guard is
+the first stage of the resilience pipeline
+(:class:`repro.resilience.pipeline.ResiliencePipeline`): every
+:class:`~repro.platform.soc.Telemetry` passes through
+:meth:`TelemetryGuard.filter` before the manager's decision logic sees
+it.
+
+Per-channel validation (channels ``qos``, ``big_power``,
+``little_power``):
+
+* **NaN/Inf** — never forwarded;
+* **out-of-physical-range** — readings outside the configured physical
+  envelope (a dropout's hard ``0.0`` on a power rail is the canonical
+  case);
+* **stuck-value** — byte-identical consecutive readings; with ~1.5 %
+  multiplicative sensor noise and 5 mW quantization, more than a few
+  identical readings in a row are implausible — *above* the magnitude
+  where the noise band exceeds the quantization step.  Readings at or
+  below :attr:`GuardConfig.stuck_detection_floor` are exempt: a 0.13 W
+  little-cluster rail legitimately quantizes to the same 5 mW step
+  every epoch (the range check still covers such channels);
+* **staleness** — a telemetry sample whose clock did not advance marks
+  every channel dirty.
+
+Each channel runs a health state machine::
+
+    healthy -> suspect -> quarantined -> recovering -> healthy
+
+promotion/demotion after configurable clean/dirty epoch counts.  Dirty
+readings are always substituted; a **quarantined** channel is
+substituted even when the raw reading looks clean (one clean-looking
+sample inside a fault window proves nothing).  The substitute is the
+manager's model-based estimate — the LQG observer prediction exported
+through
+:meth:`~repro.managers.base.ResourceManager.observer_estimates` — with
+the last known-good reading as fallback, so the MIMOs keep closed-loop
+behaviour through sensor dropouts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.platform.soc import Telemetry
+
+__all__ = [
+    "CHANNELS",
+    "GuardConfig",
+    "GuardEvent",
+    "SensorHealth",
+    "TelemetryGuard",
+]
+
+CHANNELS = ("qos", "big_power", "little_power")
+
+
+class SensorHealth:
+    """Health states of one guarded sensor channel."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Validation thresholds and state-machine epoch counts."""
+
+    # Physical envelopes (readings outside are dirty).  The power minima
+    # sit above the sensor floor (0.0) so a dropout is caught, and below
+    # any legitimate idle power of the modelled clusters.
+    qos_range: tuple[float, float] = (0.0, 1.0e4)
+    big_power_range_w: tuple[float, float] = (0.01, 20.0)
+    little_power_range_w: tuple[float, float] = (0.01, 6.0)
+    # Identical consecutive readings before a channel counts as stuck.
+    stuck_epochs: int = 5
+    # Readings at or below this magnitude are exempt from stuck
+    # detection: sensor quantization dominates the noise band there, so
+    # identical consecutive readings are legitimate.
+    stuck_detection_floor: float = 0.5
+    # suspect -> quarantined after this many consecutive dirty epochs.
+    quarantine_dirty_epochs: int = 3
+    # quarantined -> recovering after this many consecutive clean raw
+    # readings.
+    recover_clean_epochs: int = 5
+    # recovering -> healthy after this many further clean epochs.
+    promote_clean_epochs: int = 10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "stuck_epochs",
+            "quarantine_dirty_epochs",
+            "recover_clean_epochs",
+            "promote_clean_epochs",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.stuck_detection_floor < 0:
+            raise ValueError("stuck_detection_floor must be non-negative")
+        for name in ("qos_range", "big_power_range_w", "little_power_range_w"):
+            lo, hi = getattr(self, name)
+            if lo >= hi:
+                raise ValueError(f"{name} must be an increasing pair")
+
+    def range_for(self, channel: str) -> tuple[float, float]:
+        if channel == "qos":
+            return self.qos_range
+        if channel == "big_power":
+            return self.big_power_range_w
+        if channel == "little_power":
+            return self.little_power_range_w
+        raise ValueError(f"unknown guard channel {channel!r}")
+
+
+@dataclass
+class GuardEvent:
+    """One guard intervention, recorded for traces and reports."""
+
+    time_s: float
+    sensor: str
+    kind: str  # "dirty" | "substituted" | "transition"
+    detail: str
+    raw_value: float = 0.0
+    used_value: float = 0.0
+
+
+@dataclass
+class _ChannelState:
+    state: str = SensorHealth.HEALTHY
+    dirty_streak_epochs: int = 0
+    clean_streak_epochs: int = 0
+    identical_streak_epochs: int = 0
+    previous_raw: float | None = None
+    last_good: float | None = None
+
+
+class TelemetryGuard:
+    """Stateful per-channel telemetry validator and repairer."""
+
+    def __init__(self, config: GuardConfig | None = None) -> None:
+        self.config = config or GuardConfig()
+        self.events: list[GuardEvent] = []
+        self.substitution_count = 0
+        self.dirty_count = 0
+        self._channels = {name: _ChannelState() for name in CHANNELS}
+        self._last_time_s: float | None = None
+
+    # ------------------------------------------------------------------
+    def state(self, channel: str) -> str:
+        """The health state of one channel."""
+        return self._channels[channel].state
+
+    def health_states(self) -> dict[str, str]:
+        return {name: ch.state for name, ch in self._channels.items()}
+
+    def is_quarantined(self, channel: str) -> bool:
+        return self._channels[channel].state == SensorHealth.QUARANTINED
+
+    # ------------------------------------------------------------------
+    def filter(self, manager, telemetry: Telemetry) -> Telemetry:
+        """Validate one sample; return it repaired where necessary."""
+        stale = (
+            self._last_time_s is not None
+            and telemetry.time_s <= self._last_time_s
+        )
+        self._last_time_s = telemetry.time_s
+        readings = {
+            "qos": telemetry.qos_rate,
+            "big_power": telemetry.big.power_w,
+            "little_power": telemetry.little.power_w,
+        }
+        estimates: dict[str, float] | None = None
+        used: dict[str, float] = {}
+        for channel, raw in readings.items():
+            reason = self._validate(channel, raw, stale=stale)
+            substitute = self._advance(channel, telemetry.time_s, raw, reason)
+            if not substitute:
+                used[channel] = raw
+                self._channels[channel].last_good = raw
+                continue
+            if estimates is None:
+                estimates = dict(manager.observer_estimates())
+            used[channel] = self._substitute(
+                channel, telemetry.time_s, raw, estimates
+            )
+        if all(used[c] == readings[c] for c in CHANNELS):
+            return telemetry
+        return replace(
+            telemetry,
+            qos_rate=used["qos"],
+            big=replace(telemetry.big, power_w=used["big_power"]),
+            little=replace(telemetry.little, power_w=used["little_power"]),
+        )
+
+    # ------------------------------------------------------------------
+    def _validate(
+        self, channel: str, raw: float, *, stale: bool
+    ) -> str | None:
+        """The dirtiness reason for one reading, or None if clean."""
+        ch = self._channels[channel]
+        if (
+            ch.previous_raw is not None
+            and raw == ch.previous_raw
+            and abs(raw) > self.config.stuck_detection_floor
+        ):
+            ch.identical_streak_epochs += 1
+        else:
+            ch.identical_streak_epochs = 0
+        ch.previous_raw = raw
+        if math.isnan(raw) or math.isinf(raw):
+            return "nan-inf"
+        if stale:
+            return "stale"
+        lo, hi = self.config.range_for(channel)
+        if not lo <= raw <= hi:
+            return "out-of-range"
+        if ch.identical_streak_epochs >= self.config.stuck_epochs:
+            return "stuck"
+        return None
+
+    def _advance(
+        self, channel: str, time_s: float, raw: float, reason: str | None
+    ) -> bool:
+        """Run the health state machine; returns whether to substitute."""
+        ch = self._channels[channel]
+        cfg = self.config
+        if reason is not None:
+            self.dirty_count += 1
+            ch.dirty_streak_epochs += 1
+            ch.clean_streak_epochs = 0
+            self.events.append(
+                GuardEvent(
+                    time_s=time_s,
+                    sensor=channel,
+                    kind="dirty",
+                    detail=reason,
+                    raw_value=raw,
+                )
+            )
+            if ch.state == SensorHealth.HEALTHY:
+                self._transition(channel, time_s, SensorHealth.SUSPECT, reason)
+            elif (
+                ch.state == SensorHealth.SUSPECT
+                and ch.dirty_streak_epochs >= cfg.quarantine_dirty_epochs
+            ):
+                self._transition(
+                    channel, time_s, SensorHealth.QUARANTINED, reason
+                )
+            elif ch.state == SensorHealth.RECOVERING:
+                self._transition(
+                    channel, time_s, SensorHealth.QUARANTINED, reason
+                )
+            return True
+        ch.dirty_streak_epochs = 0
+        ch.clean_streak_epochs += 1
+        if ch.state == SensorHealth.SUSPECT:
+            self._transition(channel, time_s, SensorHealth.HEALTHY, "clean")
+        elif (
+            ch.state == SensorHealth.QUARANTINED
+            and ch.clean_streak_epochs >= cfg.recover_clean_epochs
+        ):
+            self._transition(channel, time_s, SensorHealth.RECOVERING, "clean")
+        elif (
+            ch.state == SensorHealth.RECOVERING
+            and ch.clean_streak_epochs
+            >= cfg.recover_clean_epochs + cfg.promote_clean_epochs
+        ):
+            self._transition(channel, time_s, SensorHealth.HEALTHY, "clean")
+        # A quarantined channel is substituted even for clean readings.
+        return ch.state == SensorHealth.QUARANTINED
+
+    def _transition(
+        self, channel: str, time_s: float, target: str, reason: str
+    ) -> None:
+        ch = self._channels[channel]
+        self.events.append(
+            GuardEvent(
+                time_s=time_s,
+                sensor=channel,
+                kind="transition",
+                detail=f"{ch.state}->{target} ({reason})",
+            )
+        )
+        ch.state = target
+
+    def _substitute(
+        self,
+        channel: str,
+        time_s: float,
+        raw: float,
+        estimates: dict[str, float],
+    ) -> float:
+        ch = self._channels[channel]
+        value = estimates.get(channel)
+        source = "observer"
+        if value is None or math.isnan(value) or math.isinf(value):
+            value = ch.last_good
+            source = "last-good"
+        if value is None:
+            value = 0.0
+            source = "zero"
+        lo, hi = self.config.range_for(channel)
+        value = min(hi, max(lo, float(value)))
+        self.substitution_count += 1
+        self.events.append(
+            GuardEvent(
+                time_s=time_s,
+                sensor=channel,
+                kind="substituted",
+                detail=source,
+                raw_value=raw,
+                used_value=value,
+            )
+        )
+        return value

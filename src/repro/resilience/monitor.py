@@ -1,0 +1,275 @@
+"""Runtime invariant monitor: the paper's guarantees, asserted online.
+
+SPECTR's central claim is that the deployed supervisor inherits the
+synthesis-time guarantees (Section 4.3.3): it never commands an action
+the verified automaton disables, never raises cluster budgets during a
+capping episode, and answers a persistent power emergency with the hard
+drop.  This module is a runtime-verification observer that *checks*
+those claims while the system runs, instead of trusting them: each
+epoch it replays the supervisor engine's freshly recorded invocations
+(observed events + executed actions) against its own walk of the
+verified automaton, plus numeric checks on the manager's power
+references.
+
+Rules
+-----
+``RES-I0``
+    Replay divergence — the monitor's independent walk of the automaton
+    disagrees with the engine's recorded state (an accepted observation
+    was not enabled, or the end states differ).  The monitor resyncs to
+    the recorded state so one divergence does not cascade.
+``RES-I1``
+    A controllable action executed while the verified supervisor
+    disables it — the core safety property.
+``RES-I2``
+    ``increaseBigPower``/``increaseLittlePower`` executed during a
+    capping episode (between an accepted ``critical`` and its closing
+    ``safePower``).
+``RES-I3``
+    An escalated ``critical`` (accepted while an episode is already
+    active) not answered by ``decreaseCriticalPower`` in the same
+    invocation — the second consecutive over-budget interval must force
+    the hard drop.
+``RES-I4``
+    A cluster power reference below its floor.
+``RES-I5``
+    During a capping episode (after a grace period following budget
+    changes and episode starts), the sum of the cluster references
+    exceeds the capping target fraction of the chip budget plus slack —
+    the numeric shadow of "budgets are never raised during capping",
+    which also catches managers that bypass the supervisor and write
+    references directly.
+
+Violations are recorded as structured :class:`InvariantViolation`
+records — never raised as exceptions in the 50 ms hot loop — and are
+surfaced in :class:`~repro.experiments.runner.ScenarioTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import (
+    CRITICAL,
+    DECREASE_CRITICAL_POWER,
+    INCREASE_BIG_POWER,
+    INCREASE_LITTLE_POWER,
+    SAFE_POWER,
+)
+from repro.managers.spectr import (
+    BIG_POWER_FLOOR_W,
+    CAPPING_TARGET_FRACTION,
+    LITTLE_POWER_FLOOR_W,
+)
+
+__all__ = ["InvariantMonitor", "InvariantViolation", "MonitorConfig"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Numeric-invariant thresholds (defaults match the SPECTR manager)."""
+
+    big_power_floor_w: float = BIG_POWER_FLOOR_W
+    little_power_floor_w: float = LITTLE_POWER_FLOOR_W
+    capping_target_fraction: float = CAPPING_TARGET_FRACTION
+    # Absolute slack on the RES-I5 reference-sum ceiling (sensor noise,
+    # floor rounding).
+    sum_slack_w: float = 0.15
+    # Epochs after a budget change or episode start during which RES-I5
+    # is suppressed: references legitimately lag the new budget until
+    # the supervisor's next invocations re-regulate them.
+    grace_epochs: int = 24
+
+    def __post_init__(self) -> None:
+        if self.grace_epochs < 0:
+            raise ValueError("grace_epochs must be non-negative")
+        if self.sum_slack_w < 0:
+            raise ValueError("sum_slack_w must be non-negative")
+
+
+@dataclass
+class InvariantViolation:
+    """One observed violation of a runtime invariant."""
+
+    time_s: float
+    rule: str
+    detail: str
+    manager: str = ""
+
+
+class InvariantMonitor:
+    """Replays supervisor invocations and checks numeric invariants.
+
+    Attach through a
+    :class:`~repro.resilience.pipeline.ResiliencePipeline`; the
+    pipeline calls :meth:`check` after every manager control epoch.
+    Managers without a supervisor engine (MM/FS/SISO) only get the
+    numeric checks their attribute surface supports — a manager with no
+    ``big_power_ref_w`` has no reference invariant to violate.
+    """
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = config or MonitorConfig()
+        self.violations: list[InvariantViolation] = []
+        self.capping_episode = False
+        self._seen_invocations = 0
+        self._replay_state: str | None = None
+        self._grace_left_epochs = self.config.grace_epochs
+        self._last_budget_w: float | None = None
+
+    # ------------------------------------------------------------------
+    def violation_count(self, rule: str | None = None) -> int:
+        if rule is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def _record(
+        self, time_s: float, rule: str, detail: str, manager_name: str
+    ) -> None:
+        self.violations.append(
+            InvariantViolation(
+                time_s=time_s,
+                rule=rule,
+                detail=detail,
+                manager=manager_name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def check(self, manager, telemetry) -> None:
+        """One epoch's worth of invariant checking (never raises)."""
+        budget_w = manager.goals.power_budget_w
+        if (
+            self._last_budget_w is None
+            or abs(budget_w - self._last_budget_w) > 1e-9
+        ):
+            self._grace_left_epochs = self.config.grace_epochs
+            self._last_budget_w = budget_w
+        engine = getattr(manager, "engine", None)
+        verified = getattr(manager, "verified", None)
+        if engine is not None and verified is not None:
+            self._replay(engine, verified.supervisor, manager.name)
+        self._check_references(manager, telemetry, budget_w)
+        if self._grace_left_epochs > 0:
+            self._grace_left_epochs -= 1
+
+    # ------------------------------------------------------------------
+    # Automaton replay (RES-I0..I3)
+    # ------------------------------------------------------------------
+    def _replay(self, engine, automaton, manager_name: str) -> None:
+        if self._replay_state is None:
+            self._replay_state = automaton.initial.name
+        for record in engine.trace[self._seen_invocations:]:
+            self._replay_record(record, automaton, manager_name)
+        self._seen_invocations = len(engine.trace)
+
+    def _replay_record(self, record, automaton, manager_name: str) -> None:
+        state = self._replay_state
+        escalated = False
+        for event in record.observed:
+            if event == CRITICAL and self.capping_episode:
+                escalated = True
+            target = automaton.step(state, event)
+            if target is None:
+                self._record(
+                    record.time_s,
+                    "RES-I0",
+                    f"accepted observation {event!r} is not enabled at "
+                    f"replayed state {state!r}",
+                    manager_name,
+                )
+            else:
+                state = target.name
+            if event == CRITICAL and not self.capping_episode:
+                self.capping_episode = True
+                self._grace_left_epochs = max(
+                    self._grace_left_epochs, self.config.grace_epochs
+                )
+            elif event == SAFE_POWER:
+                self.capping_episode = False
+        for action in record.executed:
+            enabled = {
+                e.name
+                for e in automaton.enabled_events(state)
+                if e.controllable
+            }
+            if action not in enabled:
+                self._record(
+                    record.time_s,
+                    "RES-I1",
+                    f"action {action!r} executed while disabled at "
+                    f"replayed state {state!r} (enabled: {sorted(enabled)})",
+                    manager_name,
+                )
+            if self.capping_episode and action in (
+                INCREASE_BIG_POWER,
+                INCREASE_LITTLE_POWER,
+            ):
+                self._record(
+                    record.time_s,
+                    "RES-I2",
+                    f"budget-raising action {action!r} executed during a "
+                    "capping episode",
+                    manager_name,
+                )
+            target = automaton.step(state, action)
+            if target is not None:
+                state = target.name
+        if escalated and DECREASE_CRITICAL_POWER not in record.executed:
+            self._record(
+                record.time_s,
+                "RES-I3",
+                "escalated critical (second consecutive over-budget) not "
+                "answered by decreaseCriticalPower in the same invocation "
+                f"(executed: {list(record.executed)})",
+                manager_name,
+            )
+        if state != record.state:
+            self._record(
+                record.time_s,
+                "RES-I0",
+                f"replay ended at {state!r} but the engine recorded "
+                f"{record.state!r}; resyncing",
+                manager_name,
+            )
+            state = record.state
+        self._replay_state = state
+
+    # ------------------------------------------------------------------
+    # Numeric reference invariants (RES-I4, RES-I5)
+    # ------------------------------------------------------------------
+    def _check_references(self, manager, telemetry, budget_w: float) -> None:
+        big_ref_w = getattr(manager, "big_power_ref_w", None)
+        little_ref_w = getattr(manager, "little_power_ref_w", None)
+        if big_ref_w is None or little_ref_w is None:
+            return
+        cfg = self.config
+        if big_ref_w < cfg.big_power_floor_w - 1e-6:
+            self._record(
+                telemetry.time_s,
+                "RES-I4",
+                f"big power reference {big_ref_w:.3f} W below floor "
+                f"{cfg.big_power_floor_w:.3f} W",
+                manager.name,
+            )
+        if little_ref_w < cfg.little_power_floor_w - 1e-6:
+            self._record(
+                telemetry.time_s,
+                "RES-I4",
+                f"little power reference {little_ref_w:.3f} W below floor "
+                f"{cfg.little_power_floor_w:.3f} W",
+                manager.name,
+            )
+        if not self.capping_episode or self._grace_left_epochs > 0:
+            return
+        ceiling_w = cfg.capping_target_fraction * budget_w + cfg.sum_slack_w
+        refs_sum_w = big_ref_w + little_ref_w
+        if refs_sum_w > ceiling_w:
+            self._record(
+                telemetry.time_s,
+                "RES-I5",
+                f"reference sum {refs_sum_w:.3f} W exceeds capping ceiling "
+                f"{ceiling_w:.3f} W during a capping episode (budget "
+                f"{budget_w:.3f} W)",
+                manager.name,
+            )

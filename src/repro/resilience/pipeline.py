@@ -1,0 +1,77 @@
+"""The resilience pipeline: guard -> decide -> monitor -> degrade.
+
+One object wires the three resilience mechanisms around a manager's
+decision logic.  :meth:`ResiliencePipeline.before_control` validates
+(and repairs) the telemetry; the manager's ``_control`` runs; then
+:meth:`ResiliencePipeline.after_control` checks the runtime invariants
+and applies the degradation policy.  Attach with
+:meth:`repro.managers.base.ResourceManager.attach_resilience` — the
+managers package never imports this one (the architecture layering puts
+``resilience`` on top), the integration is duck-typed.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.degrade import DegradationPolicy
+from repro.resilience.guard import TelemetryGuard
+from repro.resilience.monitor import InvariantMonitor
+
+__all__ = ["ResiliencePipeline"]
+
+
+class ResiliencePipeline:
+    """Composable guard + monitor + degrade stages (each optional)."""
+
+    def __init__(
+        self,
+        *,
+        guard: TelemetryGuard | None = None,
+        monitor: InvariantMonitor | None = None,
+        degrade: DegradationPolicy | None = None,
+    ) -> None:
+        self.guard = guard
+        self.monitor = monitor
+        self.degrade = degrade
+
+    @classmethod
+    def full(cls) -> "ResiliencePipeline":
+        """All three stages with default configurations."""
+        return cls(
+            guard=TelemetryGuard(),
+            monitor=InvariantMonitor(),
+            degrade=DegradationPolicy(),
+        )
+
+    # ------------------------------------------------------------------
+    def before_control(self, manager, telemetry):
+        if self.guard is not None:
+            telemetry = self.guard.filter(manager, telemetry)
+        return telemetry
+
+    def after_control(self, manager, telemetry) -> None:
+        for proxy in getattr(manager, "_actuator_proxies", {}).values():
+            proxy.set_time(telemetry.time_s)
+        if self.monitor is not None:
+            self.monitor.check(manager, telemetry)
+        if self.degrade is not None:
+            self.degrade.apply(
+                manager,
+                telemetry,
+                guard=self.guard,
+                monitor=self.monitor,
+            )
+
+    # ------------------------------------------------------------------
+    # Trace surfaces consumed by repro.experiments.runner (duck-typed).
+    # ------------------------------------------------------------------
+    @property
+    def guard_events(self) -> list:
+        return self.guard.events if self.guard is not None else []
+
+    @property
+    def violations(self) -> list:
+        return self.monitor.violations if self.monitor is not None else []
+
+    @property
+    def degrade_events(self) -> list:
+        return self.degrade.events if self.degrade is not None else []

@@ -118,6 +118,55 @@ class TestL006UnitSuffixes:
         assert lint_source(source, COLD) == []
 
 
+class TestL007SwallowedExceptions:
+    RESILIENT = "src/repro/resilience/guard.py"
+    FAULTS = "src/repro/platform/faults.py"
+
+    def test_except_pass_in_resilience_is_error(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        findings = lint_source(source, self.RESILIENT)
+        assert "REPRO-L007" in rules(findings)
+        l007 = [f for f in findings if f.rule == "REPRO-L007"]
+        assert l007[0].severity == Severity.ERROR
+
+    def test_except_continue_in_faults_module_is_error(self):
+        source = (
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            g(x)\n"
+            "        except ValueError:\n"
+            "            continue\n"
+        )
+        assert "REPRO-L007" in rules(lint_source(source, self.FAULTS))
+
+    def test_handler_that_records_is_fine(self):
+        source = (
+            "def f(log):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        log.append(1)\n"
+        )
+        assert "REPRO-L007" not in rules(lint_source(source, self.RESILIENT))
+
+    def test_other_modules_are_exempt(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert "REPRO-L007" not in rules(lint_source(source, COLD))
+
+
 class TestSyntaxError:
     def test_unparseable_source_is_l000(self):
         findings = lint_source("def f(:\n", COLD)

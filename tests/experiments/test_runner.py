@@ -97,3 +97,62 @@ class TestDeterminism:
         a = run_scenario(factory, x264(), scenario, seed=3)
         b = run_scenario(factory, x264(), scenario, seed=4)
         assert not np.allclose(a.qos, b.qos)
+
+
+class TestSetupHooks:
+    def factory(self, big_system, little_system):
+        return lambda soc, goals: mm_perf(
+            soc, goals, big_system=big_system, little_system=little_system
+        )
+
+    def test_soc_setup_runs_before_the_first_step(
+        self, big_system, little_system
+    ):
+        seen = {}
+
+        def soc_setup(soc):
+            seen["frequency_ghz"] = soc.big.frequency_ghz
+            seen["time_s"] = soc.time_s
+
+        run_scenario(
+            self.factory(big_system, little_system),
+            x264(),
+            three_phase_scenario(phase_duration_s=1.0),
+            seed=3,
+            initial_big_frequency=1.4,
+            soc_setup=soc_setup,
+        )
+        # Called after the initial operating point is set, before time
+        # advances: the fault-injection point.
+        assert seen["frequency_ghz"] == pytest.approx(1.4)
+        assert seen["time_s"] == 0.0
+
+    def test_manager_setup_receives_the_constructed_manager(
+        self, big_system, little_system
+    ):
+        captured = {}
+
+        def manager_setup(manager):
+            captured["manager"] = manager
+
+        trace = run_scenario(
+            self.factory(big_system, little_system),
+            x264(),
+            three_phase_scenario(phase_duration_s=1.0),
+            seed=3,
+            manager_setup=manager_setup,
+        )
+        assert captured["manager"].name == trace.manager
+
+    def test_resilience_trace_fields_default_empty(
+        self, big_system, little_system
+    ):
+        trace = run_scenario(
+            self.factory(big_system, little_system),
+            x264(),
+            three_phase_scenario(phase_duration_s=1.0),
+            seed=3,
+        )
+        assert trace.guard_events == []
+        assert trace.invariant_violations == []
+        assert trace.degrade_events == []

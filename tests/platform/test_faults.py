@@ -4,10 +4,15 @@ import numpy as np
 import pytest
 
 from repro.platform.faults import (
+    ActuatorFaultModel,
+    ActuatorProxy,
+    ClusterActuatorFaults,
     FaultModel,
     FaultySensor,
+    inject_actuator_fault,
     inject_power_sensor_fault,
 )
+from repro.platform.manycore import ManyCoreSoC
 from repro.platform.sensors import NoisySensor
 from repro.platform.soc import ExynosSoC, SoCConfig
 from repro.workloads import x264
@@ -109,3 +114,297 @@ class TestInjection:
             inject_power_sensor_fault(
                 soc, "nope", FaultModel("spike", 0.0, 1.0)
             )
+
+    def test_unknown_cluster_error_lists_available_names(self):
+        soc = ExynosSoC(qos_app=x264())
+        with pytest.raises(ValueError, match="big"):
+            inject_power_sensor_fault(
+                soc, "medium", FaultModel("spike", 0.0, 1.0)
+            )
+
+    def test_injects_into_manycore(self):
+        soc = ManyCoreSoC(n_little=1, qos_app=x264(), config=SoCConfig(seed=1))
+        inject_power_sensor_fault(
+            soc, "little0", FaultModel("dropout", 0.0, 1.0)
+        )
+        assert isinstance(soc.clusters[1].power_sensor, FaultySensor)
+        telemetry = soc.step()
+        assert telemetry.clusters[1].power_w == 0.0
+
+    def test_manycore_unknown_cluster_rejected(self):
+        soc = ManyCoreSoC(n_little=1, qos_app=x264())
+        with pytest.raises(ValueError, match="little0"):
+            inject_power_sensor_fault(
+                soc, "little7", FaultModel("dropout", 0.0, 1.0)
+            )
+
+    def test_unsupported_object_raises_type_error(self):
+        with pytest.raises(TypeError, match="cannot\n?\\s*inject|inject"):
+            inject_power_sensor_fault(
+                object(), "big", FaultModel("dropout", 0.0, 1.0)
+            )
+
+    def test_step_is_never_monkey_patched(self):
+        # Clock propagation is native: injection on both clusters must
+        # not wrap or replace the SoC's step method.
+        soc = ExynosSoC(qos_app=x264())
+        inject_power_sensor_fault(soc, "big", FaultModel("spike", 0.0, 1.0))
+        inject_power_sensor_fault(soc, "little", FaultModel("dropout", 0.0, 1.0))
+        inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("reject", 0.0, 1.0)
+        )
+        assert "step" not in soc.__dict__
+        assert type(soc).step is ExynosSoC.step
+
+
+class TestOverlapPrecedence:
+    def make(self):
+        sensor = FaultySensor(NoisySensor("s", noise_fraction=0.0))
+        # The spike is injected first but starts later: the stuck
+        # window's earlier start_s must win wherever they overlap.
+        sensor.add_fault(FaultModel("spike", 2.0, 4.0, magnitude=3.0))
+        sensor.add_fault(FaultModel("stuck", 1.0, 3.0))
+        return sensor
+
+    def test_earliest_start_wins_in_overlap(self):
+        sensor = self.make()
+        rng = np.random.default_rng(0)
+        sensor.set_time(0.5)
+        assert sensor.read(5.0, rng) == 5.0  # healthy history
+        sensor.set_time(2.5)  # both windows active
+        assert sensor.active_fault().kind == "stuck"
+        assert sensor.read(9.0, rng) == 5.0
+
+    def test_later_fault_applies_after_earlier_window_closes(self):
+        sensor = self.make()
+        rng = np.random.default_rng(0)
+        sensor.set_time(0.5)
+        sensor.read(5.0, rng)
+        sensor.set_time(3.5)  # stuck window over, spike alone
+        assert sensor.read(2.0, rng) == 6.0
+
+    def test_same_start_tie_broken_by_injection_order(self):
+        sensor = FaultySensor(NoisySensor("s", noise_fraction=0.0))
+        sensor.add_fault(FaultModel("bias", 1.0, 2.0, magnitude=1.0))
+        sensor.add_fault(FaultModel("spike", 1.0, 2.0, magnitude=10.0))
+        sensor.set_time(1.5)
+        assert sensor.active_fault().kind == "bias"
+        assert sensor.read(2.0, np.random.default_rng(0)) == 3.0
+
+
+class TestActuatorFaultModel:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ActuatorFaultModel("weird", 0.0, 1.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ActuatorFaultModel("reject", 0.0, 1.0, probability=1.5)
+
+    def test_partial_magnitude_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            ActuatorFaultModel("partial", 0.0, 1.0, magnitude=2.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ActuatorFaultModel("delay", 0.0, 1.0, delay_s=-0.1)
+
+
+class TestClusterActuatorFaults:
+    def make_soc(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=1))
+        soc.big.set_frequency(1.0)
+        return soc
+
+    def test_reject_keeps_previous_operating_point(self):
+        soc = self.make_soc()
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("reject", 0.0, 1.0, probability=1.0)
+        )
+        layer.set_time(0.5)
+        assert soc.big.set_frequency(1.8) == 1.0
+        assert layer.rejected_dvfs_count == 1
+
+    def test_clamp_caps_the_applied_frequency(self):
+        soc = self.make_soc()
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("clamp", 0.0, 1.0, magnitude=0.9)
+        )
+        layer.set_time(0.5)
+        assert soc.big.set_frequency(1.8) == pytest.approx(0.9)
+
+    def test_partial_moves_a_fraction_of_the_way(self):
+        soc = self.make_soc()
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("partial", 0.0, 1.0, magnitude=0.5)
+        )
+        layer.set_time(0.5)
+        # 1.0 -> request 1.8: halfway is 1.4 (an exact OPP).
+        assert soc.big.set_frequency(1.8) == pytest.approx(1.4)
+
+    def test_hotplug_fail_drops_the_request(self):
+        soc = self.make_soc()
+        before = soc.big.active_cores
+        layer = inject_actuator_fault(
+            soc,
+            "big",
+            ActuatorFaultModel("hotplug_fail", 0.0, 1.0, probability=1.0),
+        )
+        layer.set_time(0.5)
+        assert soc.big.set_active_cores(before - 1) == before
+        assert layer.rejected_hotplug_count == 1
+
+    def test_delay_applies_after_maturation(self):
+        soc = self.make_soc()
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("delay", 0.0, 1.0, delay_s=0.2)
+        )
+        layer.set_time(0.5)
+        assert soc.big.set_frequency(1.8) == 1.0  # queued, not applied
+        layer.set_time(0.6)
+        assert soc.big.frequency_ghz == 1.0  # not matured yet
+        layer.set_time(0.75)
+        assert soc.big.frequency_ghz == pytest.approx(1.8)
+
+    def test_outside_window_requests_pass(self):
+        soc = self.make_soc()
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("reject", 1.0, 2.0, probability=1.0)
+        )
+        layer.set_time(0.5)
+        assert soc.big.set_frequency(1.8) == pytest.approx(1.8)
+
+    def test_second_injection_reuses_layer(self):
+        soc = self.make_soc()
+        first = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("reject", 0.0, 1.0)
+        )
+        second = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("clamp", 2.0, 3.0)
+        )
+        assert first is second
+        assert len(second.faults) == 2
+
+
+class FlakyCluster:
+    """Minimal cluster stub whose actuator fails a set number of times."""
+
+    class _Opps:
+        min_frequency = 0.2
+
+        def snap(self, frequency_ghz):
+            class OPP:
+                pass
+
+            opp = OPP()
+            opp.frequency_ghz = round(frequency_ghz, 1)
+            return opp
+
+    def __init__(self, fail_first_n=0):
+        self.name = "big"
+        self.opps = self._Opps()
+        self.frequency_ghz = 1.0
+        self.active_cores = 4
+        self.n_cores = 4
+        self._failures_left = fail_first_n
+        self.call_count = 0
+
+    def set_frequency(self, frequency_ghz):
+        self.call_count += 1
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            return self.frequency_ghz
+        self.frequency_ghz = round(frequency_ghz, 1)
+        return self.frequency_ghz
+
+    def set_active_cores(self, count):
+        self.active_cores = int(round(count))
+        return self.active_cores
+
+
+class TestActuatorProxy:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ActuatorProxy(FlakyCluster(), max_retries=-1)
+
+    def test_clean_request_records_nothing(self):
+        proxy = ActuatorProxy(FlakyCluster())
+        assert proxy.set_frequency(1.8) == pytest.approx(1.8)
+        assert proxy.events == []
+        assert proxy.last_good_frequency_ghz == pytest.approx(1.8)
+
+    def test_transient_rejection_is_retried(self):
+        proxy = ActuatorProxy(FlakyCluster(fail_first_n=1), max_retries=2)
+        assert proxy.set_frequency(1.8) == pytest.approx(1.8)
+        assert proxy.retry_count == 1
+        assert [e.outcome for e in proxy.events] == ["retried"]
+
+    def test_persistent_rejection_holds_last_good(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=1))
+        soc.big.set_frequency(1.0)
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("reject", 0.0, 1.0, probability=1.0)
+        )
+        layer.set_time(0.5)
+        proxy = ActuatorProxy(soc.big, max_retries=2)
+        assert proxy.set_frequency(1.8) == pytest.approx(1.0)
+        assert proxy.hold_count == 1
+        assert proxy.retry_count == 2
+        assert proxy.events[-1].outcome == "held"
+        assert proxy.last_good_frequency_ghz == pytest.approx(1.0)
+
+    def test_partial_application_is_accepted_as_safe_point(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=1))
+        soc.big.set_frequency(1.0)
+        layer = inject_actuator_fault(
+            soc, "big", ActuatorFaultModel("partial", 0.0, 1.0, magnitude=0.5)
+        )
+        layer.set_time(0.5)
+        proxy = ActuatorProxy(soc.big, max_retries=1)
+        applied = proxy.set_frequency(1.8)
+        assert applied == pytest.approx(1.4)
+        assert proxy.partial_count >= 1
+        assert proxy.last_good_frequency_ghz == pytest.approx(1.4)
+
+    def test_hotplug_rejection_is_held(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=1))
+        layer = inject_actuator_fault(
+            soc,
+            "big",
+            ActuatorFaultModel("hotplug_fail", 0.0, 1.0, probability=1.0),
+        )
+        layer.set_time(0.5)
+        proxy = ActuatorProxy(soc.big, max_retries=1)
+        before = soc.big.active_cores
+        assert proxy.set_active_cores(before - 1) == before
+        assert proxy.hold_count == 1
+        assert proxy.events[-1].actuator == "hotplug"
+
+    def test_attribute_access_forwards_to_cluster(self):
+        soc = ExynosSoC(qos_app=x264())
+        proxy = ActuatorProxy(soc.big)
+        assert proxy.name == "big"
+        assert proxy.n_cores == soc.big.n_cores
+        assert proxy.wrapped is soc.big
+
+    def test_event_timestamps_follow_set_time(self):
+        proxy = ActuatorProxy(FlakyCluster(fail_first_n=1), max_retries=1)
+        proxy.set_time(0.35)
+        proxy.set_frequency(1.8)
+        assert proxy.events[-1].time_s == pytest.approx(0.35)
+
+
+class TestClusterActuatorFaultsDirect:
+    def test_standalone_layer_validates_kind_filtering(self):
+        cluster = FlakyCluster()
+        layer = ClusterActuatorFaults(
+            cluster,
+            [
+                ActuatorFaultModel("hotplug_fail", 0.0, 1.0),
+                ActuatorFaultModel("clamp", 0.0, 1.0, magnitude=0.5),
+            ],
+        )
+        layer.set_time(0.5)
+        assert layer.active_fault("clamp").kind == "clamp"
+        assert layer.active_fault("hotplug_fail").kind == "hotplug_fail"
+        assert layer.active_fault("reject") is None

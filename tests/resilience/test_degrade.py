@@ -1,0 +1,180 @@
+"""Unit tests for the graceful-degradation policy."""
+
+import pytest
+
+from repro.resilience.degrade import DegradationPolicy, DegradeConfig
+from repro.resilience.guard import SensorHealth
+
+
+class FakeOpps:
+    min_frequency = 0.2
+
+
+class FakeCluster:
+    def __init__(self, name):
+        self.name = name
+        self.opps = FakeOpps()
+        self.frequency_requests = []
+
+    def set_frequency(self, frequency_ghz):
+        self.frequency_requests.append(frequency_ghz)
+        return frequency_ghz
+
+
+class FakeSoC:
+    def __init__(self):
+        self.big = FakeCluster("big")
+        self.little = FakeCluster("little")
+
+
+class FakeManager:
+    def __init__(self):
+        self.soc = FakeSoC()
+        self.big_power_ref_w = 4.0
+        self.little_power_ref_w = 0.3
+
+    def actuation_surface(self, cluster):
+        return cluster
+
+
+class FakeGuard:
+    def __init__(self):
+        self.states = {
+            "qos": SensorHealth.HEALTHY,
+            "big_power": SensorHealth.HEALTHY,
+            "little_power": SensorHealth.HEALTHY,
+        }
+
+    def state(self, channel):
+        return self.states[channel]
+
+
+class FakeMonitor:
+    def __init__(self):
+        self.violations = []
+
+
+class FakeTelemetry:
+    def __init__(self, time_s):
+        self.time_s = time_s
+
+
+def epochs(policy, manager, n, *, guard=None, monitor=None, start=0):
+    for k in range(n):
+        policy.apply(
+            manager,
+            FakeTelemetry(0.05 * (start + k + 1)),
+            guard=guard,
+            monitor=monitor,
+        )
+    return start + n
+
+
+class TestConfig:
+    def test_zero_release_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            DegradeConfig(release_clean_epochs=0)
+
+
+class TestTriggers:
+    def test_idle_without_triggers(self):
+        policy = DegradationPolicy()
+        manager = FakeManager()
+        epochs(policy, manager, 5, guard=FakeGuard(), monitor=FakeMonitor())
+        assert not policy.engaged
+        assert policy.events == []
+        assert manager.soc.big.frequency_requests == []
+
+    def test_quarantined_power_channel_engages(self):
+        policy = DegradationPolicy()
+        manager = FakeManager()
+        guard = FakeGuard()
+        guard.states["big_power"] = SensorHealth.QUARANTINED
+        epochs(policy, manager, 1, guard=guard)
+        assert policy.engaged
+        assert policy.events[0].action == "engage"
+        assert "big_power" in policy.events[0].reason
+
+    def test_quarantined_qos_channel_does_not_engage(self):
+        # QoS loss is a performance problem, not a safety problem.
+        policy = DegradationPolicy()
+        guard = FakeGuard()
+        guard.states["qos"] = SensorHealth.QUARANTINED
+        epochs(policy, FakeManager(), 1, guard=guard)
+        assert not policy.engaged
+
+    def test_fresh_violation_engages(self):
+        policy = DegradationPolicy()
+        monitor = FakeMonitor()
+        monitor.violations.append(object())
+        epochs(policy, FakeManager(), 1, monitor=monitor)
+        assert policy.engaged
+
+    def test_old_violations_do_not_retrigger_after_release(self):
+        cfg = DegradeConfig(release_clean_epochs=2)
+        policy = DegradationPolicy(cfg)
+        manager = FakeManager()
+        monitor = FakeMonitor()
+        monitor.violations.append(object())
+        k = epochs(policy, manager, 1, monitor=monitor)
+        assert policy.engaged
+        k = epochs(policy, manager, 2, monitor=monitor, start=k)
+        assert not policy.engaged
+        epochs(policy, manager, 3, monitor=monitor, start=k)
+        assert not policy.engaged
+        assert policy.engage_count == 1
+
+
+class TestSafeState:
+    def test_safe_state_enforced_every_engaged_epoch(self):
+        policy = DegradationPolicy()
+        manager = FakeManager()
+        guard = FakeGuard()
+        guard.states["little_power"] = SensorHealth.QUARANTINED
+        epochs(policy, manager, 3, guard=guard)
+        assert manager.soc.big.frequency_requests == [FakeOpps.min_frequency] * 3
+        assert manager.soc.little.frequency_requests == [FakeOpps.min_frequency] * 3
+        assert manager.big_power_ref_w == DegradeConfig().safe_big_power_ref_w
+        assert manager.little_power_ref_w == DegradeConfig().safe_little_power_ref_w
+
+    def test_manager_without_reference_attributes_is_fine(self):
+        policy = DegradationPolicy()
+        manager = FakeManager()
+        del manager.big_power_ref_w
+        del manager.little_power_ref_w
+        guard = FakeGuard()
+        guard.states["big_power"] = SensorHealth.QUARANTINED
+        epochs(policy, manager, 1, guard=guard)
+        assert policy.engaged
+
+
+class TestRelease:
+    def test_releases_after_clean_epochs(self):
+        cfg = DegradeConfig(release_clean_epochs=4)
+        policy = DegradationPolicy(cfg)
+        manager = FakeManager()
+        guard = FakeGuard()
+        guard.states["big_power"] = SensorHealth.QUARANTINED
+        k = epochs(policy, manager, 2, guard=guard)
+        guard.states["big_power"] = SensorHealth.RECOVERING
+        k = epochs(policy, manager, 3, guard=guard, start=k)
+        assert policy.engaged  # not yet clean for long enough
+        epochs(policy, manager, 1, guard=guard, start=k)
+        assert not policy.engaged
+        assert [e.action for e in policy.events] == ["engage", "release"]
+
+    def test_retrigger_during_countdown_restarts_it(self):
+        cfg = DegradeConfig(release_clean_epochs=3)
+        policy = DegradationPolicy(cfg)
+        manager = FakeManager()
+        guard = FakeGuard()
+        guard.states["big_power"] = SensorHealth.QUARANTINED
+        k = epochs(policy, manager, 1, guard=guard)
+        guard.states["big_power"] = SensorHealth.HEALTHY
+        k = epochs(policy, manager, 2, guard=guard, start=k)
+        guard.states["big_power"] = SensorHealth.QUARANTINED
+        k = epochs(policy, manager, 1, guard=guard, start=k)
+        guard.states["big_power"] = SensorHealth.HEALTHY
+        k = epochs(policy, manager, 2, guard=guard, start=k)
+        assert policy.engaged
+        assert policy.engage_count == 1  # one continuous engagement

@@ -1,0 +1,233 @@
+"""Unit tests for the telemetry guard."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.platform.soc import ClusterTelemetry, Telemetry
+from repro.resilience.guard import (
+    CHANNELS,
+    GuardConfig,
+    SensorHealth,
+    TelemetryGuard,
+)
+
+
+class FakeManager:
+    """Just enough manager surface for the guard: observer estimates."""
+
+    def __init__(self, estimates=None):
+        self._estimates = dict(estimates or {})
+        self.estimate_calls = 0
+
+    def observer_estimates(self):
+        self.estimate_calls += 1
+        return dict(self._estimates)
+
+
+def cluster_reading(power_w):
+    return ClusterTelemetry(
+        frequency_ghz=1.0,
+        voltage_v=1.0,
+        active_cores=4,
+        busy_core_equivalents=2.0,
+        power_w=power_w,
+        ips=1.0e9,
+        per_core_ips=np.zeros(4, dtype=float),
+    )
+
+
+def sample(time_s, qos=60.0, big_w=2.0, little_w=0.3):
+    return Telemetry(
+        time_s=time_s,
+        qos_rate=qos,
+        qos_raw=qos,
+        big=cluster_reading(big_w),
+        little=cluster_reading(little_w),
+    )
+
+
+class TestConfig:
+    def test_bad_epoch_counts_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(stuck_epochs=0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(qos_range=(5.0, 5.0))
+
+    def test_negative_stuck_floor_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(stuck_detection_floor=-0.1)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig().range_for("thermal")
+
+
+class TestCleanPassThrough:
+    def test_clean_sample_is_returned_unchanged(self):
+        guard = TelemetryGuard()
+        manager = FakeManager()
+        telemetry = sample(0.05)
+        assert guard.filter(manager, telemetry) is telemetry
+        assert guard.events == []
+        assert manager.estimate_calls == 0
+
+    def test_all_channels_start_healthy(self):
+        guard = TelemetryGuard()
+        assert guard.health_states() == {
+            name: SensorHealth.HEALTHY for name in CHANNELS
+        }
+
+
+class TestDirtyDetection:
+    def test_nan_is_substituted_with_observer_estimate(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.2})
+        repaired = guard.filter(manager, sample(0.05, big_w=math.nan))
+        assert repaired.big.power_w == pytest.approx(2.2)
+        assert not math.isnan(repaired.chip_power_w)
+        kinds = [e.kind for e in guard.events]
+        assert "dirty" in kinds and "substituted" in kinds
+        assert guard.state("big_power") == SensorHealth.SUSPECT
+
+    def test_dropout_zero_is_out_of_range(self):
+        guard = TelemetryGuard()
+        repaired = guard.filter(FakeManager({"big_power": 2.1}), sample(0.05, big_w=0.0))
+        assert repaired.big.power_w == pytest.approx(2.1)
+        assert guard.events[0].detail == "out-of-range"
+
+    def test_inf_qos_is_caught(self):
+        guard = TelemetryGuard()
+        repaired = guard.filter(FakeManager({"qos": 58.0}), sample(0.05, qos=math.inf))
+        assert repaired.qos_rate == pytest.approx(58.0)
+
+    def test_stale_clock_marks_every_channel_dirty(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"qos": 60.0, "big_power": 2.0, "little_power": 0.3})
+        guard.filter(manager, sample(0.05))
+        guard.filter(manager, sample(0.05))  # clock did not advance
+        stale = [e for e in guard.events if e.detail == "stale"]
+        assert sorted(e.sensor for e in stale) == sorted(CHANNELS)
+
+    def test_stuck_value_flagged_above_floor(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.4})
+        for k in range(8):
+            # big power frozen at 2.5 W; other channels wiggle.
+            guard.filter(
+                manager, sample(0.05 * (k + 1), qos=60.0 + 0.1 * k, big_w=2.5)
+            )
+        stuck = [e for e in guard.events if e.detail == "stuck"]
+        assert stuck and all(e.sensor == "big_power" for e in stuck)
+
+    def test_quantized_small_reading_is_not_stuck(self):
+        # A 0.135 W little rail legitimately repeats its 5 mW step.
+        guard = TelemetryGuard()
+        manager = FakeManager()
+        for k in range(12):
+            telemetry = guard.filter(
+                manager,
+                sample(
+                    0.05 * (k + 1),
+                    qos=60.0 + 0.1 * k,
+                    big_w=2.0 + 0.01 * k,
+                    little_w=0.135,
+                ),
+            )
+        assert telemetry.little.power_w == pytest.approx(0.135)
+        assert guard.events == []
+
+
+class TestStateMachine:
+    def run_dirty(self, guard, manager, n, start=0):
+        for k in range(n):
+            guard.filter(manager, sample(0.05 * (start + k + 1), big_w=0.0))
+        return start + n
+
+    def run_clean(self, guard, manager, n, start=0):
+        for k in range(n):
+            guard.filter(
+                manager,
+                sample(0.05 * (start + k + 1), qos=60.0 + 0.01 * k, big_w=2.0 + 0.01 * k),
+            )
+        return start + n
+
+    def test_suspect_recovers_on_one_clean_reading(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.0})
+        k = self.run_dirty(guard, manager, 1)
+        assert guard.state("big_power") == SensorHealth.SUSPECT
+        self.run_clean(guard, manager, 1, start=k)
+        assert guard.state("big_power") == SensorHealth.HEALTHY
+
+    def test_persistent_dirt_quarantines(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.0})
+        self.run_dirty(guard, manager, 3)
+        assert guard.is_quarantined("big_power")
+
+    def test_quarantined_channel_substitutes_clean_readings(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.2})
+        k = self.run_dirty(guard, manager, 3)
+        repaired = guard.filter(manager, sample(0.05 * (k + 1), big_w=1.9))
+        assert repaired.big.power_w == pytest.approx(2.2)
+
+    def test_full_recovery_path(self):
+        cfg = GuardConfig()
+        guard = TelemetryGuard(cfg)
+        manager = FakeManager({"big_power": 2.0})
+        k = self.run_dirty(guard, manager, 3)
+        k = self.run_clean(guard, manager, cfg.recover_clean_epochs, start=k)
+        assert guard.state("big_power") == SensorHealth.RECOVERING
+        self.run_clean(guard, manager, cfg.promote_clean_epochs, start=k)
+        assert guard.state("big_power") == SensorHealth.HEALTHY
+
+    def test_dirt_during_recovery_requarantines(self):
+        cfg = GuardConfig()
+        guard = TelemetryGuard(cfg)
+        manager = FakeManager({"big_power": 2.0})
+        k = self.run_dirty(guard, manager, 3)
+        k = self.run_clean(guard, manager, cfg.recover_clean_epochs, start=k)
+        self.run_dirty(guard, manager, 1, start=k)
+        assert guard.is_quarantined("big_power")
+
+
+class TestSubstitutionFallbacks:
+    def test_falls_back_to_last_good_without_estimate(self):
+        guard = TelemetryGuard()
+        manager = FakeManager()  # no observer estimates
+        guard.filter(manager, sample(0.05, big_w=2.34))
+        repaired = guard.filter(manager, sample(0.10, big_w=math.nan))
+        assert repaired.big.power_w == pytest.approx(2.34)
+        assert guard.events[-1].detail == "last-good"
+
+    def test_falls_back_to_range_floor_without_history(self):
+        guard = TelemetryGuard()
+        repaired = guard.filter(FakeManager(), sample(0.05, big_w=math.nan))
+        lo, _ = GuardConfig().range_for("big_power")
+        assert repaired.big.power_w == pytest.approx(lo)
+
+    def test_nan_estimate_is_not_used(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": math.nan})
+        guard.filter(manager, sample(0.05, big_w=2.0))
+        repaired = guard.filter(manager, sample(0.10, big_w=math.nan))
+        assert repaired.big.power_w == pytest.approx(2.0)
+
+    def test_estimate_is_clamped_to_physical_range(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 500.0})
+        repaired = guard.filter(manager, sample(0.05, big_w=math.nan))
+        _, hi = GuardConfig().range_for("big_power")
+        assert repaired.big.power_w == pytest.approx(hi)
+
+    def test_substitution_counts(self):
+        guard = TelemetryGuard()
+        manager = FakeManager({"big_power": 2.0})
+        guard.filter(manager, sample(0.05, big_w=0.0))
+        assert guard.substitution_count == 1
+        assert guard.dirty_count == 1

@@ -1,0 +1,236 @@
+"""Unit tests for the runtime invariant monitor.
+
+The replay tests use the real case-study supervisor (session fixture)
+with a *fake* engine whose trace records are hand-crafted: valid
+records must replay cleanly, tampered records must trip the matching
+rule.
+"""
+
+import pytest
+
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    CRITICAL,
+    INCREASE_BIG_POWER,
+)
+from repro.core.supervisor import SupervisorTrace
+from repro.resilience.monitor import (
+    InvariantMonitor,
+    MonitorConfig,
+)
+
+
+class FakeGoals:
+    def __init__(self, power_budget_w=5.0):
+        self.power_budget_w = power_budget_w
+
+
+class FakeEngine:
+    def __init__(self):
+        self.trace = []
+
+
+class FakeVerified:
+    def __init__(self, supervisor):
+        self.supervisor = supervisor
+
+
+class FakeManager:
+    """Attribute surface the monitor duck-types against."""
+
+    name = "fake"
+
+    def __init__(self, *, supervisor=None, big_ref_w=None, little_ref_w=None):
+        self.goals = FakeGoals()
+        if supervisor is not None:
+            self.engine = FakeEngine()
+            self.verified = FakeVerified(supervisor)
+        if big_ref_w is not None:
+            self.big_power_ref_w = big_ref_w
+        if little_ref_w is not None:
+            self.little_power_ref_w = little_ref_w
+
+
+class FakeTelemetry:
+    def __init__(self, time_s):
+        self.time_s = time_s
+
+
+def record(time_s, observed=(), executed=(), state=""):
+    return SupervisorTrace(
+        time_s=time_s,
+        observed=tuple(observed),
+        ignored=(),
+        executed=tuple(executed),
+        state=state,
+    )
+
+
+@pytest.fixture()
+def supervisor(verified_supervisor):
+    return verified_supervisor.supervisor
+
+
+@pytest.fixture()
+def states(supervisor):
+    """The critical -> controlPower -> critical escalation path."""
+    s0 = supervisor.initial.name
+    s1 = supervisor.step(s0, CRITICAL).name
+    s2 = supervisor.step(s1, CONTROL_POWER).name
+    s3 = supervisor.step(s2, CRITICAL).name
+    return s0, s1, s2, s3
+
+
+def rules(monitor):
+    return [v.rule for v in monitor.violations]
+
+
+class TestConfig:
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(grace_epochs=-1)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(sum_slack_w=-0.1)
+
+
+class TestReplay:
+    def check(self, manager):
+        monitor = InvariantMonitor()
+        monitor.check(manager, FakeTelemetry(0.1))
+        return monitor
+
+    def test_valid_invocation_replays_cleanly(self, supervisor, states):
+        _, _, s2, _ = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(CONTROL_POWER,), state=s2)
+        )
+        monitor = self.check(manager)
+        assert monitor.violations == []
+        assert monitor.capping_episode
+
+    def test_disabled_action_trips_i1(self, supervisor, states):
+        # increase* actions are only enabled in Safe states; executing
+        # one right after a critical is the core safety violation.
+        _, s1, _, _ = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(INCREASE_BIG_POWER,), state=s1)
+        )
+        monitor = self.check(manager)
+        assert "RES-I1" in rules(monitor)
+
+    def test_budget_raise_during_episode_trips_i2(self, supervisor, states):
+        _, s1, _, _ = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(INCREASE_BIG_POWER,), state=s1)
+        )
+        monitor = self.check(manager)
+        assert "RES-I2" in rules(monitor)
+
+    def test_unanswered_escalation_trips_i3(self, supervisor, states):
+        _, _, s2, s3 = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(CONTROL_POWER,), state=s2)
+        )
+        manager.engine.trace.append(
+            record(0.2, observed=(CRITICAL,), executed=(), state=s3)
+        )
+        monitor = self.check(manager)
+        assert rules(monitor) == ["RES-I3"]
+
+    def test_end_state_mismatch_trips_i0_and_resyncs(self, supervisor, states):
+        _, s1, _, _ = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(), state="Bogus.State")
+        )
+        monitor = self.check(manager)
+        assert rules(monitor) == ["RES-I0"]
+        # A follow-up valid record starting from the *recorded* state
+        # must not cascade into more divergence reports.
+        manager.engine.trace.append(
+            record(0.2, observed=(), executed=(), state="Bogus.State")
+        )
+        monitor.check(manager, FakeTelemetry(0.2))
+        assert rules(monitor) == ["RES-I0"]
+
+    def test_records_are_consumed_once(self, supervisor, states):
+        _, _, s2, _ = states
+        manager = FakeManager(supervisor=supervisor)
+        manager.engine.trace.append(
+            record(0.1, observed=(CRITICAL,), executed=(CONTROL_POWER,), state=s2)
+        )
+        monitor = self.check(manager)
+        monitor.check(manager, FakeTelemetry(0.2))
+        monitor.check(manager, FakeTelemetry(0.3))
+        assert monitor.violations == []
+
+
+class TestNumericInvariants:
+    def test_manager_without_references_is_skipped(self):
+        monitor = InvariantMonitor()
+        monitor.check(FakeManager(), FakeTelemetry(0.1))
+        assert monitor.violations == []
+
+    def test_reference_below_floor_trips_i4(self):
+        monitor = InvariantMonitor()
+        manager = FakeManager(big_ref_w=0.1, little_ref_w=0.3)
+        monitor.check(manager, FakeTelemetry(0.1))
+        assert rules(monitor) == ["RES-I4"]
+
+    def test_floor_reference_is_fine(self):
+        cfg = MonitorConfig()
+        monitor = InvariantMonitor(cfg)
+        manager = FakeManager(
+            big_ref_w=cfg.big_power_floor_w,
+            little_ref_w=cfg.little_power_floor_w,
+        )
+        monitor.check(manager, FakeTelemetry(0.1))
+        assert monitor.violations == []
+
+    def test_reference_sum_over_ceiling_trips_i5_after_grace(self):
+        cfg = MonitorConfig(grace_epochs=3)
+        monitor = InvariantMonitor(cfg)
+        monitor.capping_episode = True
+        # Budget 5 W -> ceiling 0.96 * 5 + 0.15 = 4.95 W; refs sum 5.5 W.
+        manager = FakeManager(big_ref_w=5.0, little_ref_w=0.5)
+        for k in range(6):
+            monitor.check(manager, FakeTelemetry(0.05 * (k + 1)))
+        assert "RES-I5" in rules(monitor)
+        # Suppressed during the grace window (first check resets it on
+        # the initial budget observation).
+        assert monitor.violations[0].time_s > 0.05 * cfg.grace_epochs
+
+    def test_no_i5_outside_capping_episode(self):
+        monitor = InvariantMonitor(MonitorConfig(grace_epochs=0))
+        manager = FakeManager(big_ref_w=5.0, little_ref_w=0.5)
+        for k in range(4):
+            monitor.check(manager, FakeTelemetry(0.05 * (k + 1)))
+        assert monitor.violations == []
+
+    def test_budget_change_resets_grace(self):
+        cfg = MonitorConfig(grace_epochs=2)
+        monitor = InvariantMonitor(cfg)
+        monitor.capping_episode = True
+        manager = FakeManager(big_ref_w=5.0, little_ref_w=0.5)
+        monitor.check(manager, FakeTelemetry(0.05))
+        monitor.check(manager, FakeTelemetry(0.10))
+        manager.goals.power_budget_w = 3.3  # emergency drop: new grace
+        monitor.check(manager, FakeTelemetry(0.15))
+        monitor.check(manager, FakeTelemetry(0.20))
+        assert monitor.violations == []
+        monitor.check(manager, FakeTelemetry(0.25))
+        assert "RES-I5" in rules(monitor)
+
+    def test_violation_count_by_rule(self):
+        monitor = InvariantMonitor()
+        manager = FakeManager(big_ref_w=0.1, little_ref_w=0.01)
+        monitor.check(manager, FakeTelemetry(0.1))
+        assert monitor.violation_count() == 2
+        assert monitor.violation_count("RES-I4") == 2
+        assert monitor.violation_count("RES-I1") == 0

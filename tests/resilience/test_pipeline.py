@@ -1,0 +1,179 @@
+"""Integration tests: the resilience pipeline around real managers.
+
+The headline guarantees from the issue:
+
+* SPECTR records **zero invariant violations under every fault kind**
+  (sensor and actuator), and so do the other three managers;
+* a deliberately broken manager that raises its budget references
+  during a capping episode IS flagged;
+* under a 2 s big-cluster power-sensor dropout, SPECTR with the
+  telemetry guard keeps QoS near the reference and recovers after the
+  fault clears — while the monitor asserts no disabled action was ever
+  executed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    MANAGER_NAMES,
+    identified_systems,
+    manager_factory,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import three_phase_scenario
+from repro.managers.spectr import SPECTRManager
+from repro.platform.faults import (
+    ActuatorFaultModel,
+    FaultModel,
+    inject_power_sensor_fault,
+)
+from repro.resilience.campaign import CampaignConfig, _run_one
+from repro.resilience.guard import TelemetryGuard
+from repro.resilience.monitor import InvariantMonitor
+from repro.resilience.pipeline import ResiliencePipeline
+from repro.workloads import x264
+
+ALL_FAULT_KINDS = FaultModel.VALID_KINDS + ActuatorFaultModel.VALID_KINDS
+
+SHORT = CampaignConfig(
+    managers=MANAGER_NAMES,
+    phase_duration_s=2.0,
+    fault_start_s=0.6,
+    fault_duration_s=1.0,
+)
+
+
+class TestZeroViolations:
+    @pytest.mark.parametrize("kind", ALL_FAULT_KINDS)
+    def test_spectr_under_every_fault_kind(self, kind):
+        run = _run_one("SPECTR", SHORT, kind)
+        assert run.violation_count == 0, run.violations_by_rule
+
+    @pytest.mark.parametrize("name", MANAGER_NAMES)
+    @pytest.mark.parametrize("kind", ["dropout", "reject"])
+    def test_every_manager_stays_clean(self, name, kind):
+        run = _run_one(name, SHORT, kind)
+        assert run.violation_count == 0, run.violations_by_rule
+
+
+class TestBrokenManagerIsFlagged:
+    def test_budget_raising_spectr_trips_the_monitor(self, verified_supervisor):
+        # A manager that bypasses the supervisor and inflates its own
+        # power reference every epoch: the references keep climbing
+        # through the emergency capping episode, which the numeric
+        # RES-I5 shadow invariant must flag.
+        class BudgetRaisingSPECTR(SPECTRManager):
+            def _control(self, telemetry):
+                super()._control(telemetry)
+                self.big_power_ref_w += 0.5
+
+        systems = identified_systems()
+        monitor = InvariantMonitor()
+
+        def factory(soc, goals):
+            return BudgetRaisingSPECTR(
+                soc,
+                goals,
+                big_system=systems.big,
+                little_system=systems.little,
+                verified_supervisor=verified_supervisor,
+            )
+
+        def manager_setup(manager):
+            manager.attach_resilience(ResiliencePipeline(monitor=monitor))
+
+        trace = run_scenario(
+            factory,
+            x264(),
+            three_phase_scenario(phase_duration_s=2.0),
+            seed=2018,
+            manager_setup=manager_setup,
+        )
+        rules = {v.rule for v in trace.invariant_violations}
+        assert "RES-I5" in rules
+
+
+class TestDropoutRecovery:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        """Baseline and 2 s big power dropout runs (guard + monitor)."""
+        systems = identified_systems()
+        scenario = three_phase_scenario()  # 5 s phases
+
+        def run(with_fault):
+            def soc_setup(soc):
+                if with_fault:
+                    inject_power_sensor_fault(
+                        soc, "big", FaultModel("dropout", 1.0, 3.0)
+                    )
+
+            pipeline = ResiliencePipeline(
+                guard=TelemetryGuard(), monitor=InvariantMonitor()
+            )
+
+            def manager_setup(manager):
+                manager.attach_resilience(pipeline)
+
+            return run_scenario(
+                manager_factory("SPECTR", systems),
+                x264(),
+                scenario,
+                seed=2018,
+                soc_setup=soc_setup,
+                manager_setup=manager_setup,
+            )
+
+        return run(False), run(True)
+
+    def window_mae(self, trace, lo_s, hi_s):
+        sel = (trace.times >= lo_s) & (trace.times < hi_s)
+        return float(np.abs(trace.qos - trace.qos_reference)[sel].mean())
+
+    def test_no_disabled_action_ever_executes(self, traces):
+        _, faulty = traces
+        assert faulty.invariant_violations == []
+
+    def test_guard_quarantines_and_recovers_the_sensor(self, traces):
+        _, faulty = traces
+        transitions = [
+            e.detail for e in faulty.guard_events if e.kind == "transition"
+        ]
+        assert any(t.startswith("suspect->quarantined") for t in transitions)
+        assert any(t.startswith("recovering->healthy") for t in transitions)
+        substitutions = [
+            e for e in faulty.guard_events if e.kind == "substituted"
+        ]
+        assert len(substitutions) >= 20
+        assert all(e.sensor == "big_power" for e in substitutions)
+
+    def test_qos_stays_closed_loop_through_the_dropout(self, traces):
+        base, faulty = traces
+        # During the fault window the observer substitute keeps the
+        # loop closed: no worse than 1 QoS unit off the clean run.
+        assert self.window_mae(faulty, 1.0, 3.0) <= (
+            self.window_mae(base, 1.0, 3.0) + 1.0
+        )
+
+    def test_qos_recovers_after_the_fault_clears(self, traces):
+        base, faulty = traces
+        recovered = self.window_mae(faulty, 4.0, 5.0)
+        assert recovered <= self.window_mae(base, 4.0, 5.0) + 1.0
+        assert recovered <= 6.0  # within 10 % of the 60 FPS reference
+
+
+class TestTraceSurfacing:
+    def test_plain_run_has_empty_resilience_fields(self, big_system, little_system):
+        from repro.managers.mm import mm_perf
+
+        trace = run_scenario(
+            lambda soc, goals: mm_perf(
+                soc, goals, big_system=big_system, little_system=little_system
+            ),
+            x264(),
+            three_phase_scenario(phase_duration_s=1.0),
+            seed=3,
+        )
+        assert trace.guard_events == []
+        assert trace.invariant_violations == []
+        assert trace.degrade_events == []
