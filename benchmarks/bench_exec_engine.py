@@ -1,0 +1,107 @@
+"""Wall-clock benchmark of the experiment engine's three execution
+paths — serial, parallel pool, and warm cache — on a real campaign
+matrix (20 fault-campaign cells, two managers).
+
+Writes ``benchmarks/results/exec_engine.json`` with the raw timings so
+perf regressions are diffable across runs.  The parallel-speedup
+assertion is hardware-gated: a pool cannot beat serial execution on a
+single-core box, where only the (machine-independent) warm-cache and
+equivalence guarantees are asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+PARALLEL_WORKERS = 4
+
+
+def _campaign_config():
+    from repro.resilience.campaign import CampaignConfig
+
+    return CampaignConfig(managers=("SPECTR", "MM-Pow"))
+
+
+def _seeded_engine(tmp_path, name: str, workers: int):
+    """An engine on a cache pre-seeded with design artifacts only, so
+    every path pays for scenario execution, not identification."""
+    from repro.exec.artifacts import ensure_design_artifacts
+    from repro.exec.cache import ResultCache
+    from repro.exec.engine import ExperimentEngine
+
+    cache = ResultCache(tmp_path / name)
+    ensure_design_artifacts(cache)
+    return ExperimentEngine(max_workers=workers, cache=cache)
+
+
+def _timed_campaign(config, engine):
+    from repro.resilience.campaign import run_campaign
+
+    start = time.perf_counter()
+    result = run_campaign(config, engine=engine)
+    return result, time.perf_counter() - start
+
+
+def test_engine_execution_paths(tmp_path, save_result):
+    config = _campaign_config()
+
+    serial_engine = _seeded_engine(tmp_path, "serial", workers=1)
+    serial, serial_s = _timed_campaign(config, serial_engine)
+
+    parallel_engine = _seeded_engine(
+        tmp_path, "parallel", workers=PARALLEL_WORKERS
+    )
+    parallel, parallel_s = _timed_campaign(config, parallel_engine)
+
+    # Warm cache: rerun on the serial engine's now-populated cache.
+    warm, warm_s = _timed_campaign(config, serial_engine)
+    assert all(r.cache_hit for r in serial_engine.last_records)
+
+    # Equivalence is non-negotiable on any hardware.
+    assert serial.to_json() == parallel.to_json() == warm.to_json()
+
+    cpus = os.cpu_count() or 1
+    job_count = len(serial_engine.last_records)
+    warm_speedup = serial_s / warm_s
+    parallel_speedup = serial_s / parallel_s
+
+    assert warm_speedup >= 5.0, (
+        f"warm cache only {warm_speedup:.1f}x faster than serial"
+    )
+    if cpus >= PARALLEL_WORKERS:
+        assert parallel_speedup >= 2.0, (
+            f"{PARALLEL_WORKERS} workers on {cpus} cores only "
+            f"{parallel_speedup:.1f}x faster than serial"
+        )
+
+    payload = {
+        "cpu_count": cpus,
+        "parallel_workers": PARALLEL_WORKERS,
+        "jobs": job_count,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "parallel_speedup_asserted": cpus >= PARALLEL_WORKERS,
+        "warm_cache_speedup": round(warm_speedup, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "exec_engine.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    save_result(
+        "exec_engine",
+        "Experiment-engine execution paths "
+        f"({job_count} campaign cells)\n"
+        f"  serial (1 worker):          {serial_s:8.2f} s\n"
+        f"  pool ({PARALLEL_WORKERS} workers, {cpus} cores): "
+        f"{parallel_s:8.2f} s  ({parallel_speedup:.1f}x)\n"
+        f"  warm cache:                 {warm_s:8.2f} s  "
+        f"({warm_speedup:.0f}x)\n"
+        "  all three paths produced byte-identical campaign JSON",
+    )

@@ -25,14 +25,29 @@ def save_result():
     return _save
 
 
-@pytest.fixture(scope="session", autouse=True)
-def warm_identification_cache():
-    """Identify all controller models once so individual benchmarks
-    time their own computation, not the shared setup."""
-    from repro.experiments.figures import (
-        case_study_supervisor,
-        identified_systems,
-    )
+BENCH_CACHE_DIR = Path(__file__).parent / ".exec-cache"
 
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    """The benchmark suite's persistent on-disk result cache."""
+    from repro.exec.cache import ResultCache
+
+    return ResultCache(BENCH_CACHE_DIR)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_identification_cache(bench_cache):
+    """Warm all shared design artifacts once so individual benchmarks
+    time their own computation, not the setup.
+
+    The big/little/full models and the verified supervisor come from
+    the persistent exec artifact cache (derived on the very first
+    benchmark run, loaded from disk afterwards); the benchmark-only
+    per-core model is attached on top.
+    """
+    from repro.exec.artifacts import prime_process
+    from repro.experiments.figures import identified_systems
+
+    prime_process(bench_cache)
     identified_systems(with_percore=True)
-    case_study_supervisor()

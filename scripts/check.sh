@@ -4,6 +4,9 @@
 # This is the single command CI runs (see .github/workflows/ci.yml) and
 # the one to run locally before pushing.  It fails if any of
 #   * any tier-1 test fails,
+#   * the exec-engine smoke subset (`-m exec_smoke`: job digests,
+#     cache integrity, golden traces) fails — kept as a dedicated step
+#     so engine regressions are identified before the longer gates run,
 #   * `python -m repro.analysis src/` reports an error-severity finding
 #     (artifact defects, lint errors, architecture-layer violations),
 #   * `python -m repro.resilience --smoke` records an invariant
@@ -19,6 +22,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo
+echo "== exec-engine smoke (serial/parallel/cache equivalence) =="
+python -m pytest -x -q -m exec_smoke
 
 echo
 echo "== static analysis (repro.analysis) =="

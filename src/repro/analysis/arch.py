@@ -13,7 +13,8 @@ package               rank  may import
 ``core``              2     ranks 0-1
 ``analysis``          2     rank 0; ``core`` (artifact formats)
 ``managers``          3     ranks 0-2
-``experiments``       4     ranks 0-3 and ``analysis``
+``experiments``       4     ranks 0-3, ``analysis``; ``exec`` (peer)
+``exec``              4     ranks 0-3; ``experiments`` (peer)
 ``resilience``        5     ranks 0-4 (top layer)
 ====================  ====  =============================================
 
@@ -47,6 +48,10 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "managers": frozenset(
         {"automata", "control", "platform", "workloads", "core"}
     ),
+    # Rank-4 peers (like platform/workloads): ``exec`` turns experiment
+    # cells into parallel cached jobs, so the sweep/ablation drivers in
+    # ``experiments`` hand it work while its runners call back into
+    # ``experiments`` scenario plumbing.
     "experiments": frozenset(
         {
             "automata",
@@ -56,6 +61,18 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "core",
             "managers",
             "analysis",
+            "exec",
+        }
+    ),
+    "exec": frozenset(
+        {
+            "automata",
+            "control",
+            "platform",
+            "workloads",
+            "core",
+            "managers",
+            "experiments",
         }
     ),
     # Top layer: may see everything below; nothing below may import it.
@@ -70,6 +87,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "core",
             "managers",
             "experiments",
+            "exec",
         }
     ),
 }

@@ -35,6 +35,11 @@ Rules
     (``resilience/``, ``platform/faults.py``).  Faults must be
     *recorded*, not swallowed — a guard that silently drops a failed
     validation turns a detectable sensor fault into an invisible one.
+``REPRO-L008`` (error, outside ``exec/`` only)
+    ``multiprocessing`` / ``concurrent.futures`` imported outside the
+    experiment engine.  Process management is centralized in
+    ``repro.exec`` so the determinism contract (spawn context, seeded
+    workers, cache coherence) cannot be bypassed by ad-hoc pools.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from repro.analysis.findings import Finding, Severity
 __all__ = [
     "lint_source",
     "lint_file",
+    "EXEC_PATH_FRAGMENTS",
     "HOT_PATH_FRAGMENTS",
     "RESILIENCE_PATH_FRAGMENTS",
 ]
@@ -68,6 +74,13 @@ RESILIENCE_PATH_FRAGMENTS = (
     "resilience/",
     "platform/faults.py",
 )
+
+# The one place allowed to manage worker processes (rule L008 applies
+# everywhere else).
+EXEC_PATH_FRAGMENTS = ("exec/",)
+
+# Top-level modules whose import marks ad-hoc parallelism (L008).
+_PARALLEL_MODULES = ("multiprocessing", "concurrent")
 
 _NUMPY_ALLOCATORS = {"zeros", "ones", "empty"}
 
@@ -123,6 +136,11 @@ def _is_resilience_path(path: str) -> bool:
     )
 
 
+def _is_exec_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in EXEC_PATH_FRAGMENTS)
+
+
 def _missing_unit_suffix(name: str) -> bool:
     if name.isupper():  # ALL_CAPS constants name DES events, not quantities
         return False
@@ -151,6 +169,7 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.hot = _is_hot_path(path)
         self.resilience = _is_resilience_path(path)
+        self.exec_layer = _is_exec_path(path)
         self.findings: list[Finding] = []
         self.numpy_aliases: set[str] = set()
         self._class_depth = 0
@@ -167,12 +186,32 @@ class _Linter(ast.NodeVisitor):
             )
         )
 
-    # -- imports (track `import numpy as np`) --------------------------
+    # -- imports (track `import numpy as np`; L008) --------------------
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "numpy":
                 self.numpy_aliases.add(alias.asname or "numpy")
+            self._check_parallel_import(node.lineno, alias.name)
         self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            self._check_parallel_import(node.lineno, node.module)
+        self.generic_visit(node)
+
+    def _check_parallel_import(self, line: int, module: str) -> None:
+        if self.exec_layer:
+            return
+        root = module.split(".")[0]
+        if root in _PARALLEL_MODULES:
+            self._add(
+                line,
+                "REPRO-L008",
+                Severity.ERROR,
+                f"{module!r} imported outside repro.exec; route parallel "
+                "work through the experiment engine "
+                "(repro.exec.ExperimentEngine) instead of ad-hoc pools",
+            )
 
     # -- L001: mutable defaults ----------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -1,0 +1,40 @@
+"""Parallel, cached experiment execution.
+
+The evaluation matrices (TDP sweeps, ablations, fault campaigns) are
+embarrassingly parallel: every cell is one seeded, side-effect-free
+scenario run.  This package turns each cell into a plain-data
+:class:`ScenarioJob`, executes job lists through a ``spawn``-safe
+process pool (:class:`ExperimentEngine`), and memoizes both the
+expensive design-flow artifacts and completed traces in a
+content-addressed on-disk cache (:class:`ResultCache`) — with the hard
+guarantee that serial, parallel, and warm-cache runs produce
+bit-identical results.
+
+``python -m repro.exec`` is the command-line front door.
+"""
+
+from repro.exec.cache import CACHE_FORMAT, ResultCache, default_salt
+from repro.exec.engine import EngineError, ExperimentEngine, JobRecord
+from repro.exec.job import (
+    DEFAULT_RUNNER,
+    JOB_SCHEMA,
+    FaultSpec,
+    ScenarioJob,
+    canonical_encode,
+    derive_seed,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_RUNNER",
+    "EngineError",
+    "ExperimentEngine",
+    "FaultSpec",
+    "JOB_SCHEMA",
+    "JobRecord",
+    "ResultCache",
+    "ScenarioJob",
+    "canonical_encode",
+    "default_salt",
+    "derive_seed",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.exec``."""
+
+from repro.exec.cli import main
+
+raise SystemExit(main())

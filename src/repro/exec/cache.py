@@ -1,0 +1,175 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by the SHA-256 digest of the job (or artifact) spec —
+see :meth:`repro.exec.job.ScenarioJob.digest` — with a *salt* folded
+into every key.  The default salt combines the cache format version and
+the package version, so upgrading either invalidates the whole cache
+implicitly (stale entries simply stop being addressed; ``clear()`` is
+the explicit hatch).
+
+Integrity: every payload carries a SHA-256 sidecar.  A corrupted or
+tampered entry (bit-rot, a partial write, a poisoned cache) fails the
+checksum on load, is deleted, counted in :attr:`ResultCache.invalidations`,
+and reported as a miss — callers fall back to recomputing, never to
+trusting a bad payload.
+
+Payloads are Python pickles; the cache directory is a local, per-user
+working area (like ``.pytest_cache``), not an exchange format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any
+
+import repro
+
+__all__ = ["CACHE_FORMAT", "ResultCache", "default_salt"]
+
+CACHE_FORMAT = "exec-cache/1"
+
+
+def default_salt() -> str:
+    """Cache-key salt: format version + package version."""
+    return f"{CACHE_FORMAT}:repro-{repro.__version__}"
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store with integrity sidecars.
+
+    Layout::
+
+        <directory>/objects/<digest[:2]>/<digest>.pkl        payload
+        <directory>/objects/<digest[:2]>/<digest>.sha256     checksum
+        <directory>/bundles/<digest>/                        persistence
+                                                             bundles
+                                                             (artifacts)
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    workers racing to cache the same digest are safe: both write
+    identical content and the last rename wins.
+    """
+
+    def __init__(self, directory: str | Path, *, salt: str | None = None):
+        self.directory = Path(directory)
+        self.salt = default_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.directory / "objects"
+
+    def _payload_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}.pkl"
+
+    def _sidecar_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}.sha256"
+
+    def bundle_dir(self, digest: str) -> Path:
+        """Directory for persistence-format artifacts of one entry."""
+        return self.directory / "bundles" / digest
+
+    # -- core operations -----------------------------------------------
+    def get(self, digest: str) -> tuple[bool, Any]:
+        """``(hit, value)``; corrupt entries are evicted and miss."""
+        payload_path = self._payload_path(digest)
+        sidecar_path = self._sidecar_path(digest)
+        if not payload_path.exists() or not sidecar_path.exists():
+            self.misses += 1
+            return False, None
+        data = payload_path.read_bytes()
+        expected = sidecar_path.read_text(encoding="utf-8").strip()
+        if _sha256_hex(data) != expected:
+            self.invalidate(digest)
+            self.misses += 1
+            return False, None
+        try:
+            value = pickle.loads(data)
+        except Exception:
+            # Checksum passed but the payload does not decode (schema
+            # drift under an unchanged salt, or a poisoned sidecar
+            # rewritten to match): evict and recompute.
+            self.invalidate(digest)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, digest: str, value: Any) -> bool:
+        """Store a value; returns False (uncached) if it cannot pickle."""
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        payload_path = self._payload_path(digest)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(payload_path, data)
+        self._write_atomic(
+            self._sidecar_path(digest),
+            (_sha256_hex(data) + "\n").encode("utf-8"),
+        )
+        return True
+
+    def invalidate(self, digest: str) -> None:
+        """Evict one entry (payload, sidecar, and any artifact bundle)."""
+        self.invalidations += 1
+        for path in (self._payload_path(digest), self._sidecar_path(digest)):
+            path.unlink(missing_ok=True)
+        bundle = self.bundle_dir(digest)
+        if bundle.exists():
+            shutil.rmtree(bundle, ignore_errors=True)
+
+    def clear(self) -> int:
+        """Explicit invalidation of everything; returns entries removed."""
+        removed = len(self)
+        for subdir in (self.objects_dir, self.directory / "bundles"):
+            if subdir.exists():
+                shutil.rmtree(subdir, ignore_errors=True)
+        return removed
+
+    # -- introspection -------------------------------------------------
+    def entries(self) -> list[str]:
+        """Digests currently stored (sorted)."""
+        if not self.objects_dir.exists():
+            return []
+        return sorted(
+            path.stem for path in self.objects_dir.glob("*/*.pkl")
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self.directory.rglob("*")
+            if path.is_file()
+        )
+
+    def describe(self) -> str:
+        return (
+            f"cache {self.directory} — {len(self)} entries, "
+            f"{self.size_bytes() / 1024:.1f} KiB, salt {self.salt!r} "
+            f"(session: {self.hits} hits, {self.misses} misses, "
+            f"{self.invalidations} invalidations)"
+        )
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)

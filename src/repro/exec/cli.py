@@ -1,0 +1,163 @@
+"""``python -m repro.exec`` — run the evaluation matrices through the
+parallel, cached experiment engine.
+
+Subcommands:
+
+``sweep {tdp,qos}``
+    Goal-space sweeps (:mod:`repro.experiments.sweeps`).
+``ablations``
+    SPECTR mechanism + supervisor-period ablations.
+``cache {info,clear}``
+    Inspect or explicitly invalidate the on-disk cache.
+
+The resilience fault campaign keeps its own front door —
+``python -m repro.resilience`` — which accepts the same engine flags;
+``repro.resilience`` sits *above* this layer, so the campaign CLI can
+import the engine but not vice versa.
+
+Common flags: ``--workers N`` (process-pool size; 1 = in-process),
+``--cache-dir PATH`` (default ``$REPRO_EXEC_CACHE`` or ``.exec-cache``),
+``--no-cache``, ``--seed``.  Results are identical regardless of worker
+count or cache state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.exec.cache import ResultCache
+from repro.exec.engine import ExperimentEngine
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_CACHE_DIR = ".exec-cache"
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size (default 1: in-process execution)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "result-cache directory (default: $REPRO_EXEC_CACHE or "
+            f"{DEFAULT_CACHE_DIR!r})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2018, help="base seed (default 2018)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description=(
+            "Parallel, cached execution of the evaluation matrices: "
+            "sweeps, ablations, and fault campaigns."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="goal-space sweeps")
+    sweep.add_argument(
+        "kind",
+        choices=("tdp", "qos"),
+        help="tdp: tighten the power budget; qos: raise the reference",
+    )
+    _add_engine_flags(sweep)
+
+    ablations = sub.add_parser(
+        "ablations", help="SPECTR mechanism / supervisor-period ablations"
+    )
+    _add_engine_flags(ablations)
+
+    cache = sub.add_parser("cache", help="inspect / clear the cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="PATH"
+    )
+    return parser
+
+
+def resolve_cache_dir(flag: Path | None) -> Path:
+    if flag is not None:
+        return flag
+    return Path(os.environ.get("REPRO_EXEC_CACHE", DEFAULT_CACHE_DIR))
+
+
+def build_engine(args: argparse.Namespace) -> ExperimentEngine:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(resolve_cache_dir(args.cache_dir))
+    return ExperimentEngine(max_workers=args.workers, cache=cache)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import qos_reference_sweep, tdp_sweep
+
+    engine = build_engine(args)
+    if args.kind == "tdp":
+        result = tdp_sweep(seed=args.seed, engine=engine)
+    else:
+        result = qos_reference_sweep(seed=args.seed, engine=engine)
+    print(result.format_text())
+    print(f"\n[{engine.describe_last()}]")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        ablate_mechanisms,
+        ablate_supervisor_period,
+    )
+
+    engine = build_engine(args)
+    for study in (ablate_mechanisms, ablate_supervisor_period):
+        result = study(seed=args.seed, engine=engine)
+        print(result.format_text())
+        print(f"[{engine.describe_last()}]\n")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(resolve_cache_dir(args.cache_dir))
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.directory}")
+        return 0
+    print(cache.describe())
+    for digest in cache.entries():
+        print(f"  {digest}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "sweep": _cmd_sweep,
+        "ablations": _cmd_ablations,
+        "cache": _cmd_cache,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `cache info | head`) closed early;
+        # reopen stdout on devnull so interpreter shutdown stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,354 @@
+"""The experiment-execution engine.
+
+Runs :class:`~repro.exec.job.ScenarioJob` matrices through a
+``spawn``-safe process pool with content-addressed result caching,
+bounded retry on worker crashes, and a graceful serial fallback.  The
+engine is the only module in the package allowed to touch
+``concurrent.futures``/``multiprocessing`` (lint rule ``REPRO-L008``):
+everything above it — sweeps, ablations, the fault campaign, the CLI —
+expresses work as job specs and lets the engine decide where they run.
+
+Determinism contract
+--------------------
+A job's result is a pure function of its spec: runners derive all
+randomness from ``job.seed``, workers share no state with the parent
+(``spawn``), and the design-flow artifacts each process loads are
+bit-identical whether derived or cache-loaded (see
+:mod:`repro.exec.artifacts`).  Consequently serial runs, parallel runs
+at any worker count, reruns, and warm-cache runs all produce identical
+results — the property the golden-trace and equivalence suites under
+``tests/exec/`` pin down.
+
+Failure handling
+----------------
+Runner exceptions are captured *inside* the worker and returned as
+structured failure records (never raised through the pool, whose
+exception transport needs picklable exceptions).  A crashed worker
+(hard exit, OOM kill) breaks the whole pool; the engine rebuilds it and
+retries the unfinished jobs up to ``max_crash_retries`` times.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import ScenarioJob
+
+__all__ = ["EngineError", "ExperimentEngine", "JobRecord"]
+
+
+class EngineError(RuntimeError):
+    """Raised when jobs fail and the caller asked for results."""
+
+
+@dataclass
+class JobRecord:
+    """Structured outcome of one job: timing, provenance, failure."""
+
+    job: ScenarioJob
+    digest: str
+    result: Any = None
+    error: str | None = None
+    attempts: int = 0
+    duration_s: float = 0.0
+    cache_hit: bool = False
+    mode: str = "serial"  # "serial" | "process" | "cache"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level: must be importable from a spawned child)
+# ----------------------------------------------------------------------
+_WORKER_CACHE: ResultCache | None = None
+
+
+def _resolve_runner(dotted: str):
+    module_name, _, func_name = dotted.rpartition(".")
+    module = importlib.import_module(module_name)
+    runner = getattr(module, func_name, None)
+    if not callable(runner):
+        raise TypeError(f"job runner {dotted!r} is not callable")
+    return runner
+
+
+def _worker_init(cache_dir: str | None, salt: str | None) -> None:
+    """Per-process initialization: prime design artifacts from cache."""
+    global _WORKER_CACHE
+    if cache_dir is None:
+        return
+    from repro.exec.artifacts import prime_process
+
+    _WORKER_CACHE = ResultCache(Path(cache_dir), salt=salt)
+    try:
+        prime_process(_WORKER_CACHE)
+    except Exception as exc:
+        # A failed prime must not kill the pool — the worker can still
+        # derive everything from scratch; record the downgrade loudly.
+        import sys
+
+        print(
+            f"repro.exec worker: artifact prime failed ({exc!r}); "
+            "falling back to per-process derivation",
+            file=sys.stderr,
+        )
+
+
+def _worker_execute(job: ScenarioJob) -> tuple[str, Any, float]:
+    """Execute one job, capturing failures as data.
+
+    Returns ``("ok", result, duration_s)`` or
+    ``("error", message, duration_s)``.
+    """
+    start = time.perf_counter()
+    try:
+        runner = _resolve_runner(job.runner)
+        result = runner(job)
+    except Exception as exc:
+        message = (
+            f"{type(exc).__name__}: {exc}\n"
+            + traceback.format_exc(limit=8)
+        )
+        return "error", message, time.perf_counter() - start
+    return "ok", result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Self-test runners (exercised by tests/exec/test_engine.py; they live
+# here so spawned workers can import them without the test tree on
+# sys.path).
+# ----------------------------------------------------------------------
+def _echo_runner(job: ScenarioJob) -> Any:
+    """Return the job label, or raise if the spec says so."""
+    params = job.params()
+    if "raise" in params:
+        raise ValueError(str(params["raise"]))
+    return ("echo", job.label)
+
+
+def _crash_once_runner(job: ScenarioJob) -> str:
+    """Hard-kill the worker while a sentinel file exists (crash drill)."""
+    sentinel = Path(str(job.params()["sentinel"]))
+    if sentinel.exists():
+        sentinel.unlink()
+        os._exit(13)
+    return "survived"
+
+
+def _always_crash_runner(job: ScenarioJob) -> str:
+    """Hard-kill the worker unconditionally (retry-exhaustion drill)."""
+    os._exit(13)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentEngine:
+    """Run job matrices serially or across a spawn process pool.
+
+    ``max_workers=1`` (the default) executes in-process with identical
+    results; jobs that fail to pickle also fall back to in-process
+    execution instead of erroring.  With a ``cache`` attached, results
+    are content-addressed on disk and design-flow artifacts are
+    pre-seeded so workers start warm.
+    """
+
+    max_workers: int = 1
+    cache: ResultCache | None = None
+    max_crash_retries: int = 2
+    prime_artifacts: bool = True
+    last_records: list[JobRecord] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_crash_retries < 0:
+            raise ValueError("max_crash_retries must be >= 0")
+
+    # -- public API ----------------------------------------------------
+    def run(self, jobs: Sequence[ScenarioJob]) -> list[JobRecord]:
+        """Execute all jobs; returns one record per job, input order."""
+        jobs = list(jobs)
+        salt = self.cache.salt if self.cache is not None else ""
+        records = [
+            JobRecord(job=job, digest=job.digest(salt=salt))
+            for job in jobs
+        ]
+
+        pending: list[int] = []
+        for index, record in enumerate(records):
+            if self.cache is not None:
+                hit, value = self.cache.get(record.digest)
+                if hit:
+                    record.result = value
+                    record.cache_hit = True
+                    record.mode = "cache"
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.cache is not None and self.prime_artifacts:
+                from repro.exec.artifacts import prime_process
+
+                # Warm this process from the artifact cache (keeping any
+                # richer caches it already holds) and make sure the
+                # artifacts are on disk before workers spawn.
+                prime_process(self.cache, force=False)
+            parallel, serial = self._partition(records, pending)
+            if parallel:
+                self._run_pool(records, parallel)
+            for index in serial:
+                self._run_serial(records[index])
+            if self.cache is not None:
+                for index in pending:
+                    record = records[index]
+                    if record.ok and not record.cache_hit:
+                        self.cache.put(record.digest, record.result)
+
+        self.last_records = records
+        return records
+
+    def results(self, jobs: Sequence[ScenarioJob]) -> list[Any]:
+        """Run and return results, raising :class:`EngineError` on any
+        failure (first failures quoted)."""
+        records = self.run(jobs)
+        failures = [r for r in records if not r.ok]
+        if failures:
+            quoted = "\n---\n".join(
+                f"{r.job.label or r.job.manager}: {r.error}"
+                for r in failures[:3]
+            )
+            raise EngineError(
+                f"{len(failures)}/{len(records)} jobs failed:\n{quoted}"
+            )
+        return [r.result for r in records]
+
+    def describe_last(self) -> str:
+        """One-line summary of the previous :meth:`run`."""
+        records = self.last_records
+        hits = sum(1 for r in records if r.cache_hit)
+        failed = sum(1 for r in records if not r.ok)
+        busy_s = sum(r.duration_s for r in records)
+        return (
+            f"{len(records)} jobs — {hits} cache hits, {failed} failed, "
+            f"{busy_s:.2f} s job time, {self.max_workers} workers"
+        )
+
+    # -- execution paths -----------------------------------------------
+    def _partition(
+        self, records: list[JobRecord], pending: list[int]
+    ) -> tuple[list[int], list[int]]:
+        """Split pending work into pool-eligible and serial-only jobs."""
+        if self.max_workers == 1:
+            return [], pending
+        parallel: list[int] = []
+        serial: list[int] = []
+        for index in pending:
+            try:
+                pickle.dumps(records[index].job)
+            except Exception:
+                serial.append(index)  # graceful fallback, not an error
+            else:
+                parallel.append(index)
+        return parallel, serial
+
+    def _run_serial(self, record: JobRecord) -> None:
+        status, value, duration_s = _worker_execute(record.job)
+        record.attempts += 1
+        record.duration_s = duration_s
+        record.mode = "serial"
+        if status == "ok":
+            record.result = value
+        else:
+            record.error = value
+
+    def _run_pool(self, records: list[JobRecord], indices: list[int]) -> None:
+        self._absolutize_pythonpath()
+
+        remaining = list(indices)
+        attempt = 0
+        while remaining and attempt <= self.max_crash_retries:
+            attempt += 1
+            remaining = self._pool_pass(records, remaining, attempt)
+        for index in remaining:
+            record = records[index]
+            record.attempts = attempt
+            record.error = (
+                f"worker crashed on every attempt ({attempt} tries)"
+            )
+            record.mode = "process"
+
+    def _pool_pass(
+        self, records: list[JobRecord], indices: list[int], attempt: int
+    ) -> list[int]:
+        """One pool lifetime; returns the indices lost to a crash."""
+        cache_dir = (
+            str(self.cache.directory) if self.cache is not None else None
+        )
+        salt = self.cache.salt if self.cache is not None else None
+        crashed: list[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(indices)),
+            mp_context=get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(cache_dir, salt),
+        ) as pool:
+            futures = {
+                index: pool.submit(_worker_execute, records[index].job)
+                for index in indices
+            }
+            for index, future in futures.items():
+                record = records[index]
+                try:
+                    status, value, duration_s = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                    continue
+                except Exception as exc:
+                    # e.g. the runner's return value failed to pickle on
+                    # the way back — a job defect, not a crash: no retry.
+                    record.attempts = attempt
+                    record.mode = "process"
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    continue
+                record.attempts = attempt
+                record.mode = "process"
+                record.duration_s = duration_s
+                if status == "ok":
+                    record.result = value
+                else:
+                    record.error = value
+        return crashed
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _absolutize_pythonpath() -> None:
+        """Make ``repro`` importable from spawned children.
+
+        The repo runs from source via ``PYTHONPATH=src``; a spawned
+        child inherits the environment but not necessarily a working
+        directory that makes the relative entry resolve.  Prepend the
+        absolute source root once.
+        """
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        current = os.environ.get("PYTHONPATH", "")
+        parts = [p for p in current.split(os.pathsep) if p]
+        resolved = {str(Path(p).resolve()) for p in parts}
+        if src_dir not in resolved:
+            os.environ["PYTHONPATH"] = os.pathsep.join([src_dir, *parts])

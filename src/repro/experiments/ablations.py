@@ -17,6 +17,7 @@ QoS/power tracking, quantifying what each mechanism buys.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.experiments.figures import (
     IdentifiedSystems,
@@ -27,6 +28,9 @@ from repro.experiments.runner import ScenarioTrace, run_scenario
 from repro.experiments.scenario import three_phase_scenario
 from repro.managers.spectr import SPECTRManager
 from repro.workloads import x264
+
+if TYPE_CHECKING:
+    from repro.exec.engine import ExperimentEngine
 
 
 def _spectr_factory(
@@ -83,7 +87,58 @@ class AblationResult:
         return "\n".join(lines)
 
 
-def ablate_mechanisms(*, seed: int = 2018) -> AblationResult:
+def _run_variants(
+    variants: dict[str, dict[str, Any]],
+    *,
+    seed: int,
+    engine: "ExperimentEngine | None",
+) -> dict[str, ScenarioTrace]:
+    """Run the three-phase scenario once per ablation variant.
+
+    ``variants`` maps display name to :func:`_spectr_factory` keyword
+    overrides.  With an ``engine`` the variants become SPECTR jobs whose
+    ``overrides`` carry the same flags (worker-side construction in
+    :func:`repro.exec.scenario_jobs.build_manager_factory`); results are
+    identical to the serial path.
+    """
+    scenario = three_phase_scenario()
+    if engine is not None:
+        from repro.exec.job import ScenarioJob
+
+        key_map = {
+            "gain_scheduling": "enable_gain_scheduling",
+            "reference_regulation": "enable_reference_regulation",
+            "supervisor_period_epochs": "supervisor_period_epochs",
+            "name": "manager_name",
+        }
+        jobs = [
+            ScenarioJob(
+                manager="SPECTR",
+                scenario=scenario,
+                seed=seed,
+                overrides=tuple(
+                    sorted(
+                        (key_map[key], value)
+                        for key, value in kwargs.items()
+                    )
+                ),
+                label=f"ablation: {display}",
+            )
+            for display, kwargs in variants.items()
+        ]
+        return dict(zip(variants, engine.results(jobs)))
+    systems = identified_systems()
+    return {
+        display: run_scenario(
+            _spectr_factory(systems, **kwargs), x264(), scenario, seed=seed
+        )
+        for display, kwargs in variants.items()
+    }
+
+
+def ablate_mechanisms(
+    *, seed: int = 2018, engine: "ExperimentEngine | None" = None
+) -> AblationResult:
     """Full SPECTR vs gain-scheduling-only vs reference-regulation-only.
 
     Expected outcome: without gain scheduling the manager cannot hand
@@ -91,56 +146,49 @@ def ablate_mechanisms(*, seed: int = 2018) -> AblationResult:
     violations); without reference regulation the power mode tracks a
     stale budget split.
     """
-    systems = identified_systems()
-    scenario = three_phase_scenario()
-    variants = {
-        "SPECTR (full)": _spectr_factory(systems),
-        "no gain scheduling": _spectr_factory(
-            systems, gain_scheduling=False, name="SPECTR-noGS"
-        ),
-        "no reference regulation": _spectr_factory(
-            systems, reference_regulation=False, name="SPECTR-noRR"
-        ),
-        "supervisor disabled": _spectr_factory(
-            systems,
-            gain_scheduling=False,
-            reference_regulation=False,
-            name="SPECTR-none",
-        ),
-    }
-    traces = {
-        name: run_scenario(factory, x264(), scenario, seed=seed)
-        for name, factory in variants.items()
+    variants: dict[str, dict[str, Any]] = {
+        "SPECTR (full)": {},
+        "no gain scheduling": {
+            "gain_scheduling": False,
+            "name": "SPECTR-noGS",
+        },
+        "no reference regulation": {
+            "reference_regulation": False,
+            "name": "SPECTR-noRR",
+        },
+        "supervisor disabled": {
+            "gain_scheduling": False,
+            "reference_regulation": False,
+            "name": "SPECTR-none",
+        },
     }
     return AblationResult(
         title="Ablation - SPECTR mechanisms (x264, three phases)",
-        traces=traces,
+        traces=_run_variants(variants, seed=seed, engine=engine),
     )
 
 
 def ablate_supervisor_period(
-    periods: tuple[int, ...] = (1, 2, 4, 10), *, seed: int = 2018
+    periods: tuple[int, ...] = (1, 2, 4, 10),
+    *,
+    seed: int = 2018,
+    engine: "ExperimentEngine | None" = None,
 ) -> AblationResult:
     """Sensitivity to the supervisor invocation period.
 
     Slower supervision delays the priority switch at phase boundaries;
     the paper's 2x choice balances responsiveness against overhead.
     """
-    systems = identified_systems()
-    scenario = three_phase_scenario()
-    traces = {
-        f"period {p} ({p * 50} ms)": run_scenario(
-            _spectr_factory(
-                systems, supervisor_period_epochs=p, name=f"SPECTR-p{p}"
-            ),
-            x264(),
-            scenario,
-            seed=seed,
-        )
+    variants: dict[str, dict[str, Any]] = {
+        f"period {p} ({p * 50} ms)": {
+            "supervisor_period_epochs": p,
+            "name": f"SPECTR-p{p}",
+        }
         for p in periods
     }
     return AblationResult(
-        title="Ablation - supervisor invocation period", traces=traces
+        title="Ablation - supervisor invocation period",
+        traces=_run_variants(variants, seed=seed, engine=engine),
     )
 
 

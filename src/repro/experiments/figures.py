@@ -73,6 +73,33 @@ def case_study_supervisor() -> VerifiedSupervisor:
     return _SUPERVISOR_CACHE
 
 
+def prime_design_caches(
+    systems: IdentifiedSystems, supervisor: VerifiedSupervisor
+) -> None:
+    """Install precomputed design artifacts as this process's caches.
+
+    The experiment engine's workers load the identified models and the
+    verified supervisor from the on-disk artifact cache
+    (:mod:`repro.exec.artifacts`) instead of re-running identification
+    and synthesis per process; this is the injection point.
+    """
+    global _SYSTEMS_CACHE, _SUPERVISOR_CACHE
+    _SYSTEMS_CACHE = systems
+    _SUPERVISOR_CACHE = supervisor
+
+
+def clear_design_caches() -> None:
+    """Drop the process-local design caches (test isolation hook)."""
+    global _SYSTEMS_CACHE, _SUPERVISOR_CACHE
+    _SYSTEMS_CACHE = None
+    _SUPERVISOR_CACHE = None
+
+
+def design_caches_primed() -> bool:
+    """Whether this process already holds both design artifacts."""
+    return _SYSTEMS_CACHE is not None and _SUPERVISOR_CACHE is not None
+
+
 def manager_factory(name: str, systems: IdentifiedSystems):
     """Factory for :func:`~repro.experiments.runner.run_scenario`."""
     if name == "MM-Perf":

@@ -16,6 +16,7 @@ locate the regime boundaries the three-phase scenario only samples:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from repro.experiments.figures import (
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import Phase, Scenario
 from repro.workloads import x264
+
+if TYPE_CHECKING:
+    from repro.exec.engine import ExperimentEngine
 
 
 def _single_phase_scenario(
@@ -87,20 +91,50 @@ class SweepResult:
         return None
 
 
-def tdp_sweep(
-    budgets: tuple[float, ...] = (6.5, 5.5, 4.5, 3.5, 2.8),
-    *,
-    qos_reference: float = 60.0,
-    managers: tuple[str, ...] = ("SPECTR", "MM-Pow", "MM-Perf"),
-    seed: int = 2018,
-    systems: IdentifiedSystems | None = None,
-) -> SweepResult:
-    """Steady-state behaviour as the power budget tightens (x264)."""
-    systems = systems or identified_systems()
+def _collect(
+    points: Sequence[tuple[float, Scenario]],
+    managers: tuple[str, ...],
+    seed: int,
+    systems: IdentifiedSystems | None,
+    engine: "ExperimentEngine | None",
+    sweep_name: str,
+) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
+    """Run every (point, manager) cell; returns steady-state means.
+
+    With an ``engine``, cells become :class:`~repro.exec.job.ScenarioJob`
+    specs executed (possibly in parallel, possibly from cache) in the
+    same budgets-outer / managers-inner order as the serial loop — the
+    equivalence suite pins both paths to identical results.
+    """
     qos: dict[str, list[float]] = {m: [] for m in managers}
     power: dict[str, list[float]] = {m: [] for m in managers}
-    for budget in budgets:
-        scenario = _single_phase_scenario(qos_reference, budget)
+    if engine is not None:
+        if systems is not None:
+            raise ValueError(
+                "pass either systems= or engine=, not both: with an "
+                "engine, workers load models from the artifact cache"
+            )
+        from repro.exec.job import ScenarioJob
+
+        jobs = [
+            ScenarioJob(
+                manager=manager,
+                scenario=scenario,
+                seed=seed,
+                label=f"{sweep_name}[{x:g}] {manager}",
+            )
+            for x, scenario in points
+            for manager in managers
+        ]
+        traces = iter(engine.results(jobs))
+        for _ in points:
+            for manager in managers:
+                metrics = next(traces).phase_metrics()[0]
+                qos[manager].append(metrics.qos.mean)
+                power[manager].append(metrics.power.mean)
+        return qos, power
+    systems = systems or identified_systems()
+    for _, scenario in points:
         for manager in managers:
             trace = run_scenario(
                 manager_factory(manager, systems),
@@ -111,6 +145,24 @@ def tdp_sweep(
             metrics = trace.phase_metrics()[0]
             qos[manager].append(metrics.qos.mean)
             power[manager].append(metrics.power.mean)
+    return qos, power
+
+
+def tdp_sweep(
+    budgets: tuple[float, ...] = (6.5, 5.5, 4.5, 3.5, 2.8),
+    *,
+    qos_reference: float = 60.0,
+    managers: tuple[str, ...] = ("SPECTR", "MM-Pow", "MM-Perf"),
+    seed: int = 2018,
+    systems: IdentifiedSystems | None = None,
+    engine: "ExperimentEngine | None" = None,
+) -> SweepResult:
+    """Steady-state behaviour as the power budget tightens (x264)."""
+    points = [
+        (budget, _single_phase_scenario(qos_reference, budget))
+        for budget in budgets
+    ]
+    qos, power = _collect(points, managers, seed, systems, engine, "tdp")
     return SweepResult(
         title=(
             "TDP sweep - x264, QoS ref "
@@ -131,23 +183,14 @@ def qos_reference_sweep(
     managers: tuple[str, ...] = ("SPECTR", "MM-Perf"),
     seed: int = 2018,
     systems: IdentifiedSystems | None = None,
+    engine: "ExperimentEngine | None" = None,
 ) -> SweepResult:
     """Steady-state behaviour as the requested QoS grows (x264)."""
-    systems = systems or identified_systems()
-    qos: dict[str, list[float]] = {m: [] for m in managers}
-    power: dict[str, list[float]] = {m: [] for m in managers}
-    for reference in references:
-        scenario = _single_phase_scenario(reference, budget_w)
-        for manager in managers:
-            trace = run_scenario(
-                manager_factory(manager, systems),
-                x264(),
-                scenario,
-                seed=seed,
-            )
-            metrics = trace.phase_metrics()[0]
-            qos[manager].append(metrics.qos.mean)
-            power[manager].append(metrics.power.mean)
+    points = [
+        (reference, _single_phase_scenario(reference, budget_w))
+        for reference in references
+    ]
+    qos, power = _collect(points, managers, seed, systems, engine, "qosref")
     return SweepResult(
         title=(
             f"QoS-reference sweep - x264, TDP {budget_w:.0f} W: where "

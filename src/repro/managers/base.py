@@ -11,7 +11,7 @@ user, and a chip power budget (TDP) from the system.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.platform.soc import ExynosSoC, Telemetry
 
@@ -61,8 +61,7 @@ class ResourceManager(ABC):
         self.soc = soc
         self.goals = goals
         self.name = name
-        self.actuation_log: list[ActuationRecord] = field(default_factory=list)  # type: ignore[assignment]
-        self.actuation_log = []
+        self.actuation_log: list[ActuationRecord] = []
         self.resilience = None
 
     # ------------------------------------------------------------------

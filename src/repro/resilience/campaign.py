@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,10 +46,16 @@ from repro.resilience.monitor import InvariantMonitor
 from repro.resilience.pipeline import ResiliencePipeline
 from repro.workloads import x264
 
+if TYPE_CHECKING:
+    from repro.exec.engine import ExperimentEngine
+    from repro.exec.job import ScenarioJob
+
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRun",
+    "campaign_jobs",
+    "execute_campaign_job",
     "run_campaign",
 ]
 
@@ -394,10 +401,55 @@ def _run_one(
     )
 
 
-def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
-    """Sweep fault kind x manager over the three-phase scenario."""
+CAMPAIGN_RUNNER = "repro.resilience.campaign.execute_campaign_job"
+
+
+def execute_campaign_job(job: "ScenarioJob") -> CampaignRun:
+    """Engine runner for one campaign cell (see :func:`campaign_jobs`)."""
+    params = job.params()
+    return _run_one(job.manager, params["config"], params["fault_kind"])
+
+
+def campaign_jobs(config: CampaignConfig) -> "list[ScenarioJob]":
+    """The campaign as an engine job list, in the serial sweep's order:
+    per manager, the fault-free baseline first, then one job per kind."""
+    from repro.exec.job import ScenarioJob
+
+    jobs = []
+    for manager_name in config.managers:
+        for kind in (None, *config.sensor_kinds, *config.actuator_kinds):
+            jobs.append(
+                ScenarioJob(
+                    manager=manager_name,
+                    seed=config.seed,
+                    overrides=(("config", config), ("fault_kind", kind)),
+                    runner=CAMPAIGN_RUNNER,
+                    label=f"campaign: {manager_name}/{kind or 'baseline'}",
+                )
+            )
+    return jobs
+
+
+def run_campaign(
+    config: CampaignConfig | None = None,
+    *,
+    engine: "ExperimentEngine | None" = None,
+) -> CampaignResult:
+    """Sweep fault kind x manager over the three-phase scenario.
+
+    With an ``engine``, cells run through :mod:`repro.exec` (parallel
+    and/or cached); the assembled :class:`CampaignResult` — including
+    its JSON rendering — is identical to the serial sweep's.
+    """
     config = config or CampaignConfig()
     result = CampaignResult(config=config)
+    if engine is not None:
+        runs = iter(engine.results(campaign_jobs(config)))
+        for manager_name in config.managers:
+            result.baselines[manager_name] = next(runs)
+            for _ in (*config.sensor_kinds, *config.actuator_kinds):
+                result.runs.append(next(runs))
+        return result
     for manager_name in config.managers:
         result.baselines[manager_name] = _run_one(
             manager_name, config, None

@@ -59,7 +59,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the JSON report to PATH",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run campaign cells through the experiment engine with an "
+            "N-process pool (default 1: plain serial sweep; results are "
+            "identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable the on-disk result cache (default directory: "
+            "$REPRO_EXEC_CACHE or .exec-cache) when combined with "
+            "--workers > 1; pass explicitly to cache serial runs too"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --workers: run the engine without the result cache",
+    )
     return parser
+
+
+def _build_engine(args: argparse.Namespace):
+    """An ExperimentEngine when engine flags were used, else None."""
+    if args.workers <= 1 and args.cache_dir is None:
+        return None
+    from repro.exec.cache import ResultCache
+    from repro.exec.cli import resolve_cache_dir
+    from repro.exec.engine import ExperimentEngine
+
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(resolve_cache_dir(args.cache_dir))
+    )
+    return ExperimentEngine(max_workers=max(args.workers, 1), cache=cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             with_degrade=not args.no_degrade,
         )
-    result = run_campaign(config)
+    result = run_campaign(config, engine=_build_engine(args))
     print(result.format_markdown())
     if args.json is not None:
         args.json.write_text(result.to_json() + "\n", encoding="utf-8")

@@ -93,3 +93,46 @@ class TestImportEdges:
         assert file_path.endswith("mod.py")
         assert line == 2
         assert imported == "control"
+
+
+class TestExecLayer:
+    def test_exec_and_experiments_are_peers(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/exec/__init__.py": "from repro.experiments import runner\n",
+                "repro/experiments/__init__.py": "from repro.exec import engine\n",
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_exec_must_not_import_resilience(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/exec/__init__.py": "",
+                "repro/exec/cli.py": "from repro.resilience import campaign\n",
+                "repro/resilience/__init__.py": "",
+            },
+        )
+        findings = check_architecture(package)
+        assert [f.rule for f in findings] == ["REPRO-R001"]
+        assert "resilience" in findings[0].message
+
+    def test_resilience_may_import_exec(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/exec/__init__.py": "",
+                "repro/resilience/__init__.py": "from repro.exec import engine\n",
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_lower_layers_must_not_import_exec(self):
+        for package in ("automata", "control", "platform", "workloads",
+                        "core", "managers", "analysis"):
+            assert "exec" not in ALLOWED_IMPORTS[package]

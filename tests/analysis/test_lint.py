@@ -171,3 +171,36 @@ class TestSyntaxError:
     def test_unparseable_source_is_l000(self):
         findings = lint_source("def f(:\n", COLD)
         assert rules(findings) == ["REPRO-L000"]
+
+
+class TestL008AdHocParallelism:
+    EXEC = "src/repro/exec/engine.py"
+
+    def test_multiprocessing_import_outside_exec_is_error(self):
+        assert rules(lint_source("import multiprocessing\n", COLD)) == [
+            "REPRO-L008"
+        ]
+
+    def test_concurrent_futures_import_outside_exec_is_error(self):
+        for source in (
+            "import concurrent.futures\n",
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "from concurrent import futures\n",
+            "from multiprocessing import get_context\n",
+        ):
+            assert rules(lint_source(source, HOT)) == ["REPRO-L008"], source
+
+    def test_exec_layer_is_exempt(self):
+        source = (
+            "import multiprocessing\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        assert rules(lint_source(source, self.EXEC)) == []
+
+    def test_unrelated_imports_are_fine(self):
+        source = "import concurrency_helpers\nimport threading\n"
+        assert "REPRO-L008" not in rules(lint_source(source, COLD))
+
+    def test_message_points_at_the_engine(self):
+        findings = lint_source("import multiprocessing\n", COLD)
+        assert "ExperimentEngine" in findings[0].message

@@ -1,0 +1,15 @@
+"""Fixtures for the experiment-engine suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.cache import ResultCache
+
+
+@pytest.fixture(scope="session")
+def exec_cache(tmp_path_factory) -> ResultCache:
+    """One shared on-disk cache so the expensive design artifacts are
+    derived at most once for the whole suite; result entries are still
+    per-job (content-addressed), so tests do not interfere."""
+    return ResultCache(tmp_path_factory.mktemp("exec-cache"))

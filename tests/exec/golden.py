@@ -1,0 +1,83 @@
+"""Golden-trace helpers shared by the regression tests and the
+fixture generator (``scripts/make_golden_traces.py``).
+
+The golden scenario is the paper's three-phase scenario shrunk to 1 s
+phases: long enough that every phase transition, gain switch, and
+background-task arrival happens, short enough for CI.  Fixtures store
+every float as its shortest ``repr`` (what ``json`` emits), which
+round-trips float64 losslessly — so "equal to fixture" means
+bit-identical simulation output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exec.job import ScenarioJob
+from repro.experiments.figures import MANAGER_NAMES
+from repro.experiments.runner import ScenarioTrace
+from repro.experiments.scenario import Scenario, three_phase_scenario
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_traces.json"
+GOLDEN_MANAGERS = MANAGER_NAMES
+GOLDEN_SEED = 2018
+
+# The trace series pinned by the fixture (all float64 ndarrays).
+TRACE_SERIES = (
+    "qos",
+    "chip_power",
+    "big_power",
+    "little_power",
+    "big_frequency",
+    "big_cores",
+    "little_frequency",
+    "little_cores",
+)
+
+
+def golden_scenario() -> Scenario:
+    return three_phase_scenario(phase_duration_s=1.0)
+
+
+def golden_job(manager: str) -> ScenarioJob:
+    return ScenarioJob(
+        manager=manager,
+        scenario=golden_scenario(),
+        seed=GOLDEN_SEED,
+        label=f"golden:{manager}",
+    )
+
+
+def trace_payload(trace: ScenarioTrace) -> dict:
+    """The JSON-serializable fixture payload of one trace."""
+    payload: dict = {
+        "manager": trace.manager,
+        "gain_sets": list(trace.gain_sets),
+    }
+    for series in TRACE_SERIES:
+        payload[series] = [float(v) for v in getattr(trace, series)]
+    return payload
+
+
+def load_fixture() -> dict:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def assert_matches_golden(trace: ScenarioTrace, golden: dict) -> None:
+    """Exact (bit-identical) comparison of a trace against the fixture."""
+    assert trace.manager == golden["manager"]
+    assert list(trace.gain_sets) == golden["gain_sets"]
+    for series in TRACE_SERIES:
+        expected = np.asarray(golden[series], dtype=float)
+        actual = np.asarray(getattr(trace, series), dtype=float)
+        assert actual.shape == expected.shape, series
+        assert np.array_equal(actual, expected), (
+            f"{trace.manager}.{series} deviates from the golden trace "
+            f"(max abs diff "
+            f"{float(np.max(np.abs(actual - expected))):.3e}); if the "
+            "change is intentional, regenerate with "
+            "scripts/make_golden_traces.py"
+        )

@@ -1,0 +1,59 @@
+"""Design-artifact caching: build-once, verify-on-load, rebuild on rot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.artifacts import design_digest, ensure_design_artifacts
+from repro.exec.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory) -> ResultCache:
+    cache = ResultCache(tmp_path_factory.mktemp("artifacts"))
+    ensure_design_artifacts(cache)
+    return cache
+
+
+def test_first_build_populates_cache_and_bundle(warm_cache):
+    digest = design_digest(warm_cache.salt)
+    assert digest in warm_cache.entries()
+    bundle = warm_cache.bundle_dir(digest)
+    assert bundle.is_dir() and any(bundle.iterdir())
+
+
+def test_reload_is_bit_identical_to_build(warm_cache):
+    first = ensure_design_artifacts(warm_cache)
+    second = ensure_design_artifacts(warm_cache)
+    sys_a, ver_a = first
+    sys_b, ver_b = second
+    for cluster in ("big", "little", "full"):
+        model_a = getattr(sys_a, cluster).model
+        model_b = getattr(sys_b, cluster).model
+        assert np.array_equal(model_a.A, model_b.A)
+        assert np.array_equal(model_a.B, model_b.B)
+        assert np.array_equal(model_a.C, model_b.C)
+    assert ver_a.supervisor.states == ver_b.supervisor.states
+
+
+def test_cached_container_omits_percore(warm_cache):
+    systems, _ = ensure_design_artifacts(warm_cache)
+    assert systems.percore is None
+
+
+def test_corrupt_bundle_forces_rebuild(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    ensure_design_artifacts(cache)
+    digest = design_digest(cache.salt)
+    # Trash every bundle file: verify() must fail, the entry must be
+    # invalidated, and the artifacts rebuilt (trust-but-verify).
+    for path in cache.bundle_dir(digest).rglob("*"):
+        if path.is_file():
+            path.write_bytes(b"rotten")
+    systems, verified = ensure_design_artifacts(cache)
+    assert cache.invalidations >= 1
+    assert verified.supervisor.states  # rebuilt, usable
+    # ... and the fresh entry round-trips again.
+    hit, _ = cache.get(digest)
+    assert hit
