@@ -11,7 +11,11 @@
 #     (artifact defects, lint errors, architecture-layer violations),
 #   * `python -m repro.resilience --smoke` records an invariant
 #     violation (the fault-campaign smoke: SPECTR under every sensor
-#     and actuator fault kind must stay on the verified envelope).
+#     and actuator fault kind must stay on the verified envelope),
+#   * the step-kernel benchmark (quick mode) fails to complete or to
+#     emit valid JSON.  Quick mode asserts completion only — wall-clock
+#     on a loaded CI box is noise; the 2x speedup gate runs in the full
+#     benchmark (`python -m pytest benchmarks/bench_step_kernel.py`).
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -34,6 +38,18 @@ python -m repro.analysis src/
 echo
 echo "== resilience fault-campaign smoke =="
 python -m repro.resilience --smoke
+
+echo
+echo "== step-kernel benchmark (quick mode) =="
+STEP_KERNEL_QUICK=1 python -m pytest -x -q benchmarks/bench_step_kernel.py
+python - <<'EOF'
+import json
+with open("benchmarks/results/step_kernel.json") as fh:
+    payload = json.load(fh)
+for key in ("baseline_steps_per_s", "optimized_steps_per_s", "speedup"):
+    assert key in payload, f"step_kernel.json missing {key!r}"
+print("step_kernel.json is valid")
+EOF
 
 if command -v ruff >/dev/null 2>&1; then
     echo

@@ -16,6 +16,7 @@ package               rank  may import
 ``experiments``       4     ranks 0-3, ``analysis``; ``exec`` (peer)
 ``exec``              4     ranks 0-3; ``experiments`` (peer)
 ``resilience``        5     ranks 0-4 (top layer)
+``perf``              5     ranks 0-4 (top-layer peer of resilience)
 ====================  ====  =============================================
 
 In particular ``platform`` and ``workloads`` must import neither
@@ -79,6 +80,22 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     # Managers/experiments integrate with it through duck-typed
     # attachment points (``manager.resilience``, runner setup hooks).
     "resilience": frozenset(
+        {
+            "automata",
+            "control",
+            "platform",
+            "workloads",
+            "core",
+            "managers",
+            "experiments",
+            "exec",
+        }
+    ),
+    # Top-layer peer of resilience: the opt-in step profiler attaches to
+    # any SoC + manager pair via instance-attribute hooks and the
+    # runner's setup callbacks, so it may see every layer below it while
+    # nothing below may import it (profiling must stay optional).
+    "perf": frozenset(
         {
             "automata",
             "control",

@@ -40,6 +40,17 @@ Rules
     experiment engine.  Process management is centralized in
     ``repro.exec`` so the determinism contract (spawn context, seeded
     workers, cache coherence) cannot be bypassed by ad-hoc pools.
+``REPRO-L009`` (error, step-kernel modules only)
+    Per-call numpy temporary — ``np.clip``/``np.sum``/``np.zeros``/
+    ``np.ones``/``np.empty`` — in the per-tick platform modules
+    (``platform/soc.py``, ``sensors.py``, ``scheduler.py``, ``opp.py``,
+    ``power.py``, ``manycore.py``).  These run 20x per simulated second
+    on scalars or fixed-size-4 arrays, where numpy dispatch costs more
+    than the arithmetic; use scalar math (see the sequential-sum
+    equivalence notes in ``platform/soc.py``).  Construction-time code
+    (``__init__``/``__post_init__``) and the explicitly allowlisted
+    idle-insertion helpers (whose pairwise-reduction order *is* the
+    bit-identity contract) are exempt.
 """
 
 from __future__ import annotations
@@ -55,6 +66,8 @@ __all__ = [
     "EXEC_PATH_FRAGMENTS",
     "HOT_PATH_FRAGMENTS",
     "RESILIENCE_PATH_FRAGMENTS",
+    "STEP_KERNEL_PATH_FRAGMENTS",
+    "STEP_KERNEL_ALLOWED_FUNCTIONS",
 ]
 
 # Modules on the 50 ms control epoch (rule L004 applies only here).
@@ -78,6 +91,34 @@ RESILIENCE_PATH_FRAGMENTS = (
 # The one place allowed to manage worker processes (rule L008 applies
 # everywhere else).
 EXEC_PATH_FRAGMENTS = ("exec/",)
+
+# Per-tick platform modules where numpy temporaries are banned (L009).
+STEP_KERNEL_PATH_FRAGMENTS = (
+    "platform/soc.py",
+    "platform/sensors.py",
+    "platform/scheduler.py",
+    "platform/opp.py",
+    "platform/perf.py",
+    "platform/power.py",
+    "platform/manycore.py",
+)
+
+# Functions exempt from L009: their numpy pairwise-reduction order is
+# itself the bit-identity contract with the golden traces, so they must
+# keep the original array formulation (both are off the common fast
+# path — they only run when cores carry nonzero idle fractions).
+STEP_KERNEL_ALLOWED_FUNCTIONS = frozenset(
+    {
+        "_telemetry_with_idle_insertion",
+        "_idle_adjusted_capacity",
+    }
+)
+
+# numpy attributes that allocate or reduce per call (L009).
+_L009_NUMPY_CALLS = frozenset({"clip", "sum", "zeros", "ones", "empty"})
+
+# Construction-time methods run once per object, not per tick.
+_CONSTRUCTION_FUNCTIONS = frozenset({"__init__", "__post_init__"})
 
 # Top-level modules whose import marks ad-hoc parallelism (L008).
 _PARALLEL_MODULES = ("multiprocessing", "concurrent")
@@ -141,6 +182,13 @@ def _is_exec_path(path: str) -> bool:
     return any(fragment in normalized for fragment in EXEC_PATH_FRAGMENTS)
 
 
+def _is_step_kernel_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(
+        fragment in normalized for fragment in STEP_KERNEL_PATH_FRAGMENTS
+    )
+
+
 def _missing_unit_suffix(name: str) -> bool:
     if name.isupper():  # ALL_CAPS constants name DES events, not quantities
         return False
@@ -170,9 +218,11 @@ class _Linter(ast.NodeVisitor):
         self.hot = _is_hot_path(path)
         self.resilience = _is_resilience_path(path)
         self.exec_layer = _is_exec_path(path)
+        self.step_kernel = _is_step_kernel_path(path)
         self.findings: list[Finding] = []
         self.numpy_aliases: set[str] = set()
         self._class_depth = 0
+        self._function_stack: list[str] = []
 
     # -- helpers -------------------------------------------------------
     def _add(self, line: int, rule: str, severity: Severity, message: str) -> None:
@@ -217,12 +267,16 @@ class _Linter(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         self._check_parameters(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self._check_parameters(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         defaults = list(node.args.defaults) + [
@@ -264,6 +318,7 @@ class _Linter(ast.NodeVisitor):
                     "immutable default",
                 )
         self._check_numpy_allocation(node)
+        self._check_numpy_temporary(node)
         self.generic_visit(node)
 
     def _check_numpy_allocation(self, node: ast.Call) -> None:
@@ -287,6 +342,34 @@ class _Linter(ast.NodeVisitor):
                     f"np.{func.attr} without explicit dtype in a hot path; "
                     "pin the dtype (e.g. dtype=float)",
                 )
+
+    # -- L009: per-call numpy temporaries in the step kernel -----------
+    def _check_numpy_temporary(self, node: ast.Call) -> None:
+        if not self.step_kernel:
+            return
+        stack = self._function_stack
+        if not stack:
+            return  # module level runs once at import, not per tick
+        if any(name in _CONSTRUCTION_FUNCTIONS for name in stack):
+            return
+        if any(name in STEP_KERNEL_ALLOWED_FUNCTIONS for name in stack):
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.numpy_aliases
+            and func.attr in _L009_NUMPY_CALLS
+        ):
+            self._add(
+                node.lineno,
+                "REPRO-L009",
+                Severity.ERROR,
+                f"np.{func.attr} in step-kernel function {stack[-1]!r} "
+                "allocates a numpy temporary every tick; use scalar math "
+                "(or add the function to STEP_KERNEL_ALLOWED_FUNCTIONS "
+                "with a bit-identity justification)",
+            )
 
     # -- L002: bare except / L007: except-and-continue -----------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

@@ -72,6 +72,11 @@ class Automaton:
         )
         self._states: dict[str, State] = {}
         self._delta: dict[tuple[State, Event], State] = {}
+        # Per-state out-edge index, maintained incrementally by
+        # add_transition so enabled_events is O(out-degree) instead of a
+        # scan over the whole transition function on every supervisor
+        # query.
+        self._enabled: dict[State, set[Event]] = {}
         self._marked: set[State] = set()
         self._forbidden: set[State] = set()
         self._initial: State | None = None
@@ -131,6 +136,7 @@ class Automaton:
                 f"{source} on {event.name} goes to both {existing} and {target}"
             )
         self._delta[key] = target
+        self._enabled.setdefault(source, set()).add(event)
         return Transition(source, event, target)
 
     def _coerce_state(self, state: State | str) -> State:
@@ -198,9 +204,26 @@ class Automaton:
         event = self._coerce_event(event)
         return self._delta.get((state, event))
 
+    @property
+    def n_transitions(self) -> int:
+        """Transition count — cheap change detector for engine caches."""
+        return len(self._delta)
+
     def enabled_events(self, state: State | str) -> frozenset[Event]:
         state = self._coerce_state(state)
-        return frozenset(e for (q, e) in self._delta if q == state)
+        try:
+            index = self._enabled
+        except AttributeError:
+            # Instances unpickled from artifacts written before the
+            # out-edge index existed skip __init__; rebuild once.
+            index = {}
+            for (source, event) in self._delta:
+                index.setdefault(source, set()).add(event)
+            self._enabled = index
+        enabled = index.get(state)
+        if enabled is None:
+            return frozenset()
+        return frozenset(enabled)
 
     def successors(self, state: State | str) -> frozenset[State]:
         state = self._coerce_state(state)

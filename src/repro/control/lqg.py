@@ -36,13 +36,30 @@ class LQGGains:
     L: np.ndarray  # Kalman observer gain
     Q_output: np.ndarray  # output priority weights (diagonal)
     R_effort: np.ndarray  # control effort weights (diagonal)
-    integral_mask: np.ndarray = None  # type: ignore[assignment]
+    # Optional at construction; normalized to a dense mask (all outputs
+    # servoed) in __post_init__, so it is always an ndarray afterwards.
+    integral_mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.integral_mask is None:
             self.integral_mask = np.ones(self.model.n_outputs, dtype=float)
         else:
             self.integral_mask = np.asarray(self.integral_mask, float).ravel()
+        self._K_integral_pinv: np.ndarray | None = None
+
+    @property
+    def K_integral_pinv(self) -> np.ndarray:
+        """Pseudo-inverse of ``K_integral``, computed once per gain set.
+
+        Used by anti-windup back-calculation and bumpless gain
+        switching every saturated interval; the gains are immutable, so
+        one lazy factorization replaces a per-step ``np.linalg.pinv``.
+        """
+        pinv = self._K_integral_pinv
+        if pinv is None:
+            pinv = np.linalg.pinv(self.K_integral)
+            self._K_integral_pinv = pinv
+        return pinv
 
     @property
     def n_inputs(self) -> int:
@@ -196,12 +213,15 @@ class ActuatorLimits:
                 raise ModelError("max_step entries must be positive")
 
     def clip(self, u: np.ndarray, previous: np.ndarray | None = None) -> np.ndarray:
+        # minimum(maximum(...)) is np.clip without its per-call argument
+        # normalization overhead; bit-identical for non-NaN bounds.
         clipped = np.asarray(u, dtype=float)
         if self.max_step is not None and previous is not None:
-            clipped = np.clip(
-                clipped, previous - self.max_step, previous + self.max_step
+            clipped = np.minimum(
+                np.maximum(clipped, previous - self.max_step),
+                previous + self.max_step,
             )
-        return np.clip(clipped, self.lower, self.upper)
+        return np.minimum(np.maximum(clipped, self.lower), self.upper)
 
 
 class LQGServoController:
@@ -233,6 +253,13 @@ class LQGServoController:
         self.limits = limits
         self.anti_windup = float(anti_windup)
         self._reference = operating_point.y.copy()
+        self._reference_key = self._reference.tolist()
+        self._dr = operating_point.normalize_y(self._reference)
+        # Divisor for anti-windup excess, with zero scales neutralized;
+        # constant per operating point, precomputed off the hot path.
+        self._u_scale_safe = np.where(
+            operating_point.u_scale == 0, 1.0, operating_point.u_scale
+        )
         self.reset()
 
     # ------------------------------------------------------------------
@@ -242,6 +269,11 @@ class LQGServoController:
         return self._reference.copy()
 
     def set_reference(self, reference: np.ndarray | list[float]) -> None:
+        # Managers call set_reference every tick, usually with an
+        # unchanged list; a plain list compare against the stored key
+        # skips the asarray/normalize round-trip entirely.
+        if isinstance(reference, list) and reference == self._reference_key:
+            return
         reference = np.asarray(reference, dtype=float).ravel()
         if reference.size != self.gains.n_outputs:
             raise ModelError(
@@ -249,6 +281,9 @@ class LQGServoController:
                 f"got {reference.size}"
             )
         self._reference = reference
+        self._reference_key = reference.tolist()
+        # Normalized once here instead of every step.
+        self._dr = self.operating_point.normalize_y(reference)
 
     def switch_gains(self, gains: LQGGains, *, bumpless: bool = True) -> None:
         """Hot-swap the gain set (supervisory gain scheduling).
@@ -274,7 +309,7 @@ class LQGServoController:
             # Ki@z = -Ks@xhat - du_prev, solved in the least-squares
             # sense and masked to the active integrators.
             rhs = -(gains.K_state @ self._xhat) - self._du_prev
-            z = np.linalg.pinv(gains.K_integral) @ rhs
+            z = gains.K_integral_pinv @ rhs
             self._z = z * gains.integral_mask
 
     def reset(self) -> None:
@@ -300,15 +335,17 @@ class LQGServoController:
         """
         g = self.gains
         op = self.operating_point
+        model = g.model
+        du_prev = self._du_prev
         y = np.asarray(measured_outputs, dtype=float).ravel()
         dy = op.normalize_y(y)
-        dr = op.normalize_y(self._reference)
+        dr = self._dr  # normalized in set_reference, not per step
 
         # Predictor-form Kalman update using last interval's input.
-        y_pred = g.model.C @ self._xhat + g.model.D @ self._du_prev
+        y_pred = model.C @ self._xhat + model.D @ du_prev
         self._xhat = (
-            g.model.A @ self._xhat
-            + g.model.B @ self._du_prev
+            model.A @ self._xhat
+            + model.B @ du_prev
             + g.L @ (dy - y_pred)
         )
 
@@ -323,9 +360,9 @@ class LQGServoController:
         # Anti-windup (back-calculation): shift the integrators so the
         # commanded input matches the saturated one.  With
         # du = -Kz z, achieving ddu = -excess requires dz = pinv(Kz) @ excess.
-        excess = (u_raw - u) / np.where(op.u_scale == 0, 1.0, op.u_scale)
-        if np.any(excess != 0.0):
-            correction = np.linalg.pinv(g.K_integral) @ excess
+        excess = (u_raw - u) / self._u_scale_safe
+        if excess.any():
+            correction = g.K_integral_pinv @ excess
             self._z = self._z + self.anti_windup * correction
 
         self._du_prev = op.normalize_u(u)

@@ -87,6 +87,20 @@ class SupervisorEngine:
         self.record_trace = record_trace
         self.trace: list[SupervisorTrace] = []
         self.invocations = 0
+        # Sorted enabled-event name tuples per state.  The deployed
+        # automaton is a finished design artifact, but add_transition is
+        # technically reachable, so the caches self-invalidate when the
+        # transition count changes.
+        self._events_cache: dict[State, tuple[str, ...]] = {}
+        self._actions_cache: dict[State, tuple[str, ...]] = {}
+        self._cached_n_transitions = supervisor.n_transitions
+
+    def _check_cache_freshness(self) -> None:
+        n = self.automaton.n_transitions
+        if n != self._cached_n_transitions:
+            self._events_cache.clear()
+            self._actions_cache.clear()
+            self._cached_n_transitions = n
 
     @property
     def state(self) -> State:
@@ -99,19 +113,31 @@ class SupervisorEngine:
 
     # ------------------------------------------------------------------
     def enabled_events(self) -> tuple[str, ...]:
-        return tuple(
-            sorted(e.name for e in self.automaton.enabled_events(self._state))
-        )
+        self._check_cache_freshness()
+        cached = self._events_cache.get(self._state)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    e.name for e in self.automaton.enabled_events(self._state)
+                )
+            )
+            self._events_cache[self._state] = cached
+        return cached
 
     def enabled_actions(self) -> tuple[str, ...]:
         """Controllable events the supervisor currently permits."""
-        return tuple(
-            sorted(
-                e.name
-                for e in self.automaton.enabled_events(self._state)
-                if e.controllable
+        self._check_cache_freshness()
+        cached = self._actions_cache.get(self._state)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    e.name
+                    for e in self.automaton.enabled_events(self._state)
+                    if e.controllable
+                )
             )
-        )
+            self._actions_cache[self._state] = cached
+        return cached
 
     def observe(self, event_name: str) -> bool:
         """Consume an uncontrollable observation.

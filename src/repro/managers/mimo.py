@@ -76,7 +76,26 @@ def build_gain_library(
     over the 30% design guardband, so the power set is given extra gain
     margin (the robustness analysis of
     :mod:`repro.control.robustness` verifies the result).
+
+    Libraries are memoized on the ``system`` object itself (keyed by the
+    design parameters): the DARE solves dominate manager construction,
+    and every ``run_scenario`` builds its managers afresh from the same
+    cached :class:`IdentifiedSystem`.  The design is deterministic and
+    :class:`LQGGains` are never mutated after design, so sharing one
+    library across managers is value-equivalent to rebuilding it.
     """
+    key = (qos_outputs, power_outputs, integral_weight, power_effort_scale)
+    cache = getattr(system, "_gain_library_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            system._gain_library_cache = cache
+        except AttributeError:  # exotic system objects without __dict__
+            cache = None
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     model = system.model
     library = GainLibrary(name=f"{system.name}-gains")
     for gain_name, favoured, effort_scale in (
@@ -97,6 +116,8 @@ def build_gain_library(
                 name=gain_name,
             )
         )
+    if cache is not None:
+        cache[key] = library
     return library
 
 

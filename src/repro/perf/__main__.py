@@ -1,0 +1,3 @@
+from repro.perf.cli import main
+
+raise SystemExit(main())

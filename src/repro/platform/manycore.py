@@ -31,6 +31,7 @@ from repro.platform.soc import (
     PlatformError,
     SoCConfig,
     fair_share_capacity,
+    read_cluster_telemetry,
     sync_cluster_clocks,
 )
 from repro.workloads.base import BackgroundTask, QoSWorkload
@@ -195,29 +196,6 @@ class ManyCoreSoC:
     def _cluster_telemetry(
         self, cluster: Cluster, busy: float
     ) -> ClusterTelemetry:
-        true_power_w = cluster.power_model.cluster_power(
-            cluster.frequency_ghz,
-            cluster.voltage_v,
-            cluster.active_cores,
-            busy,
-        )
-        measured_power_w = cluster.power_sensor.read(true_power_w, self.rng)
-        per_core = np.zeros(cluster.n_cores, dtype=float)
-        weights = 1.0 - cluster.idle_fractions
-        weights[cluster.active_cores:] = 0.0
-        total_weight = float(np.sum(weights))
-        total_ips = busy * cluster.core_rate_ips()
-        for i in range(cluster.n_cores):
-            share = weights[i] / total_weight if total_weight > 0 else 0.0
-            per_core[i] = cluster.pmu_sensors[i].read(
-                total_ips * share, self.rng
-            )
-        return ClusterTelemetry(
-            frequency_ghz=cluster.frequency_ghz,
-            voltage_v=cluster.voltage_v,
-            active_cores=cluster.active_cores,
-            busy_core_equivalents=busy,
-            power_w=measured_power_w,
-            ips=float(np.sum(per_core)),
-            per_core_ips=per_core,
-        )
+        # Shared hot-path kernel with ExynosSoC (same draw order: power
+        # sensor first, then one PMU draw per core).
+        return read_cluster_telemetry(cluster, busy, self.rng)

@@ -29,6 +29,13 @@ class OPP:
 class OPPTable:
     """An ordered, immutable DVFS table with snapping and interpolation."""
 
+    # Bound on the request-keyed snap memo.  Requests at the actuator
+    # rails (saturated controllers re-requesting min/max frequency every
+    # interval) and re-snaps of already-snapped values dominate the hot
+    # path, so even a small memo absorbs most lookups; once full, new
+    # keys fall through to the bisection without being cached.
+    SNAP_CACHE_LIMIT = 4096
+
     def __init__(self, points: list[OPP], name: str = "opp") -> None:
         if not points:
             raise ValueError("OPP table must be non-empty")
@@ -42,6 +49,7 @@ class OPPTable:
         self.name = name
         self._points = tuple(ordered)
         self._freqs = tuple(freqs)
+        self._snap_cache: dict[float, OPP] = {}
 
     @property
     def points(self) -> tuple[OPP, ...]:
@@ -66,15 +74,23 @@ class OPPTable:
         actuator-saturation behaviour the controllers experience.
         """
         f = float(frequency_ghz)
+        cached = self._snap_cache.get(f)
+        if cached is not None:
+            return cached
         if f <= self._freqs[0]:
-            return self._points[0]
-        if f >= self._freqs[-1]:
-            return self._points[-1]
-        index = bisect_left(self._freqs, f)
-        below, above = self._points[index - 1], self._points[index]
-        if f - below.frequency_ghz <= above.frequency_ghz - f:
-            return below
-        return above
+            opp = self._points[0]
+        elif f >= self._freqs[-1]:
+            opp = self._points[-1]
+        else:
+            index = bisect_left(self._freqs, f)
+            below, above = self._points[index - 1], self._points[index]
+            if f - below.frequency_ghz <= above.frequency_ghz - f:
+                opp = below
+            else:
+                opp = above
+        if len(self._snap_cache) < self.SNAP_CACHE_LIMIT:
+            self._snap_cache[f] = opp
+        return opp
 
     def voltage_for(self, frequency_ghz: float) -> float:
         """Voltage of the snapped operating point."""

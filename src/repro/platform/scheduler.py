@@ -14,6 +14,7 @@ cluster preferred on ties (Linux's HMP scheduler "typically maps
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.workloads
@@ -22,16 +23,22 @@ if TYPE_CHECKING:  # avoid a runtime circular import with repro.workloads
 
 @dataclass(frozen=True)
 class Placement:
-    """Background-task placement for one control interval."""
+    """Background-task placement for one control interval.
+
+    Demands are cached: a Placement is a value object (frozen, tuple
+    fields), so its aggregate demand never changes once built, and the
+    scheduler reuses the same instance across intervals while the
+    assignment is unchanged.
+    """
 
     big_tasks: tuple[BackgroundTask, ...]
     little_tasks: tuple[BackgroundTask, ...]
 
-    @property
+    @cached_property
     def big_demand(self) -> float:
         return sum(t.demand for t in self.big_tasks)
 
-    @property
+    @cached_property
     def little_demand(self) -> float:
         return sum(t.demand for t in self.little_tasks)
 
@@ -57,6 +64,9 @@ class ClusterCapacity:
         strength-proportional balancing (1).
         """
         return self.active_cores * self.core_strength**strength_exponent
+
+
+_EMPTY_PLACEMENT = Placement(big_tasks=(), little_tasks=())
 
 
 class HMPScheduler:
@@ -88,10 +98,24 @@ class HMPScheduler:
         self._strength_exponent = strength_exponent
         self._migration_hysteresis = migration_hysteresis
         self._previous: dict[str, str] = {}
+        self._last_placement: Placement | None = None
 
     def reset(self) -> None:
         """Forget previous assignments (e.g. between experiments)."""
         self._previous.clear()
+        self._last_placement = None
+
+    def place_idle(self) -> Placement:
+        """Fast path for an interval with no runnable background tasks.
+
+        Equivalent to ``place([], ...)`` — every previously-tracked task
+        has departed, so hysteresis state is dropped — without building
+        capacity views the empty placement would never consult.
+        """
+        if self._previous:
+            self._previous.clear()
+        self._last_placement = _EMPTY_PLACEMENT
+        return _EMPTY_PLACEMENT
 
     def place(
         self,
@@ -138,10 +162,22 @@ class HMPScheduler:
         for name in list(self._previous):
             if name not in active_names:
                 del self._previous[name]
-        return Placement(
-            big_tasks=tuple(big_assigned),
-            little_tasks=tuple(little_assigned),
-        )
+        big_tuple = tuple(big_assigned)
+        little_tuple = tuple(little_assigned)
+        # Hysteresis makes the unchanged assignment the common case:
+        # reuse the previous Placement (a frozen value object) instead
+        # of allocating a fresh one every interval.  Equality is by
+        # task value, so a task whose demand changed misses the cache.
+        last = self._last_placement
+        if (
+            last is not None
+            and last.big_tasks == big_tuple
+            and last.little_tasks == little_tuple
+        ):
+            return last
+        placement = Placement(big_tasks=big_tuple, little_tasks=little_tuple)
+        self._last_placement = placement
+        return placement
 
     def _relative_load(self, threads: float, cluster: ClusterCapacity) -> float:
         capacity = cluster.scheduling_capacity(self._strength_exponent)

@@ -40,10 +40,22 @@ class NoisySensor:
             raise ValueError("resolution must be non-negative")
 
     def read(self, true_value: float, rng: np.random.Generator) -> float:
-        """One noisy readout of ``true_value``."""
+        """One noisy readout of ``true_value``.
+
+        The clamp on the noise gain is scalar ``min``/``max`` — for a
+        scalar operand this is bit-identical to ``np.clip`` without the
+        array round-trip, and the single ``rng.normal`` draw per read is
+        part of the platform's RNG draw-order contract (see
+        ``tests/platform/test_rng_contract.py``).
+        """
         value = float(true_value)
         if self.noise_fraction > 0:
-            value *= float(np.clip(rng.normal(1.0, self.noise_fraction), 0.0, 2.0))
+            gain = rng.normal(1.0, self.noise_fraction)
+            if gain < 0.0:
+                gain = 0.0
+            elif gain > 2.0:
+                gain = 2.0
+            value *= float(gain)
         if self.resolution > 0:
             value = round(value / self.resolution) * self.resolution
         return max(value, self.floor)

@@ -62,8 +62,12 @@ class Cluster:
         self.power_model = power_model
         self.perf_model = perf_model
         self._frequency_ghz = opps.max_frequency
+        self._voltage_v = opps.snap(self._frequency_ghz).voltage_v
         self._active_cores = n_cores
         self._idle_fractions = np.zeros(n_cores, dtype=float)
+        # Count of cores with nonzero idle insertion; lets the hot path
+        # skip the idle-weighting array math in the common all-busy case.
+        self._idle_cores = 0
         self.power_sensor: NoisySensor = power_sensor(name)
         self.pmu_sensors: list[NoisySensor] = [
             pmu_counter(f"{name}-core{i}") for i in range(n_cores)
@@ -71,6 +75,10 @@ class Cluster:
         # Optional fault-injection layer consulted by the actuators
         # (set by repro.platform.faults.inject_actuator_fault).
         self.actuator_faults = None
+        # Identity-keyed cache of bound ``set_time`` methods; rebuilt
+        # when fault injection swaps an instrument (see clock_setters).
+        self._clock_setter_key: tuple | None = None
+        self._clock_setters: tuple = ()
 
     # ------------------------------ actuators -------------------------
     @property
@@ -85,18 +93,21 @@ class Cluster:
         partially, or delayed); the value that survives is snapped to
         the OPP table like any governor write.
         """
-        target_ghz = self.opps.snap(frequency_ghz).frequency_ghz
+        opp = self.opps.snap(frequency_ghz)
         if self.actuator_faults is not None:
             target_ghz = self.actuator_faults.filter_frequency(
-                self._frequency_ghz, target_ghz
+                self._frequency_ghz, opp.frequency_ghz
             )
-            target_ghz = self.opps.snap(target_ghz).frequency_ghz
-        self._frequency_ghz = target_ghz
-        return target_ghz
+            opp = self.opps.snap(target_ghz)
+        self._frequency_ghz = opp.frequency_ghz
+        self._voltage_v = opp.voltage_v
+        return opp.frequency_ghz
 
     @property
     def voltage_v(self) -> float:
-        return self.opps.voltage_for(self._frequency_ghz)
+        # Cached alongside the frequency by set_frequency, so telemetry
+        # never re-bisects the OPP table.
+        return self._voltage_v
 
     @property
     def active_cores(self) -> int:
@@ -104,6 +115,15 @@ class Cluster:
 
     def set_active_cores(self, count: float) -> int:
         """Hotplug request; rounds and clamps to [1, n_cores].
+
+        Rounding is Python's built-in round-half-to-even ("banker's
+        rounding"): a request of 2.5 cores plugs **2**, while 3.5 plugs
+        4.  This is pinned as the intended actuator semantics
+        (``tests/platform/test_soc.py::TestHotplugRounding``): it is
+        the behaviour the golden traces were generated with, it avoids
+        a systematic upward hotplug bias when a continuous controller
+        dithers around ``.5`` requests, and ``ActuatorProxy`` applies
+        the same rounding so proxied and direct actuation agree.
 
         A request dropped by an attached fault-injection layer leaves
         the active count unchanged (silent hotplug failure).
@@ -126,19 +146,59 @@ class Cluster:
         """Per-core idle-cycle insertion (Figure 4's per-core actuator)."""
         if not 0 <= core < self.n_cores:
             raise PlatformError(f"core index {core} out of range")
-        self._idle_fractions[core] = float(np.clip(fraction, 0.0, 0.95))
+        clipped = float(fraction)
+        if clipped < 0.0:
+            clipped = 0.0
+        elif clipped > 0.95:
+            clipped = 0.95
+        was_idle = self._idle_fractions[core] > 0.0
+        self._idle_fractions[core] = clipped
+        if (clipped > 0.0) != was_idle:
+            self._idle_cores += 1 if clipped > 0.0 else -1
 
     # ------------------------------ derived ---------------------------
     def effective_capacity(self) -> float:
         """Core-equivalents available after idle-cycle insertion."""
-        active = self._idle_fractions[: self._active_cores]
-        return float(np.sum(1.0 - active))
+        if self._idle_cores == 0:
+            # All-busy common case; bit-identical to summing ones.
+            return float(self._active_cores)
+        return _idle_adjusted_capacity(self._idle_fractions, self._active_cores)
 
     def core_rate_ips(self) -> float:
         """Instructions/s of one fully-busy core at the current OPP (G-inst/s)."""
         # IPC-like constant folded into ipc_factor; 1 G-inst/s per GHz
         # for a Big core at alpha=1.
         return self.perf_model.ipc_factor * self._frequency_ghz
+
+    # ------------------------------ clocking --------------------------
+    def clock_setters(self) -> tuple:
+        """Bound ``set_time`` methods of the time-aware instruments.
+
+        Cached on the identity of the instrument objects: fault
+        injection replaces ``power_sensor`` / attaches
+        ``actuator_faults`` by plain assignment, so the per-step cost is
+        one id-tuple comparison instead of a ``getattr`` scan over every
+        sensor.  Plain sensors (no ``set_time``) contribute nothing, so
+        the fault-free fast path iterates an empty tuple.
+        """
+        key = (
+            id(self.power_sensor),
+            id(self.actuator_faults),
+            *map(id, self.pmu_sensors),
+        )
+        if key != self._clock_setter_key:
+            setters = []
+            for instrument in (
+                self.power_sensor,
+                *self.pmu_sensors,
+                self.actuator_faults,
+            ):
+                setter = getattr(instrument, "set_time", None)
+                if setter is not None:
+                    setters.append(setter)
+            self._clock_setters = tuple(setters)
+            self._clock_setter_key = key
+        return self._clock_setters
 
 
 @dataclass
@@ -219,45 +279,67 @@ class ExynosSoC:
         )
         self.rng = np.random.default_rng(self.config.seed)
         self.time_s = 0.0
+        self._clusters = (self.big, self.little)
 
     # ------------------------------------------------------------------
     def add_background_task(self, task: BackgroundTask) -> None:
         self.background.append(task)
 
     def clusters(self) -> tuple[Cluster, Cluster]:
-        return self.big, self.little
+        return self._clusters
 
     # ------------------------------------------------------------------
     def step(self) -> Telemetry:
-        """Advance one control interval and return sensor readings."""
+        """Advance one control interval and return sensor readings.
+
+        Hot path: the RNG draw order here is a contract (see
+        ``tests/platform/test_rng_contract.py``) — per step, the QoS
+        workload draws first (if present and noisy), then each cluster
+        in Big/Little order draws its power sensor followed by one PMU
+        draw per core.  Optimizations must preserve that order exactly;
+        the golden traces in ``tests/exec/fixtures`` pin it down to the
+        bit.
+        """
         now = self.time_s
-        sync_cluster_clocks(self.clusters(), now)
+        big = self.big
+        little = self.little
+        sync_cluster_clocks(self._clusters, now)
+        qos_app = self.qos_app
+        qos_threads = float(qos_app.threads) if qos_app else 0.0
         active_bg = [t for t in self.background if t.active_at(now)]
-        qos_threads = float(self.qos_app.threads) if self.qos_app else 0.0
-        placement = self.scheduler.place(
-            active_bg,
-            big=ClusterCapacity(
-                active_cores=self.big.active_cores,
-                core_strength=self.big.core_rate_ips(),
-            ),
-            little=ClusterCapacity(
-                active_cores=self.little.active_cores,
-                core_strength=self.little.core_rate_ips(),
-            ),
-            big_resident_threads=qos_threads,
-        )
+        if active_bg:
+            placement = self.scheduler.place(
+                active_bg,
+                big=ClusterCapacity(
+                    active_cores=big._active_cores,
+                    core_strength=big.core_rate_ips(),
+                ),
+                little=ClusterCapacity(
+                    active_cores=little._active_cores,
+                    core_strength=little.core_rate_ips(),
+                ),
+                big_resident_threads=qos_threads,
+            )
+            big_demand = placement.big_demand
+            little_demand = placement.little_demand
+        else:
+            # No runnable background work: skip capacity-view and
+            # placement churn entirely (still lets the scheduler drop
+            # departed tasks so names can be reused across phases).
+            self.scheduler.place_idle()
+            big_demand = 0.0
+            little_demand = 0.0
 
         # --- Big cluster: QoS app + its share of background tasks -----
-        big_capacity = self.big.effective_capacity()
-        big_runnable = qos_threads + placement.big_demand
+        big_capacity = big.effective_capacity()
+        big_runnable = qos_threads + big_demand
         big_share = fair_share_capacity(big_capacity, big_runnable)
-        qos_effective_threads = qos_threads * big_share
         qos_rate_raw = 0.0
-        if self.qos_app is not None:
-            qos_rate_raw = self.qos_app.rate(
-                self.big.perf_model,
-                self.big.frequency_ghz,
-                qos_effective_threads,
+        if qos_app is not None:
+            qos_rate_raw = qos_app.rate(
+                big.perf_model,
+                big._frequency_ghz,
+                qos_threads * big_share,
                 time_s=now,
                 rng=self.rng,
             )
@@ -265,15 +347,13 @@ class ExynosSoC:
         big_busy = min(big_capacity, big_runnable)
 
         # --- Little cluster: background only ---------------------------
-        little_capacity = self.little.effective_capacity()
-        little_busy = min(little_capacity, placement.little_demand)
+        little_capacity = little.effective_capacity()
+        little_busy = min(little_capacity, little_demand)
 
-        big_telemetry = self._cluster_telemetry(self.big, big_busy)
-        little_telemetry = self._cluster_telemetry(self.little, little_busy)
+        big_telemetry = self._cluster_telemetry(big, big_busy)
+        little_telemetry = self._cluster_telemetry(little, little_busy)
 
-        qos_rate = (
-            self.heartbeats.rate(now) if self.qos_app is not None else 0.0
-        )
+        qos_rate = self.heartbeats.rate(now) if qos_app is not None else 0.0
         telemetry = Telemetry(
             time_s=now,
             qos_rate=qos_rate,
@@ -287,33 +367,135 @@ class ExynosSoC:
     def _cluster_telemetry(
         self, cluster: Cluster, busy_core_equivalents: float
     ) -> ClusterTelemetry:
-        true_power_w = cluster.power_model.cluster_power(
-            cluster.frequency_ghz,
-            cluster.voltage_v,
-            cluster.active_cores,
-            busy_core_equivalents,
-        )
-        measured_power_w = cluster.power_sensor.read(true_power_w, self.rng)
-        per_core_ips = np.zeros(cluster.n_cores, dtype=float)
-        weights = 1.0 - cluster.idle_fractions
-        weights[cluster.active_cores:] = 0.0
-        total_weight = float(np.sum(weights))
-        core_rate = cluster.core_rate_ips()
-        total_ips = busy_core_equivalents * core_rate
-        for i in range(cluster.n_cores):
-            share = weights[i] / total_weight if total_weight > 0 else 0.0
-            per_core_ips[i] = cluster.pmu_sensors[i].read(
-                total_ips * share, self.rng
+        # Thin indirection kept so repro.perf can hook the sensor stage
+        # per SoC instance; the shared kernel lives at module level.
+        return read_cluster_telemetry(cluster, busy_core_equivalents, self.rng)
+
+
+def read_cluster_telemetry(
+    cluster: Cluster, busy_core_equivalents: float, rng: np.random.Generator
+) -> ClusterTelemetry:
+    """One cluster's sensor readings for one interval (shared kernel).
+
+    Used by both :class:`ExynosSoC` and ``ManyCoreSoC``.  Draw order per
+    cluster: one power-sensor draw, then one PMU draw per core (all
+    cores, including inactive ones — their target rate is simply zero).
+    The uniform-weights fast path avoids the per-step numpy temporaries;
+    it is bit-identical to the array formulation because each share is
+    the same ``1/active`` quotient and a sequential sum matches
+    ``np.sum`` below numpy's 8-wide pairwise unroll.  When every sensor
+    is a plain noisy one, the noise gains come from one batched
+    ``standard_normal`` call — ``rng.normal(1, s)`` equals
+    ``1 + s * standard_normal()`` draw-for-draw, so the stream is
+    consumed identically (asserted by the RNG contract tests).
+    """
+    frequency_ghz = cluster._frequency_ghz
+    true_power_w = cluster.power_model.cluster_power(
+        frequency_ghz,
+        cluster._voltage_v,
+        cluster._active_cores,
+        busy_core_equivalents,
+    )
+    n_cores = cluster.n_cores
+    active = cluster._active_cores
+    total_ips = busy_core_equivalents * (
+        cluster.perf_model.ipc_factor * frequency_ghz
+    )
+    pmu_sensors = cluster.pmu_sensors
+    power_sensor_ = cluster.power_sensor
+    if cluster._idle_cores == 0 and n_cores < 8:
+        share = 1.0 / float(active)
+        target = total_ips * share
+        ips = 0.0
+        values = []
+        if (
+            type(power_sensor_) is NoisySensor
+            and power_sensor_.noise_fraction > 0
+            and all(
+                type(s) is NoisySensor and s.noise_fraction > 0
+                for s in pmu_sensors
             )
-        return ClusterTelemetry(
-            frequency_ghz=cluster.frequency_ghz,
-            voltage_v=cluster.voltage_v,
-            active_cores=cluster.active_cores,
-            busy_core_equivalents=busy_core_equivalents,
-            power_w=measured_power_w,
-            ips=float(np.sum(per_core_ips)),
-            per_core_ips=per_core_ips,
+        ):
+            z = rng.standard_normal(n_cores + 1)
+            measured_power_w = _read_with_gain(
+                power_sensor_, true_power_w, z[0]
+            )
+            for i in range(n_cores):
+                value = _read_with_gain(
+                    pmu_sensors[i],
+                    target if i < active else 0.0,
+                    z[i + 1],
+                )
+                values.append(value)
+                ips += value
+        else:
+            measured_power_w = power_sensor_.read(true_power_w, rng)
+            for i in range(n_cores):
+                value = pmu_sensors[i].read(
+                    target if i < active else 0.0, rng
+                )
+                values.append(value)
+                ips += value
+        per_core_ips = np.array(values, dtype=float)
+    else:
+        measured_power_w = power_sensor_.read(true_power_w, rng)
+        per_core_ips, ips = _telemetry_with_idle_insertion(
+            cluster, total_ips, rng
         )
+    return ClusterTelemetry(
+        frequency_ghz=frequency_ghz,
+        voltage_v=cluster._voltage_v,
+        active_cores=active,
+        busy_core_equivalents=busy_core_equivalents,
+        power_w=measured_power_w,
+        ips=ips,
+        per_core_ips=per_core_ips,
+    )
+
+
+def _read_with_gain(sensor: NoisySensor, true_value: float, z: float) -> float:
+    """``NoisySensor.read`` with the noise gain supplied from a batched
+    standard-normal draw: ``1 + noise_fraction * z`` is bit-identical to
+    the scalar ``rng.normal(1, noise_fraction)`` the sensor would draw.
+    """
+    value = float(true_value)
+    gain = 1.0 + sensor.noise_fraction * z
+    if gain < 0.0:
+        gain = 0.0
+    elif gain > 2.0:
+        gain = 2.0
+    value *= float(gain)
+    resolution = sensor.resolution
+    if resolution > 0:
+        value = round(value / resolution) * resolution
+    return max(value, sensor.floor)
+
+
+def _telemetry_with_idle_insertion(
+    cluster: Cluster, total_ips: float, rng: np.random.Generator
+):
+    """Idle-insertion / wide-cluster telemetry slow path.
+
+    Deliberately kept on numpy (REPRO-L009 allowlisted): idle weighting
+    needs the array math, and for >= 8 cores a sequential sum would not
+    match ``np.sum``'s pairwise reduction bit-for-bit.
+    """
+    n_cores = cluster.n_cores
+    per_core_ips = np.zeros(n_cores, dtype=float)
+    weights = 1.0 - cluster._idle_fractions
+    weights[cluster._active_cores:] = 0.0
+    total_weight = float(np.sum(weights))
+    for i in range(n_cores):
+        share = weights[i] / total_weight if total_weight > 0 else 0.0
+        per_core_ips[i] = cluster.pmu_sensors[i].read(total_ips * share, rng)
+    return per_core_ips, float(np.sum(per_core_ips))
+
+
+def _idle_adjusted_capacity(
+    idle_fractions: np.ndarray, active_cores: int
+) -> float:
+    """Capacity under idle insertion (REPRO-L009 allowlisted slow path)."""
+    return float(np.sum(1.0 - idle_fractions[:active_cores]))
 
 
 def sync_cluster_clocks(clusters, time_s: float) -> None:
@@ -325,8 +507,18 @@ def sync_cluster_clocks(clusters, time_s: float) -> None:
     native clock propagation — fault injection never wraps ``soc.step``,
     so injecting faults on multiple clusters cannot double-wrap the
     step loop.
+
+    :class:`Cluster` precomputes its time-aware instruments
+    (``clock_setters``), so the fault-free fast path makes zero
+    ``getattr`` probes; duck-typed cluster objects without the cache
+    fall back to the original per-instrument scan.
     """
     for cluster in clusters:
+        cached = getattr(cluster, "clock_setters", None)
+        if cached is not None:
+            for clock_setter in cached():
+                clock_setter(time_s)
+            continue
         for instrument in (
             cluster.power_sensor,
             *cluster.pmu_sensors,
@@ -354,5 +546,6 @@ __all__ = [
     "Telemetry",
     "fair_share",
     "fair_share_capacity",
+    "read_cluster_telemetry",
     "sync_cluster_clocks",
 ]

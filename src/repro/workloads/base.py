@@ -109,8 +109,6 @@ class QoSWorkload:
         response — canneal cannot reach its reference during its
         serialized input processing no matter the allocation.
         """
-        from repro.platform.perf import amdahl_speedup
-
         current_fraction = self.parallel_fraction_at(time_s)
         base = perf.workload_rate(
             self.peak_rate,
@@ -121,6 +119,10 @@ class QoSWorkload:
             reference_threads=float(self.threads),
         )
         if current_fraction != self.parallel_fraction:
+            # Deferred import (the platform package depends on
+            # workloads, not vice versa), only paid on serial phases.
+            from repro.platform.perf import amdahl_speedup
+
             # Rescale so the anchor stays the nominal-phase peak.
             nominal_ref = amdahl_speedup(
                 self.parallel_fraction, float(self.threads)
@@ -131,9 +133,15 @@ class QoSWorkload:
             if nominal_ref > 0:
                 base *= phase_ref / nominal_ref
         if rng is not None and self.variability > 0:
-            base *= float(
-                np.clip(rng.normal(1.0, self.variability), 0.5, 1.5)
-            )
+            # Scalar clamp of the noise gain; bit-identical to np.clip
+            # on a scalar, and this single draw is part of the RNG
+            # draw-order contract (tests/platform/test_rng_contract.py).
+            gain = rng.normal(1.0, self.variability)
+            if gain < 0.5:
+                gain = 0.5
+            elif gain > 1.5:
+                gain = 1.5
+            base *= float(gain)
         return max(base, 0.0)
 
     def allocation_speedup(

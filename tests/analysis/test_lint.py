@@ -204,3 +204,89 @@ class TestL008AdHocParallelism:
     def test_message_points_at_the_engine(self):
         findings = lint_source("import multiprocessing\n", COLD)
         assert "ExperimentEngine" in findings[0].message
+
+
+class TestL009NumpyTemporaries:
+    KERNEL = "src/repro/platform/soc.py"
+
+    def test_clip_in_kernel_function_is_error(self):
+        source = (
+            "import numpy as np\n"
+            "def read(x):\n"
+            "    return np.clip(x, 0.0, 2.0)\n"
+        )
+        findings = lint_source(source, self.KERNEL)
+        assert rules(findings) == ["REPRO-L009"]
+        assert findings[0].severity == Severity.ERROR
+
+    def test_sum_in_kernel_function_is_error(self):
+        source = (
+            "import numpy as np\n"
+            "def capacity(a):\n"
+            "    return float(np.sum(a))\n"
+        )
+        assert rules(lint_source(source, self.KERNEL)) == ["REPRO-L009"]
+
+    def test_allowlisted_function_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def _telemetry_with_idle_insertion(cluster, total, rng):\n"
+            "    values = np.zeros(4, dtype=float)\n"
+            "    return float(np.sum(values))\n"
+        )
+        assert lint_source(source, self.KERNEL) == []
+
+    def test_nested_function_inherits_allowlist(self):
+        source = (
+            "import numpy as np\n"
+            "def _idle_adjusted_capacity(f, n):\n"
+            "    def inner():\n"
+            "        return float(np.sum(f[:n]))\n"
+            "    return inner()\n"
+        )
+        assert lint_source(source, self.KERNEL) == []
+
+    def test_init_is_construction_time(self):
+        source = (
+            "import numpy as np\n"
+            "class Cluster:\n"
+            "    def __init__(self, n):\n"
+            "        self.f = np.zeros(n, dtype=float)\n"
+        )
+        assert lint_source(source, self.KERNEL) == []
+
+    def test_module_level_allocation_is_exempt(self):
+        source = "import numpy as np\nTABLE = np.zeros(4, dtype=float)\n"
+        assert lint_source(source, self.KERNEL) == []
+
+    def test_non_kernel_platform_file_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def handle(x):\n"
+            "    return np.clip(x, 0.0, 1.0)\n"
+        )
+        assert "REPRO-L009" not in rules(
+            lint_source(source, "src/repro/platform/faults.py")
+        )
+
+    def test_kernel_sources_in_repo_stay_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint import (
+            STEP_KERNEL_PATH_FRAGMENTS,
+            lint_file,
+        )
+
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        checked = 0
+        for fragment in STEP_KERNEL_PATH_FRAGMENTS:
+            path = root / fragment.removeprefix("platform/")
+            path = root / "platform" / path.name
+            if not path.exists():
+                continue
+            checked += 1
+            errors = [
+                f for f in lint_file(path) if f.rule == "REPRO-L009"
+            ]
+            assert errors == [], f"{path}: {errors}"
+        assert checked >= 6

@@ -5,6 +5,7 @@ import pytest
 
 from repro.control.lqg import (
     ActuatorLimits,
+    LQGGains,
     LQGServoController,
     design_lqg_servo,
 )
@@ -95,6 +96,54 @@ class TestDesign:
             plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
         )
         assert small.operations_per_invocation() > 0
+
+
+class TestIntegralMaskNormalization:
+    """``integral_mask`` is Optional only at construction; after
+    ``__post_init__`` it is always a dense float ndarray."""
+
+    def test_omitted_mask_defaults_to_all_outputs(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        bare = LQGGains(
+            name="bare",
+            model=gains.model,
+            K_state=gains.K_state,
+            K_integral=gains.K_integral,
+            L=gains.L,
+            Q_output=gains.Q_output,
+            R_effort=gains.R_effort,
+        )
+        assert isinstance(bare.integral_mask, np.ndarray)
+        assert bare.integral_mask.tolist() == [1.0, 1.0]
+
+    def test_list_mask_is_normalized_to_flat_float_array(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        custom = LQGGains(
+            name="custom",
+            model=gains.model,
+            K_state=gains.K_state,
+            K_integral=gains.K_integral,
+            L=gains.L,
+            Q_output=gains.Q_output,
+            R_effort=gains.R_effort,
+            integral_mask=[[1, 0]],
+        )
+        assert custom.integral_mask.dtype == np.float64
+        assert custom.integral_mask.shape == (2,)
+        assert custom.integral_mask.tolist() == [1.0, 0.0]
+
+    def test_pinv_is_lazy_and_cached(self):
+        gains = design_lqg_servo(
+            plant_2x2(), output_weights=[1, 1], effort_weights=[1, 1]
+        )
+        assert gains._K_integral_pinv is None
+        first = gains.K_integral_pinv
+        assert first is gains.K_integral_pinv
+        assert np.allclose(first, np.linalg.pinv(gains.K_integral))
 
 
 class TestTracking:

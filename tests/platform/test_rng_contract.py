@@ -1,0 +1,123 @@
+"""The RNG draw-order contract for one ``ExynosSoC.step``.
+
+Every hot-path optimization must keep the platform RNG stream consumed
+in exactly this order, or the golden traces stop being bit-identical:
+
+1. QoS workload rate noise — one ``normal(1, variability)`` draw, only
+   when a QoS app is attached and its variability is positive;
+2. Big cluster telemetry — one power-sensor gain and one PMU gain per
+   core.  When every instrument is a plain :class:`NoisySensor` these
+   come from a single batched ``standard_normal(n_cores + 1)`` call
+   (which consumes the stream identically to the scalar draws); any
+   wrapped/faulty sensor falls back to per-sensor scalar ``normal``
+   draws in the same order;
+3. Little cluster telemetry — same as the big cluster.
+
+These tests pin the call sequence itself, not just the resulting
+values, so a reordering that happens to produce close numbers still
+fails loudly.
+"""
+
+import numpy as np
+
+from repro.platform.faults import FaultModel, inject_power_sensor_fault
+from repro.platform.soc import ExynosSoC, SoCConfig
+from repro.workloads import x264
+
+
+class RecordingRNG:
+    """Delegates to a real Generator while logging every draw call."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.calls: list[tuple] = []
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        self.calls.append(("normal", float(loc), float(scale), size))
+        return self._rng.normal(loc, scale, size)
+
+    def standard_normal(self, size=None):
+        self.calls.append(("standard_normal", size))
+        return self._rng.standard_normal(size)
+
+    def __getattr__(self, name):
+        return getattr(self._rng, name)
+
+
+def recorded_step(soc: ExynosSoC, seed: int = 2018):
+    recorder = RecordingRNG(seed)
+    soc.rng = recorder
+    telemetry = soc.step()
+    return recorder.calls, telemetry
+
+
+class TestDrawOrder:
+    def test_with_qos_app_and_plain_sensors(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=2018))
+        calls, _ = recorded_step(soc)
+        workload = x264()
+        assert calls == [
+            ("normal", 1.0, workload.variability, None),
+            ("standard_normal", 5),  # big: power + 4 PMU gains
+            ("standard_normal", 5),  # little: power + 4 PMU gains
+        ]
+
+    def test_without_qos_app(self):
+        soc = ExynosSoC(qos_app=None, config=SoCConfig(seed=2018))
+        calls, _ = recorded_step(soc)
+        assert calls == [
+            ("standard_normal", 5),
+            ("standard_normal", 5),
+        ]
+
+    def test_faulty_power_sensor_uses_scalar_draws_in_order(self):
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=2018))
+        inject_power_sensor_fault(
+            soc, "big", FaultModel("spike", start_s=1.0, end_s=2.0)
+        )
+        calls, _ = recorded_step(soc)
+        power_noise = soc.big.power_sensor.noise_fraction
+        pmu_noise = soc.big.pmu_sensors[0].noise_fraction
+        assert calls == [
+            ("normal", 1.0, x264().variability, None),
+            # big falls back to per-sensor scalar draws, same order:
+            ("normal", 1.0, power_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            # little keeps the batched path:
+            ("standard_normal", 5),
+        ]
+
+    def test_idle_insertion_uses_slow_path_in_order(self):
+        soc = ExynosSoC(qos_app=None, config=SoCConfig(seed=2018))
+        soc.big.set_idle_fraction(0, 0.5)
+        calls, _ = recorded_step(soc)
+        power_noise = soc.big.power_sensor.noise_fraction
+        pmu_noise = soc.big.pmu_sensors[0].noise_fraction
+        assert calls == [
+            ("normal", 1.0, power_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("normal", 1.0, pmu_noise, None),
+            ("standard_normal", 5),
+        ]
+
+
+class TestStreamEquivalence:
+    def test_recorded_run_matches_plain_run_bit_for_bit(self):
+        # The recorder only logs; with the same seed the telemetry must
+        # equal an unobserved run exactly (the contract is about order,
+        # not about perturbing the stream).
+        plain = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=7))
+        observed = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=7))
+        observed.rng = RecordingRNG(7)
+        for _ in range(25):
+            a = plain.step()
+            b = observed.step()
+            assert a.qos_rate == b.qos_rate
+            assert a.big.power_w == b.big.power_w
+            assert a.little.power_w == b.little.power_w
+            assert np.array_equal(a.big.per_core_ips, b.big.per_core_ips)

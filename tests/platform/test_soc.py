@@ -150,6 +150,58 @@ class TestQoSBehaviour:
         assert telemetry.qos_raw == 0.0
 
 
+class TestHotplugRounding:
+    """``set_active_cores`` uses Python's round-half-to-even (banker's)
+    rounding.  This is pinned as *intended* semantics: controllers emit
+    fractional core counts and the golden traces bake in exactly these
+    integers, so changing to round-half-up would silently shift every
+    hotplug decision at ``x.5``.  ``ActuatorProxy`` mirrors the same
+    rule when quantizing manager requests.
+    """
+
+    def test_half_rounds_to_even(self):
+        soc = make_soc()
+        assert soc.big.set_active_cores(2.5) == 2  # not 3
+        assert soc.big.set_active_cores(3.5) == 4
+        assert soc.big.set_active_cores(1.5) == 2
+
+    def test_off_half_values_round_to_nearest(self):
+        soc = make_soc()
+        assert soc.big.set_active_cores(2.49) == 2
+        assert soc.big.set_active_cores(2.51) == 3
+
+    def test_matches_python_round_across_grid(self):
+        soc = make_soc()
+        for request in np.arange(1.0, 4.01, 0.05):
+            applied = soc.big.set_active_cores(float(request))
+            expected = min(4, max(1, round(float(request))))
+            assert applied == expected, request
+
+
+class TestOPPSnapCache:
+    def test_repeated_snap_returns_same_object(self):
+        soc = make_soc()
+        first = soc.big.opps.snap(1.234)
+        second = soc.big.opps.snap(1.234)
+        assert first is second
+
+    def test_cache_is_bounded(self):
+        soc = make_soc()
+        table = soc.big.opps
+        for i in range(table.SNAP_CACHE_LIMIT + 50):
+            table.snap(1.0 + i * 1e-9)
+        assert len(table._snap_cache) <= table.SNAP_CACHE_LIMIT
+
+    def test_cached_and_uncached_agree(self):
+        soc = make_soc()
+        table = soc.big.opps
+        for request in (0.0, 0.1, 0.95, 1.05, 2.0, 99.0):
+            assert table.snap(request) is table.snap(request)
+            assert table.snap(request).frequency_ghz == table.snap(
+                request
+            ).frequency_ghz
+
+
 class TestConfig:
     def test_invalid_dt_rejected(self):
         with pytest.raises(PlatformError):
