@@ -9,6 +9,9 @@
 #     so engine regressions are identified before the longer gates run,
 #   * `python -m repro.analysis src/` reports an error-severity finding
 #     (artifact defects, lint errors, architecture-layer violations),
+#   * `python -m repro.analysis flow src/repro` reports a non-baselined
+#     error (whole-program rules: RNG provenance, picklability,
+#     hot-path purity, unit flow, frozen-dataclass mutation),
 #   * `python -m repro.resilience --smoke` records an invariant
 #     violation (the fault-campaign smoke: SPECTR under every sensor
 #     and actuator fault kind must stay on the verified envelope),
@@ -34,6 +37,11 @@ python -m pytest -x -q -m exec_smoke
 echo
 echo "== static analysis (repro.analysis) =="
 python -m repro.analysis src/
+
+echo
+echo "== whole-program flow analysis (repro.analysis flow) =="
+python -m repro.analysis flow --format json --output flow-report.json src/repro
+python -m repro.analysis flow --format sarif --output flow-report.sarif src/repro
 
 echo
 echo "== resilience fault-campaign smoke =="

@@ -13,10 +13,16 @@ finding/severity/report core:
   numpy allocation in hot paths, missing ``__all__``, unit-suffix
   conventions);
 * :mod:`repro.analysis.arch` — enforces the architecture layering of
-  DESIGN.md by walking import graphs.
+  DESIGN.md by walking import graphs;
+* :mod:`repro.analysis.flow` — whole-program analysis: project call
+  graph + dataflow rules for determinism (RNG provenance), cross-process
+  picklability, interprocedural hot-path purity, unit-suffix flow and
+  frozen-dataclass mutation, with incremental content-hash caching.
 
 Run everything with ``python -m repro.analysis [paths...]``; the exit
-code is nonzero iff any error-severity finding was produced.
+code is nonzero iff any error-severity finding was produced.  The flow
+analyzer runs separately as ``python -m repro.analysis flow [paths...]``
+(it is whole-program, so it wants package roots, not single files).
 """
 
 from repro.analysis.arch import ALLOWED_IMPORTS, check_architecture
@@ -29,14 +35,22 @@ from repro.analysis.automata_checks import (
     check_modular_alphabets,
     check_supervisor_against_plant,
 )
-from repro.analysis.cli import analyze_paths, main
-from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.cli import analyze_paths, flow_main, main
+from repro.analysis.findings import (
+    RULE_REGISTRY,
+    Finding,
+    Report,
+    Severity,
+    known_rule_ids,
+)
 from repro.analysis.gain_checks import check_gains
 from repro.analysis.lint import lint_file, lint_source
+from repro.analysis.suppress import collect_suppressions, filter_findings
 
 __all__ = [
     "ALLOWED_IMPORTS",
     "Finding",
+    "RULE_REGISTRY",
     "Report",
     "Severity",
     "analyze_automaton_file",
@@ -47,6 +61,10 @@ __all__ = [
     "check_gains",
     "check_modular_alphabets",
     "check_supervisor_against_plant",
+    "collect_suppressions",
+    "filter_findings",
+    "flow_main",
+    "known_rule_ids",
     "lint_file",
     "lint_source",
     "main",

@@ -12,6 +12,7 @@ package               rank  may import
 ``workloads``         1     rank 0; ``platform`` (peer)
 ``core``              2     ranks 0-1
 ``analysis``          2     rank 0; ``core`` (artifact formats)
+``analysis.flow``     2     rank 0; ``core``; ``analysis`` (parent)
 ``managers``          3     ranks 0-2
 ``experiments``       4     ranks 0-3, ``analysis``; ``exec`` (peer)
 ``exec``              4     ranks 0-3; ``experiments`` (peer)
@@ -26,6 +27,13 @@ must stay auditable in isolation, because it is the one component the
 paper verifies offline (Figure 11 steps 4-5) and trusts blindly at
 runtime.  Modules at the package root (``repro/__init__.py``,
 ``repro/__main__.py``) are the composition root and may import any layer.
+
+Layer names may be *nested* (``analysis.flow``): a file belongs to the
+longest dotted layer-map prefix of its path, and an import targets the
+longest mapped prefix of the imported module.  Ancestor/descendant
+imports within one package subtree (``analysis`` <-> ``analysis.flow``)
+are always permitted — nesting subdivides a layer, it does not create a
+new inter-layer boundary.
 """
 
 from __future__ import annotations
@@ -45,6 +53,11 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "platform": frozenset({"automata", "control", "workloads"}),
     "workloads": frozenset({"automata", "control", "platform"}),
     "analysis": frozenset({"automata", "control", "core"}),
+    # Same rank as its parent: the whole-program analyzer may see the
+    # layers `analysis` sees (plus `analysis` itself, implicitly, as its
+    # ancestor).  It must NOT import `exec` — the incremental cache
+    # re-implements the sidecar pattern rather than importing it.
+    "analysis.flow": frozenset({"automata", "control", "core", "analysis"}),
     "core": frozenset({"automata", "control", "platform", "workloads"}),
     "managers": frozenset(
         {"automata", "control", "platform", "workloads", "core"}
@@ -110,41 +123,68 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
 }
 
 
-def _imported_packages(tree: ast.AST) -> list[tuple[int, str]]:
+def _longest_mapped_prefix(
+    dotted: str, known: frozenset[str]
+) -> str:
+    """Longest layer-map key that prefixes ``dotted`` (fallback: head)."""
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known:
+            return candidate
+    return parts[0]
+
+
+def _imported_packages(
+    tree: ast.AST, known: frozenset[str]
+) -> list[tuple[int, str]]:
     """(line, subpackage) pairs for every ``repro.<pkg>`` import."""
     edges: list[tuple[int, str]] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
             if node.level == 0 and module.startswith("repro."):
-                edges.append((node.lineno, module.split(".")[1]))
+                edges.append(
+                    (node.lineno, _longest_mapped_prefix(module[6:], known))
+                )
         elif isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name.startswith("repro."):
-                    edges.append((node.lineno, alias.name.split(".")[1]))
+                    edges.append(
+                        (
+                            node.lineno,
+                            _longest_mapped_prefix(alias.name[6:], known),
+                        )
+                    )
     return edges
 
 
 def import_edges(
     package_root: Path,
+    *,
+    known_packages: frozenset[str] | None = None,
 ) -> dict[str, list[tuple[str, int, str]]]:
     """Import graph of a ``repro`` package tree.
 
-    Maps each subpackage to ``(file, line, imported_subpackage)`` edges.
-    ``package_root`` is the directory containing ``repro``'s
-    ``__init__.py``.
+    Maps each subpackage to ``(file, line, imported_subpackage)`` edges,
+    where both sides are resolved to their longest dotted prefix present
+    in ``known_packages`` (default: the layer map).  ``package_root`` is
+    the directory containing ``repro``'s ``__init__.py``.
     """
+    known = (
+        frozenset(ALLOWED_IMPORTS) if known_packages is None else known_packages
+    )
     graph: dict[str, list[tuple[str, int, str]]] = {}
     for path in sorted(package_root.rglob("*.py")):
         relative = path.relative_to(package_root)
         if len(relative.parts) == 1:
             continue  # composition root: repro/__init__.py, __main__.py
-        package = relative.parts[0]
+        package = _longest_mapped_prefix(".".join(relative.parts[:-1]), known)
         try:
             tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
         except SyntaxError:
             continue  # the lint pass reports the syntax error
-        for line, imported in _imported_packages(tree):
+        for line, imported in _imported_packages(tree, known):
             graph.setdefault(package, []).append((str(path), line, imported))
     return graph
 
@@ -165,7 +205,10 @@ def check_architecture(
         for package, targets in (allowed or ALLOWED_IMPORTS).items()
     }
     findings: list[Finding] = []
-    for package, edges in import_edges(package_root).items():
+    edges_by_package = import_edges(
+        package_root, known_packages=frozenset(rules)
+    )
+    for package, edges in edges_by_package.items():
         if package not in rules:
             findings.append(
                 Finding(
@@ -180,6 +223,12 @@ def check_architecture(
             continue
         permitted = rules[package] | {package}
         for file_path, line, imported in edges:
+            # Ancestor/descendant imports inside one subtree subdivide a
+            # layer rather than crossing one.
+            if imported.startswith(f"{package}.") or package.startswith(
+                f"{imported}."
+            ):
+                continue
             if imported not in permitted:
                 findings.append(
                     Finding(

@@ -13,6 +13,11 @@ Exit code 0 iff no error-severity finding was produced — warnings are
 printed but do not fail the run (use ``--strict`` to fail on warnings
 too).  This is the single pre-merge gate wired into CI via
 ``scripts/check.sh``.
+
+``python -m repro.analysis flow [paths...]`` runs the whole-program
+flow analyzer instead (call graph + dataflow rules REPRO-F001..F005),
+with incremental caching, baseline support and JSON/SARIF output — see
+:mod:`repro.analysis.flow`.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from repro.analysis.artifacts import (
 from repro.analysis.findings import Finding, Report, Severity
 from repro.analysis.lint import lint_file
 
-__all__ = ["analyze_paths", "main"]
+__all__ = ["analyze_paths", "flow_main", "main"]
 
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "output"}
 
@@ -139,7 +144,125 @@ def analyze_paths(paths: Sequence[str | Path]) -> Report:
     return report
 
 
+def flow_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis flow [options] [paths...]``."""
+    # Imported here so the classic analyzers keep working even if the
+    # flow subpackage is mid-refactor.
+    from repro.analysis.flow import (
+        DEFAULT_ENTRY_POINTS,
+        Baseline,
+        ModuleCache,
+        analyze_project,
+        report_to_json,
+        report_to_sarif,
+        write_baseline,
+    )
+    from repro.analysis.flow.cache import DEFAULT_CACHE_DIR
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis flow",
+        description="Whole-program flow analysis: project call graph + "
+        "dataflow rules (RNG provenance, picklability, hot-path purity, "
+        "unit flow, frozen mutation)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="roots to analyze (default: ./src if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("analysis-baseline.json"),
+        help="baseline file of accepted findings (default: "
+        "analysis-baseline.json; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help="incremental cache directory (default: .analysis-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache",
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        default=None,
+        metavar="PATTERN",
+        help="hot-path entry-point pattern for REPRO-F003 (repeatable; "
+        "default: the step-kernel entry points)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    cache = None if args.no_cache else ModuleCache(args.cache_dir)
+    baseline = None
+    if not args.write_baseline and args.baseline.is_file():
+        baseline = Baseline.load(args.baseline)
+    entry_points = tuple(args.entry) if args.entry else DEFAULT_ENTRY_POINTS
+
+    result = analyze_project(
+        paths, cache=cache, baseline=baseline, entry_points=entry_points
+    )
+    report = result.report
+
+    if args.write_baseline:
+        count = write_baseline(list(report), args.baseline)
+        print(f"wrote {count} baseline entries to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        rendered = report_to_json(report, stats=result.stats.as_dict())
+    elif args.format == "sarif":
+        rendered = report_to_sarif(report)
+    else:
+        rendered = report.format_text() + "\n"
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.output}: {report.summary()}")
+    else:
+        print(rendered, end="")
+
+    failing = Severity.WARNING if args.strict else Severity.ERROR
+    has_failures = any(f.severity >= failing for f in report.findings)
+    return 1 if has_failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Subcommand dispatch: `flow` switches analyzers; anything else is
+    # the legacy positional-paths interface (a file literally named
+    # `flow` is vanishingly unlikely and can be passed as `./flow`).
+    if argv[:1] == ["flow"]:
+        return flow_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="SPECTR static analysis: artifact verifier, AST lint, "

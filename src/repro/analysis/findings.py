@@ -26,6 +26,68 @@ class Severity(enum.IntEnum):
         return self.name.lower()
 
 
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+# Every rule id any analyzer may emit, with a one-line title.  The
+# registry is the single source of truth that suppressions
+# (``# repro: noqa[RULE]``), baseline entries, and the SARIF emitter
+# validate rule ids against — a suppression naming a rule that does not
+# exist is itself a finding (REPRO-N001), so typo'd suppressions cannot
+# silently disable nothing.
+RULE_REGISTRY: dict[str, str] = {
+    # -- cross-cutting ------------------------------------------------
+    "REPRO-C001": "input path does not exist",
+    # -- artifact verifier (repro.analysis.artifacts) -----------------
+    "REPRO-A001": "artifact file unreadable or not valid JSON",
+    "REPRO-A002": "automaton payload fails schema checks",
+    "REPRO-A003": "nondeterministic transition structure",
+    "REPRO-A004": "initial state missing or unreachable structure",
+    "REPRO-A005": "unreachable states",
+    "REPRO-A006": "blocking (non-coaccessible) states",
+    "REPRO-A007": "serialization round-trip mismatch",
+    "REPRO-A008": "modular alphabet inconsistency",
+    "REPRO-A009": "bundle structure invalid",
+    "REPRO-A010": "supervisor not controllable w.r.t. plant",
+    "REPRO-A011": "closed-loop blocking states",
+    "REPRO-A012": "bundle gain set unreadable",
+    # -- numeric gain checks (repro.analysis.gain_checks) -------------
+    "REPRO-G001": "gain set has non-finite entries",
+    "REPRO-G002": "gain set shape mismatch",
+    "REPRO-G003": "closed-loop eig(A-BK) outside unit circle",
+    "REPRO-G004": "observer eig(A-LC) outside unit circle",
+    "REPRO-G005": "cost matrices not symmetric PSD/PD",
+    # -- AST lint (repro.analysis.lint) -------------------------------
+    "REPRO-L000": "syntax error",
+    "REPRO-L001": "mutable default argument",
+    "REPRO-L002": "bare except",
+    "REPRO-L003": "float equality against nonzero literal",
+    "REPRO-L004": "hot-path numpy allocation without dtype",
+    "REPRO-L005": "package __init__ without __all__",
+    "REPRO-L006": "time/power name without unit suffix",
+    "REPRO-L007": "exception swallowed in resilience hot path",
+    "REPRO-L008": "parallelism imported outside repro.exec",
+    "REPRO-L009": "numpy temporary in step-kernel module",
+    # -- architecture checker (repro.analysis.arch) -------------------
+    "REPRO-R001": "architecture layer violation",
+    "REPRO-R002": "package missing from layer map",
+    # -- whole-program flow rules (repro.analysis.flow) ---------------
+    "REPRO-F001": "numpy RNG draw without seeded-Generator provenance",
+    "REPRO-F002": "statically-unpicklable member on a cross-process type",
+    "REPRO-F003": "numpy temporary reachable from a step-kernel entry point",
+    "REPRO-F004": "unit-suffix mismatch across a dataflow edge",
+    "REPRO-F005": "attribute write to a frozen dataclass instance",
+    # -- suppression / baseline hygiene -------------------------------
+    "REPRO-N001": "suppression names an unknown rule id",
+    "REPRO-N002": "stale baseline entry matches no current finding",
+}
+
+
+def known_rule_ids() -> frozenset[str]:
+    """All rule ids analyzers may emit (for suppression validation)."""
+    return frozenset(RULE_REGISTRY)
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
     """One diagnostic emitted by an analyzer.

@@ -1,0 +1,124 @@
+"""Content-hash-keyed incremental cache for per-module analyses.
+
+Mirrors the sha256-sidecar pattern of ``repro.exec.ResultCache`` (the
+exec layer sits above analysis in the architecture, so the pattern is
+re-implemented here rather than imported): each entry is a pickle of a
+:class:`~repro.analysis.flow.symbols.ModuleAnalysis` stored under a key
+derived from ``sha256(schema-salt + module + path + content)``, with a
+``.sha256`` sidecar over the payload bytes.  A sidecar mismatch (torn
+write, manual tampering) evicts the entry instead of trusting it.
+
+Because the key covers the *content* of the module, cache invalidation
+is automatic: editing a module changes its digest and misses the cache;
+unchanged modules hit regardless of mtime.  The schema salt
+incorporates the analyzer version, so upgrading the extraction logic
+invalidates every entry at once (bump :data:`ANALYSIS_SCHEMA` whenever
+``symbols.py`` changes what it records).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis.flow.symbols import ModuleAnalysis, source_digest
+
+__all__ = ["ANALYSIS_SCHEMA", "DEFAULT_CACHE_DIR", "ModuleCache"]
+
+# Bump when ModuleAnalysis' recorded facts change shape or semantics.
+ANALYSIS_SCHEMA = "flow-cache/1"
+
+DEFAULT_CACHE_DIR = Path(".analysis-cache")
+
+
+class ModuleCache:
+    """Pickle-per-module cache with sha256 sidecar integrity checks."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keys ----------------------------------------------------------
+    @property
+    def salt(self) -> str:
+        return f"{ANALYSIS_SCHEMA}/{__version__}"
+
+    def key_for(self, module: str, path: str, source: str) -> str:
+        payload = f"{module}\x00{path}\x00{source}"
+        return source_digest(payload, salt=self.salt)
+
+    def _entry_path(self, key: str) -> Path:
+        # Two-level fanout keeps directory listings small.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- lookup --------------------------------------------------------
+    def load(self, module: str, path: str, source: str) -> ModuleAnalysis | None:
+        key = self.key_for(module, path, source)
+        entry = self._entry_path(key)
+        sidecar = entry.with_suffix(".pkl.sha256")
+        try:
+            payload = entry.read_bytes()
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except OSError:
+            self.misses += 1
+            return None
+        if hashlib.sha256(payload).hexdigest() != expected:
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        try:
+            analysis = pickle.loads(payload)
+        except Exception:
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        if not isinstance(analysis, ModuleAnalysis):
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return analysis
+
+    def store(self, analysis: ModuleAnalysis, source: str) -> None:
+        key = self.key_for(analysis.module, analysis.path, source)
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(analysis, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        # Write-then-rename so a crashed run cannot leave a torn entry
+        # that passes the sidecar check.
+        self._atomic_write(entry, payload)
+        self._atomic_write(
+            entry.with_suffix(".pkl.sha256"), (digest + "\n").encode("ascii")
+        )
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _atomic_write(target: Path, data: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, target)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, entry: Path, sidecar: Path) -> None:
+        self.evictions += 1
+        for stale in (entry, sidecar):
+            try:
+                stale.unlink()
+            except OSError:
+                pass

@@ -59,6 +59,7 @@ import ast
 from pathlib import Path
 
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppress import collect_suppressions, filter_findings
 
 __all__ = [
     "lint_source",
@@ -446,7 +447,12 @@ def _at_class_body_level(node: ast.AST) -> bool:
 
 
 def lint_source(source: str, path: str) -> list[Finding]:
-    """Lint one module's source text; returns findings (possibly empty)."""
+    """Lint one module's source text; returns findings (possibly empty).
+
+    Inline ``# repro: noqa[RULE-ID]`` comments suppress findings of the
+    named rules on their line; a suppression naming an unknown rule id
+    is itself an error (REPRO-N001 — see :mod:`repro.analysis.suppress`).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -487,7 +493,11 @@ def lint_source(source: str, path: str) -> list[Finding]:
                 "package __init__.py re-exports names but defines no "
                 "__all__; declare the public surface explicitly",
             )
-    return sorted(linter.findings)
+
+    suppressions, suppression_findings = collect_suppressions(source, path)
+    findings = filter_findings(linter.findings, suppressions)
+    findings.extend(suppression_findings)
+    return sorted(findings)
 
 
 def lint_file(path: str | Path) -> list[Finding]:

@@ -1,0 +1,7 @@
+"""Golden bad-code fixtures for the flow analyzer tests.
+
+Each module demonstrates exactly the contract violations one REPRO-F
+rule exists to catch; the tests assert the analyzer reports them (and
+nothing else).  This package is *data*, not code under test — it is
+never imported by the test suite, only parsed.
+"""

@@ -1,0 +1,22 @@
+"""REPRO-F005 fixture: mutating a frozen dataclass outside __post_init__."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    ticks: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "ticks", max(self.ticks, 1))
+
+
+def bump(config: Config):
+    config.ticks = config.ticks + 1
+    return config
+
+
+def fresh():
+    config = Config(ticks=4)
+    config.ticks = 9
+    return config

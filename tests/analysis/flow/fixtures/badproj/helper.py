@@ -1,0 +1,7 @@
+"""Helper outside any step-kernel module list; allocates numpy temporaries."""
+
+import numpy as np
+
+
+def accumulate(values):
+    return float(np.sum(np.asarray(values, dtype=np.float64)))

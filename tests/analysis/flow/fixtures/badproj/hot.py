@@ -1,0 +1,13 @@
+"""REPRO-F003 fixture: the hot-path entry point itself stays clean —
+the allocation hides in a helper module (badproj.helper), which is how
+regressions slip past a per-module rule like REPRO-L009."""
+
+from badproj.helper import accumulate
+
+
+class Engine:
+    def __init__(self, scale):
+        self.scale = scale
+
+    def step(self, values):
+        return self.scale * accumulate(values)

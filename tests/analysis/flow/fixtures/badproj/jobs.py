@@ -1,0 +1,32 @@
+"""REPRO-F002 fixture: unpicklable members on spawn-crossing types."""
+
+import threading
+
+
+class JobPayload:
+    """Reached through ScenarioJob's field annotation."""
+
+    def __init__(self, data):
+        self.lock = threading.Lock()
+        self.data = list(data)
+
+
+class ScenarioJob:
+    """The pickle root the test points the rule at."""
+
+    payload: JobPayload
+    label: str
+
+
+class WorkerError(RuntimeError):
+    """Raised under the worker module pattern; travels via result pickle."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.stream = open("/dev/null")
+
+
+def run_job(job):
+    if job is None:
+        raise WorkerError("no job")
+    return job.payload.data

@@ -1,0 +1,21 @@
+"""REPRO-F001 fixture: unseeded and global RNG draws."""
+
+import numpy as np
+
+
+def make_noise():
+    rng = np.random.default_rng()
+    return rng.normal()
+
+
+def draw_global():
+    return np.random.normal(0.0, 1.0)
+
+
+def legacy_state():
+    return np.random.RandomState(7)
+
+
+def seeded_ok(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()

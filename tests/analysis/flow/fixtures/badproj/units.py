@@ -1,0 +1,23 @@
+"""REPRO-F004 fixture: unit-suffix mismatches through dataflow edges."""
+
+
+def control_budget(epoch_ms, gain):
+    budget_w = epoch_ms * gain
+    return budget_w
+
+
+def deadline_check(epoch_ms, dwell_s):
+    return epoch_ms + dwell_s
+
+
+def apply_power(power_w):
+    return power_w * 0.5
+
+
+def misuse(epoch_ms):
+    return apply_power(epoch_ms)
+
+
+def convert_ok(epoch_ms):
+    epoch_s = epoch_ms / 1000.0
+    return epoch_s

@@ -136,3 +136,67 @@ class TestExecLayer:
         for package in ("automata", "control", "platform", "workloads",
                         "core", "managers", "analysis"):
             assert "exec" not in ALLOWED_IMPORTS[package]
+
+
+class TestNestedAnalysisFlowLayer:
+    def test_flow_files_belong_to_nested_package(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/analysis/__init__.py": "",
+                "repro/analysis/flow/__init__.py": "",
+                "repro/analysis/flow/mod.py": "from repro.core import events\n",
+            },
+        )
+        graph = import_edges(package)
+        assert "analysis.flow" in graph
+        assert graph["analysis.flow"][0][2] == "core"
+
+    def test_flow_may_import_parent_and_allowed_layers(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/analysis/__init__.py": "",
+                "repro/analysis/flow/__init__.py": (
+                    "from repro.analysis.findings import Finding\n"
+                    "from repro.core import events\n"
+                ),
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_parent_may_import_flow_subpackage(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/analysis/__init__.py": "",
+                "repro/analysis/cli.py": (
+                    "from repro.analysis.flow import analyze_project\n"
+                ),
+                "repro/analysis/flow/__init__.py": "",
+            },
+        )
+        assert check_architecture(package) == []
+
+    def test_flow_must_not_import_exec(self, tmp_path):
+        package = make_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/analysis/__init__.py": "",
+                "repro/analysis/flow/__init__.py": (
+                    "from repro.exec import engine\n"
+                ),
+                "repro/exec/__init__.py": "",
+            },
+        )
+        findings = check_architecture(package)
+        assert [f.rule for f in findings] == ["REPRO-R001"]
+        assert "analysis.flow" in findings[0].message
+
+    def test_repo_flow_subpackage_is_mapped(self):
+        assert "analysis.flow" in ALLOWED_IMPORTS
+        assert "exec" not in ALLOWED_IMPORTS["analysis.flow"]

@@ -290,3 +290,45 @@ class TestL009NumpyTemporaries:
             ]
             assert errors == [], f"{path}: {errors}"
         assert checked >= 6
+
+
+class TestInlineSuppressions:
+    def test_noqa_silences_named_rule_on_its_line(self):
+        source = "def f(x=[]):  # repro: noqa[REPRO-L001]\n    return x\n"
+        assert lint_source(source, COLD) == []
+
+    def test_noqa_for_other_rule_does_not_silence(self):
+        source = "def f(x=[]):  # repro: noqa[REPRO-L002]\n    return x\n"
+        assert rules(lint_source(source, COLD)) == ["REPRO-L001"]
+
+    def test_noqa_on_other_line_does_not_silence(self):
+        source = (
+            "# repro: noqa[REPRO-L001]\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        assert rules(lint_source(source, COLD)) == ["REPRO-L001"]
+
+    def test_unknown_rule_id_is_n001_error(self):
+        source = "x = 1  # repro: noqa[REPRO-NOPE]\n"
+        findings = lint_source(source, COLD)
+        assert rules(findings) == ["REPRO-N001"]
+        assert findings[0].severity == Severity.ERROR
+
+    def test_n001_cannot_suppress_itself(self):
+        source = "x = 1  # repro: noqa[REPRO-NOPE, REPRO-N001]\n"
+        assert "REPRO-N001" in rules(lint_source(source, COLD))
+
+    def test_multiple_ids_both_honored(self):
+        source = (
+            "def f(x=[]):  # repro: noqa[REPRO-L001, REPRO-L006]\n"
+            "    return x\n"
+        )
+        assert lint_source(source, COLD) == []
+
+    def test_registry_has_all_lint_rules(self):
+        from repro.analysis.findings import known_rule_ids
+
+        known = known_rule_ids()
+        for rule_id in [f"REPRO-L{n:03d}" for n in range(10)]:
+            assert rule_id in known
