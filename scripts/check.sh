@@ -12,13 +12,21 @@
 #   * `python -m repro.analysis flow src/repro` reports a non-baselined
 #     error (whole-program rules: RNG provenance, picklability,
 #     hot-path purity, unit flow, frozen-dataclass mutation),
+#   * `python -m repro.analysis models artifacts/` reports a
+#     non-baselined error (model-check rules REPRO-M001..M007 on the
+#     committed formal artifacts: reachability/blocking/controllability
+#     counterexamples, monitor consistency, stale-bundle detection),
 #   * `python -m repro.resilience --smoke` records an invariant
 #     violation (the fault-campaign smoke: SPECTR under every sensor
 #     and actuator fault kind must stay on the verified envelope),
 #   * the step-kernel benchmark (quick mode) fails to complete or to
 #     emit valid JSON.  Quick mode asserts completion only — wall-clock
 #     on a loaded CI box is noise; the 2x speedup gate runs in the full
-#     benchmark (`python -m pytest benchmarks/bench_step_kernel.py`).
+#     benchmark (`python -m pytest benchmarks/bench_step_kernel.py`),
+#   * the model-check benchmark (quick mode, MODEL_CHECK_QUICK=1) fails
+#     its byte-identical explicit-vs-bitset report comparison or its
+#     relaxed 3x speedup floor (the 10x gate runs in the full sweep:
+#     `python -m pytest benchmarks/bench_model_check.py`).
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -44,6 +52,11 @@ python -m repro.analysis flow --format json --output flow-report.json src/repro
 python -m repro.analysis flow --format sarif --output flow-report.sarif src/repro
 
 echo
+echo "== formal model analysis (repro.analysis models) =="
+python -m repro.analysis models --no-cache --format json --output model-report.json artifacts/
+python -m repro.analysis models --no-cache --format sarif --output model-report.sarif artifacts/
+
+echo
 echo "== resilience fault-campaign smoke =="
 python -m repro.resilience --smoke
 
@@ -57,6 +70,20 @@ with open("benchmarks/results/step_kernel.json") as fh:
 for key in ("baseline_steps_per_s", "optimized_steps_per_s", "speedup"):
     assert key in payload, f"step_kernel.json missing {key!r}"
 print("step_kernel.json is valid")
+EOF
+
+echo
+echo "== model-check benchmark (quick mode) =="
+MODEL_CHECK_QUICK=1 python -m pytest -x -q benchmarks/bench_model_check.py
+python - <<'EOF'
+import json
+with open("benchmarks/results/model_check.json") as fh:
+    payload = json.load(fh)
+assert payload["sizes"], "model_check.json has no size rows"
+for row in payload["sizes"]:
+    for key in ("plant_states", "explicit_s", "symbolic_s", "speedup"):
+        assert key in row, f"model_check.json row missing {key!r}"
+print("model_check.json is valid")
 EOF
 
 if command -v ruff >/dev/null 2>&1; then

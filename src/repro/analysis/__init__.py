@@ -17,12 +17,18 @@ finding/severity/report core:
 * :mod:`repro.analysis.flow` — whole-program analysis: project call
   graph + dataflow rules for determinism (RNG provenance), cross-process
   picklability, interprocedural hot-path purity, unit-suffix flow and
-  frozen-dataclass mutation, with incremental content-hash caching.
+  frozen-dataclass mutation, with incremental content-hash caching;
+* :mod:`repro.analysis.models` — formal model analyzer: symbolic
+  reachability over serialized automata and policy bundles, with
+  shortest counterexample traces for blocking/controllability defects,
+  runtime-monitor consistency and stale-bundle detection
+  (REPRO-M001..M007).
 
 Run everything with ``python -m repro.analysis [paths...]``; the exit
 code is nonzero iff any error-severity finding was produced.  The flow
 analyzer runs separately as ``python -m repro.analysis flow [paths...]``
-(it is whole-program, so it wants package roots, not single files).
+(it is whole-program, so it wants package roots, not single files), and
+the model analyzer as ``python -m repro.analysis models [paths...]``.
 """
 
 from repro.analysis.arch import ALLOWED_IMPORTS, check_architecture
@@ -35,7 +41,7 @@ from repro.analysis.automata_checks import (
     check_modular_alphabets,
     check_supervisor_against_plant,
 )
-from repro.analysis.cli import analyze_paths, flow_main, main
+from repro.analysis.cli import analyze_paths, flow_main, main, models_main
 from repro.analysis.findings import (
     RULE_REGISTRY,
     Finding,
@@ -68,4 +74,5 @@ __all__ = [
     "lint_file",
     "lint_source",
     "main",
+    "models_main",
 ]

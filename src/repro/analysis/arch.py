@@ -58,6 +58,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     # ancestor).  It must NOT import `exec` — the incremental cache
     # re-implements the sidecar pattern rather than importing it.
     "analysis.flow": frozenset({"automata", "control", "core", "analysis"}),
+    # The formal model analyzer may additionally reuse flow's baseline
+    # and SARIF plumbing; still no `exec`, and no `resilience` — monitor
+    # consistency (REPRO-M006) is expressed via `core.alphabet` event
+    # names, not by importing the monitor.
+    "analysis.models": frozenset(
+        {"automata", "control", "core", "analysis", "analysis.flow"}
+    ),
     "core": frozenset({"automata", "control", "platform", "workloads"}),
     "managers": frozenset(
         {"automata", "control", "platform", "workloads", "core"}

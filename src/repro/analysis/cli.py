@@ -18,6 +18,11 @@ too).  This is the single pre-merge gate wired into CI via
 flow analyzer instead (call graph + dataflow rules REPRO-F001..F005),
 with incremental caching, baseline support and JSON/SARIF output — see
 :mod:`repro.analysis.flow`.
+
+``python -m repro.analysis models [paths...]`` runs the formal model
+analyzer (symbolic reachability + counterexample rules
+REPRO-M001..M007) over automaton files, model-set directories and
+policy bundles — see :mod:`repro.analysis.models`.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from repro.analysis.artifacts import (
 from repro.analysis.findings import Finding, Report, Severity
 from repro.analysis.lint import lint_file
 
-__all__ = ["analyze_paths", "flow_main", "main"]
+__all__ = ["analyze_paths", "flow_main", "main", "models_main"]
 
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "output"}
 
@@ -254,15 +259,26 @@ def flow_main(argv: Sequence[str] | None = None) -> int:
     return 1 if has_failures else 0
 
 
+def models_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis models [options] [paths...]``."""
+    # Lazy import, same reasoning as flow_main.
+    from repro.analysis.models.cli import models_main as run
+
+    return run(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     import sys
 
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # Subcommand dispatch: `flow` switches analyzers; anything else is
-    # the legacy positional-paths interface (a file literally named
-    # `flow` is vanishingly unlikely and can be passed as `./flow`).
+    # Subcommand dispatch: `flow`/`models` switch analyzers; anything
+    # else is the legacy positional-paths interface (a file literally
+    # named `flow` is vanishingly unlikely and can be passed as
+    # `./flow`).
     if argv[:1] == ["flow"]:
         return flow_main(argv[1:])
+    if argv[:1] == ["models"]:
+        return models_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="SPECTR static analysis: artifact verifier, AST lint, "

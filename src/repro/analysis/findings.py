@@ -77,6 +77,14 @@ RULE_REGISTRY: dict[str, str] = {
     "REPRO-F003": "numpy temporary reachable from a step-kernel entry point",
     "REPRO-F004": "unit-suffix mismatch across a dataflow edge",
     "REPRO-F005": "attribute write to a frozen dataclass instance",
+    # -- formal model checker (repro.analysis.models) -----------------
+    "REPRO-M001": "unreachable or dead automaton states",
+    "REPRO-M002": "blocking state with shortest counterexample trace",
+    "REPRO-M003": "controllability violation with witness trace",
+    "REPRO-M004": "alphabet mismatch or event never enabled (spec coverage)",
+    "REPRO-M005": "uncontrollable dead-end into a degraded state",
+    "REPRO-M006": "runtime-monitor/model consistency violation",
+    "REPRO-M007": "stale persisted supervisor (re-synthesis diverges)",
     # -- suppression / baseline hygiene -------------------------------
     "REPRO-N001": "suppression names an unknown rule id",
     "REPRO-N002": "stale baseline entry matches no current finding",

@@ -42,10 +42,15 @@ def _finding_payload(finding: Finding) -> dict[str, Any]:
     }
 
 
-def report_to_json(report: Report, stats: dict[str, Any] | None = None) -> str:
+def report_to_json(
+    report: Report,
+    stats: dict[str, Any] | None = None,
+    *,
+    tool_name: str = "repro-flow",
+) -> str:
     payload: dict[str, Any] = {
-        "schema": "repro-flow-report/1",
-        "tool": {"name": "repro-flow", "version": __version__},
+        "schema": f"{tool_name}-report/1",
+        "tool": {"name": tool_name, "version": __version__},
         "summary": {
             "files_checked": report.files_checked,
             "errors": report.count(Severity.ERROR),
@@ -60,7 +65,7 @@ def report_to_json(report: Report, stats: dict[str, Any] | None = None) -> str:
     return json.dumps(payload, indent=2) + "\n"
 
 
-def report_to_sarif(report: Report) -> str:
+def report_to_sarif(report: Report, *, tool_name: str = "repro-flow") -> str:
     emitted_rules = sorted({f.rule for f in report})
     rules = [
         {
@@ -100,7 +105,7 @@ def report_to_sarif(report: Report) -> str:
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-flow",
+                        "name": tool_name,
                         "informationUri": "https://example.invalid/repro",
                         "version": __version__,
                         "rules": rules,

@@ -1,0 +1,124 @@
+"""Digest-keyed incremental cache for model-check results.
+
+Same sidecar discipline as :class:`repro.analysis.flow.cache.ModuleCache`
+but keyed per model-check *unit* (one automaton file, or one bundle
+directory) on the sha256 of its raw content bytes.  Model checking is
+pure in the unit's content, so a content hit can replay the stored
+finding list without re-running reachability — exactly the property the
+flow analyzer exploits for source modules.
+
+The schema salt folds in the package version; bump
+:data:`MODEL_CHECK_SCHEMA` whenever a rule's message wording or
+semantics change so stale verdicts cannot leak through an old cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis.findings import Finding
+
+__all__ = ["DEFAULT_MODEL_CACHE_DIR", "MODEL_CHECK_SCHEMA", "ModelCheckCache"]
+
+# Bump when any M-rule changes what it reports.
+MODEL_CHECK_SCHEMA = "model-check/1"
+
+DEFAULT_MODEL_CACHE_DIR = Path(".analysis-cache") / "models"
+
+
+class ModelCheckCache:
+    """Pickle-per-unit cache of ``list[Finding]`` with sha256 sidecars."""
+
+    def __init__(self, root: str | Path = DEFAULT_MODEL_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keys ----------------------------------------------------------
+    @property
+    def salt(self) -> str:
+        return f"{MODEL_CHECK_SCHEMA}/{__version__}"
+
+    def key_for(self, unit: str, content: bytes) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(self.salt.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(unit.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(content)
+        return hasher.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- lookup --------------------------------------------------------
+    def load(self, unit: str, content: bytes) -> list[Finding] | None:
+        key = self.key_for(unit, content)
+        entry = self._entry_path(key)
+        sidecar = entry.with_suffix(".pkl.sha256")
+        try:
+            payload = entry.read_bytes()
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except OSError:
+            self.misses += 1
+            return None
+        if hashlib.sha256(payload).hexdigest() != expected:
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        try:
+            findings = pickle.loads(payload)
+        except Exception:
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        if not isinstance(findings, list) or not all(
+            isinstance(f, Finding) for f in findings
+        ):
+            self._evict(entry, sidecar)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, unit: str, content: bytes, findings: list[Finding]) -> None:
+        key = self.key_for(unit, content)
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(list(findings), protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        self._atomic_write(entry, payload)
+        self._atomic_write(
+            entry.with_suffix(".pkl.sha256"), (digest + "\n").encode("ascii")
+        )
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _atomic_write(target: Path, data: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, target)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, entry: Path, sidecar: Path) -> None:
+        self.evictions += 1
+        for stale in (entry, sidecar):
+            try:
+                stale.unlink()
+            except OSError:
+                pass

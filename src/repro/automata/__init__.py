@@ -26,6 +26,7 @@ from repro.automata.language import (
     is_sublanguage,
     language_size,
     languages_equal,
+    marked_language_difference,
 )
 from repro.automata.modular import (
     ModularSynthesisResult,
@@ -45,6 +46,8 @@ from repro.automata.operations import (
 from repro.automata.serialization import (
     automaton_from_dict,
     automaton_to_dict,
+    canonical_digest,
+    canonical_form,
     dumps,
     loads,
 )
@@ -54,11 +57,27 @@ from repro.automata.synthesis import (
     supremal_controllable,
     synthesize_supervisor,
 )
+from repro.automata.symbolic import (
+    EncodedAutomaton,
+    PairEncoding,
+    SearchTree,
+    backward_reachable,
+    controllability_product,
+    encode_automaton,
+    forward_reachable,
+    forward_search,
+    nearest_state,
+    restrict_states,
+    synchronous_product,
+    witness_trace,
+)
 from repro.automata.verification import (
     ControllabilityViolation,
     VerificationReport,
     check_controllability,
     check_nonblocking,
+    explicit_check_controllability,
+    explicit_verify_supervisor,
     verify_supervisor,
 )
 
@@ -68,8 +87,11 @@ __all__ = [
     "Automaton",
     "AutomatonError",
     "ControllabilityViolation",
+    "EncodedAutomaton",
     "Event",
     "ModularSynthesisResult",
+    "PairEncoding",
+    "SearchTree",
     "State",
     "SynthesisError",
     "SynthesisResult",
@@ -80,26 +102,40 @@ __all__ = [
     "automaton_from_dict",
     "automaton_from_table",
     "automaton_to_dict",
+    "backward_reachable",
     "blocking_states",
+    "canonical_digest",
+    "canonical_form",
     "check_controllability",
     "check_nonblocking",
     "coaccessible",
     "coaccessible_states",
     "compose_all",
+    "controllability_product",
     "controllability_witness",
     "controllable",
     "dumps",
+    "encode_automaton",
     "enumerate_words",
+    "explicit_check_controllability",
+    "explicit_verify_supervisor",
+    "forward_reachable",
+    "forward_search",
     "is_nonblocking",
     "is_sublanguage",
     "language_size",
     "languages_equal",
     "loads",
+    "marked_language_difference",
+    "nearest_state",
+    "restrict_states",
     "supremal_controllable",
     "synchronous_composition",
+    "synchronous_product",
     "synthesize_modular",
     "synthesize_supervisor",
     "trim",
     "uncontrollable",
     "verify_supervisor",
+    "witness_trace",
 ]

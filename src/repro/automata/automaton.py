@@ -198,6 +198,17 @@ class Automaton:
             )
         )
 
+    def iter_transitions(self) -> Iterator[tuple[State, Event, State]]:
+        """Unordered ``(source, event, target)`` iterator.
+
+        Unlike :attr:`transitions` this does not materialize and sort a
+        tuple of :class:`Transition` objects, so bulk consumers (the
+        symbolic encoder, reachability) stay linear in the transition
+        count.
+        """
+        for (source, event), target in self._delta.items():
+            yield source, event, target
+
     def step(self, state: State | str, event: Event | str) -> State | None:
         """delta(q, e), or ``None`` when the event is disabled at ``q``."""
         state = self._coerce_state(state)

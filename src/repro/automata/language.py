@@ -101,6 +101,58 @@ def languages_equal(a: Automaton, b: Automaton) -> bool:
     return forward and backward
 
 
+def marked_language_difference(
+    a: Automaton, b: Automaton
+) -> tuple[tuple[str, ...], str] | None:
+    """First behavioural difference between ``a`` and ``b``, if any.
+
+    Walks the joint reachable space and compares, at every pair, the
+    enabled event-name sets (closed-language equality) and the marking
+    status (marked-language equality).  Returns ``(trace, reason)``
+    where ``trace`` is a shortest word leading to the difference, or
+    ``None`` when both languages coincide.  Used by the REPRO-M007
+    stale-bundle check to explain *how* a persisted supervisor diverges
+    from the re-synthesized one.
+    """
+    if not a.has_initial or not b.has_initial:
+        if not a.has_initial and not b.has_initial:
+            return None
+        missing, present = ("a", "b") if not a.has_initial else ("b", "a")
+        return (), (
+            f"automaton {missing!r} has no initial state but {present!r} does"
+        )
+    start = (a.initial, b.initial)
+    visited = {start}
+    queue: deque[tuple[State, State, tuple[str, ...]]] = deque(
+        [(a.initial, b.initial, ())]
+    )
+    while queue:
+        state_a, state_b, word = queue.popleft()
+        enabled_a = {e.name for e in a.enabled_events(state_a)}
+        enabled_b = {e.name for e in b.enabled_events(state_b)}
+        if enabled_a != enabled_b:
+            only_a = sorted(enabled_a - enabled_b)
+            only_b = sorted(enabled_b - enabled_a)
+            parts = []
+            if only_a:
+                parts.append(f"enabled only in {a.name!r}: {only_a}")
+            if only_b:
+                parts.append(f"enabled only in {b.name!r}: {only_b}")
+            return word, "; ".join(parts)
+        if a.is_marked(state_a) != b.is_marked(state_b):
+            marked_in = a.name if a.is_marked(state_a) else b.name
+            return word, f"state reached by trace is marked only in {marked_in!r}"
+        for name in sorted(enabled_a):
+            next_a = a.step(state_a, name)
+            next_b = b.step(state_b, name)
+            assert next_a is not None and next_b is not None
+            pair = (next_a, next_b)
+            if pair not in visited:
+                visited.add(pair)
+                queue.append((next_a, next_b, word + (name,)))
+    return None
+
+
 def is_prefix_closed_witnessed(automaton: Automaton, max_length: int = 6) -> bool:
     """Sanity check that ``L(A)`` is prefix closed (it is by
     construction for state machines): every prefix of every enumerated

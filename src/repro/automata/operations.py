@@ -87,11 +87,17 @@ def accessible_states(automaton: Automaton) -> frozenset[State]:
     """States reachable from the initial state."""
     if not automaton.has_initial:
         return frozenset()
+    # Forward adjacency built once: automaton.successors is
+    # O(transitions) per call, which made this quadratic on product
+    # automata before the symbolic kernel benchmarks exposed it.
+    forward: dict[State, set[State]] = {}
+    for source, _event, target in automaton.iter_transitions():
+        forward.setdefault(source, set()).add(target)
     seen: set[State] = {automaton.initial}
     frontier = deque([automaton.initial])
     while frontier:
         state = frontier.popleft()
-        for successor in automaton.successors(state):
+        for successor in forward.get(state, ()):
             if successor not in seen:
                 seen.add(successor)
                 frontier.append(successor)
@@ -108,8 +114,8 @@ def coaccessible_states(automaton: Automaton) -> frozenset[State]:
     # Precompute the reverse adjacency once; automaton.predecessors is
     # O(transitions) per call which would make this quadratic.
     reverse: dict[State, set[State]] = {}
-    for transition in automaton.transitions:
-        reverse.setdefault(transition.target, set()).add(transition.source)
+    for source, _event, target in automaton.iter_transitions():
+        reverse.setdefault(target, set()).add(source)
     while frontier:
         state = frontier.popleft()
         for predecessor in reverse.get(state, ()):

@@ -8,10 +8,12 @@ supervisor on demand (e.g., by upgrading the firmware or OS)".
 
 from __future__ import annotations
 
+import hashlib
 import json
+from collections import deque
 from typing import Any
 
-from repro.automata.automaton import Automaton
+from repro.automata.automaton import Automaton, State
 from repro.automata.events import Alphabet, Event
 
 
@@ -63,6 +65,64 @@ def automaton_from_dict(payload: dict[str, Any]) -> Automaton:
     if initial is not None:
         automaton.set_initial(initial)
     return automaton
+
+
+def canonical_form(automaton: Automaton) -> dict[str, Any]:
+    """A state-name-independent rendering of the reachable part.
+
+    States are renumbered in breadth-first discovery order (events
+    expanded in sorted-name order), so two automata that differ only in
+    state labels — e.g. a persisted supervisor and a re-synthesized one
+    whose product states carry different composite names — canonicalize
+    identically.  Unreachable states are excluded (they carry no
+    behaviour; REPRO-M001 reports them separately).
+    """
+    event_meta = [
+        [event.name, event.controllable, event.observable]
+        for event in automaton.alphabet
+    ]
+    if not automaton.has_initial:
+        return {
+            "events": event_meta,
+            "states": 0,
+            "initial": None,
+            "marked": [],
+            "forbidden": [],
+            "transitions": [],
+        }
+    index: dict[State, int] = {automaton.initial: 0}
+    queue: deque[State] = deque([automaton.initial])
+    transitions: list[list[Any]] = []
+    while queue:
+        state = queue.popleft()
+        for event in sorted(
+            automaton.enabled_events(state), key=lambda e: e.name
+        ):
+            target = automaton.step(state, event)
+            assert target is not None
+            if target not in index:
+                index[target] = len(index)
+                queue.append(target)
+            transitions.append([index[state], event.name, index[target]])
+    return {
+        "events": event_meta,
+        "states": len(index),
+        "initial": 0,
+        "marked": sorted(index[s] for s in automaton.marked if s in index),
+        "forbidden": sorted(
+            index[s] for s in automaton.forbidden if s in index
+        ),
+        "transitions": transitions,
+    }
+
+
+def canonical_digest(automaton: Automaton) -> str:
+    """SHA-256 of :func:`canonical_form` — equal for behaviourally
+    identical automata regardless of state naming."""
+    rendering = json.dumps(
+        canonical_form(automaton), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(rendering.encode("utf-8")).hexdigest()
 
 
 def dumps(automaton: Automaton, *, indent: int | None = 2) -> str:

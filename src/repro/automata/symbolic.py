@@ -1,0 +1,577 @@
+"""Bitset-encoded symbolic reachability kernel for DES automata.
+
+Explicit-state verification walks Python sets of :class:`State` objects;
+that is fine for the case-study models but quadratic constant factors
+make it the scaling wall the paper solved by leaning on Supremica's
+symbolic engines (Section 4.3.4, ROADMAP item 4).  This module is the
+set-based replacement: states become integer indices, state *sets*
+become numpy bool vectors, and one BFS level advances every frontier
+state over one event with a single vectorized gather/scatter — no
+per-state Python loops.
+
+Three ingredients:
+
+* :func:`encode_automaton` — freeze an :class:`Automaton` into sorted
+  index space (:class:`EncodedAutomaton`) with per-event ``src``/``dst``
+  transition arrays.
+* :func:`synchronous_product` / :func:`controllability_product` — build
+  the encoded product ``A || B`` directly in pair-index space
+  (``pair = i * n_B + j``) without materializing a composed
+  :class:`Automaton`.
+* :func:`forward_reachable` / :func:`backward_reachable` /
+  :func:`forward_search` — level-synchronized bitset BFS; the search
+  variant records parent pointers so shortest counterexample event
+  traces fall out of the same pass (:func:`witness_trace`).
+
+Everything is deterministic: states are indexed in sorted-name order,
+events in alphabet (sorted) order, and tie-breaks during parent claiming
+always favour the smallest event index, then the smallest source index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.automata.automaton import Automaton
+
+__all__ = [
+    "EncodedAutomaton",
+    "PairEncoding",
+    "SearchTree",
+    "backward_reachable",
+    "controllability_product",
+    "encode_automaton",
+    "forward_reachable",
+    "forward_search",
+    "nearest_state",
+    "restrict_states",
+    "synchronous_product",
+    "witness_trace",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class EncodedAutomaton:
+    """An automaton flattened into index space for vectorized search.
+
+    ``src[e]``/``dst[e]`` hold the source/target state indices of every
+    transition on event ``e``, sorted by ``(source, target)``.  Product
+    encodings have ``state_names=None`` (labels are derived on demand
+    from the factor encodings) and ``enabled=None``.
+    """
+
+    name: str
+    n_states: int
+    event_names: tuple[str, ...]
+    event_controllable: np.ndarray
+    src: tuple[np.ndarray, ...]
+    dst: tuple[np.ndarray, ...]
+    initial: int
+    marked: np.ndarray
+    forbidden: np.ndarray
+    state_names: tuple[str, ...] | None = None
+    enabled: np.ndarray | None = None
+    _event_index: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._event_index:
+            self._event_index = {
+                name: i for i, name in enumerate(self.event_names)
+            }
+
+    @property
+    def n_events(self) -> int:
+        return len(self.event_names)
+
+    @property
+    def n_transitions(self) -> int:
+        return int(sum(arr.size for arr in self.src))
+
+    def event_index(self, name: str) -> int | None:
+        return self._event_index.get(name)
+
+    def state_label(self, index: int) -> str:
+        if self.state_names is not None:
+            return self.state_names[index]
+        return f"#{index}"
+
+    def event_enabled(self, name: str) -> np.ndarray:
+        """Bool vector of states where ``name`` is enabled (zeros when
+        the event is outside this alphabet)."""
+        index = self.event_index(name)
+        if index is None or self.enabled is None:
+            return np.zeros(self.n_states, dtype=bool)
+        return self.enabled[index]
+
+
+def encode_automaton(automaton: Automaton) -> EncodedAutomaton:
+    """Freeze ``automaton`` into sorted index space."""
+    state_names = tuple(sorted(s.name for s in automaton.states))
+    state_index = {name: i for i, name in enumerate(state_names)}
+    event_names = tuple(e.name for e in automaton.alphabet)
+    event_index = {name: i for i, name in enumerate(event_names)}
+    n_states = len(state_names)
+    n_events = len(event_names)
+
+    # One flat pass plus a single global lexsort beats per-event sorts:
+    # the arrays come out grouped by event and sorted by (src, dst)
+    # within each group, which is the order the search kernels rely on.
+    # Friend access to the raw transition map: at hundreds of thousands
+    # of transitions even the iter_transitions generator frames show up.
+    triples = [
+        (event_index[event.name], state_index[source.name], state_index[target.name])
+        for (source, event), target in automaton._delta.items()
+    ]
+    if triples:
+        data = np.asarray(triples, dtype=_INDEX_DTYPE)
+        ev, src_all, dst_all = data[:, 0], data[:, 1], data[:, 2]
+        order = np.lexsort((dst_all, src_all, ev))
+        ev, src_all, dst_all = ev[order], src_all[order], dst_all[order]
+    else:
+        ev = src_all = dst_all = np.asarray([], dtype=_INDEX_DTYPE)
+    bounds = np.searchsorted(ev, np.arange(n_events + 1))
+    src_arrays = [
+        src_all[bounds[e] : bounds[e + 1]] for e in range(n_events)
+    ]
+    dst_arrays = [
+        dst_all[bounds[e] : bounds[e + 1]] for e in range(n_events)
+    ]
+    enabled = np.zeros((n_events, n_states), dtype=bool)
+    if ev.size:
+        enabled[ev, src_all] = True
+
+    marked = np.zeros(n_states, dtype=bool)
+    for state in automaton.marked:
+        marked[state_index[state.name]] = True
+    forbidden = np.zeros(n_states, dtype=bool)
+    for state in automaton.forbidden:
+        forbidden[state_index[state.name]] = True
+
+    controllable = np.array(
+        [event.controllable for event in automaton.alphabet], dtype=bool
+    )
+    initial = (
+        state_index[automaton.initial.name] if automaton.has_initial else -1
+    )
+    return EncodedAutomaton(
+        name=automaton.name,
+        n_states=n_states,
+        event_names=event_names,
+        event_controllable=controllable,
+        src=tuple(src_arrays),
+        dst=tuple(dst_arrays),
+        initial=initial,
+        marked=marked,
+        forbidden=forbidden,
+        state_names=state_names,
+        enabled=enabled,
+    )
+
+
+# ----------------------------------------------------------------------
+# Products in pair-index space
+# ----------------------------------------------------------------------
+@dataclass
+class PairEncoding:
+    """An encoded product plus the factor encodings that label its pairs.
+
+    Pair ``k`` decodes to ``(k // right.n_states, k % right.n_states)``.
+    """
+
+    product: EncodedAutomaton
+    left: EncodedAutomaton
+    right: EncodedAutomaton
+
+    def split(self, pair: int) -> tuple[int, int]:
+        return divmod(pair, self.right.n_states)
+
+    def pair_label(self, pair: int) -> str:
+        i, j = self.split(pair)
+        return f"{self.left.state_label(i)}.{self.right.state_label(j)}"
+
+
+def _cross_pairs(
+    sa: np.ndarray, da: np.ndarray, sb: np.ndarray, db: np.ndarray, nb: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pair transitions of a shared event: the cross join of the two
+    factors' transition arrays, in pair-index space.  Broadcasting
+    (row-major ravel) gives the same ordering repeat/tile would, without
+    their intermediate copies."""
+    src = (sa[:, None] * nb + sb[None, :]).ravel()
+    dst = (da[:, None] * nb + db[None, :]).ravel()
+    return src, dst
+
+
+def _private_pairs(
+    s: np.ndarray, d: np.ndarray, other_n: int, *, left: bool, nb: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair transitions of a private event: the other factor holds still."""
+    other = np.arange(other_n, dtype=_INDEX_DTYPE)
+    if left:
+        src = (s[:, None] * nb + other[None, :]).ravel()
+        dst = (d[:, None] * nb + other[None, :]).ravel()
+    else:
+        src = (other[:, None] * nb + s[None, :]).ravel()
+        dst = (other[:, None] * nb + d[None, :]).ravel()
+    return src, dst
+
+
+def synchronous_product(
+    left: EncodedAutomaton, right: EncodedAutomaton
+) -> PairEncoding:
+    """``left || right`` in pair-index space (Section 4.3.1 semantics):
+    shared events synchronize, private events interleave.  Marked pairs
+    are pairs of marked states; a pair is forbidden if either component
+    is."""
+    names = sorted(set(left.event_names) | set(right.event_names))
+    nb = right.n_states
+    src_arrays: list[np.ndarray] = []
+    dst_arrays: list[np.ndarray] = []
+    controllable: list[bool] = []
+    empty = np.asarray([], dtype=_INDEX_DTYPE)
+    for name in names:
+        li = left.event_index(name)
+        ri = right.event_index(name)
+        if li is not None and ri is not None:
+            sa, da = left.src[li], left.dst[li]
+            sb, db = right.src[ri], right.dst[ri]
+            if sa.size and sb.size:
+                src, dst = _cross_pairs(sa, da, sb, db, nb)
+            else:
+                src, dst = empty, empty
+            controllable.append(bool(left.event_controllable[li]))
+        elif li is not None:
+            src, dst = _private_pairs(
+                left.src[li], left.dst[li], nb, left=True, nb=nb
+            )
+            controllable.append(bool(left.event_controllable[li]))
+        else:
+            assert ri is not None
+            src, dst = _private_pairs(
+                right.src[ri], right.dst[ri], left.n_states, left=False, nb=nb
+            )
+            controllable.append(bool(right.event_controllable[ri]))
+        src_arrays.append(src)
+        dst_arrays.append(dst)
+
+    marked = (left.marked[:, None] & right.marked[None, :]).ravel()
+    forbidden = (left.forbidden[:, None] | right.forbidden[None, :]).ravel()
+    initial = (
+        left.initial * nb + right.initial
+        if left.initial >= 0 and right.initial >= 0
+        else -1
+    )
+    product = EncodedAutomaton(
+        name=f"{left.name}||{right.name}",
+        n_states=left.n_states * nb,
+        event_names=tuple(names),
+        event_controllable=np.asarray(controllable, dtype=bool),
+        src=tuple(src_arrays),
+        dst=tuple(dst_arrays),
+        initial=initial,
+        marked=marked,
+        forbidden=forbidden,
+    )
+    return PairEncoding(product=product, left=left, right=right)
+
+
+def controllability_product(
+    plant: EncodedAutomaton, supervisor: EncodedAutomaton
+) -> PairEncoding:
+    """The joint walk used by controllability checking.
+
+    Only *plant* events drive the pair space, and a pair advances only
+    when both factors enable the event — supervisor-private events never
+    fire, and a plant event the supervisor's alphabet lacks is treated
+    as disabled by the supervisor (matching the explicit checker).
+    """
+    nb = supervisor.n_states
+    src_arrays: list[np.ndarray] = []
+    dst_arrays: list[np.ndarray] = []
+    empty = np.asarray([], dtype=_INDEX_DTYPE)
+    for e, name in enumerate(plant.event_names):
+        si = supervisor.event_index(name)
+        if si is None:
+            src, dst = empty, empty
+        else:
+            sa, da = plant.src[e], plant.dst[e]
+            sb, db = supervisor.src[si], supervisor.dst[si]
+            if sa.size and sb.size:
+                src, dst = _cross_pairs(sa, da, sb, db, nb)
+            else:
+                src, dst = empty, empty
+        src_arrays.append(src)
+        dst_arrays.append(dst)
+    marked = (plant.marked[:, None] & supervisor.marked[None, :]).ravel()
+    forbidden = (
+        plant.forbidden[:, None] | supervisor.forbidden[None, :]
+    ).ravel()
+    initial = (
+        plant.initial * nb + supervisor.initial
+        if plant.initial >= 0 and supervisor.initial >= 0
+        else -1
+    )
+    product = EncodedAutomaton(
+        name=f"{plant.name}/{supervisor.name}",
+        n_states=plant.n_states * nb,
+        event_names=plant.event_names,
+        event_controllable=plant.event_controllable.copy(),
+        src=tuple(src_arrays),
+        dst=tuple(dst_arrays),
+        initial=initial,
+        marked=marked,
+        forbidden=forbidden,
+    )
+    return PairEncoding(product=product, left=plant, right=supervisor)
+
+
+def restrict_states(enc: EncodedAutomaton, keep: np.ndarray) -> EncodedAutomaton:
+    """The sub-encoding induced by ``keep`` (a bool mask).
+
+    State indices are preserved (masks stay comparable across the
+    original and the restriction); transitions touching a dropped state
+    are removed, and dropped states lose their marked/forbidden/initial
+    status.
+    """
+    src_arrays: list[np.ndarray] = []
+    dst_arrays: list[np.ndarray] = []
+    enabled = (
+        np.zeros((enc.n_events, enc.n_states), dtype=bool)
+        if enc.enabled is not None
+        else None
+    )
+    for e in range(enc.n_events):
+        src, dst = enc.src[e], enc.dst[e]
+        if src.size:
+            hits = keep[src] & keep[dst]
+            src, dst = src[hits], dst[hits]
+        src_arrays.append(src)
+        dst_arrays.append(dst)
+        if enabled is not None and src.size:
+            enabled[e, src] = True
+    initial = (
+        enc.initial if enc.initial >= 0 and keep[enc.initial] else -1
+    )
+    return EncodedAutomaton(
+        name=enc.name,
+        n_states=enc.n_states,
+        event_names=enc.event_names,
+        event_controllable=enc.event_controllable,
+        src=tuple(src_arrays),
+        dst=tuple(dst_arrays),
+        initial=initial,
+        marked=enc.marked & keep,
+        forbidden=enc.forbidden & keep,
+        state_names=enc.state_names,
+        enabled=enabled,
+    )
+
+
+# ----------------------------------------------------------------------
+# Bitset breadth-first search
+# ----------------------------------------------------------------------
+def _start_mask(enc: EncodedAutomaton, start: np.ndarray | None) -> np.ndarray:
+    if start is not None:
+        return start.astype(bool, copy=True)
+    mask = np.zeros(enc.n_states, dtype=bool)
+    if enc.initial >= 0:
+        mask[enc.initial] = True
+    return mask
+
+
+# A binary-search gather costs ~log2(T) per frontier state; a full scan
+# costs T.  Below this frontier-to-transition ratio the gather wins.
+_GATHER_FACTOR = 16
+
+
+def _frontier_edges(
+    keys: np.ndarray,
+    values: np.ndarray,
+    frontier_mask: np.ndarray,
+    frontier_indices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edges whose (ascending-sorted) ``keys`` entry lies in the
+    frontier, in array order.
+
+    Narrow frontiers use binary search over the sorted key array so only
+    the frontier states' edges are touched — a whole BFS then costs
+    O(E) amortized instead of re-scanning every transition array once
+    per level.  Wide frontiers fall back to the vectorized full scan,
+    which is cheaper than per-state bisection.  Either way edge
+    positions come out ascending, preserving the smallest-source-first
+    claim order :func:`forward_search` relies on.
+    """
+    if frontier_indices.size * _GATHER_FACTOR >= keys.size:
+        hits = frontier_mask[keys]
+        return keys[hits], values[hits]
+    lo = np.searchsorted(keys, frontier_indices, side="left")
+    hi = np.searchsorted(keys, frontier_indices, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if not total:
+        empty = np.asarray([], dtype=_INDEX_DTYPE)
+        return empty, empty
+    starts = np.cumsum(counts) - counts
+    pos = np.repeat(lo - starts, counts) + np.arange(
+        total, dtype=_INDEX_DTYPE
+    )
+    return keys[pos], values[pos]
+
+
+def forward_reachable(
+    enc: EncodedAutomaton,
+    start: np.ndarray | None = None,
+    event_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bool mask of states reachable from ``start`` (default: initial),
+    optionally restricted to events selected by ``event_mask``."""
+    visited = _start_mask(enc, start)
+    frontier = visited.copy()
+    while frontier.any():
+        fr = np.flatnonzero(frontier)
+        nxt = np.zeros(enc.n_states, dtype=bool)
+        for e in range(enc.n_events):
+            if event_mask is not None and not event_mask[e]:
+                continue
+            src = enc.src[e]
+            if not src.size:
+                continue
+            _, targets = _frontier_edges(src, enc.dst[e], frontier, fr)
+            if targets.size:
+                nxt[targets] = True
+        frontier = nxt & ~visited
+        visited |= frontier
+    return visited
+
+
+def backward_reachable(
+    enc: EncodedAutomaton,
+    targets: np.ndarray | None = None,
+    event_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bool mask of states that can reach ``targets`` (default: marked
+    states) — the coaccessibility operator in bitset form."""
+    visited = (
+        targets.astype(bool, copy=True)
+        if targets is not None
+        else enc.marked.copy()
+    )
+    # Transition arrays are sorted by source; the backward walk keys on
+    # targets.  Wide frontiers scan the unsorted arrays directly; the
+    # first narrow frontier sorts an event's arrays by target once and
+    # caches them for the remaining levels.
+    by_dst: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    frontier = visited.copy()
+    while frontier.any():
+        fr = np.flatnonzero(frontier)
+        nxt = np.zeros(enc.n_states, dtype=bool)
+        for e in range(enc.n_events):
+            if event_mask is not None and not event_mask[e]:
+                continue
+            dst = enc.dst[e]
+            if not dst.size:
+                continue
+            if fr.size * _GATHER_FACTOR >= dst.size:
+                hits = frontier[dst]
+                if hits.any():
+                    nxt[enc.src[e][hits]] = True
+                continue
+            pair = by_dst.get(e)
+            if pair is None:
+                order = np.argsort(dst, kind="stable")
+                pair = (dst[order], enc.src[e][order])
+                by_dst[e] = pair
+            _, sources = _frontier_edges(pair[0], pair[1], frontier, fr)
+            if sources.size:
+                nxt[sources] = True
+        frontier = nxt & ~visited
+        visited |= frontier
+    return visited
+
+
+@dataclass
+class SearchTree:
+    """Forward BFS result with parent pointers for trace extraction."""
+
+    visited: np.ndarray
+    parent_state: np.ndarray
+    parent_event: np.ndarray
+    depth: np.ndarray
+
+
+def forward_search(
+    enc: EncodedAutomaton, start: np.ndarray | None = None
+) -> SearchTree:
+    """Level-synchronized forward BFS recording shortest-path parents.
+
+    Parent claiming is deterministic: within a level, events are
+    processed in alphabet order and a state keeps the first claim —
+    smallest event index, then smallest source index.
+    """
+    n = enc.n_states
+    visited = _start_mask(enc, start)
+    parent_state = np.full(n, -1, dtype=_INDEX_DTYPE)
+    parent_event = np.full(n, -1, dtype=_INDEX_DTYPE)
+    depth = np.full(n, -1, dtype=_INDEX_DTYPE)
+    depth[visited] = 0
+    frontier = visited.copy()
+    level = 0
+    while frontier.any():
+        level += 1
+        fr = np.flatnonzero(frontier)
+        claimed = visited.copy()
+        for e in range(enc.n_events):
+            src = enc.src[e]
+            if not src.size:
+                continue
+            sources, targets = _frontier_edges(src, enc.dst[e], frontier, fr)
+            if not targets.size:
+                continue
+            hits = ~claimed[targets]
+            if not hits.any():
+                continue
+            sources = sources[hits]
+            targets = targets[hits]
+            # First occurrence wins: edge positions are ascending in the
+            # (source, target)-sorted arrays, so ties resolve to the
+            # smallest source.
+            fresh, first = np.unique(targets, return_index=True)
+            parent_state[fresh] = sources[first]
+            parent_event[fresh] = e
+            depth[fresh] = level
+            claimed[fresh] = True
+        frontier = claimed & ~visited
+        visited = claimed
+    return SearchTree(
+        visited=visited,
+        parent_state=parent_state,
+        parent_event=parent_event,
+        depth=depth,
+    )
+
+
+def witness_trace(
+    enc: EncodedAutomaton, tree: SearchTree, target: int
+) -> tuple[str, ...]:
+    """The event trace from the search root to ``target`` (shortest, by
+    construction of :func:`forward_search`)."""
+    events: list[str] = []
+    state = int(target)
+    while tree.parent_state[state] >= 0:
+        events.append(enc.event_names[int(tree.parent_event[state])])
+        state = int(tree.parent_state[state])
+    events.reverse()
+    return tuple(events)
+
+
+def nearest_state(tree: SearchTree, mask: np.ndarray) -> int:
+    """The visited state in ``mask`` with minimal BFS depth (ties break
+    to the smallest index); ``-1`` when none is reachable."""
+    candidates = np.flatnonzero(mask & tree.visited)
+    if not candidates.size:
+        return -1
+    return int(candidates[np.argmin(tree.depth[candidates])])

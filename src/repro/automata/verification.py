@@ -11,12 +11,22 @@ Two properties must hold before a supervisor is deployed:
 Both are checked on the synchronous product of supervisor and plant so
 that the verdicts refer to the actual closed loop, matching the checks
 Supremica performs for the paper.
+
+Since the REPRO-M analyzer landed, the checks run on the bitset kernel
+of :mod:`repro.automata.symbolic` — the closed loop is explored in
+pair-index space without materializing the composed automaton, and every
+controllability violation carries a shortest witness trace.  The
+original explicit-state walks survive as :func:`explicit_verify_supervisor`
+and :func:`explicit_check_controllability`, kept solely as test oracles
+for the equivalence suite.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from repro.automata.automaton import Automaton, State
 from repro.automata.events import Event
@@ -25,15 +35,42 @@ from repro.automata.operations import (
     is_nonblocking,
     synchronous_composition,
 )
+from repro.automata.symbolic import (
+    EncodedAutomaton,
+    backward_reachable,
+    controllability_product,
+    encode_automaton,
+    forward_reachable,
+    forward_search,
+    synchronous_product,
+    witness_trace,
+)
+
+__all__ = [
+    "ControllabilityViolation",
+    "VerificationReport",
+    "check_controllability",
+    "check_nonblocking",
+    "explicit_check_controllability",
+    "explicit_verify_supervisor",
+    "verify_supervisor",
+]
 
 
 @dataclass(frozen=True)
 class ControllabilityViolation:
-    """A witness that the supervisor disables an uncontrollable event."""
+    """A witness that the supervisor disables an uncontrollable event.
+
+    ``trace`` is a shortest event sequence (from the joint initial
+    state) after which the plant reaches ``plant_state`` and the
+    supervisor ``supervisor_state`` with ``event`` enabled only by the
+    plant.  Explicit-oracle construction may omit it (empty tuple).
+    """
 
     plant_state: State
     supervisor_state: State
     event: Event
+    trace: tuple[str, ...] = field(default=(), compare=False)
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -42,10 +79,41 @@ class ControllabilityViolation:
             f"{self.supervisor_state}"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plant_state": self.plant_state.name,
+            "supervisor_state": self.supervisor_state.name,
+            "event": {
+                "name": self.event.name,
+                "controllable": self.event.controllable,
+                "observable": self.event.observable,
+            },
+            "trace": list(self.trace),
+        }
 
-@dataclass
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ControllabilityViolation":
+        event = payload["event"]
+        return cls(
+            plant_state=State(payload["plant_state"]),
+            supervisor_state=State(payload["supervisor_state"]),
+            event=Event(
+                name=event["name"],
+                controllable=event["controllable"],
+                observable=event.get("observable", True),
+            ),
+            trace=tuple(payload.get("trace", ())),
+        )
+
+
+@dataclass(frozen=True)
 class VerificationReport:
-    """Combined nonblocking + controllability verdict."""
+    """Combined nonblocking + controllability verdict.
+
+    Frozen and round-trippable through :meth:`to_dict` /
+    :meth:`from_dict` so the exec layer can cache verification results
+    alongside persisted policy bundles.
+    """
 
     nonblocking: bool
     controllable: bool
@@ -67,10 +135,87 @@ class VerificationReport:
             lines.append(f"violation: {violation}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "verification-report/1",
+            "nonblocking": self.nonblocking,
+            "controllable": self.controllable,
+            "blocking_states": sorted(s.name for s in self.blocking_states),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "VerificationReport":
+        return cls(
+            nonblocking=bool(payload["nonblocking"]),
+            controllable=bool(payload["controllable"]),
+            blocking_states=frozenset(
+                State(name) for name in payload.get("blocking_states", ())
+            ),
+            violations=tuple(
+                ControllabilityViolation.from_dict(entry)
+                for entry in payload.get("violations", ())
+            ),
+        )
+
+
+def _violation_sort_key(
+    violation: ControllabilityViolation,
+) -> tuple[int, tuple[str, ...], str, str, str]:
+    return (
+        len(violation.trace),
+        violation.trace,
+        violation.plant_state.name,
+        violation.supervisor_state.name,
+        violation.event.name,
+    )
+
 
 def check_nonblocking(automaton: Automaton) -> bool:
-    """Every reachable state can reach a marked state."""
-    return is_nonblocking(automaton)
+    """Every reachable state can reach a marked state.
+
+    Runs on the bitset kernel; equivalent to
+    :func:`repro.automata.operations.is_nonblocking`.
+    """
+    enc = encode_automaton(automaton)
+    reachable = forward_reachable(enc)
+    if not reachable.any():
+        return True
+    return not bool((reachable & ~backward_reachable(enc)).any())
+
+
+def _symbolic_controllability(
+    plant: Automaton,
+    supervisor: Automaton,
+    plant_enc: EncodedAutomaton,
+    sup_enc: EncodedAutomaton,
+) -> tuple[bool, tuple[ControllabilityViolation, ...]]:
+    pair = controllability_product(plant_enc, sup_enc)
+    tree = forward_search(pair.product)
+    reachable = tree.visited.reshape(plant_enc.n_states, sup_enc.n_states)
+    violations: list[ControllabilityViolation] = []
+    for e, name in enumerate(plant_enc.event_names):
+        if plant_enc.event_controllable[e]:
+            continue
+        assert plant_enc.enabled is not None
+        plant_on = plant_enc.enabled[e]
+        sup_on = sup_enc.event_enabled(name)
+        bad = reachable & plant_on[:, None] & ~sup_on[None, :]
+        if not bad.any():
+            continue
+        event = plant.alphabet[name]
+        for flat in np.flatnonzero(bad.ravel()):
+            i, j = pair.split(int(flat))
+            violations.append(
+                ControllabilityViolation(
+                    plant_state=State(plant_enc.state_label(i)),
+                    supervisor_state=State(sup_enc.state_label(j)),
+                    event=event,
+                    trace=witness_trace(pair.product, tree, int(flat)),
+                )
+            )
+    violations.sort(key=_violation_sort_key)
+    return not violations, tuple(violations)
 
 
 def check_controllability(
@@ -78,36 +223,17 @@ def check_controllability(
 ) -> tuple[bool, tuple[ControllabilityViolation, ...]]:
     """Verify L(S/P) is controllable w.r.t. L(P).
 
-    Walks the joint reachable space of (plant, supervisor).  At each
-    joint state, every uncontrollable event the plant enables must also
-    be enabled by the supervisor.
+    Explores the joint reachable space of (plant, supervisor) with the
+    bitset kernel.  At each joint state, every uncontrollable event the
+    plant enables must also be enabled by the supervisor; each violation
+    carries a shortest witness trace.  Violations are sorted by
+    (trace length, trace, plant state, supervisor state, event).
     """
     if not plant.has_initial or not supervisor.has_initial:
         return True, ()
-    violations: list[ControllabilityViolation] = []
-    start = (plant.initial, supervisor.initial)
-    visited = {start}
-    frontier = deque([start])
-    while frontier:
-        plant_state, sup_state = frontier.popleft()
-        sup_enabled = supervisor.enabled_events(sup_state)
-        for event in plant.enabled_events(plant_state):
-            if event not in sup_enabled:
-                if not event.controllable:
-                    violations.append(
-                        ControllabilityViolation(plant_state, sup_state, event)
-                    )
-                # else: the supervisor legally disables a controllable event.
-                continue
-            next_plant = plant.step(plant_state, event)
-            next_sup = supervisor.step(sup_state, event)
-            if next_plant is None or next_sup is None:
-                continue
-            nxt = (next_plant, next_sup)
-            if nxt not in visited:
-                visited.add(nxt)
-                frontier.append(nxt)
-    return not violations, tuple(violations)
+    return _symbolic_controllability(
+        plant, supervisor, encode_automaton(plant), encode_automaton(supervisor)
+    )
 
 
 def verify_supervisor(plant: Automaton, supervisor: Automaton) -> VerificationReport:
@@ -120,13 +246,100 @@ def verify_supervisor(plant: Automaton, supervisor: Automaton) -> VerificationRe
     (e.g. it marks a state the plant cannot complete a task from).  The
     reported blocking states are composite ``plant.supervisor`` states of
     the closed loop.
+
+    The closed loop is explored symbolically in pair-index space; the
+    composed automaton is never materialized.  An automaton without an
+    initial state yields an empty closed loop, which is trivially
+    nonblocking.
     """
+    plant_enc = encode_automaton(plant)
+    sup_enc = encode_automaton(supervisor)
+    pair = synchronous_product(plant_enc, sup_enc)
+    reachable = forward_reachable(pair.product)
+    blocking: frozenset[State] = frozenset()
+    nonblocking = True
+    if reachable.any():
+        blocked = reachable & ~backward_reachable(pair.product)
+        if blocked.any():
+            nonblocking = False
+            blocking = frozenset(
+                State(pair.pair_label(int(i))) for i in np.flatnonzero(blocked)
+            )
+    if plant.has_initial and supervisor.has_initial:
+        controllable, violations = _symbolic_controllability(
+            plant, supervisor, plant_enc, sup_enc
+        )
+    else:
+        controllable, violations = True, ()
+    return VerificationReport(
+        nonblocking=nonblocking,
+        controllable=controllable,
+        blocking_states=blocking,
+        violations=violations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Explicit-state oracles (test-only reference implementations)
+# ----------------------------------------------------------------------
+def explicit_check_controllability(
+    plant: Automaton, supervisor: Automaton
+) -> tuple[bool, tuple[ControllabilityViolation, ...]]:
+    """The original explicit-state controllability walk, kept as the
+    test oracle for the bitset kernel.
+
+    Level-synchronized BFS over joint (plant, supervisor) states with
+    events expanded in alphabet order, so witness traces match the
+    symbolic kernel's deterministic tie-breaking exactly.
+    """
+    if not plant.has_initial or not supervisor.has_initial:
+        return True, ()
+    start = (plant.initial, supervisor.initial)
+    words: dict[tuple[State, State], tuple[str, ...]] = {start: ()}
+    frontier = [start]
+    violations: list[ControllabilityViolation] = []
+    events = list(plant.alphabet)
+    while frontier:
+        frontier.sort(key=lambda pair: (pair[0].name, pair[1].name))
+        for plant_state, sup_state in frontier:
+            sup_enabled = supervisor.enabled_events(sup_state)
+            for event in plant.enabled_events(plant_state):
+                if event not in sup_enabled and not event.controllable:
+                    violations.append(
+                        ControllabilityViolation(
+                            plant_state,
+                            sup_state,
+                            event,
+                            trace=words[(plant_state, sup_state)],
+                        )
+                    )
+        next_frontier: list[tuple[State, State]] = []
+        for event in events:
+            for plant_state, sup_state in frontier:
+                next_plant = plant.step(plant_state, event)
+                next_sup = supervisor.step(sup_state, event)
+                if next_plant is None or next_sup is None:
+                    continue
+                nxt = (next_plant, next_sup)
+                if nxt not in words:
+                    words[nxt] = words[(plant_state, sup_state)] + (event.name,)
+                    next_frontier.append(nxt)
+        frontier = next_frontier
+    violations.sort(key=_violation_sort_key)
+    return not violations, tuple(violations)
+
+
+def explicit_verify_supervisor(
+    plant: Automaton, supervisor: Automaton
+) -> VerificationReport:
+    """The original explicit-state verification pass (test oracle):
+    materializes ``plant || supervisor`` and walks it with Python sets."""
     closed_loop = synchronous_composition(
         plant, supervisor, name=f"{plant.name}||{supervisor.name}"
     )
-    nonblocking = check_nonblocking(closed_loop)
+    nonblocking = is_nonblocking(closed_loop)
     blocked = blocking_states(closed_loop)
-    controllable, violations = check_controllability(plant, supervisor)
+    controllable, violations = explicit_check_controllability(plant, supervisor)
     return VerificationReport(
         nonblocking=nonblocking,
         controllable=controllable,

@@ -32,8 +32,10 @@ from repro.core.plant_model import (
     qos_tracking_plant,
 )
 from repro.core.scalable import (
+    budget_level_plant,
     build_scalable_supervisor,
     scalable_alphabet,
+    scalable_counter_plant,
     scalable_plant,
     scalable_specification,
 )
@@ -82,6 +84,7 @@ __all__ = [
     "VerifiedSupervisor",
     "budget_lock_spec",
     "build_case_study_supervisor",
+    "budget_level_plant",
     "build_scalable_supervisor",
     "case_study_alphabet",
     "case_study_plant",
@@ -92,6 +95,7 @@ __all__ = [
     "qos_tracking_plant",
     "save_bundle",
     "scalable_alphabet",
+    "scalable_counter_plant",
     "scalable_plant",
     "scalable_specification",
     "synthesize_and_verify",

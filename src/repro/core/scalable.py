@@ -124,6 +124,65 @@ def scalable_budget_lock_spec(
     )
 
 
+def budget_level_plant(
+    cluster: int, levels: int, alphabet: Alphabet
+) -> Automaton:
+    """A ``levels``-state budget counter for one cluster.
+
+    Tracks the cluster's power budget through discrete levels moved by
+    its own increase/decrease events.  Unlike the paper's flat-state
+    supervisors, composing one counter per cluster multiplies the state
+    space by ``levels`` each time — ``levels ** n`` states overall —
+    which is precisely what the model-check benchmark needs: a family
+    of *large* closed-loop models whose verification verdicts are known
+    by construction (every state is marked, so the loop is nonblocking,
+    and only controllable events move the counters).
+    """
+    if levels < 2:
+        raise ValueError("need at least two budget levels")
+    up = increase_power_event(cluster)
+    down = decrease_power_event(cluster)
+    sigma = Alphabet.of([alphabet[up], alphabet[down]])
+    transitions = []
+    for level in range(levels):
+        if level + 1 < levels:
+            transitions.append((f"L{level}", up, f"L{level + 1}"))
+        if level > 0:
+            transitions.append((f"L{level}", down, f"L{level - 1}"))
+    return automaton_from_table(
+        f"Budget{cluster}",
+        sigma,
+        transitions=transitions,
+        initial="L0",
+        marked=[f"L{level}" for level in range(levels)],
+    )
+
+
+def scalable_counter_plant(
+    n_clusters: int, levels: int, alphabet: Alphabet | None = None
+) -> Automaton:
+    """The scalable plant with per-cluster budget counters composed in.
+
+    State count grows as ``levels ** n_clusters`` times the flat plant's
+    — the stress model for the symbolic-vs-explicit verification
+    benchmark (``benchmarks/bench_model_check.py``).
+    """
+    sigma = alphabet or scalable_alphabet(n_clusters)
+    components = [
+        power_capping_plant(sigma),
+        gain_mode_plant(sigma),
+        scalable_qos_tracking_plant(n_clusters, sigma),
+    ]
+    components += [
+        budget_level_plant(cluster, levels, sigma)
+        for cluster in range(n_clusters)
+    ]
+    return compose_all(
+        components,
+        name=f"ManyCoreCounterPlant[{n_clusters}x{levels}]",
+    )
+
+
 def scalable_plant(
     n_clusters: int, alphabet: Alphabet | None = None
 ) -> Automaton:

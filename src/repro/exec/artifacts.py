@@ -24,7 +24,9 @@ forces a rebuild.
 from __future__ import annotations
 
 import hashlib
+import json
 
+from repro.automata.verification import VerificationReport, verify_supervisor
 from repro.core.persistence import BundleError, load_bundle, save_bundle
 from repro.core.synthesis_flow import VerifiedSupervisor
 from repro.exec.cache import ResultCache
@@ -40,6 +42,7 @@ from repro.managers.bundle import bundle_from_design
 
 __all__ = [
     "DESIGN_SCHEMA",
+    "VERIFICATION_FILE",
     "design_digest",
     "ensure_design_artifacts",
     "prime_process",
@@ -47,6 +50,10 @@ __all__ = [
 
 # Bump when the identification/synthesis recipe changes incompatibly.
 DESIGN_SCHEMA = "design-artifacts/1"
+
+# Serialized VerificationReport written beside each bundle: the formal
+# certificate travels with the artifact it certifies.
+VERIFICATION_FILE = "verification.json"
 
 
 def design_digest(salt: str) -> str:
@@ -56,11 +63,27 @@ def design_digest(salt: str) -> str:
 
 
 def _bundle_ok(cache: ResultCache, digest: str) -> bool:
-    """Load and formally re-verify the persistence bundle of an entry."""
+    """Load and formally re-verify the persistence bundle of an entry.
+
+    Beyond the trust-but-verify re-check, the persisted
+    ``verification.json`` certificate must equal the freshly recomputed
+    :class:`VerificationReport` — a bundle whose stored certificate no
+    longer matches what verification derives (e.g. after a model edit
+    that bypassed the design flow) invalidates the entry.
+    """
     try:
-        bundle = load_bundle(cache.bundle_dir(digest))
-        return bundle.verify()
-    except (BundleError, OSError, ValueError):
+        directory = cache.bundle_dir(digest)
+        bundle = load_bundle(directory)
+        if bundle.plant is None:
+            return bundle.verify()
+        report = verify_supervisor(bundle.plant, bundle.supervisor)
+        if not report.verified:
+            return False
+        payload = json.loads(
+            (directory / VERIFICATION_FILE).read_text(encoding="utf-8")
+        )
+        return VerificationReport.from_dict(payload) == report
+    except (BundleError, OSError, ValueError, KeyError, TypeError):
         return False
 
 
@@ -92,11 +115,17 @@ def ensure_design_artifacts(
         big=built.big, little=built.little, full=built.full
     )
     cache.put(digest, (systems, verified))
+    bundle_dir = cache.bundle_dir(digest)
     save_bundle(
         bundle_from_design(
             verified, {"big": systems.big, "little": systems.little}
         ),
-        cache.bundle_dir(digest),
+        bundle_dir,
+    )
+    (bundle_dir / VERIFICATION_FILE).write_text(
+        json.dumps(verified.verification.to_dict(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
     )
     return systems, verified
 

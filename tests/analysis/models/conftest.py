@@ -1,0 +1,34 @@
+"""Shared helpers for the model-analyzer tests."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.automata.serialization import automaton_to_dict
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def write_model(path: Path, automaton) -> Path:
+    """Serialize ``automaton`` to ``path`` in the committed format."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(automaton_to_dict(automaton), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+@pytest.fixture
+def model_dir(tmp_path):
+    """Factory laying out role-named model files under a tmp unit dir."""
+
+    def _make(models: dict[str, object], name: str = "unit") -> Path:
+        root = tmp_path / name
+        for role, automaton in models.items():
+            write_model(root / f"{role}.json", automaton)
+        return root
+
+    return _make

@@ -1,0 +1,188 @@
+"""Regenerate the golden bad-model fixtures under ``fixtures/``.
+
+Each subdirectory is one model-check *unit* (a lone role-named file or a
+plant+supervisor set) engineered to trip exactly one headline M-rule —
+the expected findings are asserted verbatim in ``test_rules_golden.py``.
+Run from the repo root after changing the serialization format:
+
+    PYTHONPATH=src python tests/analysis/models/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.automata.automaton import automaton_from_table
+from repro.automata.events import Alphabet, controllable, uncontrollable
+from repro.automata.serialization import automaton_to_dict
+from repro.core.alphabet import (
+    CRITICAL,
+    DECREASE_CRITICAL_POWER,
+    INCREASE_BIG_POWER,
+    SAFE_POWER,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+SIGMA = Alphabet.of([controllable("go"), uncontrollable("fault")])
+
+
+def _write(relative: str, automaton) -> None:
+    path = FIXTURES / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(automaton_to_dict(automaton), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def build_all() -> None:
+    # M001: 'Orphan' is disconnected from the initial state.
+    _write(
+        "m001_unreachable/plant.json",
+        automaton_from_table(
+            "DebrisPlant",
+            SIGMA,
+            [("Idle", "go", "Idle"), ("Orphan", "fault", "Orphan")],
+            initial="Idle",
+            marked=["Idle"],
+        ),
+    )
+
+    # M002 (+M001 dead, +M005): 'Stuck' is reachable, dead and blocking.
+    _write(
+        "m002_blocking/plant.json",
+        automaton_from_table(
+            "CapPlant",
+            SIGMA,
+            [
+                ("Idle", "go", "Work"),
+                ("Work", "go", "Idle"),
+                ("Work", "fault", "Stuck"),
+            ],
+            initial="Idle",
+            marked=["Idle"],
+        ),
+    )
+
+    # M003: the supervisor disables 'fault' where the plant enables it.
+    _write(
+        "m003_uncontrollable/plant.json",
+        automaton_from_table(
+            "P",
+            SIGMA,
+            [("P0", "go", "P1"), ("P1", "fault", "P2")],
+            initial="P0",
+            marked=["P0", "P1", "P2"],
+        ),
+    )
+    _write(
+        "m003_uncontrollable/supervisor.json",
+        automaton_from_table(
+            "S",
+            SIGMA,
+            [("S0", "go", "S1")],
+            initial="S0",
+            marked=["S0", "S1"],
+        ),
+    )
+
+    # M004: 'go' flips controllability between the two models.
+    _write(
+        "m004_alphabet/plant.json",
+        automaton_from_table(
+            "P",
+            Alphabet.of([uncontrollable("go")]),
+            [("P0", "go", "P0")],
+            initial="P0",
+            marked=["P0"],
+        ),
+    )
+    _write(
+        "m004_alphabet/supervisor.json",
+        automaton_from_table(
+            "S",
+            Alphabet.of([controllable("go")]),
+            [("S0", "go", "S0")],
+            initial="S0",
+            marked=["S0"],
+        ),
+    )
+
+    # M005 (isolated): 'fault' drives healthy 'Work' into forbidden
+    # 'Trap'; marking keeps every other rule quiet.
+    _write(
+        "m005_deadend/plant.json",
+        automaton_from_table(
+            "GuardPlant",
+            SIGMA,
+            [
+                ("Idle", "go", "Work"),
+                ("Work", "go", "Idle"),
+                ("Work", "fault", "Trap"),
+            ],
+            initial="Idle",
+            marked=["Idle", "Work"],
+            forbidden=["Trap"],
+        ),
+    )
+
+    # M006: budget raise during a capping episode (RES-I2) and an
+    # escalated critical with no controllable path to the hard drop
+    # (RES-I3 — decreaseCriticalPower is in the alphabet but silent,
+    # which also trips the M004 coverage gap).
+    capping = Alphabet.of(
+        [
+            uncontrollable(CRITICAL),
+            uncontrollable(SAFE_POWER),
+            controllable(INCREASE_BIG_POWER),
+            controllable(DECREASE_CRITICAL_POWER),
+        ]
+    )
+    _write(
+        "m006_monitor/supervisor.json",
+        automaton_from_table(
+            "BadSupervisor",
+            capping,
+            [
+                ("Run", CRITICAL, "Cap"),
+                ("Cap", CRITICAL, "Cap"),
+                ("Cap", INCREASE_BIG_POWER, "Cap"),
+                ("Cap", SAFE_POWER, "Run"),
+            ],
+            initial="Run",
+            marked=["Run", "Cap"],
+        ),
+    )
+
+    # M007: the persisted supervisor still enables 'go', but
+    # re-synthesis removes it (go leads to an uncontrollable step into
+    # the forbidden state), so the artifact is stale.
+    _write(
+        "m007_stale/plant.json",
+        automaton_from_table(
+            "P",
+            SIGMA,
+            [("P0", "go", "P1"), ("P1", "fault", "Bad")],
+            initial="P0",
+            marked=["P0", "P1"],
+            forbidden=["Bad"],
+        ),
+    )
+    _write(
+        "m007_stale/supervisor.json",
+        automaton_from_table(
+            "StaleSup",
+            SIGMA,
+            [("S0", "go", "S1"), ("S1", "fault", "S1")],
+            initial="S0",
+            marked=["S0", "S1"],
+        ),
+    )
+
+
+if __name__ == "__main__":
+    build_all()
+    print(f"fixtures written under {FIXTURES}")

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.exec.artifacts import design_digest, ensure_design_artifacts
+from repro.automata.verification import VerificationReport
+from repro.exec.artifacts import (
+    VERIFICATION_FILE,
+    design_digest,
+    ensure_design_artifacts,
+)
 from repro.exec.cache import ResultCache
 
 
@@ -40,6 +47,36 @@ def test_reload_is_bit_identical_to_build(warm_cache):
 def test_cached_container_omits_percore(warm_cache):
     systems, _ = ensure_design_artifacts(warm_cache)
     assert systems.percore is None
+
+
+def test_verification_certificate_written_beside_bundle(warm_cache):
+    digest = design_digest(warm_cache.salt)
+    certificate = warm_cache.bundle_dir(digest) / VERIFICATION_FILE
+    assert certificate.is_file()
+    payload = json.loads(certificate.read_text(encoding="utf-8"))
+    report = VerificationReport.from_dict(payload)
+    assert report.verified
+    _, verified = ensure_design_artifacts(warm_cache)
+    assert report == verified.verification
+
+
+def test_tampered_certificate_forces_rebuild(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    ensure_design_artifacts(cache)
+    digest = design_digest(cache.salt)
+    certificate = cache.bundle_dir(digest) / VERIFICATION_FILE
+    payload = json.loads(certificate.read_text(encoding="utf-8"))
+    # A syntactically valid report that does not match what verification
+    # recomputes: the certificate no longer certifies this bundle.
+    payload["nonblocking"] = False
+    certificate.write_text(json.dumps(payload), encoding="utf-8")
+    systems, verified = ensure_design_artifacts(cache)
+    assert cache.invalidations >= 1
+    assert verified.verification.verified
+    report = VerificationReport.from_dict(
+        json.loads(certificate.read_text(encoding="utf-8"))
+    )
+    assert report == verified.verification  # rewritten on rebuild
 
 
 def test_corrupt_bundle_forces_rebuild(tmp_path):
