@@ -1,0 +1,121 @@
+"""Cost of the supervision layer: journal appends and resume skips.
+
+Quantifies what the fault-tolerant campaign runtime charges a healthy
+run: the per-job price of durable (fsync'd) journal appends on a serial
+campaign of cheap jobs, the raw append rate of the journal itself, and
+the speed of a resumed run that serves every job from the journal +
+cache instead of recomputing.  Writes
+``benchmarks/results/supervision.json`` so the overhead is diffable
+across runs.
+
+Wall-clock bounds are deliberately loose (fsync latency is storage
+hardware, not code); the byte-identity of journaled vs bare results is
+asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import RESULTS_DIR
+
+JOB_COUNT = 200
+APPEND_COUNT = 200
+# An fsync per append on spinning rust is ~10 ms; anything above this
+# means the journal started doing per-append work beyond one write+sync.
+APPEND_BUDGET_MS = 50.0
+
+
+def _jobs():
+    from repro.exec.job import ScenarioJob
+
+    return [
+        ScenarioJob(
+            manager="SPECTR",
+            runner="repro.exec.engine._echo_runner",
+            overrides=(("tag", str(index)),),
+            label=f"bench-{index:04d}",
+        )
+        for index in range(JOB_COUNT)
+    ]
+
+
+def _timed_run(engine, jobs):
+    start = time.perf_counter()
+    records = engine.run(jobs)
+    return records, time.perf_counter() - start
+
+
+def test_supervision_overhead(tmp_path, save_result):
+    from repro.exec.cache import ResultCache
+    from repro.exec.engine import ExperimentEngine
+    from repro.exec.supervision import RunJournal
+
+    jobs = _jobs()
+
+    bare_engine = ExperimentEngine(max_workers=1, prime_artifacts=False)
+    bare, bare_s = _timed_run(bare_engine, jobs)
+
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "journal.jsonl", salt=cache.salt)
+    supervised_engine = ExperimentEngine(
+        max_workers=1,
+        cache=cache,
+        journal=journal,
+        prime_artifacts=False,
+    )
+    supervised, supervised_s = _timed_run(supervised_engine, jobs)
+
+    # Resume on the populated journal + cache: nothing recomputes.
+    resumed_engine = ExperimentEngine(
+        max_workers=1,
+        cache=cache,
+        journal=journal,
+        prime_artifacts=False,
+    )
+    resumed, resumed_s = _timed_run(resumed_engine, jobs)
+    assert all(r.mode in ("cache", "journal") for r in resumed)
+
+    # Supervision must not change a single result byte.
+    assert [r.result for r in bare] == [r.result for r in supervised]
+    assert [r.result for r in bare] == [r.result for r in resumed]
+
+    # Raw append rate of the durable journal.
+    raw = RunJournal(tmp_path / "raw.jsonl", salt="bench")
+    start = time.perf_counter()
+    for index in range(APPEND_COUNT):
+        raw.record(f"{index:064x}", "done", attempts=1, duration_s=0.0)
+    append_ms = (time.perf_counter() - start) / APPEND_COUNT * 1e3
+    assert append_ms < APPEND_BUDGET_MS, (
+        f"journal append costs {append_ms:.1f} ms; "
+        f"budget is {APPEND_BUDGET_MS:.0f} ms"
+    )
+    assert len(raw.load()) == APPEND_COUNT
+
+    overhead_ms = max(0.0, supervised_s - bare_s) / JOB_COUNT * 1e3
+    payload = {
+        "jobs": JOB_COUNT,
+        "bare_s": round(bare_s, 4),
+        "supervised_s": round(supervised_s, 4),
+        "resumed_s": round(resumed_s, 4),
+        "overhead_ms_per_job": round(overhead_ms, 3),
+        "journal_append_ms": round(append_ms, 3),
+        "journal_append_budget_ms": APPEND_BUDGET_MS,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "supervision.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    save_result(
+        "supervision",
+        f"Campaign supervision overhead ({JOB_COUNT} cheap jobs)\n"
+        f"  bare serial run:        {bare_s:8.3f} s\n"
+        f"  journal + cache run:    {supervised_s:8.3f} s  "
+        f"({overhead_ms:.2f} ms/job supervision tax)\n"
+        f"  resumed (all skipped):  {resumed_s:8.3f} s\n"
+        f"  raw journal append:     {append_ms:8.3f} ms "
+        f"(budget {APPEND_BUDGET_MS:.0f} ms)\n"
+        "  journaled results byte-identical to the bare run",
+    )

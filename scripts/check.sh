@@ -19,6 +19,11 @@
 #   * `python -m repro.resilience --smoke` records an invariant
 #     violation (the fault-campaign smoke: SPECTR under every sensor
 #     and actuator fault kind must stay on the verified envelope),
+#   * `python -m repro.exec chaos --smoke` diverges (the campaign
+#     runtime's own fault drill: a seeded worker-kill + hang +
+#     cache-corruption storm, interrupted and resumed once, must
+#     reproduce the unfaulted serial results byte-for-byte with zero
+#     lost or duplicated jobs),
 #   * the step-kernel benchmark (quick mode) fails to complete or to
 #     emit valid JSON.  Quick mode asserts completion only — wall-clock
 #     on a loaded CI box is noise; the 2x speedup gate runs in the full
@@ -59,6 +64,10 @@ python -m repro.analysis models --no-cache --format sarif --output model-report.
 echo
 echo "== resilience fault-campaign smoke =="
 python -m repro.resilience --smoke
+
+echo
+echo "== chaos smoke (campaign-runtime fault drill) =="
+python -m repro.exec chaos --smoke
 
 echo
 echo "== step-kernel benchmark (quick mode) =="

@@ -68,6 +68,7 @@ RULE_REGISTRY: dict[str, str] = {
     "REPRO-L007": "exception swallowed in resilience hot path",
     "REPRO-L008": "parallelism imported outside repro.exec",
     "REPRO-L009": "numpy temporary in step-kernel module",
+    "REPRO-L010": "bare sleep or unbounded wait in the execution layer",
     # -- architecture checker (repro.analysis.arch) -------------------
     "REPRO-R001": "architecture layer violation",
     "REPRO-R002": "package missing from layer map",

@@ -51,6 +51,16 @@ Rules
     (``__init__``/``__post_init__``) and the explicitly allowlisted
     idle-insertion helpers (whose pairwise-reduction order *is* the
     bit-identity contract) are exempt.
+``REPRO-L010`` (error, execution layer only)
+    Bare ``time.sleep`` or unbounded wait (``Future.result()`` /
+    ``concurrent.futures.wait(...)`` without a timeout) in ``exec/`` or
+    ``resilience/``.  The campaign runtime must never block forever on
+    a worker (a hung job would hang the supervisor that exists to kill
+    it), and every delay must be deterministic: delays route through
+    :meth:`repro.exec.supervision.SupervisionPolicy.sleep` (digest-
+    derived backoff, test-injectable), which is why
+    ``exec/supervision.py`` — and the chaos injector that *simulates*
+    hangs, ``exec/chaos.py`` — are the only exempt modules.
 """
 
 from __future__ import annotations
@@ -65,8 +75,10 @@ __all__ = [
     "lint_source",
     "lint_file",
     "EXEC_PATH_FRAGMENTS",
+    "EXECUTION_LAYER_FRAGMENTS",
     "HOT_PATH_FRAGMENTS",
     "RESILIENCE_PATH_FRAGMENTS",
+    "SLEEP_EXEMPT_FILES",
     "STEP_KERNEL_PATH_FRAGMENTS",
     "STEP_KERNEL_ALLOWED_FUNCTIONS",
 ]
@@ -92,6 +104,14 @@ RESILIENCE_PATH_FRAGMENTS = (
 # The one place allowed to manage worker processes (rule L008 applies
 # everywhere else).
 EXEC_PATH_FRAGMENTS = ("exec/",)
+
+# The execution layer, where blocking must be bounded (rule L010).
+EXECUTION_LAYER_FRAGMENTS = ("exec/", "resilience/")
+
+# The only modules allowed to sleep: the supervision policy owns every
+# legitimate delay (deterministic backoff), and the chaos injector's
+# whole job is simulating hangs.
+SLEEP_EXEMPT_FILES = ("exec/supervision.py", "exec/chaos.py")
 
 # Per-tick platform modules where numpy temporaries are banned (L009).
 STEP_KERNEL_PATH_FRAGMENTS = (
@@ -190,6 +210,15 @@ def _is_step_kernel_path(path: str) -> bool:
     )
 
 
+def _is_bounded_wait_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    if any(fragment in normalized for fragment in SLEEP_EXEMPT_FILES):
+        return False
+    return any(
+        fragment in normalized for fragment in EXECUTION_LAYER_FRAGMENTS
+    )
+
+
 def _missing_unit_suffix(name: str) -> bool:
     if name.isupper():  # ALL_CAPS constants name DES events, not quantities
         return False
@@ -220,8 +249,12 @@ class _Linter(ast.NodeVisitor):
         self.resilience = _is_resilience_path(path)
         self.exec_layer = _is_exec_path(path)
         self.step_kernel = _is_step_kernel_path(path)
+        self.bounded_wait = _is_bounded_wait_path(path)
         self.findings: list[Finding] = []
         self.numpy_aliases: set[str] = set()
+        self.time_aliases: set[str] = set()
+        self.sleep_aliases: set[str] = set()
+        self.wait_aliases: set[str] = set()
         self._class_depth = 0
         self._function_stack: list[str] = []
 
@@ -242,12 +275,22 @@ class _Linter(ast.NodeVisitor):
         for alias in node.names:
             if alias.name == "numpy":
                 self.numpy_aliases.add(alias.asname or "numpy")
+            if alias.name == "time":
+                self.time_aliases.add(alias.asname or "time")
             self._check_parallel_import(node.lineno, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level == 0 and node.module:
             self._check_parallel_import(node.lineno, node.module)
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        self.sleep_aliases.add(alias.asname or "sleep")
+            if node.module == "concurrent.futures":
+                for alias in node.names:
+                    if alias.name == "wait":
+                        self.wait_aliases.add(alias.asname or "wait")
         self.generic_visit(node)
 
     def _check_parallel_import(self, line: int, module: str) -> None:
@@ -320,6 +363,7 @@ class _Linter(ast.NodeVisitor):
                 )
         self._check_numpy_allocation(node)
         self._check_numpy_temporary(node)
+        self._check_bounded_wait(node)
         self.generic_visit(node)
 
     def _check_numpy_allocation(self, node: ast.Call) -> None:
@@ -370,6 +414,62 @@ class _Linter(ast.NodeVisitor):
                 "allocates a numpy temporary every tick; use scalar math "
                 "(or add the function to STEP_KERNEL_ALLOWED_FUNCTIONS "
                 "with a bit-identity justification)",
+            )
+
+    # -- L010: bare sleeps / unbounded waits in the execution layer ----
+    def _check_bounded_wait(self, node: ast.Call) -> None:
+        if not self.bounded_wait:
+            return
+        func = node.func
+        has_timeout_kw = any(k.arg == "timeout" for k in node.keywords)
+
+        # time.sleep(...) / sleep(...) imported from time.
+        is_sleep = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.time_aliases
+        ) or (
+            isinstance(func, ast.Name) and func.id in self.sleep_aliases
+        )
+        if is_sleep:
+            self._add(
+                node.lineno,
+                "REPRO-L010",
+                Severity.ERROR,
+                "bare time.sleep in the execution layer; delays must "
+                "route through SupervisionPolicy.sleep (deterministic "
+                "digest-derived backoff, test-injectable)",
+            )
+            return
+
+        # future.result() without a timeout blocks forever on a hung
+        # worker; so does concurrent.futures.wait(...) without one.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "result"
+            and not node.args
+            and not has_timeout_kw
+        ):
+            self._add(
+                node.lineno,
+                "REPRO-L010",
+                Severity.ERROR,
+                "unbounded Future.result() in the execution layer; pass "
+                "timeout= (use result(timeout=0) on futures already "
+                "known to be done)",
+            )
+            return
+        is_wait = (
+            isinstance(func, ast.Name) and func.id in self.wait_aliases
+        ) or (isinstance(func, ast.Attribute) and func.attr == "wait")
+        if is_wait and len(node.args) < 2 and not has_timeout_kw:
+            self._add(
+                node.lineno,
+                "REPRO-L010",
+                Severity.ERROR,
+                "unbounded wait(...) in the execution layer; pass "
+                "timeout= so a hung worker cannot hang the supervisor",
             )
 
     # -- L002: bare except / L007: except-and-continue -----------------

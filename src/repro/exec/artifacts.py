@@ -104,7 +104,7 @@ def ensure_design_artifacts(
         systems, verified = value
         if _bundle_ok(cache, digest):
             return systems, verified
-        cache.invalidate(digest)
+        cache.invalidate(digest, reason="artifact-verify")
 
     built = identified_systems()
     verified = case_study_supervisor()

@@ -11,7 +11,11 @@ Integrity: every payload carries a SHA-256 sidecar.  A corrupted or
 tampered entry (bit-rot, a partial write, a poisoned cache) fails the
 checksum on load, is deleted, counted in :attr:`ResultCache.invalidations`,
 and reported as a miss — callers fall back to recomputing, never to
-trusting a bad payload.
+trusting a bad payload.  Evictions are not silent: each one is appended
+(with its reason) to an ``evictions.jsonl`` ledger inside the cache
+directory, so corruption that the cache healed over is still observable
+afterwards — ``python -m repro.exec cache`` surfaces the per-reason
+counts (see :meth:`ResultCache.eviction_counts`).
 
 Payloads are Python pickles; the cache directory is a local, per-user
 working area (like ``.pytest_cache``), not an exchange format.
@@ -20,6 +24,7 @@ working area (like ``.pytest_cache``), not an exchange format.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import shutil
@@ -28,9 +33,16 @@ from typing import Any
 
 import repro
 
-__all__ = ["CACHE_FORMAT", "ResultCache", "default_salt"]
+__all__ = ["CACHE_FORMAT", "EVICTION_REASONS", "ResultCache", "default_salt"]
 
 CACHE_FORMAT = "exec-cache/1"
+
+# Why an entry was evicted; the ledger and counters are keyed by these.
+#   checksum        payload bytes no longer match the SHA-256 sidecar
+#   decode          checksum passed but the pickle failed to decode
+#   artifact-verify a persistence bundle failed formal re-verification
+#   explicit        programmatic invalidate() with no specific cause
+EVICTION_REASONS = ("checksum", "decode", "artifact-verify", "explicit")
 
 
 def default_salt() -> str:
@@ -80,6 +92,11 @@ class ResultCache:
         """Directory for persistence-format artifacts of one entry."""
         return self.directory / "bundles" / digest
 
+    @property
+    def eviction_ledger(self) -> Path:
+        """Append-only JSONL record of every eviction and its reason."""
+        return self.directory / "evictions.jsonl"
+
     # -- core operations -----------------------------------------------
     def get(self, digest: str) -> tuple[bool, Any]:
         """``(hit, value)``; corrupt entries are evicted and miss."""
@@ -91,7 +108,7 @@ class ResultCache:
         data = payload_path.read_bytes()
         expected = sidecar_path.read_text(encoding="utf-8").strip()
         if _sha256_hex(data) != expected:
-            self.invalidate(digest)
+            self.invalidate(digest, reason="checksum")
             self.misses += 1
             return False, None
         try:
@@ -100,7 +117,7 @@ class ResultCache:
             # Checksum passed but the payload does not decode (schema
             # drift under an unchanged salt, or a poisoned sidecar
             # rewritten to match): evict and recompute.
-            self.invalidate(digest)
+            self.invalidate(digest, reason="decode")
             self.misses += 1
             return False, None
         self.hits += 1
@@ -121,21 +138,33 @@ class ResultCache:
         )
         return True
 
-    def invalidate(self, digest: str) -> None:
-        """Evict one entry (payload, sidecar, and any artifact bundle)."""
+    def invalidate(self, digest: str, *, reason: str = "explicit") -> None:
+        """Evict one entry (payload, sidecar, and any artifact bundle),
+        recording ``reason`` in the persistent eviction ledger."""
+        if reason not in EVICTION_REASONS:
+            raise ValueError(
+                f"unknown eviction reason {reason!r}; "
+                f"choose from {EVICTION_REASONS}"
+            )
         self.invalidations += 1
         for path in (self._payload_path(digest), self._sidecar_path(digest)):
             path.unlink(missing_ok=True)
         bundle = self.bundle_dir(digest)
         if bundle.exists():
             shutil.rmtree(bundle, ignore_errors=True)
+        self._record_eviction(digest, reason)
 
     def clear(self) -> int:
-        """Explicit invalidation of everything; returns entries removed."""
+        """Explicit invalidation of everything; returns entries removed.
+
+        The eviction ledger is removed too: it describes entries of the
+        store being discarded, and a fresh cache starts a fresh history.
+        """
         removed = len(self)
         for subdir in (self.objects_dir, self.directory / "bundles"):
             if subdir.exists():
                 shutil.rmtree(subdir, ignore_errors=True)
+        self.eviction_ledger.unlink(missing_ok=True)
         return removed
 
     # -- introspection -------------------------------------------------
@@ -159,15 +188,58 @@ class ResultCache:
             if path.is_file()
         )
 
+    def eviction_counts(self) -> dict[str, int]:
+        """Per-reason eviction totals from the persistent ledger.
+
+        Unlike the session counters (:attr:`hits` / :attr:`misses` /
+        :attr:`invalidations`), these survive process restarts: a cache
+        that silently healed over corruption in a previous run still
+        shows the scar here.
+        """
+        counts = {reason: 0 for reason in EVICTION_REASONS}
+        if not self.eviction_ledger.exists():
+            return counts
+        with open(self.eviction_ledger, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    reason = json.loads(line).get("reason")
+                except ValueError:
+                    continue  # torn append: the eviction itself still held
+                if reason in counts:
+                    counts[reason] += 1
+        return counts
+
     def describe(self) -> str:
+        evictions = self.eviction_counts()
+        evicted_total = sum(evictions.values())
+        evicted = ", ".join(
+            f"{count} {reason}"
+            for reason, count in evictions.items()
+            if count
+        )
         return (
             f"cache {self.directory} — {len(self)} entries, "
             f"{self.size_bytes() / 1024:.1f} KiB, salt {self.salt!r} "
             f"(session: {self.hits} hits, {self.misses} misses, "
-            f"{self.invalidations} invalidations)"
+            f"{self.invalidations} invalidations; "
+            f"evictions on record: {evicted_total}"
+            f"{' — ' + evicted if evicted else ''})"
         )
 
     # -- helpers -------------------------------------------------------
+    def _record_eviction(self, digest: str, reason: str) -> None:
+        """Append one eviction to the ledger (single O_APPEND write —
+        atomic enough across racing workers for a count log)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"digest": digest, "reason": reason}, sort_keys=True
+        )
+        with open(self.eviction_ledger, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
     @staticmethod
     def _write_atomic(path: Path, data: bytes) -> None:
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")

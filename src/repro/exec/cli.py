@@ -8,7 +8,14 @@ Subcommands:
 ``ablations``
     SPECTR mechanism + supervisor-period ablations.
 ``cache {info,clear}``
-    Inspect or explicitly invalidate the on-disk cache.
+    Inspect or explicitly invalidate the on-disk cache (``info``
+    includes the persistent eviction ledger: corruption the cache
+    healed over is never silent).
+``chaos``
+    Seeded fault-injection drill for the runtime itself: worker kills,
+    hung jobs, cache vandalism, one interrupt + resume — the final
+    results must be byte-identical to an unfaulted serial run
+    (:mod:`repro.exec.chaos`).
 
 The resilience fault campaign keeps its own front door —
 ``python -m repro.resilience`` — which accepts the same engine flags;
@@ -17,19 +24,25 @@ import the engine but not vice versa.
 
 Common flags: ``--workers N`` (process-pool size; 1 = in-process),
 ``--cache-dir PATH`` (default ``$REPRO_EXEC_CACHE`` or ``.exec-cache``),
-``--no-cache``, ``--seed``.  Results are identical regardless of worker
-count or cache state.
+``--no-cache``, ``--seed``.  Supervision flags: ``--journal PATH``
+(crash-safe run journal — interrupted runs resume by re-invoking with
+the same journal), ``--deadline-s`` (per-job watchdog deadline, pool
+mode only), ``--max-crash-retries`` (kill budget before quarantine).
+Results are identical regardless of worker count, cache state, or how
+many times the run was interrupted and resumed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 
 from repro.exec.cache import ResultCache
 from repro.exec.engine import ExperimentEngine
+from repro.exec.supervision import RunJournal, SupervisionPolicy
 
 __all__ = ["build_parser", "main"]
 
@@ -62,6 +75,36 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=2018, help="base seed (default 2018)"
     )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only run journal; re-invoking with the same journal "
+            "resumes an interrupted run (completed jobs are skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-job wall-clock deadline; overrunning workers are "
+            "killed by the watchdog (requires --workers >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--max-crash-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "worker-killing attempts a job is allowed before it is "
+            "quarantined as poison (default 2)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +135,43 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--cache-dir", type=Path, default=None, metavar="PATH"
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded fault-injection drill: the faulted, interrupted, "
+            "resumed campaign must match the unfaulted run byte for byte"
+        ),
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized campaign (fewer jobs, hotter injection rates)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="campaign size (default 200; --smoke presets 36)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=2018, help="chaos seed (default 2018)"
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="pool size (>= 2: injection only happens inside workers)",
+    )
+    chaos.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "where the drill keeps its cache + journal "
+            "(default: a fresh temporary directory)"
+        ),
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     return parser
 
 
@@ -105,7 +185,22 @@ def build_engine(args: argparse.Namespace) -> ExperimentEngine:
     cache = None
     if not args.no_cache:
         cache = ResultCache(resolve_cache_dir(args.cache_dir))
-    return ExperimentEngine(max_workers=args.workers, cache=cache)
+    journal = None
+    journal_path = getattr(args, "journal", None)
+    if journal_path is not None:
+        journal = RunJournal(
+            journal_path, salt=cache.salt if cache is not None else ""
+        )
+    policy = SupervisionPolicy(
+        deadline_s=getattr(args, "deadline_s", None)
+    )
+    return ExperimentEngine(
+        max_workers=args.workers,
+        cache=cache,
+        max_crash_retries=getattr(args, "max_crash_retries", 2),
+        journal=journal,
+        policy=policy,
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -147,12 +242,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    import tempfile
+
+    from repro.exec.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig.smoke() if args.smoke else ChaosConfig()
+    replacements = {"seed": args.seed, "workers": args.workers}
+    if args.jobs is not None:
+        replacements["jobs"] = args.jobs
+    config = dataclasses.replace(config, **replacements)
+
+    if args.state_dir is not None:
+        args.state_dir.mkdir(parents=True, exist_ok=True)
+        report = run_chaos(config, args.state_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_chaos(config, tmp)
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "sweep": _cmd_sweep,
         "ablations": _cmd_ablations,
         "cache": _cmd_cache,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

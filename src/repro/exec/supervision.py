@@ -1,0 +1,358 @@
+"""Campaign supervision: the engine's fault-tolerance control plane.
+
+The experiment engine (:mod:`repro.exec.engine`) executes job matrices
+whose cells are pure functions of their specs.  This module supplies
+the pieces that keep a long campaign inside a safe envelope when the
+*runtime* — not the jobs — misbehaves:
+
+:class:`RunJournal`
+    A crash-safe, append-only JSONL record of job digest → outcome.
+    Every entry is flushed and fsynced before the engine moves on, so a
+    campaign killed at any instant can be resumed by pointing a fresh
+    engine at the same journal (and result cache): completed digests
+    are skipped, quarantined digests stay quarantined, and everything
+    else re-runs.  The journal is the control plane; the content-
+    addressed :class:`~repro.exec.cache.ResultCache` is the data plane
+    that actually holds the results.
+
+:class:`JobFailure`
+    The structured failure taxonomy every non-OK
+    :class:`~repro.exec.engine.JobRecord` carries:
+
+    ========== =====================================================
+    kind       meaning
+    ========== =====================================================
+    timeout    the job exceeded its wall-clock deadline and the
+               watchdog killed its worker
+    crash      the worker process died (hard exit, OOM kill) while
+               the job was in flight
+    exception  the job's runner raised — deterministic, never retried
+    poison     the job killed workers on every attempt in its retry
+               budget and was quarantined
+    cancelled  the run was interrupted while the job was in flight
+    ========== =====================================================
+
+:class:`SupervisionPolicy`
+    Per-job wall-clock deadlines, the deterministic retry/backoff
+    schedule, and the circuit-breaker threshold.  Backoff delays are
+    derived from the job digest (SHA-256), **not** from wall-clock
+    randomness, so the schedule — and therefore every record — is
+    reproducible run to run.
+
+:class:`CircuitBreaker`
+    closed → open state machine over pool breakages: after
+    ``max_pool_rebuilds`` unexpected :class:`BrokenProcessPool` events
+    in one run, the engine stops rebuilding pools and degrades the
+    remaining (never-implicated) jobs to serial in-process execution
+    instead of aborting the campaign.
+
+This module is the one place in ``repro.exec``/``repro.resilience``
+allowed to sleep (lint rule ``REPRO-L010``): every delay anywhere in
+the execution layer must route through :meth:`SupervisionPolicy.sleep`
+so it is bounded, deterministic, and test-injectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "FAILURE_KINDS",
+    "JOURNAL_SCHEMA",
+    "CircuitBreaker",
+    "JobFailure",
+    "JournalEntry",
+    "RunInterrupted",
+    "RunJournal",
+    "SupervisionPolicy",
+]
+
+# Bump when the journal line format changes incompatibly.
+JOURNAL_SCHEMA = "exec-journal/1"
+
+FAILURE_KINDS = ("timeout", "crash", "exception", "poison", "cancelled")
+
+# Journal entry statuses.  "done" composes with the result cache (the
+# journal proves completion, the cache holds the value); "quarantined"
+# is sticky across resumes; "failed" and "cancelled" re-run on resume.
+JOURNAL_STATUSES = ("done", "failed", "quarantined", "cancelled")
+
+
+class RunInterrupted(RuntimeError):
+    """Raised (by a progress hook, or programmatically) to stop a run
+    mid-campaign.  The engine journals in-flight jobs as ``cancelled``,
+    tears the pool down, and re-raises — the journal then supports an
+    exact resume."""
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured failure attached to a non-OK job record."""
+
+    kind: str  # one of FAILURE_KINDS
+    message: str
+    attempts: int = 1
+    kills: int = 0  # worker-killing attempts attributed to this job
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; "
+                f"choose from {FAILURE_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journal line: the latest known outcome of one digest."""
+
+    digest: str
+    status: str  # one of JOURNAL_STATUSES
+    kind: str | None = None  # failure kind for non-"done" entries
+    attempts: int = 0
+    kills: int = 0
+    duration_s: float = 0.0
+    label: str = ""
+
+    def to_json_dict(self) -> dict:
+        return {
+            "digest": self.digest,
+            "status": self.status,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "kills": self.kills,
+            "duration_s": round(self.duration_s, 6),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "JournalEntry":
+        return cls(
+            digest=str(payload["digest"]),
+            status=str(payload["status"]),
+            kind=payload.get("kind"),
+            attempts=int(payload.get("attempts", 0)),
+            kills=int(payload.get("kills", 0)),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            label=str(payload.get("label", "")),
+        )
+
+
+class RunJournal:
+    """Crash-safe append-only run journal (JSONL).
+
+    The first line is a header ``{"journal": <schema>, "salt": <salt>}``;
+    every following line is one :class:`JournalEntry`.  Appends are
+    flushed and fsynced, so entries survive SIGKILL of the writer; a
+    torn final line (power loss mid-append) is skipped on load and
+    counted in :attr:`corrupt_lines` instead of poisoning the resume.
+
+    A journal whose header salt does not match (the cache format or
+    package version changed, so every digest in it is unaddressable) is
+    *stale*: :meth:`load` returns nothing and the next append rewrites
+    the file fresh.
+    """
+
+    def __init__(self, path: str | Path, *, salt: str = ""):
+        self.path = Path(path)
+        self.salt = salt
+        self.corrupt_lines = 0
+        self.stale = False
+
+    # -- writing -------------------------------------------------------
+    def record(
+        self,
+        digest: str,
+        status: str,
+        *,
+        kind: str | None = None,
+        attempts: int = 0,
+        kills: int = 0,
+        duration_s: float = 0.0,
+        label: str = "",
+    ) -> JournalEntry:
+        """Append one entry durably (flush + fsync) and return it."""
+        if status not in JOURNAL_STATUSES:
+            raise ValueError(
+                f"unknown journal status {status!r}; "
+                f"choose from {JOURNAL_STATUSES}"
+            )
+        entry = JournalEntry(
+            digest=digest,
+            status=status,
+            kind=kind,
+            attempts=attempts,
+            kills=kills,
+            duration_s=duration_s,
+            label=label,
+        )
+        self._ensure_header()
+        line = json.dumps(entry.to_json_dict(), sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return entry
+
+    def _ensure_header(self) -> None:
+        """Write (or rewrite, if stale) the header line."""
+        if self._header_ok():
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {"journal": JOURNAL_SCHEMA, "salt": self.salt}, sort_keys=True
+        )
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        tmp.write_text(header + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    def _header_ok(self) -> bool:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                first = fh.readline()
+            header = json.loads(first)
+            return (
+                header.get("journal") == JOURNAL_SCHEMA
+                and header.get("salt") == self.salt
+            )
+        except (OSError, ValueError):
+            return False
+
+    # -- reading -------------------------------------------------------
+    def raw_entries(self) -> list[JournalEntry]:
+        """Every decodable entry, in append order (corrupt lines are
+        counted in :attr:`corrupt_lines` and skipped)."""
+        self.corrupt_lines = 0
+        self.stale = False
+        if not self.path.exists():
+            return []
+        if not self._header_ok():
+            self.stale = True
+            return []
+        entries: list[JournalEntry] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh):
+                if lineno == 0:
+                    continue  # header
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    entries.append(JournalEntry.from_json_dict(payload))
+                except (ValueError, KeyError, TypeError):
+                    # Torn append (crash mid-write) or bit rot: the
+                    # entry never durably happened; resume re-runs it.
+                    self.corrupt_lines += 1
+        return entries
+
+    def load(self) -> dict[str, JournalEntry]:
+        """Latest entry per digest (last append wins)."""
+        return {entry.digest: entry for entry in self.raw_entries()}
+
+    def describe(self) -> str:
+        entries = self.load()
+        by_status: dict[str, int] = {}
+        for entry in entries.values():
+            by_status[entry.status] = by_status.get(entry.status, 0) + 1
+        parts = ", ".join(
+            f"{count} {status}" for status, count in sorted(by_status.items())
+        )
+        suffix = " (stale salt)" if self.stale else ""
+        return (
+            f"journal {self.path} — {len(entries)} digests"
+            f"{': ' + parts if parts else ''}"
+            f", {self.corrupt_lines} corrupt lines{suffix}"
+        )
+
+
+def _digest_fraction(payload: str) -> float:
+    """Uniform-ish value in [0, 1) derived from SHA-256 of ``payload``."""
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(2**64)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Deadlines, deterministic backoff, and breaker thresholds.
+
+    ``backoff_s(digest, kills)`` is an exponential schedule with a
+    jitter term derived from the job digest — two poison jobs that died
+    together do not retry in lockstep, yet the whole schedule is a pure
+    function of the spec (no wall-clock randomness), so records and
+    journals stay byte-reproducible.
+
+    ``deadline_s`` is enforced by the pool watchdog only: serial
+    in-process execution cannot be preempted, which is documented
+    behavior (the chaos harness and campaigns run pools).
+    """
+
+    deadline_s: float | None = None
+    retry_timeouts: bool = False
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    max_pool_rebuilds: int = 3
+    poll_interval_s: float = 0.05
+    warmup_timeout_s: float = 60.0
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff values must be non-negative")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def backoff_s(self, digest: str, kills: int) -> float:
+        """Deterministic delay before re-dispatching a killed job."""
+        if kills <= 0:
+            return 0.0
+        raw = self.backoff_base_s * (2.0 ** (kills - 1))
+        jitter = _digest_fraction(f"backoff:{digest}:{kills}")
+        return min(raw * (1.0 + 0.5 * jitter), self.backoff_cap_s)
+
+    def backoff_schedule(self, digest: str, max_kills: int) -> list[float]:
+        """The full per-job schedule (introspection/reporting)."""
+        return [self.backoff_s(digest, k) for k in range(1, max_kills + 1)]
+
+
+@dataclass
+class CircuitBreaker:
+    """closed → open over unexpected pool breakages in one run.
+
+    Deliberate watchdog kills (deadline enforcement) do **not** count:
+    they are the supervisor doing its job.  Only unexpected
+    ``BrokenProcessPool`` events — worker crashes, spawn failures —
+    advance the counter; past ``max_pool_rebuilds`` the breaker opens
+    and the engine degrades to serial execution for jobs that were
+    never implicated in a breakage (implicated jobs fail ``crash`` /
+    ``poison`` instead: re-running a worker-killer in-process would
+    take the whole campaign down with it).
+    """
+
+    max_pool_rebuilds: int = 3
+    breakages: int = 0
+    state: str = "closed"  # "closed" | "open"
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == "open"
+
+    def record_breakage(self) -> bool:
+        """Count one breakage; returns True iff the breaker just opened."""
+        self.breakages += 1
+        if self.state == "closed" and self.breakages > self.max_pool_rebuilds:
+            self.state = "open"
+            return True
+        return False

@@ -15,6 +15,13 @@ Everything is seeded from :attr:`CampaignConfig.seed`; the same seed
 produces an identical JSON report (no wall-clock anywhere in the
 payload).  ``python -m repro.resilience`` is the CLI front end;
 ``CampaignConfig.smoke()`` is the short-horizon CI configuration.
+
+Campaign cells are plain :class:`~repro.exec.job.ScenarioJob`\\ s, so
+they inherit the full supervision stack of :mod:`repro.exec`: pass
+``--journal`` (and optionally ``--deadline-s`` /
+``--max-crash-retries``) to the CLI and an interrupted campaign resumes
+from the crash-safe run journal instead of starting over — see
+``tests/exec/test_resume.py`` for the SIGTERM-mid-campaign drill.
 """
 
 from __future__ import annotations

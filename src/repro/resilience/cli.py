@@ -86,23 +86,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --workers: run the engine without the result cache",
     )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "crash-safe run journal for the campaign; re-invoking with "
+            "the same journal resumes an interrupted campaign (completed "
+            "cells are skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-cell wall-clock deadline enforced by the engine "
+            "watchdog (pool mode only, --workers >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--max-crash-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "worker-killing attempts a cell is allowed before quarantine "
+            "(default 2)"
+        ),
+    )
     return parser
 
 
 def _build_engine(args: argparse.Namespace):
     """An ExperimentEngine when engine flags were used, else None."""
-    if args.workers <= 1 and args.cache_dir is None:
+    if (
+        args.workers <= 1
+        and args.cache_dir is None
+        and args.journal is None
+    ):
         return None
     from repro.exec.cache import ResultCache
     from repro.exec.cli import resolve_cache_dir
     from repro.exec.engine import ExperimentEngine
+    from repro.exec.supervision import RunJournal, SupervisionPolicy
 
     cache = (
         None
         if args.no_cache
         else ResultCache(resolve_cache_dir(args.cache_dir))
     )
-    return ExperimentEngine(max_workers=max(args.workers, 1), cache=cache)
+    journal = None
+    if args.journal is not None:
+        journal = RunJournal(
+            args.journal, salt=cache.salt if cache is not None else ""
+        )
+    return ExperimentEngine(
+        max_workers=max(args.workers, 1),
+        cache=cache,
+        max_crash_retries=args.max_crash_retries,
+        journal=journal,
+        policy=SupervisionPolicy(deadline_s=args.deadline_s),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -292,6 +292,87 @@ class TestL009NumpyTemporaries:
         assert checked >= 6
 
 
+class TestL010BoundedWaits:
+    ENGINE = "src/repro/exec/engine.py"
+    SUPERVISION = "src/repro/exec/supervision.py"
+    CHAOS = "src/repro/exec/chaos.py"
+    CAMPAIGN = "src/repro/resilience/campaign.py"
+
+    def test_time_sleep_in_exec_is_error(self):
+        source = "import time\ndef f():\n    time.sleep(1.0)\n"
+        findings = lint_source(source, self.ENGINE)
+        assert rules(findings) == ["REPRO-L010"]
+        assert findings[0].severity == Severity.ERROR
+
+    def test_from_time_import_sleep_is_error(self):
+        source = "from time import sleep\ndef f():\n    sleep(0.1)\n"
+        assert rules(lint_source(source, self.ENGINE)) == ["REPRO-L010"]
+
+    def test_sleep_in_resilience_is_error(self):
+        source = "import time\ndef f():\n    time.sleep(1.0)\n"
+        assert rules(lint_source(source, self.CAMPAIGN)) == ["REPRO-L010"]
+
+    def test_unbounded_result_is_error(self):
+        source = "def f(future):\n    return future.result()\n"
+        assert rules(lint_source(source, self.ENGINE)) == ["REPRO-L010"]
+
+    def test_result_with_timeout_is_fine(self):
+        source = "def f(future):\n    return future.result(timeout=0)\n"
+        assert lint_source(source, self.ENGINE) == []
+
+    def test_unbounded_wait_is_error(self):
+        source = (
+            "from concurrent.futures import wait\n"
+            "def f(fs):\n"
+            "    return wait(fs)\n"
+        )
+        assert rules(lint_source(source, self.ENGINE)) == ["REPRO-L010"]
+
+    def test_aliased_wait_is_still_flagged(self):
+        source = (
+            "from concurrent.futures import wait as futures_wait\n"
+            "def f(fs):\n"
+            "    return futures_wait(fs)\n"
+        )
+        assert rules(lint_source(source, self.ENGINE)) == ["REPRO-L010"]
+
+    def test_wait_with_timeout_is_fine(self):
+        source = (
+            "from concurrent.futures import wait\n"
+            "def f(fs, poll_s):\n"
+            "    return wait(fs, timeout=poll_s)\n"
+        )
+        assert lint_source(source, self.ENGINE) == []
+
+    def test_supervision_policy_module_is_exempt(self):
+        source = "import time\ndef backoff():\n    time.sleep(0.05)\n"
+        assert lint_source(source, self.SUPERVISION) == []
+
+    def test_chaos_injector_is_exempt(self):
+        source = "import time\ndef hang():\n    time.sleep(15.0)\n"
+        assert lint_source(source, self.CHAOS) == []
+
+    def test_other_layers_are_exempt(self):
+        source = "import time\ndef f():\n    time.sleep(1.0)\n"
+        assert "REPRO-L010" not in rules(lint_source(source, COLD))
+
+    def test_execution_layer_sources_in_repo_stay_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_file
+
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        checked = 0
+        for package in ("exec", "resilience"):
+            for path in sorted((root / package).glob("*.py")):
+                checked += 1
+                errors = [
+                    f for f in lint_file(path) if f.rule == "REPRO-L010"
+                ]
+                assert errors == [], f"{path}: {errors}"
+        assert checked >= 10
+
+
 class TestInlineSuppressions:
     def test_noqa_silences_named_rule_on_its_line(self):
         source = "def f(x=[]):  # repro: noqa[REPRO-L001]\n    return x\n"
@@ -330,5 +411,5 @@ class TestInlineSuppressions:
         from repro.analysis.findings import known_rule_ids
 
         known = known_rule_ids()
-        for rule_id in [f"REPRO-L{n:03d}" for n in range(10)]:
+        for rule_id in [f"REPRO-L{n:03d}" for n in range(11)]:
             assert rule_id in known

@@ -99,6 +99,82 @@ class TestInvalidation:
         assert cache.get(DIGEST) == (True, 3)
 
 
+class TestEvictionObservability:
+    def test_sidecar_corruption_eviction_is_counted(self, cache):
+        # The satellite regression: corrupt the *sidecar* so the
+        # checksum fails, and assert the eviction shows up on the
+        # persistent counters instead of being healed silently.
+        cache.put(DIGEST, "payload")
+        cache._sidecar_path(DIGEST).write_text(
+            "0" * 64 + "\n", encoding="utf-8"
+        )
+        hit, _ = cache.get(DIGEST)
+        assert not hit
+        counts = cache.eviction_counts()
+        assert counts["checksum"] == 1
+        assert sum(counts.values()) == 1
+
+    def test_decode_failures_counted_separately(self, cache):
+        import hashlib
+
+        cache.put(DIGEST, "payload")
+        garbage = b"not a pickle at all"
+        cache._payload_path(DIGEST).write_bytes(garbage)
+        cache._sidecar_path(DIGEST).write_text(
+            hashlib.sha256(garbage).hexdigest() + "\n", encoding="utf-8"
+        )
+        cache.get(DIGEST)
+        assert cache.eviction_counts()["decode"] == 1
+
+    def test_counts_survive_process_restart(self, tmp_path):
+        first = ResultCache(tmp_path / "cache")
+        first.put(DIGEST, "payload")
+        first._payload_path(DIGEST).write_bytes(b"junk")
+        first.get(DIGEST)
+        # A fresh instance (fresh session counters) still sees the scar.
+        second = ResultCache(tmp_path / "cache")
+        assert second.invalidations == 0
+        assert second.eviction_counts()["checksum"] == 1
+
+    def test_explicit_invalidate_recorded_as_explicit(self, cache):
+        cache.put(DIGEST, "payload")
+        cache.invalidate(DIGEST)
+        assert cache.eviction_counts()["explicit"] == 1
+
+    def test_unknown_reason_rejected(self, cache):
+        with pytest.raises(ValueError, match="unknown eviction reason"):
+            cache.invalidate(DIGEST, reason="gremlins")
+
+    def test_clear_resets_the_ledger(self, cache):
+        cache.put(DIGEST, "payload")
+        cache.invalidate(DIGEST)
+        cache.clear()
+        assert sum(cache.eviction_counts().values()) == 0
+
+    def test_describe_surfaces_evictions(self, cache):
+        cache.put(DIGEST, "payload")
+        cache._payload_path(DIGEST).write_bytes(b"junk")
+        cache.get(DIGEST)
+        text = cache.describe()
+        assert "evictions on record: 1" in text
+        assert "1 checksum" in text
+
+    def test_cli_cache_info_shows_evictions(self, tmp_path, capsys):
+        from repro.exec.cli import main
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(DIGEST, "payload")
+        cache._payload_path(DIGEST).write_bytes(b"junk")
+        cache.get(DIGEST)
+        exit_code = main(
+            ["cache", "info", "--cache-dir", str(tmp_path / "cache")]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "evictions on record: 1" in out
+        assert "1 checksum" in out
+
+
 class TestSalt:
     def test_default_salt_embeds_format_and_version(self):
         import repro

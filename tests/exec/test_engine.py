@@ -15,6 +15,7 @@ pytestmark = pytest.mark.exec_smoke
 ECHO = "repro.exec.engine._echo_runner"
 CRASH_ONCE = "repro.exec.engine._crash_once_runner"
 ALWAYS_CRASH = "repro.exec.engine._always_crash_runner"
+COUNTING = "repro.exec.engine._counting_runner"
 
 
 def _echo_job(label: str, **params) -> ScenarioJob:
@@ -106,6 +107,98 @@ class TestParallel:
         assert not record.ok
         assert "crashed" in record.error
         assert record.attempts == 2  # initial try + one retry
+
+
+class TestBrokenPoolRedispatch:
+    """Jobs in flight at a BrokenProcessPool are re-dispatched exactly
+    once per kill budget and never double-cached."""
+
+    @staticmethod
+    def _counting_job(label: str, tally, sentinel=None) -> ScenarioJob:
+        overrides = [("tag", label), ("tally", str(tally))]
+        if sentinel is not None:
+            overrides.append(("sentinel", str(sentinel)))
+        return ScenarioJob(
+            manager="SPECTR",
+            runner=COUNTING,
+            overrides=tuple(sorted(overrides)),
+            label=label,
+        )
+
+    def test_crashed_job_dispatched_exactly_once_per_budget(self, tmp_path):
+        tally = tmp_path / "tally"
+        sentinel = tmp_path / "crash-once"
+        sentinel.touch()
+        job = self._counting_job("c", tally, sentinel)
+        record = _engine(max_workers=2, max_crash_retries=3).run([job])[0]
+        assert record.ok
+        # One crashing dispatch + one clean redispatch — no extras.
+        dispatches = tally.read_text(encoding="utf-8").splitlines()
+        assert dispatches == ["c", "c"]
+        assert record.attempts == 2
+
+    def test_exhausted_budget_stops_redispatching(self, tmp_path):
+        tally = tmp_path / "tally"
+        job = ScenarioJob(
+            manager="SPECTR",
+            runner=ALWAYS_CRASH,
+            overrides=(("tally", str(tally)),),
+        )
+        record = _engine(max_workers=2, max_crash_retries=2).run([job])[0]
+        assert not record.ok
+        assert record.attempts == 3  # initial + exactly two retries
+        assert record.kills == 3
+
+    def test_crash_survivor_is_cached_exactly_once(self, tmp_path):
+        puts: list[str] = []
+
+        class CountingCache(ResultCache):
+            def put(self, digest, value):
+                puts.append(digest)
+                return super().put(digest, value)
+
+        cache = CountingCache(tmp_path / "c")
+        tally = tmp_path / "tally"
+        sentinel = tmp_path / "crash-once"
+        sentinel.touch()
+        jobs = [
+            self._counting_job("c", tally, sentinel),
+            self._counting_job("x", tally),
+            self._counting_job("y", tally),
+        ]
+        records = _engine(max_workers=2, cache=cache).run(jobs)
+        assert all(r.ok for r in records)
+        # Every digest cached exactly once, crash-retried or not.
+        assert sorted(puts) == sorted(r.digest for r in records)
+
+    def test_crash_retry_run_matches_clean_run_bytes(self, tmp_path):
+        from repro.exec.job import canonical_encode
+
+        tally_a = tmp_path / "tally-a"
+        tally_b = tmp_path / "tally-b"
+        sentinel = tmp_path / "crash-once"
+
+        def run(tally, crash: bool):
+            if crash:
+                sentinel.touch()
+            jobs = [
+                self._counting_job("c", tally, sentinel),
+                self._counting_job("x", tally),
+            ]
+            return _engine(max_workers=2, max_crash_retries=2).run(jobs)
+
+        crashed = run(tally_a, crash=True)
+        clean = run(tally_b, crash=False)
+        # Byte-identical results and outcomes, minus attempts/duration
+        # (the tally path is part of the spec, so digests differ by
+        # construction; the produced values must not).
+        assert canonical_encode(
+            [r.result for r in crashed]
+        ) == canonical_encode([r.result for r in clean])
+        assert [r.ok for r in crashed] == [r.ok for r in clean]
+        assert [r.error for r in crashed] == [r.error for r in clean]
+        # ... and the retry really happened in the crashed run.
+        assert crashed[0].attempts == 2 and clean[0].attempts == 1
 
 
 class TestCaching:
