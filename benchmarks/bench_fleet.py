@@ -1,0 +1,143 @@
+"""Wall-clock benchmark of the vectorized fleet kernel.
+
+Measures aggregate device-steps/sec — ``N devices x T ticks / elapsed``
+— for a batched ``run_fleet_scenario`` run at several fleet sizes and
+compares against the scalar oracle's throughput measured in the same
+process (one ``run_scenario`` call, same scenario and protocol).  The
+headline number is the aggregate speedup at N=1000: one numpy op
+advancing a thousand simulated SoCs amortizes the per-tick Python
+overhead that dominates the scalar path.
+
+Writes ``benchmarks/results/fleet.json`` so the speedup is diffable
+across runs.  Full mode asserts the tentpole's acceptance bar: >= 100x
+aggregate throughput at N=1000 for MM-Perf.  Quick mode
+(``FLEET_QUICK=1``) is for CI smoke: a small fleet, no speedup
+assertion — timing on a cold, loaded box is noise, but the benchmark
+must still complete and emit valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+# The tentpole's acceptance bar, full mode only: aggregate fleet
+# throughput at N=1000 vs the scalar oracle, slowest timed manager.
+REQUIRED_AGGREGATE_SPEEDUP = 100.0
+
+QUICK = os.environ.get("FLEET_QUICK", "") not in ("", "0")
+FLEET_SIZES = (64,) if QUICK else (10, 100, 1000)
+HEADLINE_N = FLEET_SIZES[-1]
+WARMUP_RUNS = 1
+TIMED_RUNS = 2 if QUICK else 3
+MANAGER = "MM-Perf"
+
+
+def _scenario():
+    from repro.experiments.scenario import three_phase_scenario
+
+    return three_phase_scenario(phase_duration_s=5.0)
+
+
+def _scalar_steps_per_s():
+    """Scalar-oracle throughput (steps/sec) on the benchmark scenario."""
+    from repro.experiments.figures import (
+        identified_systems,
+        manager_factory,
+    )
+    from repro.experiments.runner import run_scenario
+    from repro.workloads import x264
+
+    scenario = _scenario()
+    factory = manager_factory(MANAGER, identified_systems())
+
+    def one_run():
+        start = time.perf_counter()
+        trace = run_scenario(factory, x264(), scenario, seed=2018)
+        elapsed = time.perf_counter() - start
+        return len(trace.times) / elapsed
+
+    for _ in range(WARMUP_RUNS):
+        one_run()
+    return max(one_run() for _ in range(TIMED_RUNS))
+
+
+def _fleet_steps_per_s(n_devices: int):
+    """Aggregate device-steps/sec for one batched fleet run."""
+    from repro.exec.job import derive_seed
+    from repro.experiments.figures import identified_systems
+    from repro.experiments.fleet import (
+        fleet_manager_factory,
+        run_fleet_scenario,
+    )
+    from repro.workloads import x264
+
+    scenario = _scenario()
+    factory = fleet_manager_factory(MANAGER, identified_systems())
+    seeds = [derive_seed(2018, "fleet", i) for i in range(n_devices)]
+
+    def one_run():
+        start = time.perf_counter()
+        trace = run_fleet_scenario(factory, x264(), scenario, seeds=seeds)
+        elapsed = time.perf_counter() - start
+        ticks = trace.times.shape[0]
+        assert trace.n_devices == n_devices
+        return ticks * n_devices / elapsed
+
+    for _ in range(WARMUP_RUNS):
+        one_run()
+    return max(one_run() for _ in range(TIMED_RUNS))
+
+
+def test_fleet_throughput(save_result):
+    scalar = _scalar_steps_per_s()
+    fleet = {n: _fleet_steps_per_s(n) for n in FLEET_SIZES}
+    speedups = {n: fleet[n] / scalar for n in FLEET_SIZES}
+
+    payload = {
+        "protocol": {
+            "scenario": "three_phase_scenario(phase_duration_s=5.0)",
+            "steps": 300,
+            "workload": "x264",
+            "manager": MANAGER,
+            "seed_base": 2018,
+            "fleet_sizes": list(FLEET_SIZES),
+            "warmup_runs": WARMUP_RUNS,
+            "timed_runs": TIMED_RUNS,
+            "quick_mode": QUICK,
+        },
+        "scalar_steps_per_s": round(scalar, 1),
+        "fleet_aggregate_steps_per_s": {
+            str(n): round(value, 1) for n, value in fleet.items()
+        },
+        "aggregate_speedup": {
+            str(n): round(value, 1) for n, value in speedups.items()
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fleet.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    lines = [
+        f"Fleet kernel aggregate throughput ({MANAGER}, device-steps/sec, "
+        f"best of {TIMED_RUNS} after {WARMUP_RUNS} warm-up runs)",
+        f"  scalar oracle {scalar:10.1f} steps/s",
+    ]
+    for n in FLEET_SIZES:
+        lines.append(
+            f"  N={n:<6} {fleet[n]:12.1f} agg steps/s"
+            f"  ({speedups[n]:.1f}x scalar)"
+        )
+    save_result("fleet", "\n".join(lines))
+
+    if not QUICK:
+        assert speedups[HEADLINE_N] >= REQUIRED_AGGREGATE_SPEEDUP, (
+            f"fleet kernel at N={HEADLINE_N} only "
+            f"{speedups[HEADLINE_N]:.1f}x the scalar oracle "
+            f"(need {REQUIRED_AGGREGATE_SPEEDUP}x)"
+        )

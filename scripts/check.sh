@@ -31,7 +31,12 @@
 #   * the model-check benchmark (quick mode, MODEL_CHECK_QUICK=1) fails
 #     its byte-identical explicit-vs-bitset report comparison or its
 #     relaxed 3x speedup floor (the 10x gate runs in the full sweep:
-#     `python -m pytest benchmarks/bench_model_check.py`).
+#     `python -m pytest benchmarks/bench_model_check.py`),
+#   * the fleet-kernel benchmark (quick mode, FLEET_QUICK=1) fails to
+#     complete or to emit valid JSON.  Quick mode runs a small fleet
+#     with no speedup assertion; the 100x aggregate-throughput gate at
+#     N=1000 runs in the full benchmark
+#     (`python -m pytest benchmarks/bench_fleet.py`).
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -93,6 +98,23 @@ for row in payload["sizes"]:
     for key in ("plant_states", "explicit_s", "symbolic_s", "speedup"):
         assert key in row, f"model_check.json row missing {key!r}"
 print("model_check.json is valid")
+EOF
+
+echo
+echo "== fleet-kernel benchmark (quick mode) =="
+FLEET_QUICK=1 python -m pytest -x -q benchmarks/bench_fleet.py
+python - <<'EOF'
+import json
+with open("benchmarks/results/fleet.json") as fh:
+    payload = json.load(fh)
+for key in (
+    "scalar_steps_per_s",
+    "fleet_aggregate_steps_per_s",
+    "aggregate_speedup",
+):
+    assert key in payload, f"fleet.json missing {key!r}"
+assert payload["fleet_aggregate_steps_per_s"], "fleet.json has no sizes"
+print("fleet.json is valid")
 EOF
 
 if command -v ruff >/dev/null 2>&1; then

@@ -30,7 +30,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.exec.engine import _worker_execute  # noqa: E402
 from tests.exec.golden import (  # noqa: E402
     FIXTURE_PATH,
+    FLEET_FIXTURE_PATH,
     GOLDEN_MANAGERS,
+    fleet_payload,
+    golden_fleet_job,
     golden_job,
     trace_payload,
 )
@@ -55,6 +58,27 @@ def main() -> int:
         encoding="utf-8",
     )
     print(f"wrote {FIXTURE_PATH}")
+
+    fleet_job = golden_fleet_job()
+    status, fleet_trace, duration_s = _worker_execute(fleet_job)
+    if status != "ok":
+        print(fleet_trace, file=sys.stderr)
+        return 1
+    fleet_doc = {
+        "schema": "golden-fleet/1",
+        "scenario": (
+            "three-phase, 1.0 s phases, seed 2018, "
+            f"{fleet_job.n_devices} devices, "
+            f"row {fleet_job.device_faults[0][0]} faulted"
+        ),
+        "fleet": fleet_payload(fleet_trace),
+    }
+    print(f"fleet[{fleet_job.n_devices}]: {duration_s:.2f} s")
+    FLEET_FIXTURE_PATH.write_text(
+        json.dumps(fleet_doc, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {FLEET_FIXTURE_PATH}")
     return 0
 
 

@@ -43,6 +43,7 @@ from repro.analysis.flow.symbols import MODULE_SCOPE, FunctionFacts
 
 __all__ = [
     "DEFAULT_ENTRY_POINTS",
+    "DEFAULT_HOT_PATH_ALLOWED",
     "DEFAULT_PICKLE_ROOTS",
     "DEFAULT_WORKER_MODULE_PATTERNS",
     "RNG_EXEMPT_PATH_FRAGMENTS",
@@ -61,7 +62,20 @@ DEFAULT_ENTRY_POINTS: tuple[str, ...] = (
     "repro.platform.soc.ExynosSoC.step",
     "repro.platform.manycore.ManyCoreSoC.step",
     "repro.platform.soc.read_cluster_telemetry",
+    "repro.platform.fleet.FleetPlatform.step",
     "repro.managers.*._control",
+)
+
+# Functions reachable from an entry point but exempt from REPRO-F003:
+# differential probes that machine-verify a compiled fast path.  They
+# run once (at construction or on first use, behind a sticky flag), so
+# their numpy temporaries never recur per tick.
+DEFAULT_HOT_PATH_ALLOWED: frozenset[str] = frozenset(
+    {
+        "_resolve_snap_kernel",
+        "_probe_cluster_telemetry",
+        "_dot_variant_probe",
+    }
 )
 
 # Spawn-boundary roots (REPRO-F002): everything reachable through their
@@ -417,6 +431,7 @@ def run_all_rules(
     pickle_roots: Iterable[str] = DEFAULT_PICKLE_ROOTS,
     worker_patterns: Iterable[str] = DEFAULT_WORKER_MODULE_PATTERNS,
     rng_exempt_fragments: Iterable[str] = RNG_EXEMPT_PATH_FRAGMENTS,
+    hot_path_allowed: frozenset[str] = DEFAULT_HOT_PATH_ALLOWED,
 ) -> list[Finding]:
     """All five flow rules plus the extraction-time local findings."""
     if graph is None:
@@ -431,7 +446,13 @@ def run_all_rules(
             index, roots=pickle_roots, worker_patterns=worker_patterns
         )
     )
-    findings.extend(check_hot_path_purity(graph, entry_points=entry_points))
+    findings.extend(
+        check_hot_path_purity(
+            graph,
+            entry_points=entry_points,
+            allowed_functions=hot_path_allowed,
+        )
+    )
     findings.extend(check_unit_flow(graph))
     findings.extend(check_frozen_mutation(index))
     return findings

@@ -122,16 +122,19 @@ STEP_KERNEL_PATH_FRAGMENTS = (
     "platform/perf.py",
     "platform/power.py",
     "platform/manycore.py",
+    "platform/fleet.py",
 )
 
-# Functions exempt from L009: their numpy pairwise-reduction order is
-# itself the bit-identity contract with the golden traces, so they must
-# keep the original array formulation (both are off the common fast
-# path — they only run when cores carry nonzero idle fractions).
+# Functions exempt from L009: the first two keep numpy's pairwise
+# reduction order, which is itself the bit-identity contract with the
+# golden traces; the probe/resolve functions run once at construction
+# or first use to machine-verify a compiled fast path, never per tick.
 STEP_KERNEL_ALLOWED_FUNCTIONS = frozenset(
     {
         "_telemetry_with_idle_insertion",
         "_idle_adjusted_capacity",
+        "_resolve_snap_kernel",
+        "_probe_cluster_telemetry",
     }
 )
 

@@ -1,0 +1,792 @@
+"""Optional compiled fast paths for the batched fleet hot loops.
+
+The batched numpy paths spend most of their time dispatching many
+small ufunc/matvec calls per tick.  This module fuses three of those
+loops into C functions that sweep the batch once each, with every
+elementwise expression written in scalar evaluation order (compiled
+with ``-ffp-contract=off`` so the compiler cannot fuse or reorder
+anything we did not write explicitly):
+
+* ``fused_servo_step`` — the entire per-row
+  ``LQGServoController.step`` recurrence with every dot product
+  inlined (used by :mod:`repro.control.batch`);
+* ``fleet_telemetry`` — the per-row cluster sensor read
+  (``soc.read_cluster_telemetry`` mirror in ``platform/fleet.py``);
+* ``opp_snap`` — the per-row DVFS table snap
+  (``OPPTable.snap_indices`` in ``platform/opp.py``).
+
+Every function is gated by its caller on a construction-time
+differential probe against the numpy reference, so a kernel only ever
+runs where it is machine-verified bit-identical.
+
+Bit-identity with ``M @ x`` is the hard part: BLAS picks a different
+reduction order per matrix shape (FMA lanes with a horizontal-sum tree
+for wide kernels, alternating non-FMA accumulators for short-output
+shapes, a single FMA for inner dimension 2).  The kernel implements
+each observed reduction as a *dot variant*; :func:`dot_variant` probes
+a matrix against ``np.matvec`` and returns the variant that reproduces
+it bit-for-bit on random data, or ``None`` when no candidate matches —
+in which case the caller keeps the numpy path.  On top of the
+per-matrix probe, :class:`~repro.control.batch.BatchedLQGServo` only
+enables the kernel after an end-to-end differential probe shows the
+fused step reproduces the numpy path bit-for-bit for every gain set.
+
+The kernel is strictly optional: it compiles lazily with the system C
+compiler into a cached shared object, and any failure (no compiler,
+failed build, unprobeable matrix) silently falls back to numpy.
+``REPRO_DISABLE_FUSED=1`` forces the numpy path (used by tests to
+cover both implementations).  Nothing here changes results — only how
+fast they are produced.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["dot_variant", "fused_kernel", "FusedKernel"]
+
+# Stack-buffer capacity in the C source; callers must check fits().
+_MAX_DIM = 32
+
+_C_SOURCE = r"""
+#include <math.h>
+typedef long long i64;
+
+/* Dot-product reduction orders observed in BLAS dgemv kernels.  Which
+ * one a given matrix shape gets is machine- and library-specific; the
+ * Python side probes each matrix and passes a variant code. */
+
+/* 4 FMA lanes over chunks of 4, horizontal sum (l0+l2)+(l1+l3). */
+static double dot_v4_h2(const double *a, const double *x, i64 k) {
+    double l[4] = {0.0, 0.0, 0.0, 0.0};
+    i64 t;
+    int j;
+    for (t = 0; t + 4 <= k; t += 4)
+        for (j = 0; j < 4; ++j) l[j] = fma(a[t + j], x[t + j], l[j]);
+    return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+/* Two alternating non-FMA accumulators, final l0+l1. */
+static double dot_x2_nofma(const double *a, const double *x, i64 k) {
+    double l0 = 0.0, l1 = 0.0;
+    i64 t;
+    for (t = 0; t + 2 <= k; t += 2) {
+        l0 = l0 + a[t] * x[t];
+        l1 = l1 + a[t + 1] * x[t + 1];
+    }
+    return l0 + l1;
+}
+
+/* Inner dimension 2 as a single FMA: fma(a0, x0, a1*x1). */
+static double dot2_fma(const double *a, const double *x, i64 k) {
+    (void)k;
+    return fma(a[0], x[0], a[1] * x[1]);
+}
+
+static double dot(int variant, const double *a, const double *x, i64 k) {
+    switch (variant) {
+    case 0:
+        return dot_v4_h2(a, x, k);
+    case 1:
+        return dot_x2_nofma(a, x, k);
+    default:
+        return dot2_fma(a, x, k);
+    }
+}
+
+/* Exported so the Python probe can compare variants against numpy. */
+double fused_dot(i64 variant, const double *a, const double *x, i64 k) {
+    return dot((int)variant, a, x, k);
+}
+
+/* out = M @ x with M (r, k) row-major, one probed dot per output. */
+static void matvec(const double *M, i64 r, i64 k, int variant,
+                   const double *x, double *out) {
+    i64 i;
+    for (i = 0; i < r; ++i) out[i] = dot(variant, M + i * k, x, k);
+}
+
+/* Shared per-call servo context: dimensions, state pointers, gain
+ * matrices, operating point and limits. */
+typedef struct {
+    i64 n, m, p;
+    const double *Y, *dr;
+    double *X, *Z, *DU, *U_prev, *U_out;
+    const double *Cm, *Am, *Bm, *Dm, *Lm, *negK, *Ki, *Kipinv, *imask;
+    const double *op_y, *y_scale, *op_u, *u_scale, *u_scale_safe;
+    const double *lower, *upper, *max_step;
+    int has_max_step;
+    double anti_windup;
+    int vC, vA, vB, vD, vL, vK, vKi, vP;
+} servo_ctx;
+
+/* One LQGServoController.step for rows [r0, r1).  Elementwise algebra
+ * mirrors the scalar source line for line.  X, Z, DU, U_prev update
+ * in place; U_out receives the saturated physical command. */
+static void servo_rows(const servo_ctx *c, i64 r0, i64 r1)
+{
+    double dy[32], ypred[32], resid[32], tmp[32], xnew[32];
+    double du[32], kiz[32], uraw[32], exc[32], corr[32];
+    const i64 n = c->n, m = c->m, p = c->p;
+    i64 r, i, j;
+    for (r = r0; r < r1; ++r) {
+        const double *y = c->Y + r * p;
+        const double *drr = c->dr + r * p;
+        double *x = c->X + r * n;
+        double *z = c->Z + r * p;
+        double *duprev = c->DU + r * m;
+        double *uprev = c->U_prev + r * m;
+        double *uout = c->U_out + r * m;
+
+        /* dy = (y - op.y) / y_scale */
+        for (i = 0; i < p; ++i)
+            dy[i] = (y[i] - c->op_y[i]) / c->y_scale[i];
+
+        /* y_pred = C @ x + D @ du_prev */
+        matvec(c->Cm, p, n, c->vC, x, ypred);
+        matvec(c->Dm, p, m, c->vD, duprev, tmp);
+        for (i = 0; i < p; ++i) ypred[i] = ypred[i] + tmp[i];
+
+        /* xhat = (A @ x + B @ du_prev) + L @ (dy - y_pred) */
+        matvec(c->Am, n, n, c->vA, x, xnew);
+        matvec(c->Bm, n, m, c->vB, duprev, tmp);
+        for (i = 0; i < n; ++i) xnew[i] = xnew[i] + tmp[i];
+        for (i = 0; i < p; ++i) resid[i] = dy[i] - ypred[i];
+        matvec(c->Lm, n, p, c->vL, resid, tmp);
+        for (i = 0; i < n; ++i) xnew[i] = xnew[i] + tmp[i];
+        for (i = 0; i < n; ++i) x[i] = xnew[i];
+
+        /* z = z + integral_mask * (dr - dy) */
+        for (i = 0; i < p; ++i)
+            z[i] = z[i] + c->imask[i] * (drr[i] - dy[i]);
+
+        /* du = (-K_state) @ xhat - K_integral @ z */
+        matvec(c->negK, m, n, c->vK, xnew, du);
+        matvec(c->Ki, m, p, c->vKi, z, kiz);
+        for (j = 0; j < m; ++j) du[j] = du[j] - kiz[j];
+
+        /* u_raw = op.u + du * u_scale; slew + bound clip; excess.
+         * (a > b) ? a : b replicates np.maximum's non-NaN element
+         * select (ties take the second operand, like the ufunc). */
+        for (j = 0; j < m; ++j) {
+            double raw = c->op_u[j] + du[j] * c->u_scale[j];
+            double cc = raw;
+            uraw[j] = raw;
+            if (c->has_max_step) {
+                double lo = uprev[j] - c->max_step[j];
+                double hi = uprev[j] + c->max_step[j];
+                cc = (cc > lo) ? cc : lo;
+                cc = (cc < hi) ? cc : hi;
+            }
+            cc = (cc > c->lower[j]) ? cc : c->lower[j];
+            cc = (cc < c->upper[j]) ? cc : c->upper[j];
+            uout[j] = cc;
+            exc[j] = (raw - cc) / c->u_scale_safe[j];
+        }
+
+        /* Anti-windup back-calculation, per row like the scalar. */
+        for (j = 0; j < m; ++j) {
+            if (exc[j] != 0.0) {
+                matvec(c->Kipinv, p, m, c->vP, exc, corr);
+                for (i = 0; i < p; ++i)
+                    z[i] = z[i] + c->anti_windup * corr[i];
+                break;
+            }
+        }
+
+        /* du_prev = (u - op.u) / u_scale; u_prev = u */
+        for (j = 0; j < m; ++j)
+            duprev[j] = (uout[j] - c->op_u[j]) / c->u_scale[j];
+        for (j = 0; j < m; ++j) uprev[j] = uout[j];
+    }
+}
+
+/* Lane-parallel variants: LANES rows advance together, one row per
+ * lane.  Every lane executes exactly the scalar op sequence on its own
+ * data (lanes never mix), so per-row results are bit-identical to
+ * servo_rows while the independent FMA chains pipeline.  xT/outT are
+ * lane-major: element i of lane l at [i*LANES + l]. */
+#define LANES 8
+
+static void dot4_v4_h2(const double *a, const double *xT, i64 k,
+                       double *out) {
+    double l0[LANES], l1[LANES], l2[LANES], l3[LANES];
+    i64 t;
+    int l;
+    for (l = 0; l < LANES; ++l) l0[l] = l1[l] = l2[l] = l3[l] = 0.0;
+    for (t = 0; t + 4 <= k; t += 4) {
+        for (l = 0; l < LANES; ++l)
+            l0[l] = fma(a[t], xT[t * LANES + l], l0[l]);
+        for (l = 0; l < LANES; ++l)
+            l1[l] = fma(a[t + 1], xT[(t + 1) * LANES + l], l1[l]);
+        for (l = 0; l < LANES; ++l)
+            l2[l] = fma(a[t + 2], xT[(t + 2) * LANES + l], l2[l]);
+        for (l = 0; l < LANES; ++l)
+            l3[l] = fma(a[t + 3], xT[(t + 3) * LANES + l], l3[l]);
+    }
+    for (l = 0; l < LANES; ++l) out[l] = (l0[l] + l2[l]) + (l1[l] + l3[l]);
+}
+
+static void dot4_x2_nofma(const double *a, const double *xT, i64 k,
+                          double *out) {
+    double l0[LANES], l1[LANES];
+    i64 t;
+    int l;
+    for (l = 0; l < LANES; ++l) l0[l] = l1[l] = 0.0;
+    for (t = 0; t + 2 <= k; t += 2) {
+        for (l = 0; l < LANES; ++l)
+            l0[l] = l0[l] + a[t] * xT[t * LANES + l];
+        for (l = 0; l < LANES; ++l)
+            l1[l] = l1[l] + a[t + 1] * xT[(t + 1) * LANES + l];
+    }
+    for (l = 0; l < LANES; ++l) out[l] = l0[l] + l1[l];
+}
+
+static void dot4_2fma(const double *a, const double *xT, i64 k,
+                      double *out) {
+    int l;
+    (void)k;
+    for (l = 0; l < LANES; ++l)
+        out[l] = fma(a[0], xT[l], a[1] * xT[LANES + l]);
+}
+
+static void dot4(int variant, const double *a, const double *xT, i64 k,
+                 double *out) {
+    switch (variant) {
+    case 0:
+        dot4_v4_h2(a, xT, k, out);
+        break;
+    case 1:
+        dot4_x2_nofma(a, xT, k, out);
+        break;
+    default:
+        dot4_2fma(a, xT, k, out);
+    }
+}
+
+static void matvec4(const double *M, i64 r, i64 k, int variant,
+                    const double *xT, double *outT) {
+    i64 i;
+    for (i = 0; i < r; ++i)
+        dot4(variant, M + i * k, xT, k, outT + i * LANES);
+}
+
+/* One full LANES-row block: transpose in, lane-parallel step,
+ * scatter out.  Per-lane op order matches servo_rows statement for
+ * statement. */
+static void servo_block(const servo_ctx *c, i64 r0)
+{
+    double xT[32 * LANES], dupT[32 * LANES], dyT[32 * LANES];
+    double ypredT[32 * LANES], tmpT[32 * LANES], xnewT[32 * LANES];
+    double zT[32 * LANES], duT[32 * LANES], kizT[32 * LANES];
+    double urawT[32 * LANES], uoutT[32 * LANES], excT[32 * LANES];
+    double excl[32], corr[32];
+    const i64 n = c->n, m = c->m, p = c->p;
+    i64 i, j, jj;
+    int l;
+
+    for (i = 0; i < n; ++i)
+        for (l = 0; l < LANES; ++l)
+            xT[i * LANES + l] = c->X[(r0 + l) * n + i];
+    for (j = 0; j < m; ++j)
+        for (l = 0; l < LANES; ++l)
+            dupT[j * LANES + l] = c->DU[(r0 + l) * m + j];
+
+    /* dy = (y - op.y) / y_scale */
+    for (i = 0; i < p; ++i)
+        for (l = 0; l < LANES; ++l)
+            dyT[i * LANES + l] =
+                (c->Y[(r0 + l) * p + i] - c->op_y[i]) / c->y_scale[i];
+
+    /* y_pred = C @ x + D @ du_prev */
+    matvec4(c->Cm, p, n, c->vC, xT, ypredT);
+    matvec4(c->Dm, p, m, c->vD, dupT, tmpT);
+    for (i = 0; i < p; ++i)
+        for (l = 0; l < LANES; ++l)
+            ypredT[i * LANES + l] =
+                ypredT[i * LANES + l] + tmpT[i * LANES + l];
+
+    /* xhat = (A @ x + B @ du_prev) + L @ (dy - y_pred) */
+    matvec4(c->Am, n, n, c->vA, xT, xnewT);
+    matvec4(c->Bm, n, m, c->vB, dupT, tmpT);
+    for (i = 0; i < n; ++i)
+        for (l = 0; l < LANES; ++l)
+            xnewT[i * LANES + l] =
+                xnewT[i * LANES + l] + tmpT[i * LANES + l];
+    for (i = 0; i < p; ++i)
+        for (l = 0; l < LANES; ++l)
+            tmpT[i * LANES + l] =
+                dyT[i * LANES + l] - ypredT[i * LANES + l];
+    matvec4(c->Lm, n, p, c->vL, tmpT, ypredT);
+    for (i = 0; i < n; ++i)
+        for (l = 0; l < LANES; ++l)
+            xnewT[i * LANES + l] =
+                xnewT[i * LANES + l] + ypredT[i * LANES + l];
+    for (i = 0; i < n; ++i)
+        for (l = 0; l < LANES; ++l)
+            c->X[(r0 + l) * n + i] = xnewT[i * LANES + l];
+
+    /* z = z + integral_mask * (dr - dy) */
+    for (i = 0; i < p; ++i)
+        for (l = 0; l < LANES; ++l)
+            zT[i * LANES + l] =
+                c->Z[(r0 + l) * p + i]
+                + c->imask[i]
+                      * (c->dr[(r0 + l) * p + i] - dyT[i * LANES + l]);
+
+    /* du = (-K_state) @ xhat - K_integral @ z */
+    matvec4(c->negK, m, n, c->vK, xnewT, duT);
+    matvec4(c->Ki, m, p, c->vKi, zT, kizT);
+    for (j = 0; j < m; ++j)
+        for (l = 0; l < LANES; ++l)
+            duT[j * LANES + l] = duT[j * LANES + l] - kizT[j * LANES + l];
+
+    /* u_raw, slew + bound clip, excess (same selects as servo_rows). */
+    for (j = 0; j < m; ++j) {
+        for (l = 0; l < LANES; ++l) {
+            double raw = c->op_u[j] + duT[j * LANES + l] * c->u_scale[j];
+            double cc = raw;
+            urawT[j * LANES + l] = raw;
+            if (c->has_max_step) {
+                double lo = c->U_prev[(r0 + l) * m + j] - c->max_step[j];
+                double hi = c->U_prev[(r0 + l) * m + j] + c->max_step[j];
+                cc = (cc > lo) ? cc : lo;
+                cc = (cc < hi) ? cc : hi;
+            }
+            cc = (cc > c->lower[j]) ? cc : c->lower[j];
+            cc = (cc < c->upper[j]) ? cc : c->upper[j];
+            uoutT[j * LANES + l] = cc;
+            excT[j * LANES + l] = (raw - cc) / c->u_scale_safe[j];
+        }
+    }
+
+    /* Anti-windup: rare, handled per lane with the scalar matvec. */
+    for (l = 0; l < LANES; ++l) {
+        for (j = 0; j < m; ++j) {
+            if (excT[j * LANES + l] != 0.0) {
+                for (jj = 0; jj < m; ++jj)
+                    excl[jj] = excT[jj * LANES + l];
+                matvec(c->Kipinv, p, m, c->vP, excl, corr);
+                for (i = 0; i < p; ++i)
+                    zT[i * LANES + l] =
+                        zT[i * LANES + l] + c->anti_windup * corr[i];
+                break;
+            }
+        }
+    }
+
+    /* Scatter state back out. */
+    for (i = 0; i < p; ++i)
+        for (l = 0; l < LANES; ++l)
+            c->Z[(r0 + l) * p + i] = zT[i * LANES + l];
+    for (j = 0; j < m; ++j) {
+        for (l = 0; l < LANES; ++l) {
+            double u = uoutT[j * LANES + l];
+            c->U_out[(r0 + l) * m + j] = u;
+            c->DU[(r0 + l) * m + j] = (u - c->op_u[j]) / c->u_scale[j];
+            c->U_prev[(r0 + l) * m + j] = u;
+        }
+    }
+}
+
+/* Entry point: full blocks of LANES rows, then a scalar remainder.
+ * variants[8] gives the probed dot reduction for, in order,
+ * C, A, B, D, L, negK, Ki, Kipinv. */
+void fused_servo_step(
+    i64 N, i64 n, i64 m, i64 p,
+    const double *Y, const double *dr,
+    double *X, double *Z, double *DU, double *U_prev, double *U_out,
+    const double *Cm, const double *Am, const double *Bm, const double *Dm,
+    const double *Lm, const double *negK, const double *Ki,
+    const double *Kipinv, const double *imask,
+    const double *op_y, const double *y_scale,
+    const double *op_u, const double *u_scale, const double *u_scale_safe,
+    const double *lower, const double *upper,
+    const double *max_step, int has_max_step,
+    double anti_windup, const signed char *variants)
+{
+    servo_ctx c;
+    i64 r0;
+    i64 blocked = N - (N % LANES);
+    c.n = n; c.m = m; c.p = p;
+    c.Y = Y; c.dr = dr;
+    c.X = X; c.Z = Z; c.DU = DU; c.U_prev = U_prev; c.U_out = U_out;
+    c.Cm = Cm; c.Am = Am; c.Bm = Bm; c.Dm = Dm; c.Lm = Lm;
+    c.negK = negK; c.Ki = Ki; c.Kipinv = Kipinv; c.imask = imask;
+    c.op_y = op_y; c.y_scale = y_scale; c.op_u = op_u;
+    c.u_scale = u_scale; c.u_scale_safe = u_scale_safe;
+    c.lower = lower; c.upper = upper; c.max_step = max_step;
+    c.has_max_step = has_max_step;
+    c.anti_windup = anti_windup;
+    c.vC = variants[0]; c.vA = variants[1]; c.vB = variants[2];
+    c.vD = variants[3]; c.vL = variants[4]; c.vK = variants[5];
+    c.vKi = variants[6]; c.vP = variants[7];
+    for (r0 = 0; r0 < blocked; r0 += LANES) servo_block(&c, r0);
+    servo_rows(&c, blocked, N);
+}
+
+/* One cluster sensor read per row: the fleet _cluster_telemetry body
+ * (platform/fleet.py) with identical op order per element.  z has row
+ * stride z_stride doubles (it is a column slice of the noise block);
+ * the (a > b) ? a : b / (a < b) ? a : b selects replicate
+ * np.maximum/np.minimum on non-NaN data, and rint() is the same
+ * round-half-to-even as np.rint under the default rounding mode. */
+void fleet_telemetry(
+    i64 N, i64 nc,
+    const double *active, const i64 *opp, const double *bce,
+    const double *z, i64 z_stride,
+    const double *dyn_table, const double *leak_table,
+    const double *rate_table,
+    double idle_frac, double uncore,
+    const double *noise, const signed char *res_mask,
+    const double *res, const double *floor_v, int any_res,
+    double *power, double *ips)
+{
+    double v[17];
+    i64 r, c, j;
+    for (r = 0; r < N; ++r) {
+        double act = active[r];
+        i64 k = opp[r];
+        double b = bce[r];
+        double busy = (b > 0.0) ? b : 0.0;
+        double idle, target, s;
+        const double *zr = z + r * z_stride;
+        busy = (busy < act) ? busy : act;
+        idle = act - busy;
+        /* true power: dyn*(busy + idle_frac*idle) + leak*active + uncore */
+        v[0] = dyn_table[k] * (busy + idle_frac * idle)
+             + leak_table[k] * act + uncore;
+        /* per-core PMU target: (bce * core_rate) * (1 / active) */
+        target = (b * rate_table[k]) * (1.0 / act);
+        for (j = 0; j < nc; ++j)
+            v[j + 1] = ((double)j < act) ? target : 0.0;
+        for (c = 0; c < nc + 1; ++c) {
+            double g = 1.0 + noise[c] * zr[c];
+            double val;
+            g = (g > 0.0) ? g : 0.0;
+            g = (g < 2.0) ? g : 2.0;
+            val = v[c] * g;
+            if (any_res && res_mask[c])
+                val = rint(val / res[c]) * res[c];
+            v[c] = (val > floor_v[c]) ? val : floor_v[c];
+        }
+        power[r] = v[0];
+        /* Sequential per-core fold, like the scalar accumulation. */
+        s = 0.0;
+        for (j = 0; j < nc; ++j) s = s + v[j + 1];
+        ips[r] = s;
+    }
+}
+
+/* One OPPTable snap per row: searchsorted(side='left') as a binary
+ * search, then the same clamp-at-rails and
+ * prefer-the-lower-point-on-ties float compares as snap_indices. */
+void opp_snap(i64 N, const double *f, const double *freqs, i64 nfreq,
+              i64 *out)
+{
+    i64 last = nfreq - 1;
+    i64 r;
+    for (r = 0; r < N; ++r) {
+        double x = f[r];
+        i64 lo, hi_bound, hi;
+        double below, above;
+        if (x <= freqs[0]) { out[r] = 0; continue; }
+        if (x >= freqs[last]) { out[r] = last; continue; }
+        lo = 0;
+        hi_bound = nfreq;
+        while (lo < hi_bound) {
+            i64 mid = (lo + hi_bound) >> 1;
+            if (freqs[mid] < x) lo = mid + 1; else hi_bound = mid;
+        }
+        hi = (lo > 1) ? lo : 1;
+        if (hi > last) hi = last;
+        below = freqs[hi - 1];
+        above = freqs[hi];
+        out[r] = (x - below <= above - x) ? hi - 1 : hi;
+    }
+}
+"""
+
+
+# -march=native lets fma() compile to the hardware instruction instead
+# of a libm call; -ffp-contract=off still forbids the compiler from
+# contracting or reordering anything we did not write explicitly.
+# Compilation happens on the machine that runs the kernel, so native
+# targeting is safe; the flags are part of the cache key.
+_CFLAGS = (
+    "-O2",
+    "-march=native",
+    "-fPIC",
+    "-shared",
+    # Forbid implicit mul+add contraction: every fma in the kernels is
+    # explicit, so codegen matches the probed reduction orders exactly.
+    "-ffp-contract=off",
+    # rint/fma never touch errno; dropping errno bookkeeping lets gcc
+    # inline them to single instructions without changing any result.
+    "-fno-math-errno",
+)
+
+
+def _compile(source: str):
+    digest = hashlib.sha256(
+        (source + "\x00" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = tempfile.gettempdir()
+    so_path = os.path.join(cache, f"repro-fused-{digest}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache, f"repro-fused-{digest}.c")
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        build_path = so_path + f".build-{os.getpid()}"
+        subprocess.run(
+            ["cc", *_CFLAGS, c_path, "-o", build_path, "-lm"],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(build_path, so_path)
+    return ctypes.CDLL(so_path)
+
+
+class FusedKernel:
+    """ctypes binding of the compiled per-row fleet kernels."""
+
+    def __init__(self, lib) -> None:
+        dot = lib.fused_dot
+        dot.restype = ctypes.c_double
+        dot.argtypes = [
+            ctypes.c_longlong,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+        ]
+        self._dot = dot
+        step = lib.fused_servo_step
+        step.restype = None
+        step.argtypes = (
+            [ctypes.c_longlong] * 4
+            + [ctypes.c_void_p] * 23
+            + [ctypes.c_longlong, ctypes.c_int, ctypes.c_double]
+            + [ctypes.c_void_p]
+        )
+        self._step = step
+        telemetry = lib.fleet_telemetry
+        telemetry.restype = None
+        telemetry.argtypes = (
+            [ctypes.c_longlong] * 2
+            + [ctypes.c_void_p] * 4
+            + [ctypes.c_longlong]
+            + [ctypes.c_void_p] * 3
+            + [ctypes.c_double] * 2
+            + [ctypes.c_void_p] * 4
+            + [ctypes.c_int]
+            + [ctypes.c_void_p] * 2
+        )
+        self._telemetry = telemetry
+        snap = lib.opp_snap
+        snap.restype = None
+        snap.argtypes = [
+            ctypes.c_longlong,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+            ctypes.c_void_p,
+        ]
+        self._snap = snap
+
+    @staticmethod
+    def fits(n: int, m: int, p: int) -> bool:
+        return max(n, m, p) <= _MAX_DIM
+
+    def dot(self, variant: int, a_row: np.ndarray, x: np.ndarray) -> float:
+        return self._dot(
+            variant, a_row.ctypes.data, x.ctypes.data, a_row.size
+        )
+
+    def servo_step_ptrs(self, rows, n, m, p, y_ptr, tail) -> None:
+        """:meth:`servo_step` with every post-``Y`` argument pre-resolved.
+
+        ``tail`` is the tuple of raw pointer/flag/scalar arguments the
+        caller captured once (the underlying buffers are updated in
+        place between calls, so their addresses are stable until the
+        caller rebuilds the tuple).
+        """
+        self._step(rows, n, m, p, y_ptr, *tail)
+
+    def cluster_telemetry(
+        self,
+        active,
+        opp_idx,
+        bce,
+        z,
+        dyn_table,
+        leak_table,
+        rate_table,
+        idle_frac,
+        uncore,
+        noise_row,
+        res_mask_i8,
+        safe_res_row,
+        floor_row,
+        any_resolution,
+        power_out,
+        ips_out,
+    ) -> None:
+        args = self.telemetry_args(
+            active,
+            opp_idx,
+            dyn_table,
+            leak_table,
+            rate_table,
+            idle_frac,
+            uncore,
+            noise_row,
+            res_mask_i8,
+            safe_res_row,
+            floor_row,
+            any_resolution,
+            power_out,
+            ips_out,
+        )
+        self.cluster_telemetry_ptrs(args, bce, z)
+
+    def telemetry_args(
+        self,
+        active,
+        opp_idx,
+        dyn_table,
+        leak_table,
+        rate_table,
+        idle_frac,
+        uncore,
+        noise_row,
+        res_mask_i8,
+        safe_res_row,
+        floor_row,
+        any_resolution,
+        power_out,
+        ips_out,
+    ) -> list:
+        """Reusable argument vector for :meth:`cluster_telemetry_ptrs`.
+
+        Slots 4-6 (bce pointer, z pointer, z stride) are placeholders
+        filled per call; everything else is a raw pointer or scalar that
+        stays valid only while the backing arrays keep their identity —
+        callers cache this and must rebuild when any of them is
+        replaced.
+        """
+        return [
+            active.size,
+            noise_row.size - 1,
+            active.ctypes.data,
+            opp_idx.ctypes.data,
+            0,
+            0,
+            0,
+            dyn_table.ctypes.data,
+            leak_table.ctypes.data,
+            rate_table.ctypes.data,
+            idle_frac,
+            uncore,
+            noise_row.ctypes.data,
+            res_mask_i8.ctypes.data,
+            safe_res_row.ctypes.data,
+            floor_row.ctypes.data,
+            1 if any_resolution else 0,
+            power_out.ctypes.data,
+            ips_out.ctypes.data,
+        ]
+
+    def cluster_telemetry_ptrs(self, args: list, bce, z) -> None:
+        """Invoke the telemetry kernel with a prebuilt argument vector."""
+        args[4] = bce.ctypes.data
+        args[5] = z.ctypes.data
+        args[6] = z.strides[0] // 8
+        self._telemetry(*args)
+
+    def snap_indices(self, f, freqs, out) -> None:
+        self._snap(
+            f.size, f.ctypes.data, freqs.ctypes.data, freqs.size,
+            out.ctypes.data,
+        )
+
+
+# Probe verdicts keyed by matrix content; the probe is deterministic
+# (fixed rng seed, data-dependent only), so identical matrices always
+# re-derive the same variant.  Rebuilding the same controllers per run
+# would otherwise repeat every probe.
+_VARIANT_MEMO: dict[bytes, int | None] = {}
+
+
+def dot_variant(kernel: FusedKernel, matrix: np.ndarray) -> int | None:
+    """The dot variant reproducing ``np.matvec(matrix, ·)`` bit-exactly.
+
+    Probes every applicable reduction order against numpy on random
+    vectors across magnitudes; returns its code, or ``None`` when no
+    candidate matches (the caller then keeps the numpy path).
+    """
+    key = matrix.shape[1].to_bytes(4, "little") + matrix.tobytes()
+    if key in _VARIANT_MEMO:
+        return _VARIANT_MEMO[key]
+    verdict = _dot_variant_probe(kernel, matrix)
+    if len(_VARIANT_MEMO) < 4096:
+        _VARIANT_MEMO[key] = verdict
+    return verdict
+
+
+def _dot_variant_probe(kernel: FusedKernel, matrix: np.ndarray) -> int | None:
+    r, k = matrix.shape
+    candidates: list[int] = []
+    if k == 2:
+        candidates.append(2)
+    if k % 2 == 0:
+        candidates.append(1)
+    if k % 4 == 0:
+        candidates.append(0)
+    if not candidates:
+        return None
+    rng = np.random.default_rng(0xD07)
+    batches = [
+        rng.standard_normal((17, k)) * scale for scale in (1e-3, 1.0, 1e3)
+    ]
+    for code in candidates:
+        if all(
+            all(
+                kernel.dot(code, matrix[i], x) == reference[i]
+                for i in range(r)
+            )
+            for X in batches
+            for x, reference in zip(X, np.matvec(matrix, X))
+        ):
+            return code
+    return None
+
+
+_KERNEL: FusedKernel | None = None
+_TRIED = False
+
+
+def fused_kernel() -> FusedKernel | None:
+    """The process-wide kernel, or ``None`` when unavailable.
+
+    Unavailability is silent and sticky: no compiler, a failed build,
+    or ``REPRO_DISABLE_FUSED=1`` all mean the numpy path runs instead,
+    with identical results.
+    """
+    global _KERNEL, _TRIED
+    if _TRIED:
+        return _KERNEL
+    _TRIED = True
+    if os.environ.get("REPRO_DISABLE_FUSED", "") not in ("", "0"):
+        return None
+    try:
+        _KERNEL = FusedKernel(_compile(_C_SOURCE))
+    except Exception:
+        _KERNEL = None
+    return _KERNEL

@@ -36,6 +36,12 @@ from repro.exec.engine import (
     JobRecord,
     current_attempt,
 )
+from repro.exec.fleet_jobs import (
+    FLEET_RUNNER,
+    FleetScenarioJob,
+    execute_fleet,
+    fleet_seeds,
+)
 from repro.exec.job import (
     DEFAULT_RUNNER,
     JOB_SCHEMA,
@@ -65,7 +71,9 @@ __all__ = [
     "EngineError",
     "ExperimentEngine",
     "FAILURE_KINDS",
+    "FLEET_RUNNER",
     "FaultSpec",
+    "FleetScenarioJob",
     "JOB_SCHEMA",
     "JOURNAL_SCHEMA",
     "JobFailure",
@@ -81,5 +89,7 @@ __all__ = [
     "current_attempt",
     "default_salt",
     "derive_seed",
+    "execute_fleet",
+    "fleet_seeds",
     "run_chaos",
 ]

@@ -1,0 +1,729 @@
+"""Fleet resource managers: one batched control update for N devices.
+
+Each class mirrors one scalar manager (``mm``, ``fs``, ``spectr``) on
+top of :class:`~repro.control.batch.BatchedLQGServo` and a
+:class:`~repro.platform.fleet.FleetPlatform`: per-row results are
+bit-identical to running the scalar manager on N independent scalar
+SoCs (``tests/platform/test_fleet_equivalence.py``).
+
+The numeric hot path (servo advance, DVFS snap, hotplug deadband) is
+fully vectorized.  SPECTR's supervisory layer is deliberately *not*: it
+is pure Python branching on per-row scalars (automaton walks, guard
+checks, reference arithmetic), runs only every ``supervisor_period``
+invocations, and its decisions feed back into the batch as grouped
+``switch_rows`` calls and reference-column rewrites.  Gain switches are
+collected during the per-row pass and applied afterwards, which is
+bit-identical because a bumpless switch reads only the estimator state
+(``X``/``DU``) that nothing in the supervision pass mutates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.batch import BatchedLQGServo
+from repro.control.lqg import ActuatorLimits
+from repro.core.events import EventAbstractor, ThreeBandThresholds
+from repro.core.supervisor import PriorityPolicy, SupervisorEngine
+from repro.core.synthesis_flow import (
+    VerifiedSupervisor,
+    build_case_study_supervisor,
+)
+from repro.managers.base import ManagerGoals
+from repro.managers.fs import FullSystemMIMO
+from repro.managers.identification import IdentifiedSystem
+from repro.managers.mimo import (
+    POWER_GAINS,
+    QOS_GAINS,
+    ClusterMIMO,
+    build_gain_library,
+    cluster_actuator_limits,
+)
+from repro.managers.mm import (
+    BIG_BUDGET_SHARE,
+    LITTLE_BUDGET_SHARE,
+    LITTLE_IPS_REFERENCE as MM_LITTLE_IPS_REFERENCE,
+)
+from repro.managers.spectr import (
+    ACTION_PRIORITIES,
+    BIG_POWER_FLOOR_W,
+    CAPPING_TARGET_FRACTION,
+    HARD_DROP_FACTOR,
+    INITIAL_BIG_SHARE,
+    INITIAL_LITTLE_SHARE,
+    LITTLE_IPS_REFERENCE as SPECTR_LITTLE_IPS_REFERENCE,
+    LITTLE_POWER_FLOOR_W,
+)
+from repro.core.alphabet import (
+    CONTROL_POWER,
+    DECREASE_BIG_POWER,
+    DECREASE_CRITICAL_POWER,
+    DECREASE_LITTLE_POWER,
+    INCREASE_BIG_POWER,
+    INCREASE_LITTLE_POWER,
+    SWITCH_GAINS,
+    SWITCH_QOS,
+)
+from repro.platform.fleet import FleetPlatform, FleetTelemetry
+
+__all__ = [
+    "FLEET_GAIN_NAMES",
+    "FleetDualMIMO",
+    "FleetFullSystem",
+    "FleetResourceManager",
+    "FleetSPECTR",
+    "fleet_mm_perf",
+    "fleet_mm_pow",
+]
+
+# Gain-palette order shared by every fleet servo: id 0 = QoS-oriented,
+# id 1 = power-oriented.  Trace rows map ids back through this tuple.
+FLEET_GAIN_NAMES = (QOS_GAINS, POWER_GAINS)
+_QOS_ID = FLEET_GAIN_NAMES.index(QOS_GAINS)
+_POWER_ID = FLEET_GAIN_NAMES.index(POWER_GAINS)
+
+# Deadbands are read off the scalar classes so the mirrors cannot drift.
+_CLUSTER_DEADBAND = ClusterMIMO.hotplug_deadband
+_FS_DEADBAND = FullSystemMIMO.hotplug_deadband
+
+
+class FleetResourceManager:
+    """Base: owns the actuators of one :class:`FleetPlatform`.
+
+    Mirrors the goal-change channels of
+    :class:`~repro.managers.base.ResourceManager`; there is no
+    resilience pipeline on the batched path (faulted devices run the
+    scalar oracle, see ``repro.exec.fleet_jobs``).
+    """
+
+    def __init__(
+        self, platform: FleetPlatform, goals: ManagerGoals, *, name: str
+    ) -> None:
+        self.platform = platform
+        self.goals = goals
+        self.name = name
+
+    def control(self, telemetry: FleetTelemetry) -> None:
+        self._control(telemetry)
+
+    def _control(self, telemetry: FleetTelemetry) -> None:
+        raise NotImplementedError
+
+    def set_qos_reference(self, qos_reference: float) -> None:
+        self.goals = ManagerGoals(qos_reference, self.goals.power_budget_w)
+
+    def set_power_budget(self, power_budget_w: float) -> None:
+        self.goals = ManagerGoals(self.goals.qos_reference, power_budget_w)
+
+    def gain_set_ids(self) -> np.ndarray:
+        """Per-row active gain-set ids (indices into FLEET_GAIN_NAMES)."""
+        raise NotImplementedError
+
+
+def _cluster_servo(
+    cluster, system: IdentifiedSystem, n_rows: int, *, initial: int, name: str
+) -> BatchedLQGServo:
+    """Batched mirror of ``ClusterMIMO.build`` (same library, limits)."""
+    library = build_gain_library(system, integral_weight=0.08)
+    return BatchedLQGServo(
+        [library.get(QOS_GAINS), library.get(POWER_GAINS)],
+        system.operating_point,
+        cluster_actuator_limits(cluster),
+        n_rows,
+        initial=initial,
+        name=name,
+    )
+
+
+def _apply_cluster_commands(cluster, u: np.ndarray, deadband: float) -> None:
+    """Mirror of ``ClusterMIMO.step``'s actuation half.
+
+    DVFS snaps every row; hotplug only fires for rows whose continuous
+    core command left the deadband around the applied count (same
+    ``abs(u - cores) >= deadband`` test as the scalar, row-wise).
+    """
+    cluster.set_frequency(u[:, 0])
+    mask = np.abs(u[:, 1] - cluster.active) >= deadband
+    cluster.apply_core_requests(u[:, 1], mask)
+
+
+# ----------------------------------------------------------------------
+# MM-Pow / MM-Perf
+# ----------------------------------------------------------------------
+class FleetDualMIMO(FleetResourceManager):
+    """Batched ``UncoordinatedDualMIMO``: fixed gains, fixed shares."""
+
+    def __init__(
+        self,
+        platform: FleetPlatform,
+        goals: ManagerGoals,
+        *,
+        big_system: IdentifiedSystem,
+        little_system: IdentifiedSystem,
+        gain_set: str,
+        name: str,
+    ) -> None:
+        super().__init__(platform, goals, name=name)
+        self.gain_set = gain_set
+        gain_id = FLEET_GAIN_NAMES.index(gain_set)
+        n = platform.n_devices
+        self._gain_ids = np.full(n, gain_id, dtype=np.int8)
+        self.big_servo = _cluster_servo(
+            platform.big, big_system, n, initial=gain_id, name="big-mimo"
+        )
+        self.little_servo = _cluster_servo(
+            platform.little,
+            little_system,
+            n,
+            initial=gain_id,
+            name="little-mimo",
+        )
+        # Measurement staging buffers: column writes produce the same
+        # (N, 2) values as np.stack(..., axis=1) without per-tick
+        # allocation.
+        self._y_big = np.empty((n, 2), dtype=float)
+        self._y_little = np.empty((n, 2), dtype=float)
+
+    def _control(self, telemetry: FleetTelemetry) -> None:
+        big_power_ref = BIG_BUDGET_SHARE * self.goals.power_budget_w
+        little_power_ref = LITTLE_BUDGET_SHARE * self.goals.power_budget_w
+        self.big_servo.set_reference(
+            [self.goals.qos_reference, big_power_ref]
+        )
+        self.little_servo.set_reference(
+            [MM_LITTLE_IPS_REFERENCE, little_power_ref]
+        )
+        y_big = self._y_big
+        y_big[:, 0] = telemetry.qos_rate
+        y_big[:, 1] = telemetry.big.power_w
+        u_big = self.big_servo.step(y_big)
+        _apply_cluster_commands(self.platform.big, u_big, _CLUSTER_DEADBAND)
+        y_little = self._y_little
+        y_little[:, 0] = telemetry.little.ips
+        y_little[:, 1] = telemetry.little.power_w
+        u_little = self.little_servo.step(y_little)
+        _apply_cluster_commands(
+            self.platform.little, u_little, _CLUSTER_DEADBAND
+        )
+
+    def gain_set_ids(self) -> np.ndarray:
+        return self._gain_ids
+
+
+def fleet_mm_pow(
+    platform: FleetPlatform,
+    goals: ManagerGoals,
+    *,
+    big_system: IdentifiedSystem,
+    little_system: IdentifiedSystem,
+) -> FleetDualMIMO:
+    """Batched MM-Pow."""
+    return FleetDualMIMO(
+        platform,
+        goals,
+        big_system=big_system,
+        little_system=little_system,
+        gain_set=POWER_GAINS,
+        name="MM-Pow",
+    )
+
+
+def fleet_mm_perf(
+    platform: FleetPlatform,
+    goals: ManagerGoals,
+    *,
+    big_system: IdentifiedSystem,
+    little_system: IdentifiedSystem,
+) -> FleetDualMIMO:
+    """Batched MM-Perf."""
+    return FleetDualMIMO(
+        platform,
+        goals,
+        big_system=big_system,
+        little_system=little_system,
+        gain_set=QOS_GAINS,
+        name="MM-Perf",
+    )
+
+
+# ----------------------------------------------------------------------
+# FS
+# ----------------------------------------------------------------------
+class FleetFullSystem(FleetResourceManager):
+    """Batched ``FullSystemMIMO``: one 4x2 servo across the fleet."""
+
+    def __init__(
+        self,
+        platform: FleetPlatform,
+        goals: ManagerGoals,
+        *,
+        system: IdentifiedSystem,
+        integral_weight: float = 0.05,
+    ) -> None:
+        super().__init__(platform, goals, name="FS")
+        if system.model.n_inputs != 4 or system.model.n_outputs != 2:
+            raise ValueError("FS requires a 4-input 2-output model")
+        library = build_gain_library(
+            system,
+            qos_outputs=(0,),
+            power_outputs=(1,),
+            integral_weight=integral_weight,
+        )
+        big = platform.big
+        little = platform.little
+        limits = ActuatorLimits(
+            lower=[
+                big.opps.min_frequency,
+                1.0,
+                little.opps.min_frequency,
+                1.0,
+            ],
+            upper=[
+                big.opps.max_frequency,
+                float(big.n_cores),
+                little.opps.max_frequency,
+                float(little.n_cores),
+            ],
+            max_step=[0.3, 1.0, 0.3, 1.0],
+        )
+        n = platform.n_devices
+        self._gain_ids = np.full(n, _POWER_ID, dtype=np.int8)
+        self.controller = BatchedLQGServo(
+            [library.get(QOS_GAINS), library.get(POWER_GAINS)],
+            system.operating_point,
+            limits,
+            n,
+            initial=_POWER_ID,
+            name="fs-4x2",
+        )
+        self._y = np.empty((n, 2), dtype=float)
+
+    def _control(self, telemetry: FleetTelemetry) -> None:
+        self.controller.set_reference(
+            [self.goals.qos_reference, self.goals.power_budget_w]
+        )
+        y = self._y
+        y[:, 0] = telemetry.qos_rate
+        y[:, 1] = telemetry.chip_power_w
+        u = self.controller.step(y)
+        big = self.platform.big
+        little = self.platform.little
+        big.set_frequency(u[:, 0])
+        big_mask = np.abs(u[:, 1] - big.active) >= _FS_DEADBAND
+        big.apply_core_requests(u[:, 1], big_mask)
+        little.set_frequency(u[:, 2])
+        little_mask = np.abs(u[:, 3] - little.active) >= _FS_DEADBAND
+        little.apply_core_requests(u[:, 3], little_mask)
+
+    def gain_set_ids(self) -> np.ndarray:
+        return self._gain_ids
+
+
+# ----------------------------------------------------------------------
+# SPECTR
+# ----------------------------------------------------------------------
+class _RowCluster:
+    """One row's per-cluster readings for the supervisory layer."""
+
+    __slots__ = ("power_w", "ips")
+
+    def __init__(self, power_w: float, ips: float) -> None:
+        self.power_w = power_w
+        self.ips = ips
+
+
+class _RowView:
+    """Duck-typed scalar telemetry view of one fleet row.
+
+    Carries exactly the fields the event abstraction and the action
+    guards read (``EventAbstractor.classify`` is duck-typed over
+    ``chip_power_w`` / ``qos_rate``).
+    """
+
+    __slots__ = ("time_s", "qos_rate", "chip_power_w", "big", "little")
+
+    def __init__(
+        self,
+        time_s: float,
+        qos_rate: float,
+        chip_power_w: float,
+        big: _RowCluster,
+        little: _RowCluster,
+    ) -> None:
+        self.time_s = time_s
+        self.qos_rate = qos_rate
+        self.chip_power_w = chip_power_w
+        self.big = big
+        self.little = little
+
+
+class _RowSupervisor:
+    """One row's supervisory state: a verbatim scalar-SPECTR mirror.
+
+    Holds the row's own automaton walk, event abstraction, priority
+    policy and power references — all Python floats, so every guard and
+    effect computes exactly what ``SPECTRManager`` would on a scalar
+    device.  Gain switches are *requested* through the owning manager
+    (which batches them into ``switch_rows`` calls).
+    """
+
+    __slots__ = (
+        "manager",
+        "row",
+        "engine",
+        "abstractor",
+        "big_power_ref_w",
+        "little_power_ref_w",
+        "big_gains",
+        "little_gains",
+        "_telemetry",
+        "_policy",
+        "_effects",
+    )
+
+    def __init__(
+        self,
+        manager: "FleetSPECTR",
+        row: int,
+        verified: VerifiedSupervisor,
+        thresholds: ThreeBandThresholds | None,
+    ) -> None:
+        self.manager = manager
+        self.row = row
+        self.engine = SupervisorEngine(
+            verified.supervisor, record_trace=False
+        )
+        self.abstractor = EventAbstractor(thresholds)
+        goals = manager.goals
+        self.big_power_ref_w = INITIAL_BIG_SHARE * goals.power_budget_w
+        self.little_power_ref_w = max(
+            LITTLE_POWER_FLOOR_W, INITIAL_LITTLE_SHARE * goals.power_budget_w
+        )
+        self.big_gains = QOS_GAINS
+        self.little_gains = QOS_GAINS
+        self._telemetry: _RowView | None = None
+        self._policy = PriorityPolicy(
+            priorities=ACTION_PRIORITIES,
+            guards={
+                DECREASE_BIG_POWER: self._guard_decrease_big,
+                INCREASE_BIG_POWER: self._guard_increase_big,
+                DECREASE_LITTLE_POWER: self._guard_decrease_little,
+                INCREASE_LITTLE_POWER: self._guard_increase_little,
+            },
+            max_actions_per_invocation=2,
+        )
+        self._effects = {
+            SWITCH_GAINS: self._effect_switch_power_gains,
+            SWITCH_QOS: self._effect_switch_qos_gains,
+            CONTROL_POWER: self._effect_control_power,
+            DECREASE_CRITICAL_POWER: self._effect_decrease_critical,
+            DECREASE_BIG_POWER: self._effect_decrease_big,
+            INCREASE_BIG_POWER: self._effect_increase_big,
+            DECREASE_LITTLE_POWER: self._effect_decrease_little,
+            INCREASE_LITTLE_POWER: self._effect_increase_little,
+        }
+
+    def supervise(self, view: _RowView) -> None:
+        self._telemetry = view
+        goals = self.manager.goals
+        events = self.abstractor.classify(
+            view,
+            qos_reference=goals.qos_reference,
+            power_budget_w=goals.power_budget_w,
+        )
+        self.engine.invoke(
+            events, self._policy, time_s=view.time_s, effects=self._effects
+        )
+
+    # -- budget arithmetic (scalar mirror) -----------------------------
+    def _capping_allocations(self) -> tuple[float, float]:
+        budget_w = self.manager.goals.power_budget_w
+        target = CAPPING_TARGET_FRACTION * budget_w
+        little = min(
+            max(LITTLE_POWER_FLOOR_W, self.little_power_ref_w),
+            0.15 * budget_w,
+        )
+        big = max(BIG_POWER_FLOOR_W, target - little)
+        return big, little
+
+    def _big_headroom_cap(self) -> float:
+        return self.manager.goals.power_budget_w - max(
+            LITTLE_POWER_FLOOR_W, self.little_power_ref_w
+        )
+
+    # -- guards (scalar mirror) ----------------------------------------
+    def _guard_decrease_big(self) -> bool:
+        t = self._telemetry
+        return (
+            t is not None
+            and self.big_power_ref_w > t.big.power_w + 0.15
+            and self.big_power_ref_w > BIG_POWER_FLOOR_W
+        )
+
+    def _guard_increase_big(self) -> bool:
+        return self.big_power_ref_w < self._big_headroom_cap() - 0.05
+
+    def _guard_decrease_little(self) -> bool:
+        t = self._telemetry
+        return (
+            t is not None
+            and t.little.ips < 0.1
+            and self.little_power_ref_w > LITTLE_POWER_FLOOR_W + 0.02
+        )
+
+    def _guard_increase_little(self) -> bool:
+        t = self._telemetry
+        return (
+            t is not None
+            and t.little.ips > 0.3
+            and self.little_power_ref_w
+            < 0.15 * self.manager.goals.power_budget_w - 0.02
+        )
+
+    # -- effects (scalar mirror) ---------------------------------------
+    def _switch(self, cluster_key: str, gains: str) -> bool:
+        """Mirror of ``ClusterMIMO.switch_gains`` on this row."""
+        current = (
+            self.big_gains if cluster_key == "big" else self.little_gains
+        )
+        if gains == current:
+            return False
+        if cluster_key == "big":
+            self.big_gains = gains
+        else:
+            self.little_gains = gains
+        self.manager._pend_switch(
+            cluster_key, self.row, FLEET_GAIN_NAMES.index(gains)
+        )
+        return True
+
+    def _effect_switch_power_gains(self) -> None:
+        manager = self.manager
+        if not manager.enable_gain_scheduling:
+            return
+        now = self._telemetry.time_s if self._telemetry else 0.0
+        if self._switch("big", POWER_GAINS):
+            manager.gain_events.append((now, self.row, "big", POWER_GAINS))
+        if self._switch("little", POWER_GAINS):
+            manager.gain_events.append(
+                (now, self.row, "little", POWER_GAINS)
+            )
+
+    def _effect_switch_qos_gains(self) -> None:
+        manager = self.manager
+        if manager.enable_gain_scheduling:
+            now = self._telemetry.time_s if self._telemetry else 0.0
+            if self._switch("big", QOS_GAINS):
+                manager.gain_events.append((now, self.row, "big", QOS_GAINS))
+            if self._switch("little", QOS_GAINS):
+                manager.gain_events.append(
+                    (now, self.row, "little", QOS_GAINS)
+                )
+        if manager.enable_reference_regulation:
+            budget_w = manager.goals.power_budget_w
+            self.big_power_ref_w = INITIAL_BIG_SHARE * budget_w
+            self.little_power_ref_w = max(
+                LITTLE_POWER_FLOOR_W, INITIAL_LITTLE_SHARE * budget_w
+            )
+            manager._refs_dirty = True
+
+    def _effect_control_power(self) -> None:
+        manager = self.manager
+        if not manager.enable_reference_regulation:
+            return
+        self.big_power_ref_w, self.little_power_ref_w = (
+            self._capping_allocations()
+        )
+        manager._refs_dirty = True
+
+    def _effect_decrease_critical(self) -> None:
+        manager = self.manager
+        if not manager.enable_reference_regulation:
+            return
+        big, little = self._capping_allocations()
+        self.big_power_ref_w = max(
+            BIG_POWER_FLOOR_W, HARD_DROP_FACTOR * big
+        )
+        self.little_power_ref_w = max(
+            LITTLE_POWER_FLOOR_W, HARD_DROP_FACTOR * little
+        )
+        manager._refs_dirty = True
+
+    def _effect_decrease_big(self) -> None:
+        t = self._telemetry
+        manager = self.manager
+        if t is None or not manager.enable_reference_regulation:
+            return
+        self.big_power_ref_w = max(
+            BIG_POWER_FLOOR_W, t.big.power_w + 0.10
+        )
+        manager._refs_dirty = True
+
+    def _effect_increase_big(self) -> None:
+        manager = self.manager
+        if not manager.enable_reference_regulation:
+            return
+        self.big_power_ref_w = min(
+            self._big_headroom_cap(), self.big_power_ref_w + 0.30
+        )
+        manager._refs_dirty = True
+
+    def _effect_decrease_little(self) -> None:
+        t = self._telemetry
+        manager = self.manager
+        if t is None or not manager.enable_reference_regulation:
+            return
+        self.little_power_ref_w = max(
+            LITTLE_POWER_FLOOR_W, t.little.power_w + 0.05
+        )
+        manager._refs_dirty = True
+
+    def _effect_increase_little(self) -> None:
+        manager = self.manager
+        if not manager.enable_reference_regulation:
+            return
+        self.little_power_ref_w = min(
+            0.15 * manager.goals.power_budget_w,
+            self.little_power_ref_w + 0.10,
+        )
+        manager._refs_dirty = True
+
+
+class FleetSPECTR(FleetResourceManager):
+    """Batched SPECTR: per-row supervisors over two batched 2x2 servos."""
+
+    def __init__(
+        self,
+        platform: FleetPlatform,
+        goals: ManagerGoals,
+        *,
+        big_system: IdentifiedSystem,
+        little_system: IdentifiedSystem,
+        verified_supervisor: VerifiedSupervisor | None = None,
+        supervisor_period_epochs: int = 2,
+        thresholds: ThreeBandThresholds | None = None,
+        enable_gain_scheduling: bool = True,
+        enable_reference_regulation: bool = True,
+        name: str = "SPECTR",
+    ) -> None:
+        super().__init__(platform, goals, name=name)
+        if supervisor_period_epochs < 1:
+            raise ValueError("supervisor_period_epochs must be >= 1")
+        self.enable_gain_scheduling = enable_gain_scheduling
+        self.enable_reference_regulation = enable_reference_regulation
+        self.supervisor_period_epochs = supervisor_period_epochs
+        n = platform.n_devices
+        self.big_servo = _cluster_servo(
+            platform.big, big_system, n, initial=_QOS_ID, name="big-mimo"
+        )
+        self.little_servo = _cluster_servo(
+            platform.little,
+            little_system,
+            n,
+            initial=_QOS_ID,
+            name="little-mimo",
+        )
+        self.verified = verified_supervisor or build_case_study_supervisor()
+        self.gain_events: list[tuple[float, int, str, str]] = []
+        self.rows = [
+            _RowSupervisor(self, row, self.verified, thresholds)
+            for row in range(n)
+        ]
+        self._y_big = np.empty((n, 2), dtype=float)
+        self._y_little = np.empty((n, 2), dtype=float)
+        self._tick = 0
+        self._refs_dirty = True
+        self._written_qos_reference: float | None = None
+        self._pending: dict[str, list[tuple[int, list[int]]]] = {
+            "big": [],
+            "little": [],
+        }
+
+    # -- switch batching -----------------------------------------------
+    def _pend_switch(self, cluster_key: str, row: int, gain_id: int) -> None:
+        """Queue one row's gain switch, merging same-gain runs.
+
+        Ops are applied in request order after the supervision pass;
+        merging only *adjacent* same-gain requests preserves each row's
+        switch order (a row's consecutive switches always differ in
+        gain, so they land in different groups).
+        """
+        ops = self._pending[cluster_key]
+        if ops and ops[-1][0] == gain_id:
+            ops[-1][1].append(row)
+        else:
+            ops.append((gain_id, [row]))
+
+    # -- control -------------------------------------------------------
+    def _control(self, telemetry: FleetTelemetry) -> None:
+        if self._tick % self.supervisor_period_epochs == 0:
+            self._supervise(telemetry)
+        self._refresh_references()
+        y_big = self._y_big
+        y_big[:, 0] = telemetry.qos_rate
+        y_big[:, 1] = telemetry.big.power_w
+        u_big = self.big_servo.step(y_big)
+        _apply_cluster_commands(self.platform.big, u_big, _CLUSTER_DEADBAND)
+        y_little = self._y_little
+        y_little[:, 0] = telemetry.little.ips
+        y_little[:, 1] = telemetry.little.power_w
+        u_little = self.little_servo.step(y_little)
+        _apply_cluster_commands(
+            self.platform.little, u_little, _CLUSTER_DEADBAND
+        )
+        self._tick += 1
+
+    def _supervise(self, telemetry: FleetTelemetry) -> None:
+        n = self.platform.n_devices
+        chip = _column_list(telemetry.chip_power_w, n)
+        qos = _column_list(telemetry.qos_rate, n)
+        big_power_w = _column_list(telemetry.big.power_w, n)
+        little_power_w = _column_list(telemetry.little.power_w, n)
+        little_ips = _column_list(telemetry.little.ips, n)
+        now = telemetry.time_s
+        for row, supervisor in enumerate(self.rows):
+            view = _RowView(
+                now,
+                qos[row],
+                chip[row],
+                _RowCluster(big_power_w[row], 0.0),
+                _RowCluster(little_power_w[row], little_ips[row]),
+            )
+            supervisor.supervise(view)
+        for cluster_key, servo in (
+            ("big", self.big_servo),
+            ("little", self.little_servo),
+        ):
+            ops = self._pending[cluster_key]
+            for gain_id, rows in ops:
+                servo.switch_rows(rows, gain_id)
+            ops.clear()
+
+    def _refresh_references(self) -> None:
+        qos_reference = self.goals.qos_reference
+        if (
+            not self._refs_dirty
+            and qos_reference == self._written_qos_reference
+        ):
+            return
+        big_refs = self.big_servo.references
+        big_refs[:, 0] = qos_reference
+        big_refs[:, 1] = [s.big_power_ref_w for s in self.rows]
+        self.big_servo.refresh_references()
+        little_refs = self.little_servo.references
+        little_refs[:, 0] = SPECTR_LITTLE_IPS_REFERENCE
+        little_refs[:, 1] = [s.little_power_ref_w for s in self.rows]
+        self.little_servo.refresh_references()
+        self._refs_dirty = False
+        self._written_qos_reference = qos_reference
+
+    def gain_set_ids(self) -> np.ndarray:
+        # The scalar actuation record reports the Big MIMO's active set.
+        return self.big_servo.gain_ids
+
+
+def _column_list(values, n: int) -> list[float]:
+    """An (N,) array (or fleet-wide scalar) as a list of Python floats."""
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return [float(values)] * n

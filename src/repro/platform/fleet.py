@@ -1,0 +1,690 @@
+"""Structure-of-arrays fleet kernel: step N simulated SoCs per array op.
+
+One :class:`FleetPlatform` advances ``N`` independent simulated devices
+per tick with a handful of numpy operations instead of ``N`` scalar
+``ExynosSoC.step`` calls.  Per-cluster frequency / active cores / power
+live as ``(N,)`` float arrays; every per-tick quantity is computed with
+element-wise array ops whose per-row results are **bit-identical** to
+the scalar oracle (``repro.platform.soc``).  The equivalence contract is
+enforced by ``tests/platform/test_fleet_equivalence.py`` and the golden
+fleet fixture in ``tests/exec/fixtures``.
+
+Bit-identity ground rules (each is probe-verified and pinned by tests):
+
+* Anything involving a Python ``**`` in the scalar path (voltage², the
+  frequency-scale power law, scheduler core strength) is precomputed per
+  operating point with *Python-float* arithmetic into lookup tables
+  indexed by snapped OPP — array ``**`` is not bit-identical to scalar
+  ``**``.
+* Sensor noise comes from per-device ``Generator``s seeded exactly like
+  the scalar devices.  Each device pre-draws ``standard_normal`` blocks
+  in the documented order (QoS workload draw first when noisy, then Big
+  power + per-core PMUs, then Little) — ``rng.normal(1, s)`` equals
+  ``1 + s * standard_normal()`` draw-for-draw, and block draws consume
+  the ziggurat stream identically to interleaved scalar draws (see
+  ``tests/platform/test_rng_contract.py``).
+* Masked updates use ``np.where`` (in-place masked assignment can turn
+  ``+0.0`` into ``-0.0``); clamps use ``minimum``/``maximum`` chains
+  that replay the scalar branch structure.
+
+The kernel reproduces only the scalar *fast* path: plain noisy sensors,
+no idle insertion, fewer than 8 cores per cluster, no attached fault
+layers.  ``soc.fleet_sensor_layout`` rejects anything else loudly;
+faulted devices run on the scalar oracle (see
+``repro.exec.fleet_jobs``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.fused import fused_kernel
+from repro.platform.opp import big_cluster_opps, little_cluster_opps
+from repro.platform.perf import (
+    amdahl_speedup,
+    big_cluster_perf_model,
+    frequency_scale,
+    little_cluster_perf_model,
+)
+from repro.platform.power import (
+    big_cluster_power_model,
+    little_cluster_power_model,
+)
+from repro.platform.scheduler import HMPScheduler
+from repro.platform.soc import (
+    Cluster,
+    PlatformError,
+    SoCConfig,
+    fleet_sensor_layout,
+)
+from repro.workloads.base import BackgroundTask, QoSWorkload
+
+__all__ = [
+    "FleetCluster",
+    "FleetClusterTelemetry",
+    "FleetPlatform",
+    "FleetTelemetry",
+]
+
+_BIG_ID = np.int8(1)
+_LITTLE_ID = np.int8(2)
+
+
+class FleetCluster:
+    """SoA state of one cluster role (big or little) across all devices.
+
+    Built from a *template* scalar :class:`Cluster` so the initial state,
+    sensor parameters and model coefficients are exactly what a freshly
+    constructed scalar device would have.
+    """
+
+    def __init__(
+        self, template: Cluster, n_devices: int, *, strength_exponent: float
+    ) -> None:
+        sensor, pmu_sensors = fleet_sensor_layout(template)
+        self.name = template.name
+        self.n_cores = template.n_cores
+        self.n_cores_f = float(template.n_cores)
+        self.opps = template.opps
+        self.power_model = template.power_model
+        self.perf_model = template.perf_model
+        points = template.opps.points
+        self.freq_table = template.opps.frequency_array
+        self.volt_table = template.opps.voltage_array
+        # Per-OPP lookup tables, all built with Python-float arithmetic
+        # so indexed values match the scalar expressions bit-for-bit.
+        self.dynamic_table, self.leakage_table = (
+            template.power_model.per_opp_tables(template.opps)
+        )
+        ipc = template.perf_model.ipc_factor
+        self.core_rate_table = np.array(
+            [ipc * p.frequency_ghz for p in points], dtype=float
+        )
+        self.strength_table = np.array(
+            [(ipc * p.frequency_ghz) ** strength_exponent for p in points],
+            dtype=float,
+        )
+        self.idle_core_fraction = template.power_model.idle_core_fraction
+        self.uncore_power = template.power_model.uncore_power
+        self.power_noise_fraction = sensor.noise_fraction
+        self.power_resolution = sensor.resolution
+        self.power_floor = sensor.floor
+        self.pmu_noise_fractions = [s.noise_fraction for s in pmu_sensors]
+        self.pmu_resolutions = [s.resolution for s in pmu_sensors]
+        self.pmu_floors = [s.floor for s in pmu_sensors]
+        # Fused sensor rows: column 0 is the power sensor, columns
+        # 1..n_cores the per-core PMUs.  Broadcasting one (1 + n_cores,)
+        # parameter row against the (N, 1 + n_cores) noise block applies
+        # the same elementwise ops as the per-sensor loop.
+        sensors = [sensor, *pmu_sensors]
+        self.noise_row = np.array(
+            [s.noise_fraction for s in sensors], dtype=float
+        )
+        resolutions = np.array([s.resolution for s in sensors], dtype=float)
+        self.res_mask_row = resolutions > 0
+        self.any_resolution = bool(self.res_mask_row.any())
+        self.safe_res_row = np.where(self.res_mask_row, resolutions, 1.0)
+        self.floor_row = np.array([s.floor for s in sensors], dtype=float)
+        self.core_ids = np.arange(self.n_cores, dtype=float)
+        self._reading_buf = np.empty((n_devices, 1 + self.n_cores), dtype=float)
+        self.res_mask_i8 = np.ascontiguousarray(
+            self.res_mask_row, dtype=np.int8
+        )
+        # Compiled-telemetry state: the kernel handle is set by
+        # FleetPlatform after a per-cluster differential probe.  Output
+        # buffers are double-buffered so the previous tick's telemetry
+        # arrays stay intact without per-tick allocation.
+        self.telemetry_kernel = None
+        self._telemetry_args = None
+        self._out_flip = 0
+        self._power_bufs = (
+            np.empty(n_devices, dtype=float),
+            np.empty(n_devices, dtype=float),
+        )
+        self._ips_bufs = (
+            np.empty(n_devices, dtype=float),
+            np.empty(n_devices, dtype=float),
+        )
+        # DVFS snap scratch: reused as ``opp_idx`` every set_frequency.
+        self._snap_out = np.empty(n_devices, dtype=np.int64)
+        initial = template.opps.snap_indices(
+            np.array([template.frequency_ghz], dtype=float)
+        )
+        self.opp_idx = np.full(n_devices, int(initial[0]))
+        self.frequency = self.freq_table[self.opp_idx]
+        self.voltage = self.volt_table[self.opp_idx]
+        self.active = np.full(n_devices, float(template.active_cores))
+
+    def set_frequency(self, requests: np.ndarray) -> np.ndarray:
+        """Vectorized DVFS: snap every row's request to its OPP."""
+        idx = self.opps.snap_indices(requests, out=self._snap_out)
+        self.opp_idx = idx
+        self.frequency = self.freq_table[idx]
+        self.voltage = self.volt_table[idx]
+        return self.frequency
+
+    def apply_core_requests(
+        self, requests: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Vectorized hotplug for the rows selected by ``mask``.
+
+        ``np.rint`` is round-half-to-even, matching the scalar
+        ``int(round(float(count)))`` actuator semantics exactly.
+        """
+        snapped = np.minimum(
+            np.maximum(np.rint(requests), 1.0), self.n_cores_f
+        )
+        # In-place write keeps the array's identity (and with it the
+        # compiled-telemetry pointer cache) stable; np.where materializes
+        # its result before the assignment copies it over.
+        self.active[...] = np.where(mask, snapped, self.active)
+
+
+@dataclass
+class FleetClusterTelemetry:
+    """Per-cluster sensor readings, one ``(N,)`` array per field."""
+
+    frequency_ghz: np.ndarray
+    voltage_v: np.ndarray
+    active_cores: np.ndarray
+    busy_core_equivalents: np.ndarray
+    power_w: np.ndarray
+    ips: np.ndarray
+
+
+@dataclass
+class FleetTelemetry:
+    """Fleet-wide sensor snapshot for one interval.
+
+    ``chip_power_w`` is precomputed with the same ``big + little``
+    addition as the scalar ``Telemetry.chip_power_w`` property.
+    """
+
+    time_s: float
+    qos_rate: np.ndarray
+    qos_raw: np.ndarray
+    big: FleetClusterTelemetry
+    little: FleetClusterTelemetry
+    chip_power_w: np.ndarray
+
+
+class FleetPlatform:
+    """N simulated Exynos-like devices advanced per tick by array ops.
+
+    Every device runs the *same* workload/scenario (one N-device job
+    replaces N identical jobs with different seeds); per-device noise
+    comes from independent generators seeded with the per-row seeds.
+    """
+
+    def __init__(
+        self,
+        *,
+        qos_app: QoSWorkload | None = None,
+        background: list[BackgroundTask] | None = None,
+        seeds,
+        config: SoCConfig | None = None,
+        noise_chunk_ticks: int = 256,
+    ) -> None:
+        self.config = config or SoCConfig()
+        if self.config.dt_s <= 0:
+            raise PlatformError("dt must be positive")
+        if self.config.heartbeat_window_s <= 0:
+            raise PlatformError("heartbeat window must be positive")
+        seeds = tuple(int(s) for s in seeds)
+        if not seeds:
+            raise PlatformError("fleet needs at least one device seed")
+        self.seeds = seeds
+        self.n_devices = len(seeds)
+        # Scheduler constants are read off a real HMPScheduler so the
+        # mirror can never drift from the scalar defaults.
+        scalar_scheduler = HMPScheduler()
+        self._little_bias = scalar_scheduler._little_bias
+        self._strength_exponent = scalar_scheduler._strength_exponent
+        self._hysteresis_multiplier = (
+            1.0 + scalar_scheduler._migration_hysteresis
+        )
+        big_template = Cluster(
+            "big",
+            n_cores=self.config.cores_per_cluster,
+            opps=big_cluster_opps(),
+            power_model=big_cluster_power_model(),
+            perf_model=big_cluster_perf_model(),
+        )
+        little_template = Cluster(
+            "little",
+            n_cores=self.config.cores_per_cluster,
+            opps=little_cluster_opps(),
+            power_model=little_cluster_power_model(),
+            perf_model=little_cluster_perf_model(),
+        )
+        self.big = FleetCluster(
+            big_template,
+            self.n_devices,
+            strength_exponent=self._strength_exponent,
+        )
+        self.little = FleetCluster(
+            little_template,
+            self.n_devices,
+            strength_exponent=self._strength_exponent,
+        )
+        # Compiled telemetry sweep: enabled per cluster only when the
+        # differential probe reproduces the numpy path bit-for-bit
+        # (fused_kernel() is None under REPRO_DISABLE_FUSED or when no
+        # compiler is available — the numpy path then runs everywhere).
+        kernel = fused_kernel()
+        if kernel is not None:
+            for fc in (self.big, self.little):
+                if _probe_cluster_telemetry(fc, kernel):
+                    fc.telemetry_kernel = kernel
+        self.qos_app = qos_app
+        self.background = list(background or [])
+        # Per-task, per-row previous-cluster ids (1=big, 2=little).
+        self._sched_prev: dict[str, np.ndarray] = {}
+        # Shared-timestamp heartbeat window: (time, (N,) counts) pairs.
+        self._hb_window = self.config.heartbeat_window_s
+        self._hb_records: deque[tuple[float, np.ndarray]] = deque()
+        self.rngs = [np.random.default_rng(s) for s in seeds]
+        self.time_s = 0.0
+        # Pre-drawn standard-normal blocks.  Per-tick draw layout per
+        # device: [QoS workload (iff noisy)] + [big power, big PMUs] +
+        # [little power, little PMUs] — the documented scalar order.
+        self._qos_draws = (
+            1 if qos_app is not None and qos_app.variability > 0 else 0
+        )
+        per_cluster = self.config.cores_per_cluster + 1
+        self._draws_per_tick = self._qos_draws + 2 * per_cluster
+        self._noise_chunk = max(1, int(noise_chunk_ticks))
+        self._noise_buf = np.empty(
+            (self.n_devices, self._draws_per_tick * self._noise_chunk),
+            dtype=float,
+        )
+        self._noise_used = self._noise_chunk
+        if qos_app is not None:
+            self._qos_threads = float(qos_app.threads)
+            perf = big_template.perf_model
+            # peak_rate * frequency_scale(f) per OPP — the first two
+            # factors of the left-associative scalar product
+            # peak * fs * speedup / reference_speedup.
+            self._peak_fs_table = np.array(
+                [
+                    qos_app.peak_rate
+                    * frequency_scale(
+                        p.frequency_ghz, perf.f_max_ghz, qos_app.freq_alpha
+                    )
+                    for p in big_template.opps.points
+                ],
+                dtype=float,
+            )
+        else:
+            self._qos_threads = 0.0
+            self._peak_fs_table = None
+
+    # ------------------------------------------------------------------
+    def step(self) -> FleetTelemetry:
+        """Advance all devices one control interval (scalar-step mirror)."""
+        now = self.time_s
+        qos_app = self.qos_app
+        qos_threads = self._qos_threads
+        width = self._draws_per_tick
+        if self._noise_used == self._noise_chunk:
+            self._refill_noise()
+        z = self._noise_buf[
+            :, self._noise_used * width : (self._noise_used + 1) * width
+        ]
+        self._noise_used += 1
+
+        big = self.big
+        little = self.little
+        active_bg = [t for t in self.background if t.active_at(now)]
+        if active_bg:
+            big_demand, little_demand = self._place(active_bg, qos_threads)
+        else:
+            if self._sched_prev:
+                self._sched_prev.clear()
+            big_demand = 0.0
+            little_demand = 0.0
+
+        big_capacity = big.active
+        big_runnable = qos_threads + big_demand
+        big_share = _fair_share_capacity(big_capacity, big_runnable)
+        qos_rate_raw = 0.0
+        if qos_app is not None:
+            qos_rate_raw = self._qos_rate(now, qos_threads * big_share, z)
+            self._hb_issue(now, qos_rate_raw * self.config.dt_s)
+        big_busy = np.minimum(big_capacity, big_runnable)
+        little_capacity = little.active
+        little_busy = np.minimum(little_capacity, little_demand)
+
+        offset = self._qos_draws
+        per_cluster = big.n_cores + 1
+        big_telemetry = _cluster_telemetry(
+            big, big_busy, z[:, offset : offset + per_cluster]
+        )
+        offset += per_cluster
+        little_telemetry = _cluster_telemetry(
+            little, little_busy, z[:, offset : offset + little.n_cores + 1]
+        )
+        qos_rate = self._hb_rate(now) if qos_app is not None else 0.0
+        telemetry = FleetTelemetry(
+            time_s=now,
+            qos_rate=qos_rate,
+            qos_raw=qos_rate_raw,
+            big=big_telemetry,
+            little=little_telemetry,
+            chip_power_w=big_telemetry.power_w + little_telemetry.power_w,
+        )
+        self.time_s = now + self.config.dt_s
+        return telemetry
+
+    def _refill_noise(self) -> None:
+        # Chunked standard_normal draws consume the ziggurat stream
+        # exactly like per-tick draws would (RNG contract tests).
+        buf = self._noise_buf
+        for row, rng in enumerate(self.rngs):
+            rng.standard_normal(out=buf[row])
+        self._noise_used = 0
+
+    # ------------------------------------------------------------------
+    def _qos_rate(self, now: float, effective_threads, z) -> np.ndarray:
+        """Vectorized ``QoSWorkload.rate`` on the Big cluster."""
+        qos_app = self.qos_app
+        qos_threads = self._qos_threads
+        current_fraction = qos_app.parallel_fraction_at(now)
+        reference_speedup = amdahl_speedup(current_fraction, qos_threads)
+        if reference_speedup == 0:
+            base = 0.0
+        else:
+            speedup = _amdahl_array(current_fraction, effective_threads)
+            base = (
+                self._peak_fs_table[self.big.opp_idx]
+                * speedup
+                / reference_speedup
+            )
+        if current_fraction != qos_app.parallel_fraction:
+            nominal_ref = amdahl_speedup(
+                qos_app.parallel_fraction, qos_threads
+            )
+            phase_ref = amdahl_speedup(current_fraction, qos_threads)
+            if nominal_ref > 0:
+                base = base * (phase_ref / nominal_ref)
+        if qos_app.variability > 0:
+            gain = 1.0 + qos_app.variability * z[:, 0]
+            gain = np.minimum(np.maximum(gain, 0.5), 1.5)
+            base = base * gain
+        return np.maximum(base, 0.0)
+
+    # ------------------------------------------------------------------
+    def _hb_issue(self, time_s: float, counts: np.ndarray) -> None:
+        self._hb_records.append((time_s, counts))
+        self._hb_evict(time_s)
+
+    def _hb_evict(self, now_s: float) -> None:
+        horizon = now_s - self._hb_window + self._hb_window * 1e-6
+        records = self._hb_records
+        while records and records[0][0] <= horizon:
+            records.popleft()
+
+    def _hb_rate(self, now_s: float):
+        self._hb_evict(now_s)
+        # Sequential accumulation from 0.0 mirrors the scalar
+        # sum(r.count for r in records) fold order.
+        total = 0.0
+        for _, counts in self._hb_records:
+            total = total + counts
+        return total / self._hb_window
+
+    # ------------------------------------------------------------------
+    def _place(self, tasks, qos_threads: float):
+        """Vectorized ``HMPScheduler.place``: per-task loop, per-row costs."""
+        big = self.big
+        little = self.little
+        big_capacity = big.active * big.strength_table[big.opp_idx]
+        little_capacity = (
+            little.active * little.strength_table[little.opp_idx]
+        )
+        multiplier = self._hysteresis_multiplier
+        previous_map = self._sched_prev
+        big_load = qos_threads
+        little_load = 0.0
+        big_demand = 0.0
+        little_demand = 0.0
+        active_names = set()
+        for task in sorted(tasks, key=lambda t: (-t.demand, t.name)):
+            active_names.add(task.name)
+            demand = task.demand
+            big_cost = (big_load + demand) / big_capacity
+            little_cost = (
+                (little_load + demand) / little_capacity - self._little_bias
+            )
+            previous = previous_map.get(task.name)
+            if previous is not None:
+                little_cost = np.where(
+                    previous == _BIG_ID, little_cost * multiplier, little_cost
+                )
+                big_cost = np.where(
+                    previous == _LITTLE_ID, big_cost * multiplier, big_cost
+                )
+            choose_little = little_cost <= big_cost
+            little_load = little_load + np.where(choose_little, demand, 0.0)
+            big_load = big_load + np.where(choose_little, 0.0, demand)
+            little_demand = little_demand + np.where(
+                choose_little, demand, 0.0
+            )
+            big_demand = big_demand + np.where(choose_little, 0.0, demand)
+            previous_map[task.name] = np.where(
+                choose_little, _LITTLE_ID, _BIG_ID
+            )
+        for name in list(previous_map):
+            if name not in active_names:
+                del previous_map[name]
+        return big_demand, little_demand
+
+
+# ----------------------------------------------------------------------
+def _fair_share_capacity(capacity: np.ndarray, runnable):
+    """Vectorized ``soc.fair_share_capacity``."""
+    if np.ndim(runnable) == 0:
+        if runnable <= 0:
+            return 0.0
+        return np.minimum(1.0, capacity / runnable)
+    safe = np.where(runnable > 0.0, runnable, 1.0)
+    return np.where(
+        runnable <= 0.0, 0.0, np.minimum(1.0, capacity / safe)
+    )
+
+
+def _amdahl_array(parallel_fraction: float, threads) -> np.ndarray:
+    """Element-wise mirror of ``perf.amdahl_speedup``.
+
+    The ``threads < 1`` branch is reachable (a contended thread gets a
+    fractional core share), so both branches are computed and selected
+    with ``np.where``; the denominator is guarded so masked-out rows
+    never divide by zero.
+    """
+    guarded = np.maximum(threads, 1.0)
+    full = 1.0 / (
+        (1.0 - parallel_fraction) + parallel_fraction / guarded
+    )
+    out = np.where(threads < 1.0, threads, full)
+    return np.where(threads <= 0.0, 0.0, out)
+
+
+def _cluster_telemetry(
+    fc: FleetCluster, busy_core_equivalents: np.ndarray, z: np.ndarray
+) -> FleetClusterTelemetry:
+    """Vectorized ``soc.read_cluster_telemetry`` fast path.
+
+    Dispatches to the compiled single-sweep kernel when the cluster's
+    construction-time probe proved it bit-identical (and the inputs
+    have the layout it was probed with); otherwise runs the numpy
+    formulation.  Both produce the same bits.
+    """
+    kernel = fc.telemetry_kernel
+    if (
+        kernel is not None
+        and busy_core_equivalents.flags.c_contiguous
+        and z.strides[1] == 8
+        and fc.opp_idx.dtype == np.int64
+    ):
+        return _cluster_telemetry_fused(fc, busy_core_equivalents, z, kernel)
+    return _cluster_telemetry_numpy(fc, busy_core_equivalents, z)
+
+
+def _cluster_telemetry_fused(
+    fc: FleetCluster,
+    busy_core_equivalents: np.ndarray,
+    z: np.ndarray,
+    kernel,
+) -> FleetClusterTelemetry:
+    """One compiled sweep over the batch (probe-verified bit-identical)."""
+    flip = fc._out_flip
+    fc._out_flip = 1 - flip
+    power_w = fc._power_bufs[flip]
+    ips = fc._ips_bufs[flip]
+    # Prebuilt argument vectors (one per output flip) avoid re-deriving
+    # seventeen ctypes pointers per call; they are keyed on the identity
+    # of the two arrays that may be replaced (``active`` by the probe,
+    # ``opp_idx`` by the probe and by the first ``set_frequency``) and
+    # rebuilt whenever either moves.
+    cached = fc._telemetry_args
+    if (
+        cached is None
+        or cached[0] is not fc.active
+        or cached[1] is not fc.opp_idx
+    ):
+        cached = (
+            fc.active,
+            fc.opp_idx,
+            tuple(
+                kernel.telemetry_args(
+                    fc.active,
+                    fc.opp_idx,
+                    fc.dynamic_table,
+                    fc.leakage_table,
+                    fc.core_rate_table,
+                    fc.idle_core_fraction,
+                    fc.uncore_power,
+                    fc.noise_row,
+                    fc.res_mask_i8,
+                    fc.safe_res_row,
+                    fc.floor_row,
+                    fc.any_resolution,
+                    fc._power_bufs[side],
+                    fc._ips_bufs[side],
+                )
+                for side in (0, 1)
+            ),
+        )
+        fc._telemetry_args = cached
+    kernel.cluster_telemetry_ptrs(cached[2][flip], busy_core_equivalents, z)
+    return FleetClusterTelemetry(
+        frequency_ghz=fc.frequency,
+        voltage_v=fc.voltage,
+        active_cores=fc.active,
+        busy_core_equivalents=busy_core_equivalents,
+        power_w=power_w,
+        ips=ips,
+    )
+
+
+def _probe_cluster_telemetry(fc: FleetCluster, kernel) -> bool:
+    """Differential gate for the compiled telemetry sweep.
+
+    Runs both implementations over random cluster states (random
+    active counts, OPP indices, busy equivalents — including negative
+    and over-capacity — and noise magnitudes spanning the gain clamp)
+    and accepts only bit-exact agreement on every reading.
+    """
+    if fc.n_cores + 1 > 16:
+        return False
+    n = fc.active.shape[0]
+    n_opps = len(fc.freq_table)
+    rng = np.random.default_rng(0x7E1E)
+    saved = (fc.active, fc.opp_idx, fc._out_flip)
+    try:
+        for scale in (1e-2, 1.0, 1e2):
+            fc.active = rng.integers(1, fc.n_cores + 1, n).astype(float)
+            fc.opp_idx = rng.integers(0, n_opps, n)
+            bce = rng.standard_normal(n) * fc.n_cores_f
+            wide = rng.standard_normal((n, fc.n_cores + 4)) * scale
+            z = wide[:, 2 : fc.n_cores + 3]
+            reference = _cluster_telemetry_numpy(fc, bce, z)
+            fast = _cluster_telemetry_fused(fc, bce, z, kernel)
+            if not (
+                np.array_equal(reference.power_w, fast.power_w)
+                and np.array_equal(reference.ips, fast.ips)
+            ):
+                return False
+    except Exception:
+        return False
+    finally:
+        fc.active, fc.opp_idx, fc._out_flip = saved
+    return True
+
+
+def _cluster_telemetry_numpy(
+    fc: FleetCluster, busy_core_equivalents: np.ndarray, z: np.ndarray
+) -> FleetClusterTelemetry:
+    """Vectorized ``soc.read_cluster_telemetry``, numpy formulation."""
+    active = fc.active
+    idx = fc.opp_idx
+    busy = np.minimum(np.maximum(busy_core_equivalents, 0.0), active)
+    idle_cores = active - busy
+    dynamic = fc.dynamic_table[idx] * (
+        busy + fc.idle_core_fraction * idle_cores
+    )
+    static = fc.leakage_table[idx] * active
+    true_power_w = dynamic + static + fc.uncore_power
+    total_ips = busy_core_equivalents * fc.core_rate_table[idx]
+    share = 1.0 / active
+    target = total_ips * share
+    # All sensors of the cluster read in one fused (N, 1 + n_cores)
+    # block: column 0 the power sensor, columns 1.. the PMUs.  Every op
+    # is elementwise with per-column parameters, so each element equals
+    # the per-sensor _read_with_gain result bit for bit.
+    values = fc._reading_buf
+    values[:, 0] = true_power_w
+    values[:, 1:] = np.where(
+        fc.core_ids < active[:, None], target[:, None], 0.0
+    )
+    gain = 1.0 + fc.noise_row * z
+    gain = np.minimum(np.maximum(gain, 0.0), 2.0)
+    values = values * gain
+    if fc.any_resolution:
+        values = np.where(
+            fc.res_mask_row,
+            np.rint(values / fc.safe_res_row) * fc.safe_res_row,
+            values,
+        )
+    values = np.maximum(values, fc.floor_row)
+    power_w = values[:, 0]
+    # Sequential column fold, mirroring the scalar per-core accumulation
+    # order (pairwise np.sum would associate differently).
+    ips = 0.0
+    for i in range(fc.n_cores):
+        ips = ips + values[:, i + 1]
+    return FleetClusterTelemetry(
+        frequency_ghz=fc.frequency,
+        voltage_v=fc.voltage,
+        active_cores=active,
+        busy_core_equivalents=busy_core_equivalents,
+        power_w=power_w,
+        ips=ips,
+    )
+
+
+def _read_with_gain(
+    true_values, z, noise_fraction: float, resolution: float, floor: float
+):
+    """Vectorized ``soc._read_with_gain`` (``NoisySensor.read`` with a
+    pre-drawn gain): identical clamp structure, ``np.rint`` for the
+    round-half-to-even quantization."""
+    gain = 1.0 + noise_fraction * z
+    gain = np.minimum(np.maximum(gain, 0.0), 2.0)
+    values = true_values * gain
+    if resolution > 0:
+        values = np.rint(values / resolution) * resolution
+    return np.maximum(values, floor)

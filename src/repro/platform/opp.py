@@ -13,6 +13,10 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.control.fused import fused_kernel
+
 
 @dataclass(frozen=True)
 class OPP:
@@ -50,6 +54,15 @@ class OPPTable:
         self._points = tuple(ordered)
         self._freqs = tuple(freqs)
         self._snap_cache: dict[float, OPP] = {}
+        # Array mirrors of the table columns for the vectorized snap
+        # (repro.platform.fleet).  Built from the exact same Python
+        # floats as the scalar tuple, so indexed lookups are bit-equal.
+        self._freqs_array = np.array(freqs, dtype=float)
+        self._volts_array = np.array(volts, dtype=float)
+        # Compiled-snap handle, resolved lazily on the first vectorized
+        # snap (None until probed; stays None if the probe fails).
+        self._snap_kernel = None
+        self._snap_probed = False
 
     @property
     def points(self) -> tuple[OPP, ...]:
@@ -74,6 +87,8 @@ class OPPTable:
         actuator-saturation behaviour the controllers experience.
         """
         f = float(frequency_ghz)
+        if f != f:  # NaN: bisect and searchsorted disagree on NaN placement
+            raise ValueError(f"cannot snap NaN frequency on table {self.name!r}")
         cached = self._snap_cache.get(f)
         if cached is not None:
             return cached
@@ -95,6 +110,97 @@ class OPPTable:
     def voltage_for(self, frequency_ghz: float) -> float:
         """Voltage of the snapped operating point."""
         return self.snap(frequency_ghz).voltage_v
+
+    @property
+    def frequency_array(self):
+        """Table frequencies as a float array (read-only by convention)."""
+        return self._freqs_array
+
+    @property
+    def voltage_array(self):
+        """Table voltages as a float array (read-only by convention)."""
+        return self._volts_array
+
+    def snap_indices(self, requests, out=None):
+        """Vectorized `snap`: table indices for an array of requests.
+
+        Bit-equivalent to calling :meth:`snap` per element — the same
+        clamp-at-rails and prefer-the-lower-point-on-ties comparisons are
+        evaluated with the same IEEE doubles.  NaN requests raise, as in
+        the scalar path.  ``out`` (int64, same length) receives the
+        indices when given — required for the compiled single-sweep
+        snap, which is used only after a construction-time probe shows
+        it reproduces the numpy formulation index-for-index.
+        """
+        f = np.asarray(requests, dtype=float)
+        if np.isnan(f).any():
+            raise ValueError(f"cannot snap NaN frequency on table {self.name!r}")
+        last = len(self._freqs) - 1
+        if (
+            out is not None
+            and last > 0
+            and f.ndim == 1
+            and out.shape == f.shape
+            and out.dtype == np.int64
+        ):
+            kernel = self._resolve_snap_kernel()
+            if kernel is not None:
+                if not f.flags.c_contiguous:
+                    f = np.ascontiguousarray(f)
+                kernel.snap_indices(f, self._freqs_array, out)
+                return out
+        chosen = self._snap_indices_numpy(f)
+        if out is not None and out.shape == chosen.shape:
+            out[...] = chosen
+            return out
+        return chosen
+
+    def _snap_indices_numpy(self, f: np.ndarray):
+        freqs = self._freqs_array
+        last = len(self._freqs) - 1
+        if last == 0:
+            return np.full(f.shape, 0)
+        index = np.searchsorted(freqs, f, side="left")
+        hi = np.minimum(np.maximum(index, 1), last)
+        below = freqs[hi - 1]
+        above = freqs[hi]
+        chosen = np.where(f - below <= above - f, hi - 1, hi)
+        chosen = np.where(f <= freqs[0], 0, chosen)
+        chosen = np.where(f >= freqs[last], last, chosen)
+        return chosen
+
+    def _resolve_snap_kernel(self):
+        """Probe-gated compiled snap (None when unavailable or inexact).
+
+        The probe sweeps random requests plus every table frequency,
+        every midpoint (the tie cases) and both rails, and accepts the
+        kernel only on index-for-index agreement with the numpy path.
+        """
+        if self._snap_probed:
+            return self._snap_kernel
+        self._snap_probed = True
+        kernel = fused_kernel()
+        if kernel is None:
+            return None
+        freqs = self._freqs_array
+        rng = np.random.default_rng(0x59A9)
+        probe = np.concatenate(
+            [
+                rng.uniform(freqs[0] - 1.0, freqs[-1] + 1.0, 4096),
+                freqs,
+                (freqs[:-1] + freqs[1:]) / 2.0,
+                [freqs[0] - 0.5, freqs[-1] + 0.5],
+            ]
+        )
+        reference = self._snap_indices_numpy(probe)
+        fast = np.empty(probe.shape, dtype=np.int64)
+        try:
+            kernel.snap_indices(np.ascontiguousarray(probe), freqs, fast)
+        except Exception:
+            return None
+        if np.array_equal(reference, fast):
+            self._snap_kernel = kernel
+        return self._snap_kernel
 
     def __len__(self) -> int:
         return len(self._points)

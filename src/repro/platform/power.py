@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PowerModel:
@@ -70,6 +72,28 @@ class PowerModel:
         )
         static = self.leakage_per_core * voltage_v * active_cores
         return dynamic + static + self.uncore_power
+
+    def per_opp_tables(self, opps) -> tuple[np.ndarray, np.ndarray]:
+        """Per-operating-point power terms for the vectorized fleet kernel.
+
+        Returns ``(per_core_dynamic, leakage_voltage)`` arrays indexed by
+        OPP table position.  Each entry is computed with the *same*
+        Python-float expressions as :meth:`cluster_power` (array ``**``
+        is not bit-identical to scalar ``**``), so a fleet row that looks
+        its terms up by snapped OPP index reproduces the scalar model
+        exactly.
+        """
+        per_core_dynamic = [
+            self.dynamic_coefficient * point.voltage_v**2 * point.frequency_ghz
+            for point in opps.points
+        ]
+        leakage_voltage = [
+            self.leakage_per_core * point.voltage_v for point in opps.points
+        ]
+        return (
+            np.array(per_core_dynamic, dtype=float),
+            np.array(leakage_voltage, dtype=float),
+        )
 
 
 def big_cluster_power_model() -> PowerModel:

@@ -61,6 +61,26 @@ class NoisySensor:
         return max(value, self.floor)
 
 
+def batched_noise_eligible(power_sensor_, pmu_sensors) -> bool:
+    """Mirror of the scalar batched-draw gate in ``soc.read_cluster_telemetry``.
+
+    The scalar fast path pre-draws one ``standard_normal(n_cores + 1)``
+    block per cluster only when every sensor is a plain ``NoisySensor``
+    with strictly positive noise (a zero-noise or subclassed sensor may
+    consume a different number of draws).  The fleet kernel requires the
+    same shape so its per-row noise blocks line up with the scalar
+    stream.
+    """
+    return (
+        type(power_sensor_) is NoisySensor
+        and power_sensor_.noise_fraction > 0
+        and all(
+            type(sensor) is NoisySensor and sensor.noise_fraction > 0
+            for sensor in pmu_sensors
+        )
+    )
+
+
 def power_sensor(cluster_name: str) -> NoisySensor:
     """INA231-like cluster power sensor: ~1.5% noise, 5 mW resolution."""
     return NoisySensor(

@@ -33,7 +33,12 @@ from repro.platform.power import (
     little_cluster_power_model,
 )
 from repro.platform.scheduler import ClusterCapacity, HMPScheduler, fair_share
-from repro.platform.sensors import NoisySensor, pmu_counter, power_sensor
+from repro.platform.sensors import (
+    NoisySensor,
+    batched_noise_eligible,
+    pmu_counter,
+    power_sensor,
+)
 from repro.workloads.base import BackgroundTask, QoSWorkload
 from repro.workloads.heartbeats import HeartbeatMonitor
 
@@ -536,6 +541,40 @@ def fair_share_capacity(capacity: float, runnable_threads: float) -> float:
     return min(1.0, capacity / runnable_threads)
 
 
+def fleet_sensor_layout(cluster: Cluster):
+    """Validate a cluster for fleet vectorization; return its sensors.
+
+    The fleet kernel (``repro.platform.fleet``) only reproduces the
+    scalar *fast* path of :func:`read_cluster_telemetry`: plain noisy
+    sensors, no idle insertion, fewer than 8 cores, no attached fault
+    layers (faulted devices run on the scalar oracle).  Anything else
+    would change how many RNG draws each tick consumes, so it is
+    rejected loudly here rather than silently diverging.
+    """
+    if cluster._idle_cores != 0:
+        raise PlatformError(
+            f"cluster {cluster.name!r}: idle insertion is active; the fleet "
+            "kernel only reproduces the scalar fast path"
+        )
+    if cluster.n_cores >= 8:
+        raise PlatformError(
+            f"cluster {cluster.name!r}: >= 8 cores uses the pairwise-sum "
+            "telemetry slow path, which the fleet kernel does not vectorize"
+        )
+    if cluster.actuator_faults is not None:
+        raise PlatformError(
+            f"cluster {cluster.name!r}: actuator fault layers are attached; "
+            "faulted devices must run on the scalar oracle"
+        )
+    if not batched_noise_eligible(cluster.power_sensor, cluster.pmu_sensors):
+        raise PlatformError(
+            f"cluster {cluster.name!r}: sensors are not plain NoisySensor "
+            "instances with positive noise, so the batched standard_normal "
+            "block would not match the scalar draw order"
+        )
+    return cluster.power_sensor, tuple(cluster.pmu_sensors)
+
+
 # Re-export for symmetry with the scheduler module.
 __all__ = [
     "Cluster",
@@ -546,6 +585,7 @@ __all__ = [
     "Telemetry",
     "fair_share",
     "fair_share_capacity",
+    "fleet_sensor_layout",
     "read_cluster_telemetry",
     "sync_cluster_clocks",
 ]

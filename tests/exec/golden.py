@@ -16,14 +16,25 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exec.job import ScenarioJob
+from repro.exec.fleet_jobs import FleetScenarioJob
+from repro.exec.job import FaultSpec, ScenarioJob
 from repro.experiments.figures import MANAGER_NAMES
+from repro.experiments.fleet import FleetTrace
 from repro.experiments.runner import ScenarioTrace
 from repro.experiments.scenario import Scenario, three_phase_scenario
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_traces.json"
+FLEET_FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_fleet.json"
 GOLDEN_MANAGERS = MANAGER_NAMES
 GOLDEN_SEED = 2018
+
+# The golden fleet: three devices, the middle one carrying an actuator
+# fault (so the fixture pins the scalar-oracle splice path too).
+GOLDEN_FLEET_DEVICES = 3
+GOLDEN_FLEET_FAULT_ROW = 1
+GOLDEN_FLEET_FAULT = FaultSpec(
+    kind="reject", target="big", start_s=0.5, duration_s=1.0, probability=0.7
+)
 
 # The trace series pinned by the fixture (all float64 ndarrays).
 TRACE_SERIES = (
@@ -51,6 +62,17 @@ def golden_job(manager: str) -> ScenarioJob:
     )
 
 
+def golden_fleet_job() -> FleetScenarioJob:
+    return FleetScenarioJob(
+        manager="SPECTR",
+        scenario=golden_scenario(),
+        seed=GOLDEN_SEED,
+        n_devices=GOLDEN_FLEET_DEVICES,
+        device_faults=((GOLDEN_FLEET_FAULT_ROW, GOLDEN_FLEET_FAULT),),
+        label="golden:fleet",
+    )
+
+
 def trace_payload(trace: ScenarioTrace) -> dict:
     """The JSON-serializable fixture payload of one trace."""
     payload: dict = {
@@ -62,8 +84,27 @@ def trace_payload(trace: ScenarioTrace) -> dict:
     return payload
 
 
+def fleet_payload(trace: FleetTrace) -> dict:
+    """The JSON-serializable fixture payload of one fleet trace."""
+    payload: dict = {
+        "manager": trace.manager,
+        "n_devices": trace.n_devices,
+        "gain_names": list(trace.gain_names),
+        "gain_ids": [[int(v) for v in row] for row in trace.gain_ids],
+    }
+    for series in TRACE_SERIES:
+        payload[series] = [
+            [float(v) for v in row] for row in getattr(trace, series)
+        ]
+    return payload
+
+
 def load_fixture() -> dict:
     return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def load_fleet_fixture() -> dict:
+    return json.loads(FLEET_FIXTURE_PATH.read_text(encoding="utf-8"))
 
 
 def assert_matches_golden(trace: ScenarioTrace, golden: dict) -> None:
@@ -76,6 +117,27 @@ def assert_matches_golden(trace: ScenarioTrace, golden: dict) -> None:
         assert actual.shape == expected.shape, series
         assert np.array_equal(actual, expected), (
             f"{trace.manager}.{series} deviates from the golden trace "
+            f"(max abs diff "
+            f"{float(np.max(np.abs(actual - expected))):.3e}); if the "
+            "change is intentional, regenerate with "
+            "scripts/make_golden_traces.py"
+        )
+
+
+def assert_matches_golden_fleet(trace: FleetTrace, golden: dict) -> None:
+    """Exact comparison of a fleet trace against the fleet fixture."""
+    assert trace.manager == golden["manager"]
+    assert trace.n_devices == golden["n_devices"]
+    assert list(trace.gain_names) == golden["gain_names"]
+    assert np.array_equal(
+        trace.gain_ids, np.asarray(golden["gain_ids"], dtype=np.int8)
+    )
+    for series in TRACE_SERIES:
+        expected = np.asarray(golden[series], dtype=float)
+        actual = np.asarray(getattr(trace, series), dtype=float)
+        assert actual.shape == expected.shape, series
+        assert np.array_equal(actual, expected), (
+            f"fleet.{series} deviates from the golden fleet trace "
             f"(max abs diff "
             f"{float(np.max(np.abs(actual - expected))):.3e}); if the "
             "change is intentional, regenerate with "

@@ -21,6 +21,7 @@ fails loudly.
 import numpy as np
 
 from repro.platform.faults import FaultModel, inject_power_sensor_fault
+from repro.platform.fleet import FleetPlatform
 from repro.platform.soc import ExynosSoC, SoCConfig
 from repro.workloads import x264
 
@@ -104,6 +105,82 @@ class TestDrawOrder:
             ("normal", 1.0, pmu_noise, None),
             ("standard_normal", 5),
         ]
+
+
+class TestBatchedFleetContract:
+    """The fleet kernel's pre-drawn noise blocks must consume each
+    device's RNG stream exactly as the scalar per-tick draws do."""
+
+    def test_block_draw_equals_interleaved_draws(self):
+        # One standard_normal(width * T) block reproduces T per-tick
+        # standard_normal(width) draws value-for-value: the ziggurat
+        # stream is consumed identically either way.
+        width, ticks = 11, 40
+        block = np.random.default_rng(2018).standard_normal(width * ticks)
+        interleaved_rng = np.random.default_rng(2018)
+        for tick in range(ticks):
+            draw = interleaved_rng.standard_normal(width)
+            assert np.array_equal(
+                block[tick * width : (tick + 1) * width], draw
+            )
+
+    def test_chunked_draws_preserve_stream_continuity(self):
+        # Refilling in chunks (what FleetPlatform does every
+        # noise_chunk_ticks) is indistinguishable from one big draw.
+        chunked_rng = np.random.default_rng(7)
+        chunks = [chunked_rng.standard_normal(77) for _ in range(5)]
+        whole = np.random.default_rng(7).standard_normal(77 * 5)
+        assert np.array_equal(np.concatenate(chunks), whole)
+
+    def test_normal_equals_affine_standard_normal(self):
+        # The scalar sensors draw rng.normal(1, s); the fleet kernel
+        # applies 1 + s * z to pre-drawn standard normals.  The two are
+        # bit-identical draw-for-draw, not just distributionally.
+        scale = 0.015
+        direct = np.random.default_rng(42)
+        affine = np.random.default_rng(42)
+        for _ in range(100):
+            a = direct.normal(1.0, scale)
+            b = 1.0 + scale * affine.standard_normal()
+            assert a == b
+
+    def test_fleet_device_blocks_match_scalar_stream(self):
+        # Device row i's noise buffer is drawn from a generator seeded
+        # exactly like scalar device i, with the documented per-tick
+        # layout: [QoS draw] + [big power + PMUs] + [little power +
+        # PMUs] = 1 + 2 * (cores + 1) slots.
+        seeds = [2018, 7]
+        fleet = FleetPlatform(
+            qos_app=x264(), seeds=seeds, noise_chunk_ticks=3
+        )
+        assert fleet._draws_per_tick == 1 + 2 * (4 + 1)
+        fleet.step()  # forces the first refill
+        for row, seed in enumerate(seeds):
+            expected = np.random.default_rng(seed).standard_normal(
+                fleet._draws_per_tick * 3
+            )
+            assert np.array_equal(fleet._noise_buf[row], expected)
+
+    def test_fleet_without_qos_app_drops_the_workload_slot(self):
+        fleet = FleetPlatform(qos_app=None, seeds=[1])
+        assert fleet._draws_per_tick == 2 * (4 + 1)
+
+    def test_fleet_telemetry_consumes_stream_like_scalar(self):
+        # End to end: after T ticks with no actuation, a fleet row and
+        # a scalar device with the same seed have consumed identical
+        # stream prefixes — their noisy telemetry matches exactly.
+        fleet = FleetPlatform(
+            qos_app=x264(), seeds=[2018], noise_chunk_ticks=4
+        )
+        soc = ExynosSoC(qos_app=x264(), config=SoCConfig(seed=2018))
+        for _ in range(10):
+            batched = fleet.step()
+            scalar = soc.step()
+            assert float(batched.qos_rate[0]) == scalar.qos_rate
+            assert float(batched.big.power_w[0]) == scalar.big.power_w
+            assert float(batched.big.ips[0]) == scalar.big.ips
+            assert float(batched.little.power_w[0]) == scalar.little.power_w
+            assert float(batched.little.ips[0]) == scalar.little.ips
 
 
 class TestStreamEquivalence:
