@@ -36,7 +36,12 @@
 #     complete or to emit valid JSON.  Quick mode runs a small fleet
 #     with no speedup assertion; the 100x aggregate-throughput gate at
 #     N=1000 runs in the full benchmark
-#     (`python -m pytest benchmarks/bench_fleet.py`).
+#     (`python -m pytest benchmarks/bench_fleet.py`),
+#   * the symbolic-synthesis benchmark (quick mode, SYNTH_QUICK=1)
+#     fails its byte-identical explicit-vs-symbolic bundle comparison
+#     or its relaxed 3x speedup floor (the 20x gate and the 10-cluster
+#     scale points run in the full sweep:
+#     `python -m pytest benchmarks/bench_symbolic_synthesis.py`).
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -98,6 +103,22 @@ for row in payload["sizes"]:
     for key in ("plant_states", "explicit_s", "symbolic_s", "speedup"):
         assert key in row, f"model_check.json row missing {key!r}"
 print("model_check.json is valid")
+EOF
+
+echo
+echo "== symbolic-synthesis benchmark (quick mode) =="
+SYNTH_QUICK=1 python -m pytest -x -q benchmarks/bench_symbolic_synthesis.py
+python - <<'EOF'
+import json
+with open("benchmarks/results/symbolic_synthesis.json") as fh:
+    payload = json.load(fh)
+assert payload["sizes"], "symbolic_synthesis.json has no size rows"
+for row in payload["sizes"] + [payload["fleet"]]:
+    for key in ("plant_states", "supervisor_states", "explicit_s",
+                "symbolic_s", "speedup", "iterations"):
+        assert key in row, f"symbolic_synthesis.json row missing {key!r}"
+assert "scale" in payload, "symbolic_synthesis.json missing scale section"
+print("symbolic_synthesis.json is valid")
 EOF
 
 echo

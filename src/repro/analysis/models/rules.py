@@ -578,10 +578,14 @@ def check_bundle_freshness(
     itself serves as the specification — for a genuine synthesis output
     ``supC(plant, supervisor)`` reproduces it exactly, so any
     difference means the artifact predates a model change.
+
+    Re-synthesis runs on the symbolic engine (the explicit oracle yields
+    an identical supervisor, only slower — large persisted bundles made
+    this rule the analyzer's long pole before the bitset fixpoint).
     """
     spec = specification if specification is not None else supervisor
     try:
-        synthesis = synthesize_supervisor(plant, spec)
+        synthesis = synthesize_supervisor(plant, spec, engine="symbolic")
     except (SynthesisError, ValueError) as exc:
         return [
             _finding(

@@ -31,6 +31,14 @@ class State:
 
     name: str
 
+    def __hash__(self) -> int:
+        # The generated dataclass hash packs the fields into a fresh
+        # tuple on every call; states are hashed millions of times as
+        # (state, event) transition keys, and CPython caches str hashes,
+        # so hashing the name directly is substantially cheaper.  Same
+        # equality semantics (name is the only field).
+        return hash(self.name)
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
 

@@ -38,6 +38,13 @@ class Event:
     controllable: bool = True
     observable: bool = True
 
+    def __hash__(self) -> int:
+        # Name-only hash (equality still compares all fields): events
+        # are hashed once per transition-dict operation, and alphabets
+        # reject same-name events with differing attributes anyway, so
+        # collisions between unequal events are marginal.
+        return hash(self.name)
+
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("event name must be non-empty")

@@ -30,6 +30,7 @@ always favour the smallest event index, then the smallest source index.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -108,8 +109,49 @@ class EncodedAutomaton:
         return self.enabled[index]
 
 
+# Encoding memo: verification and synthesis on the same model used to
+# re-encode it on every call (every verify_supervisor re-froze the plant).
+# Keyed weakly by the Automaton instance so encodings die with their
+# models, with a content fingerprint — transition count first, the same
+# cheap change detector the supervisor-action caches use — so mutating a
+# memoized automaton (more transitions, new marking, moved initial)
+# transparently re-encodes.  Kept outside the instance on purpose:
+# attaching it as an attribute would change the automaton's pickle bytes,
+# which persistence bundles compare byte-for-byte.
+_ENCODE_MEMO: "weakref.WeakKeyDictionary[Automaton, tuple[tuple[object, ...], EncodedAutomaton]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _encode_fingerprint(automaton: Automaton) -> tuple[object, ...]:
+    initial = automaton._initial
+    return (
+        automaton.name,
+        automaton.n_transitions,
+        len(automaton._states),
+        len(automaton._marked),
+        len(automaton._forbidden),
+        len(automaton.alphabet),
+        initial.name if initial is not None else None,
+    )
+
+
 def encode_automaton(automaton: Automaton) -> EncodedAutomaton:
-    """Freeze ``automaton`` into sorted index space."""
+    """Freeze ``automaton`` into sorted index space (memoized).
+
+    The returned encoding is shared between calls while the automaton's
+    content fingerprint is unchanged; treat it as immutable.
+    """
+    fingerprint = _encode_fingerprint(automaton)
+    entry = _ENCODE_MEMO.get(automaton)
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    encoded = _encode_automaton_uncached(automaton)
+    _ENCODE_MEMO[automaton] = (fingerprint, encoded)
+    return encoded
+
+
+def _encode_automaton_uncached(automaton: Automaton) -> EncodedAutomaton:
     state_names = tuple(sorted(s.name for s in automaton.states))
     state_index = {name: i for i, name in enumerate(state_names)}
     event_names = tuple(e.name for e in automaton.alphabet)

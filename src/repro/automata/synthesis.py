@@ -12,6 +12,18 @@ the nonblocking property) and the *extension* algorithm (remove states
 where an uncontrollable plant event would escape the specification,
 ensuring controllability) "must be run successively and iteratively,
 until they return the same result".
+
+Two engines implement the fixpoint.  :func:`synthesize_supervisor`
+dispatches to the *symbolic* one by default — whole-array passes over
+the bitset encoding of :mod:`repro.automata.symbolic_synthesis`, which
+scales to millions of product states.  The original explicit-state
+enumeration survives as :func:`explicit_synthesize_supervisor`, kept as
+the test oracle the equivalence suite compares against.  Both engines
+run the extension pass on the same canonical *snapshot* (Jacobi)
+schedule — every state is judged against the round-start good set — so
+their results agree exactly, including the ``removed_*`` attribution
+and the round count (the supremal fixpoint itself is unique under any
+schedule; only the bookkeeping needs canonicalizing).
 """
 
 from __future__ import annotations
@@ -123,7 +135,9 @@ def _build_product(
     return product, state_map
 
 
-def synthesize_supervisor(plant: Automaton, spec: Automaton) -> SynthesisResult:
+def synthesize_supervisor(
+    plant: Automaton, spec: Automaton, *, engine: str = "symbolic"
+) -> SynthesisResult:
     """Compute the supremal controllable, nonblocking supervisor.
 
     Parameters
@@ -134,6 +148,12 @@ def synthesize_supervisor(plant: Automaton, spec: Automaton) -> SynthesisResult:
     spec:
         The intended-behaviour specification ``SP``.  Forbidden states in
         either automaton are excluded from the supervisor outright.
+    engine:
+        ``"symbolic"`` (default) runs the fixpoint as whole-array passes
+        on the bitset kernel; ``"explicit"`` is the original state-at-a-
+        time enumeration, kept as the equivalence oracle.  Both return
+        identical results — same supervisor, same ``removed_*``
+        attribution, same round count.
 
     Returns
     -------
@@ -141,6 +161,30 @@ def synthesize_supervisor(plant: Automaton, spec: Automaton) -> SynthesisResult:
         ``result.supervisor`` realizes the supremal controllable
         sublanguage of ``L(P || SP)`` w.r.t. ``L(P)``; it is trim and
         controllable, or empty when no supervisor exists.
+    """
+    if engine == "symbolic":
+        # Imported lazily: symbolic_synthesis depends on this module's
+        # dataclasses, so a top-level import would be circular.
+        from repro.automata.symbolic_synthesis import (
+            symbolic_synthesize_supervisor,
+        )
+
+        return symbolic_synthesize_supervisor(plant, spec)
+    if engine == "explicit":
+        return explicit_synthesize_supervisor(plant, spec)
+    raise ValueError(
+        f"unknown synthesis engine {engine!r}; "
+        "choose 'symbolic' or 'explicit'"
+    )
+
+
+def explicit_synthesize_supervisor(
+    plant: Automaton, spec: Automaton
+) -> SynthesisResult:
+    """The explicit-state fixpoint (test oracle for the symbolic engine).
+
+    Same contract as :func:`synthesize_supervisor`; enumerates the
+    product with Python dict/deque walks, one state at a time.
     """
     if not plant.has_initial:
         raise SynthesisError("plant has no initial state")
@@ -163,14 +207,18 @@ def synthesize_supervisor(plant: Automaton, spec: Automaton) -> SynthesisResult:
 
         # Extension algorithm: drop states where the plant can fire an
         # uncontrollable event whose product successor has been removed
-        # (or which the product never allowed at all).
-        for state in sorted(good):
+        # (or which the product never allowed at all).  Every state is
+        # judged against the round-start snapshot — the canonical Jacobi
+        # schedule shared with the symbolic engine — so which pass a
+        # cascading state falls to is schedule-independent.
+        snapshot = frozenset(good)
+        for state in sorted(snapshot):
             pair = state_map[state]
             for event in plant.enabled_events(pair.plant):
                 if event.controllable:
                     continue
                 target = product.step(state, event)
-                if target is None or target not in good:
+                if target is None or target not in snapshot:
                     good.discard(state)
                     removed_uncontrollable.add(state)
                     changed = True

@@ -11,6 +11,18 @@ only a linear number of transitions.
 ``build_scalable_supervisor(n)`` generalizes the two-cluster case study
 to ``n`` clusters and returns the same :class:`VerifiedSupervisor`
 bundle, formally checked for nonblocking and controllability.
+
+The *fleet* layer stacks one more coordination level on top: a
+fleet-wide power-capping process (per-fleet ``fleetCritical`` /
+``decreaseFleetPower`` events layered over the per-cluster alphabet)
+with its own three-band rule and a fleet-wide budget lock that freezes
+every cluster's budget raises during a fleet capping episode.  The
+fleet plant multiplies the counter plant's state space by another
+factor of seven, which pushes the synthesis product into the millions
+of pairs — the scale regime only the symbolic engine of
+:mod:`repro.automata.symbolic_synthesis` can synthesize; the explicit
+fixpoint cannot finish inside the benchmark budget
+(``benchmarks/bench_symbolic_synthesis.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +43,14 @@ from repro.core.alphabet import (
 from repro.core.plant_model import gain_mode_plant, power_capping_plant
 from repro.core.specification import three_band_spec
 from repro.core.synthesis_flow import VerifiedSupervisor, synthesize_and_verify
+
+# Fleet-level coordination events: observations of the fleet-wide power
+# envelope (uncontrollable) and the supervisor's fleet-scoped responses
+# (controllable), mirroring the per-chip capping alphabet one level up.
+FLEET_CRITICAL = "fleetCritical"
+FLEET_SAFE_POWER = "fleetSafePower"
+CONTROL_FLEET_POWER = "controlFleetPower"
+DECREASE_FLEET_POWER = "decreaseFleetPower"
 
 
 def increase_power_event(cluster: int) -> str:
@@ -158,14 +178,15 @@ def budget_level_plant(
     )
 
 
-def scalable_counter_plant(
+def scalable_plant_components(
     n_clusters: int, levels: int, alphabet: Alphabet | None = None
-) -> Automaton:
-    """The scalable plant with per-cluster budget counters composed in.
+) -> list[Automaton]:
+    """The factor automata of the counter plant, uncomposed.
 
-    State count grows as ``levels ** n_clusters`` times the flat plant's
-    — the stress model for the symbolic-vs-explicit verification
-    benchmark (``benchmarks/bench_model_check.py``).
+    Feed these to
+    :func:`repro.automata.symbolic_synthesis.encode_composition` when
+    the composed plant is too large to materialize (the 10-cluster
+    synthesis benchmark points).
     """
     sigma = alphabet or scalable_alphabet(n_clusters)
     components = [
@@ -177,8 +198,20 @@ def scalable_counter_plant(
         budget_level_plant(cluster, levels, sigma)
         for cluster in range(n_clusters)
     ]
+    return components
+
+
+def scalable_counter_plant(
+    n_clusters: int, levels: int, alphabet: Alphabet | None = None
+) -> Automaton:
+    """The scalable plant with per-cluster budget counters composed in.
+
+    State count grows as ``levels ** n_clusters`` times the flat plant's
+    — the stress model for the symbolic-vs-explicit verification
+    benchmark (``benchmarks/bench_model_check.py``).
+    """
     return compose_all(
-        components,
+        scalable_plant_components(n_clusters, levels, alphabet),
         name=f"ManyCoreCounterPlant[{n_clusters}x{levels}]",
     )
 
@@ -215,4 +248,189 @@ def build_scalable_supervisor(n_clusters: int) -> VerifiedSupervisor:
     return synthesize_and_verify(
         scalable_plant(n_clusters, sigma),
         scalable_specification(n_clusters, sigma),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet level: per-fleet budget events layered over per-cluster events
+# ----------------------------------------------------------------------
+def fleet_alphabet(n_clusters: int) -> Alphabet:
+    """The scalable alphabet extended with the fleet coordination events."""
+    events = list(scalable_alphabet(n_clusters))
+    events += [
+        uncontrollable(FLEET_CRITICAL),
+        uncontrollable(FLEET_SAFE_POWER),
+        controllable(CONTROL_FLEET_POWER),
+        controllable(DECREASE_FLEET_POWER),
+    ]
+    return Alphabet.of(events)
+
+
+def fleet_power_plant(alphabet: Alphabet) -> Automaton:
+    """Fleet-wide power-capping process.
+
+    Structurally the per-chip capping plant one level up: after a
+    ``fleetCritical`` interval the supervisor chooses the mild
+    ``controlFleetPower`` (the fleet envelope *may* stay critical
+    another interval) or the hard ``decreaseFleetPower`` (guaranteed to
+    resolve the current fleet violation).
+    """
+    sigma = Alphabet.of(
+        alphabet[name]
+        for name in (
+            FLEET_CRITICAL,
+            FLEET_SAFE_POWER,
+            CONTROL_FLEET_POWER,
+            DECREASE_FLEET_POWER,
+        )
+    )
+    return automaton_from_table(
+        "FleetPowerCap",
+        sigma,
+        transitions=[
+            ("FleetSafe", FLEET_CRITICAL, "FleetCapping1"),
+            ("FleetCapping1", CONTROL_FLEET_POWER, "FleetMild1"),
+            ("FleetCapping1", DECREASE_FLEET_POWER, "FleetHard"),
+            ("FleetMild1", FLEET_SAFE_POWER, "FleetSafe"),
+            ("FleetMild1", FLEET_CRITICAL, "FleetCapping2"),
+            ("FleetCapping2", CONTROL_FLEET_POWER, "FleetMild2"),
+            ("FleetCapping2", DECREASE_FLEET_POWER, "FleetHard"),
+            ("FleetMild2", FLEET_SAFE_POWER, "FleetSafe"),
+            ("FleetMild2", FLEET_CRITICAL, "FleetCapping3"),
+            ("FleetCapping3", DECREASE_FLEET_POWER, "FleetHard"),
+            ("FleetHard", FLEET_SAFE_POWER, "FleetSafe"),
+            ("FleetHard", FLEET_CRITICAL, "FleetCapping1"),
+        ],
+        initial="FleetSafe",
+        marked=["FleetSafe"],
+    )
+
+
+def fleet_three_band_spec(alphabet: Alphabet) -> Automaton:
+    """Forbid a third consecutive unanswered fleet-critical interval.
+
+    The fleet analogue of the paper's three-band rule: the count resets
+    on ``fleetSafePower`` or on the hard ``decreaseFleetPower``; the
+    mild ``controlFleetPower`` does not answer the violation.
+    """
+    sigma = Alphabet.of(
+        alphabet[name]
+        for name in (FLEET_CRITICAL, FLEET_SAFE_POWER, DECREASE_FLEET_POWER)
+    )
+    return automaton_from_table(
+        "FleetThreeBandSpec",
+        sigma,
+        transitions=[
+            ("FleetUnder", FLEET_SAFE_POWER, "FleetUnder"),
+            ("FleetUnder", DECREASE_FLEET_POWER, "FleetUnder"),
+            ("FleetUnder", FLEET_CRITICAL, "FleetAbove1"),
+            ("FleetAbove1", FLEET_SAFE_POWER, "FleetUnder"),
+            ("FleetAbove1", DECREASE_FLEET_POWER, "FleetUnder"),
+            ("FleetAbove1", FLEET_CRITICAL, "FleetAbove2"),
+            ("FleetAbove2", FLEET_SAFE_POWER, "FleetUnder"),
+            ("FleetAbove2", DECREASE_FLEET_POWER, "FleetUnder"),
+            ("FleetAbove2", FLEET_CRITICAL, "FleetThreshold"),
+        ],
+        initial="FleetUnder",
+        marked=["FleetUnder"],
+        forbidden=["FleetThreshold"],
+    )
+
+
+def fleet_budget_lock_spec(
+    n_clusters: int, alphabet: Alphabet
+) -> Automaton:
+    """No cluster budget raise anywhere during a *fleet* capping episode.
+
+    This is the per-fleet budget event layered over the per-cluster
+    events: one fleet-wide observation gates every cluster's
+    ``increasePower`` action, coupling all ``n_clusters`` budget
+    counters to the fleet power machine in the synthesis product.
+    """
+    names = [FLEET_CRITICAL, FLEET_SAFE_POWER]
+    names += [increase_power_event(c) for c in range(n_clusters)]
+    sigma = Alphabet.of(alphabet[name] for name in names)
+    transitions = [
+        ("FleetFree", FLEET_SAFE_POWER, "FleetFree"),
+        ("FleetFree", FLEET_CRITICAL, "FleetLocked"),
+        ("FleetLocked", FLEET_CRITICAL, "FleetLocked"),
+        ("FleetLocked", FLEET_SAFE_POWER, "FleetFree"),
+    ]
+    for cluster in range(n_clusters):
+        transitions.append(
+            ("FleetFree", increase_power_event(cluster), "FleetFree")
+        )
+    return automaton_from_table(
+        "FleetBudgetLockSpec",
+        sigma,
+        transitions=transitions,
+        initial="FleetFree",
+        marked=["FleetFree"],
+    )
+
+
+def fleet_plant_components(
+    n_clusters: int, levels: int, alphabet: Alphabet | None = None
+) -> list[Automaton]:
+    """The factor automata of the fleet counter plant, uncomposed.
+
+    At fleet scale the composed plant has millions of states and must
+    never be materialized — feed these components to
+    :func:`repro.automata.symbolic_synthesis.encode_composition` and
+    synthesize on the encoding.
+    """
+    sigma = alphabet or fleet_alphabet(n_clusters)
+    components = [
+        power_capping_plant(sigma),
+        gain_mode_plant(sigma),
+        scalable_qos_tracking_plant(n_clusters, sigma),
+        fleet_power_plant(sigma),
+    ]
+    components += [
+        budget_level_plant(cluster, levels, sigma)
+        for cluster in range(n_clusters)
+    ]
+    return components
+
+
+def fleet_counter_plant(
+    n_clusters: int, levels: int, alphabet: Alphabet | None = None
+) -> Automaton:
+    """Explicitly composed fleet plant — small sizes and oracles only."""
+    return compose_all(
+        fleet_plant_components(n_clusters, levels, alphabet),
+        name=f"FleetCounterPlant[{n_clusters}x{levels}]",
+    )
+
+
+def fleet_specification(
+    n_clusters: int, alphabet: Alphabet | None = None
+) -> Automaton:
+    """Chip-level rules plus the fleet three-band and fleet budget lock."""
+    sigma = alphabet or fleet_alphabet(n_clusters)
+    return compose_all(
+        [
+            three_band_spec(sigma),
+            scalable_budget_lock_spec(n_clusters, sigma),
+            fleet_three_band_spec(sigma),
+            fleet_budget_lock_spec(n_clusters, sigma),
+        ],
+        name=f"FleetSpec[{n_clusters}]",
+    )
+
+
+def build_fleet_supervisor(
+    n_clusters: int, levels: int = 2
+) -> VerifiedSupervisor:
+    """Synthesize + verify the fleet-coordinated supervisor.
+
+    Composes the plant explicitly, so this entry point is for sizes
+    where that is still feasible (tests, the case-study scale); the
+    benchmark's fleet scale points go through
+    :func:`fleet_plant_components` and the encoded fold instead.
+    """
+    sigma = fleet_alphabet(n_clusters)
+    return synthesize_and_verify(
+        fleet_counter_plant(n_clusters, levels, sigma),
+        fleet_specification(n_clusters, sigma),
     )

@@ -63,9 +63,14 @@ class VerifiedSupervisor:
 
 
 def synthesize_and_verify(
-    plant: Automaton, specification: Automaton
+    plant: Automaton, specification: Automaton, *, engine: str = "symbolic"
 ) -> VerifiedSupervisor:
     """Run steps 3-5 on the given models.
+
+    Synthesis runs on the symbolic (bitset-kernel) engine by default;
+    pass ``engine="explicit"`` to use the state-at-a-time oracle — both
+    produce identical supervisors, and verification re-checks the result
+    independently either way.
 
     Raises
     ------
@@ -74,7 +79,7 @@ def synthesize_and_verify(
         correct-by-construction synthesis failing verification indicates
         a modelling bug worth failing loudly on).
     """
-    synthesis = synthesize_supervisor(plant, specification)
+    synthesis = synthesize_supervisor(plant, specification, engine=engine)
     if synthesis.is_empty:
         raise SynthesisFlowError(
             "synthesis produced an empty supervisor: the specification "

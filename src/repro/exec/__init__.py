@@ -50,6 +50,11 @@ from repro.exec.job import (
     canonical_encode,
     derive_seed,
 )
+from repro.exec.synthesis_memo import (
+    SYNTHESIS_MEMO_SCHEMA,
+    cached_synthesize,
+    synthesis_digest,
+)
 from repro.exec.supervision import (
     FAILURE_KINDS,
     JOURNAL_SCHEMA,
@@ -82,8 +87,10 @@ __all__ = [
     "ResultCache",
     "RunInterrupted",
     "RunJournal",
+    "SYNTHESIS_MEMO_SCHEMA",
     "ScenarioJob",
     "SupervisionPolicy",
+    "cached_synthesize",
     "canonical_encode",
     "chaos_jobs",
     "current_attempt",
@@ -92,4 +99,5 @@ __all__ = [
     "execute_fleet",
     "fleet_seeds",
     "run_chaos",
+    "synthesis_digest",
 ]

@@ -1,0 +1,102 @@
+"""Content-addressed memoization of supervisor synthesis.
+
+Design-flow runs (the campaign runtime, the REPRO-M analyzer, the
+notebook-style experiment scripts) repeatedly synthesize the same
+supervisor from the same plant/spec pair.  Synthesis is pure — the
+result is fully determined by the two automata and the engine — so the
+:class:`~repro.exec.cache.ResultCache` can memoize whole
+:class:`~repro.automata.synthesis.SynthesisResult` bundles the same way
+it memoizes scenario traces.
+
+The cache key is a SHA-256 over (schema, salt, engine, plant, spec)
+where the automata enter via
+:func:`~repro.automata.serialization.automaton_to_dict` — the *named*,
+fully sorted serialization, not :func:`canonical_digest`: a
+``SynthesisResult`` carries ``plantState.specState`` labels and the
+``state_map``, so two isomorphic-but-differently-named inputs must NOT
+share an entry.  The engine is part of the key so flipping engines never
+serves a result computed by the other one (they are equal by the
+equivalence gate, but a cache must not be the thing asserting that),
+and the cache's salt folds in the format + package version as usual.
+
+Corrupted entries follow the standard cache discipline: checksum or
+decode failures evict (ledgered) and fall back to re-synthesis; a
+decoded payload that is not a ``SynthesisResult`` is treated the same
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.automata.automaton import Automaton
+from repro.automata.serialization import automaton_to_dict
+from repro.automata.synthesis import SynthesisResult, synthesize_supervisor
+from repro.exec.cache import ResultCache
+
+__all__ = [
+    "SYNTHESIS_MEMO_SCHEMA",
+    "cached_synthesize",
+    "synthesis_digest",
+]
+
+# Bump when the key layout or SynthesisResult payload semantics change.
+SYNTHESIS_MEMO_SCHEMA = "synthesis-memo/1"
+
+
+def synthesis_digest(
+    plant: Automaton,
+    spec: Automaton,
+    *,
+    engine: str,
+    salt: str,
+) -> str:
+    """Stable cache key for one synthesis problem.
+
+    Independent of process, ``PYTHONHASHSEED`` and construction order
+    (``automaton_to_dict`` sorts states and transitions); sensitive to
+    every input that can change the result bundle — state names
+    included.
+    """
+    payload: dict[str, Any] = {
+        "schema": SYNTHESIS_MEMO_SCHEMA,
+        "salt": salt,
+        "engine": engine,
+        "plant": automaton_to_dict(plant),
+        "spec": automaton_to_dict(spec),
+    }
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def cached_synthesize(
+    cache: ResultCache,
+    plant: Automaton,
+    spec: Automaton,
+    *,
+    engine: str = "symbolic",
+) -> tuple[SynthesisResult, bool]:
+    """Synthesize through the cache; returns ``(result, was_hit)``.
+
+    A hit deserializes the complete :class:`SynthesisResult` — the
+    supervisor automaton, the ``removed_*`` attribution, the round count
+    and the state map — skipping the fixpoint entirely.  Any miss
+    (absent, corrupt, or wrong payload type) recomputes with the
+    requested engine and stores the fresh bundle.
+    """
+    digest = synthesis_digest(plant, spec, engine=engine, salt=cache.salt)
+    hit, value = cache.get(digest)
+    if hit:
+        if isinstance(value, SynthesisResult):
+            return value, True
+        # Decoded cleanly but is not a synthesis bundle (digest
+        # collision with another payload family or schema drift):
+        # evict and recompute rather than returning garbage.
+        cache.invalidate(digest, reason="decode")
+    result = synthesize_supervisor(plant, spec, engine=engine)
+    cache.put(digest, result)
+    return result, False
