@@ -7,15 +7,19 @@
 #   * the exec-engine smoke subset (`-m exec_smoke`: job digests,
 #     cache integrity, golden traces) fails — kept as a dedicated step
 #     so engine regressions are identified before the longer gates run,
-#   * `python -m repro.analysis src/` reports an error-severity finding
-#     (artifact defects, lint errors, architecture-layer violations),
-#   * `python -m repro.analysis flow src/repro` reports a non-baselined
-#     error (whole-program rules: RNG provenance, picklability,
-#     hot-path purity, unit flow, frozen-dataclass mutation),
-#   * `python -m repro.analysis models artifacts/` reports a
-#     non-baselined error (model-check rules REPRO-M001..M007 on the
-#     committed formal artifacts: reachability/blocking/controllability
-#     counterexamples, monitor consistency, stale-bundle detection),
+#   * the fleet equivalence drill with the compiled fast paths disabled
+#     (REPRO_DISABLE_FUSED=1) diverges from the scalar oracle — the
+#     pure-numpy fallback must stay bit-identical too,
+#   * `python -m repro.analysis all` reports a non-baselined error in
+#     any tier: classic (artifact defects, lint errors,
+#     architecture-layer violations), flow (whole-program rules: RNG
+#     provenance, picklability, hot-path purity, unit flow,
+#     frozen-dataclass mutation), models (model-check rules
+#     REPRO-M001..M007 on the committed formal artifacts), or shapes
+#     (array contracts REPRO-S000..S005: symbolic shape/dtype abstract
+#     interpretation, out=/view aliasing, ctypes ABI conformance, RNG
+#     draw accounting).  The run also writes the merged
+#     analysis-report.sarif plus the per-tier reports CI uploads,
 #   * `python -m repro.resilience --smoke` records an invariant
 #     violation (the fault-campaign smoke: SPECTR under every sensor
 #     and actuator fault kind must stay on the verified envelope),
@@ -41,7 +45,11 @@
 #     fails its byte-identical explicit-vs-symbolic bundle comparison
 #     or its relaxed 3x speedup floor (the 20x gate and the 10-cluster
 #     scale points run in the full sweep:
-#     `python -m pytest benchmarks/bench_symbolic_synthesis.py`).
+#     `python -m pytest benchmarks/bench_symbolic_synthesis.py`),
+#   * the shapes-analyzer benchmark fails its incremental-rescan
+#     invariants (warm scan rescans 0 modules, a one-module edit
+#     rescans exactly 1) or fails to emit valid JSON.  Wall-clock is
+#     recorded but never asserted — the rescan counts are the gate.
 #
 # Optional third-party linters (ruff/mypy, `pip install -e .[lint]`) run
 # only when installed, so the gate works on the bare numpy toolchain.
@@ -58,18 +66,12 @@ echo "== exec-engine smoke (serial/parallel/cache equivalence) =="
 python -m pytest -x -q -m exec_smoke
 
 echo
-echo "== static analysis (repro.analysis) =="
-python -m repro.analysis src/
+echo "== fleet equivalence drill without compiled fast paths =="
+REPRO_DISABLE_FUSED=1 python -m pytest -x -q tests/platform/test_fleet_equivalence.py
 
 echo
-echo "== whole-program flow analysis (repro.analysis flow) =="
-python -m repro.analysis flow --format json --output flow-report.json src/repro
-python -m repro.analysis flow --format sarif --output flow-report.sarif src/repro
-
-echo
-echo "== formal model analysis (repro.analysis models) =="
-python -m repro.analysis models --no-cache --format json --output model-report.json artifacts/
-python -m repro.analysis models --no-cache --format sarif --output model-report.sarif artifacts/
+echo "== static analysis, all tiers (repro.analysis all) =="
+python -m repro.analysis all --report-dir .
 
 echo
 echo "== resilience fault-campaign smoke =="
@@ -136,6 +138,21 @@ for key in (
     assert key in payload, f"fleet.json missing {key!r}"
 assert payload["fleet_aggregate_steps_per_s"], "fleet.json has no sizes"
 print("fleet.json is valid")
+EOF
+
+echo
+echo "== shapes-analyzer benchmark (incremental rescan invariants) =="
+python -m pytest -x -q benchmarks/bench_analysis_shapes.py
+python - <<'EOF'
+import json
+with open("benchmarks/results/analysis_shapes.json") as fh:
+    payload = json.load(fh)
+for key in ("modules", "cold_scan_s", "warm_scan_s", "warm_rescanned",
+            "one_edit_rescanned"):
+    assert key in payload, f"analysis_shapes.json missing {key!r}"
+assert payload["warm_rescanned"] == 0, "warm scan rescanned modules"
+assert payload["one_edit_rescanned"] == 1, "one edit must rescan exactly 1"
+print("analysis_shapes.json is valid")
 EOF
 
 if command -v ruff >/dev/null 2>&1; then

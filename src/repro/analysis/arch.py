@@ -65,6 +65,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "analysis.models": frozenset(
         {"automata", "control", "core", "analysis", "analysis.flow"}
     ),
+    # The array-contract analyzer reuses flow's cache/baseline/SARIF
+    # plumbing and the shared suppression machinery; like every analysis
+    # tier it must not import the code it scans (`platform`, `managers`)
+    # nor `exec`.
+    "analysis.shapes": frozenset(
+        {"automata", "control", "core", "analysis", "analysis.flow"}
+    ),
     "core": frozenset({"automata", "control", "platform", "workloads"}),
     "managers": frozenset(
         {"automata", "control", "platform", "workloads", "core"}

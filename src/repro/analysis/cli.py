@@ -23,6 +23,18 @@ with incremental caching, baseline support and JSON/SARIF output — see
 analyzer (symbolic reachability + counterexample rules
 REPRO-M001..M007) over automaton files, model-set directories and
 policy bundles — see :mod:`repro.analysis.models`.
+
+``python -m repro.analysis shapes [paths...]`` runs the array-contract
+analyzer (symbolic shape/dtype abstract interpretation + ctypes ABI
+conformance, rules REPRO-S000..S005) — see
+:mod:`repro.analysis.shapes`.
+
+``python -m repro.analysis all`` runs every tier — classic
+(lint/artifacts/arch), flow, models, shapes — with each tier's
+canonical roots and committed baseline, prints one combined summary
+table, merges the per-tier SARIF outputs into a single
+``analysis-report.sarif`` (one run per tool) and exits non-zero if any
+tier fails.  This is the one invocation ``scripts/check.sh`` gates on.
 """
 
 from __future__ import annotations
@@ -42,7 +54,14 @@ from repro.analysis.artifacts import (
 from repro.analysis.findings import Finding, Report, Severity
 from repro.analysis.lint import lint_file
 
-__all__ = ["analyze_paths", "flow_main", "main", "models_main"]
+__all__ = [
+    "all_main",
+    "analyze_paths",
+    "flow_main",
+    "main",
+    "models_main",
+    "shapes_main",
+]
 
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", "output"}
 
@@ -267,6 +286,164 @@ def models_main(argv: Sequence[str] | None = None) -> int:
     return run(argv)
 
 
+def shapes_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis shapes [options] [paths...]``."""
+    # Lazy import, same reasoning as flow_main.
+    from repro.analysis.shapes.cli import shapes_main as run
+
+    return run(argv)
+
+
+def all_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis all [options]`` — every tier, one gate.
+
+    Each tier runs with its canonical roots and committed baseline (the
+    same configuration ``scripts/check.sh`` used to spell out as four
+    separate invocations).  Per-tier JSON/SARIF reports are written as
+    secondary outputs next to the merged ``analysis-report.sarif``.
+    """
+    from repro.analysis.flow import (
+        Baseline,
+        ModuleCache,
+        report_to_json,
+        report_to_sarif,
+    )
+    from repro.analysis.flow import analyze_project as flow_analyze
+    from repro.analysis.flow.sarif import reports_to_sarif
+    from repro.analysis.models.scan import scan_paths as models_scan
+    from repro.analysis.shapes import analyze_project as shapes_analyze
+    from repro.analysis.shapes import make_cache as shapes_cache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis all",
+        description="Run every analyzer tier (classic lint/artifacts/arch, "
+        "flow, models, shapes) with one merged exit code and a combined "
+        "summary table",
+    )
+    parser.add_argument(
+        "--report-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write analysis-report.sarif plus per-tier "
+        "{flow,model,shapes}-report.{json,sarif} files into DIR "
+        "(default: no files, table only)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental caches of the flow/shapes tiers",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors",
+    )
+    args = parser.parse_args(argv)
+
+    def load_baseline(name: str) -> "Baseline | None":
+        path = Path(name)
+        return Baseline.load(path) if path.is_file() else None
+
+    tiers: list[tuple[str, Report, dict | None]] = []
+
+    classic_roots = ["src"] if Path("src").is_dir() else ["."]
+    tiers.append(("repro-analysis", analyze_paths(classic_roots), None))
+
+    flow_roots = ["src/repro"] if Path("src/repro").is_dir() else ["."]
+    flow_result = flow_analyze(
+        flow_roots,
+        cache=None if args.no_cache else ModuleCache(),
+        baseline=load_baseline("analysis-baseline.json"),
+    )
+    tiers.append(
+        ("repro-flow", flow_result.report, flow_result.stats.as_dict())
+    )
+
+    if Path("artifacts").is_dir():
+        models_result = models_scan(["artifacts"], cache=None)
+        models_report = models_result.report
+        baseline = load_baseline("models-baseline.json")
+        if baseline is not None:
+            from repro.analysis.flow.baseline import apply_baseline
+
+            models_report = Report(
+                findings=apply_baseline(
+                    sorted(models_report.findings), baseline
+                ),
+                files_checked=models_report.files_checked,
+                artifacts_checked=models_report.artifacts_checked,
+            )
+        tiers.append(
+            ("repro-models", models_report, models_result.stats.as_dict())
+        )
+
+    shapes_result = shapes_analyze(
+        flow_roots,
+        cache=None if args.no_cache else shapes_cache(),
+        baseline=load_baseline("shapes-baseline.json"),
+    )
+    tiers.append(
+        ("repro-shapes", shapes_result.report, shapes_result.stats.as_dict())
+    )
+
+    failing = Severity.WARNING if args.strict else Severity.ERROR
+
+    # Per-tier findings first, then the combined summary table.
+    for name, report, _ in tiers:
+        for finding in report:
+            if finding.severity >= failing:
+                print(f"[{name}] {finding.format()}")
+
+    header = f"{'tool':<16} {'files':>5} {'errors':>6} {'warnings':>8} {'notes':>5}"
+    print(header)
+    print("-" * len(header))
+    merged_fail = False
+    for name, report, _ in tiers:
+        errors = report.count(Severity.ERROR)
+        warnings = report.count(Severity.WARNING)
+        notes = report.count(Severity.INFO)
+        print(
+            f"{name:<16} {report.files_checked:>5} {errors:>6} "
+            f"{warnings:>8} {notes:>5}"
+        )
+        if any(f.severity >= failing for f in report.findings):
+            merged_fail = True
+    print(
+        f"{'merged':<16} {sum(r.files_checked for _, r, _ in tiers):>5} "
+        f"{sum(r.count(Severity.ERROR) for _, r, _ in tiers):>6} "
+        f"{sum(r.count(Severity.WARNING) for _, r, _ in tiers):>8} "
+        f"{sum(r.count(Severity.INFO) for _, r, _ in tiers):>5}"
+    )
+
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+        merged = reports_to_sarif(
+            [(name, report) for name, report, _ in tiers]
+        )
+        merged_path = args.report_dir / "analysis-report.sarif"
+        merged_path.write_text(merged, encoding="utf-8")
+        file_stem = {
+            "repro-flow": "flow-report",
+            "repro-models": "model-report",
+            "repro-shapes": "shapes-report",
+        }
+        for name, report, stats in tiers:
+            stem = file_stem.get(name)
+            if stem is None:
+                continue
+            (args.report_dir / f"{stem}.json").write_text(
+                report_to_json(report, stats=stats, tool_name=name),
+                encoding="utf-8",
+            )
+            (args.report_dir / f"{stem}.sarif").write_text(
+                report_to_sarif(report, tool_name=name), encoding="utf-8"
+            )
+        print(f"wrote {merged_path} (+ per-tier secondary reports)")
+
+    return 1 if merged_fail else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     import sys
 
@@ -279,6 +456,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return flow_main(argv[1:])
     if argv[:1] == ["models"]:
         return models_main(argv[1:])
+    if argv[:1] == ["shapes"]:
+        return shapes_main(argv[1:])
+    if argv[:1] == ["all"]:
+        return all_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="SPECTR static analysis: artifact verifier, AST lint, "

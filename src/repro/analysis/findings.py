@@ -86,6 +86,13 @@ RULE_REGISTRY: dict[str, str] = {
     "REPRO-M005": "uncontrollable dead-end into a degraded state",
     "REPRO-M006": "runtime-monitor/model consistency violation",
     "REPRO-M007": "stale persisted supervisor (re-synthesis diverges)",
+    # -- array-contract analyzer (repro.analysis.shapes) --------------
+    "REPRO-S000": "malformed or dangling shape contract",
+    "REPRO-S001": "symbolic shape broadcast/contract mismatch",
+    "REPRO-S002": "dtype-flow violation on a contracted array",
+    "REPRO-S003": "out=/view aliasing breaks buffer discipline",
+    "REPRO-S004": "ctypes binding does not match embedded C signature",
+    "REPRO-S005": "static RNG draw-count mismatch",
     # -- suppression / baseline hygiene -------------------------------
     "REPRO-N001": "suppression names an unknown rule id",
     "REPRO-N002": "stale baseline entry matches no current finding",

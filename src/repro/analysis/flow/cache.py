@@ -36,10 +36,25 @@ DEFAULT_CACHE_DIR = Path(".analysis-cache")
 
 
 class ModuleCache:
-    """Pickle-per-module cache with sha256 sidecar integrity checks."""
+    """Pickle-per-module cache with sha256 sidecar integrity checks.
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+    Parameterized on ``schema`` and ``expected_type`` so other analyzer
+    tiers (the shapes analyzer caches its own per-module scan records)
+    share the storage format without sharing — or colliding on — keys:
+    the schema goes into the salt, so two tiers caching the same source
+    file occupy disjoint entries.
+    """
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        *,
+        schema: str = ANALYSIS_SCHEMA,
+        expected_type: type = ModuleAnalysis,
+    ) -> None:
         self.root = Path(root)
+        self.schema = schema
+        self.expected_type = expected_type
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -47,7 +62,7 @@ class ModuleCache:
     # -- keys ----------------------------------------------------------
     @property
     def salt(self) -> str:
-        return f"{ANALYSIS_SCHEMA}/{__version__}"
+        return f"{self.schema}/{__version__}"
 
     def key_for(self, module: str, path: str, source: str) -> str:
         payload = f"{module}\x00{path}\x00{source}"
@@ -78,14 +93,15 @@ class ModuleCache:
             self._evict(entry, sidecar)
             self.misses += 1
             return None
-        if not isinstance(analysis, ModuleAnalysis):
+        if not isinstance(analysis, self.expected_type):
             self._evict(entry, sidecar)
             self.misses += 1
             return None
         self.hits += 1
         return analysis
 
-    def store(self, analysis: ModuleAnalysis, source: str) -> None:
+    def store(self, analysis, source: str) -> None:
+        """Persist one record (anything with ``module``/``path`` attrs)."""
         key = self.key_for(analysis.module, analysis.path, source)
         entry = self._entry_path(key)
         entry.parent.mkdir(parents=True, exist_ok=True)

@@ -17,7 +17,12 @@ from typing import Any
 from repro import __version__
 from repro.analysis.findings import RULE_REGISTRY, Finding, Report, Severity
 
-__all__ = ["SARIF_VERSION", "report_to_json", "report_to_sarif"]
+__all__ = [
+    "SARIF_VERSION",
+    "report_to_json",
+    "report_to_sarif",
+    "reports_to_sarif",
+]
 
 SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = (
@@ -65,7 +70,8 @@ def report_to_json(
     return json.dumps(payload, indent=2) + "\n"
 
 
-def report_to_sarif(report: Report, *, tool_name: str = "repro-flow") -> str:
+def _sarif_run(report: Report, tool_name: str) -> dict[str, Any]:
+    """One SARIF ``run`` object for one analyzer's report."""
     emitted_rules = sorted({f.rule for f in report})
     rules = [
         {
@@ -98,21 +104,39 @@ def report_to_sarif(report: Report, *, tool_name: str = "repro-flow") -> str:
         }
         for finding in report
     ]
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": "https://example.invalid/repro",
+                "version": __version__,
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+
+
+def _sarif_document(runs: list[dict[str, Any]]) -> str:
     payload = {
         "$schema": _SARIF_SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": tool_name,
-                        "informationUri": "https://example.invalid/repro",
-                        "version": __version__,
-                        "rules": rules,
-                    }
-                },
-                "results": results,
-            }
-        ],
+        "runs": runs,
     }
     return json.dumps(payload, indent=2) + "\n"
+
+
+def report_to_sarif(report: Report, *, tool_name: str = "repro-flow") -> str:
+    return _sarif_document([_sarif_run(report, tool_name)])
+
+
+def reports_to_sarif(reports: list[tuple[str, Report]]) -> str:
+    """One SARIF document with one run per (tool_name, report) pair.
+
+    This is what ``python -m repro.analysis all`` emits: CI uploads a
+    single ``analysis-report.sarif`` artifact in which each analyzer
+    tier remains an individually attributable run.
+    """
+    return _sarif_document(
+        [_sarif_run(report, tool_name) for tool_name, report in reports]
+    )

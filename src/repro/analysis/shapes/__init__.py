@@ -1,0 +1,50 @@
+"""Array-contract analyzer: symbolic shape/dtype abstract interpretation.
+
+The fourth analyzer tier (after lint L-rules, flow F-rules and model
+M-rules): an abstract interpreter over symbolic array shapes and dtypes
+seeded from inline ``# repro: shape[...]`` contracts, plus a ctypes↔C
+signature cross-checker for the embedded compiled kernels.
+
+Rules:
+
+* ``REPRO-S000`` — malformed or dangling shape contract
+* ``REPRO-S001`` — symbolic shape broadcast/contract mismatch
+* ``REPRO-S002`` — dtype-flow violation on a contracted array
+* ``REPRO-S003`` — ``out=``/view aliasing breaks buffer discipline
+* ``REPRO-S004`` — ctypes binding does not match embedded C signature
+* ``REPRO-S005`` — static RNG draw-count mismatch
+"""
+
+from repro.analysis.shapes.analyze import (
+    ShapesResult,
+    ShapesStats,
+    analyze_project,
+    make_cache,
+)
+from repro.analysis.shapes.cli import shapes_main
+from repro.analysis.shapes.contracts import (
+    ModuleContracts,
+    Spec,
+    collect_contracts,
+    parse_spec,
+)
+from repro.analysis.shapes.rules import (
+    SHAPES_SCHEMA,
+    ShapeModuleScan,
+    scan_module,
+)
+
+__all__ = [
+    "SHAPES_SCHEMA",
+    "ModuleContracts",
+    "ShapeModuleScan",
+    "ShapesResult",
+    "ShapesStats",
+    "Spec",
+    "analyze_project",
+    "collect_contracts",
+    "make_cache",
+    "parse_spec",
+    "scan_module",
+    "shapes_main",
+]

@@ -1,0 +1,83 @@
+"""Per-module scan for the array-contract analyzer (REPRO-S rules).
+
+One module is one independent scan unit: every S-rule is
+intra-module (contracts attach inside the file that declares them, and
+the ctypes↔C check compares a binding against the C source embedded in
+the same file).  That is what makes the scan cacheable at module
+granularity — :class:`ShapeModuleScan` is the pickled record, keyed by
+content hash exactly like the flow analyzer's ``ModuleAnalysis``.
+
+Pipeline per module::
+
+    source --(contracts.collect_contracts)--> ModuleContracts  (S000)
+           --(interp.interpret_module)-----> shape findings    (S001-S003, S005)
+           --(csig.check_ctypes_bindings)--> ABI findings      (S004)
+           --(suppress.collect_suppressions)-> noqa map        (N001)
+
+Suppression *filtering* happens at project level (analyze.py) so the
+cached record keeps the raw findings plus the suppression map — the
+same split the flow analyzer uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.symbols import source_digest
+from repro.analysis.shapes.contracts import collect_contracts
+from repro.analysis.shapes.csig import check_ctypes_bindings
+from repro.analysis.shapes.interp import interpret_module
+from repro.analysis.suppress import collect_suppressions
+
+__all__ = ["SHAPES_SCHEMA", "ShapeModuleScan", "scan_module"]
+
+# Bump whenever the contract grammar, interpreter semantics, or the
+# recorded fields change: the schema is part of the cache salt.
+SHAPES_SCHEMA = "shapes-cache/1"
+
+
+@dataclass
+class ShapeModuleScan:
+    """Cacheable result of scanning one module."""
+
+    module: str
+    path: str
+    content_hash: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    suppression_findings: list[Finding] = field(default_factory=list)
+    parse_error: str | None = None
+    contracted: bool = False  # module declares at least one contract
+
+
+def scan_module(source: str, path: str, *, module: str = "") -> ShapeModuleScan:
+    """Run every S-rule over one module's source."""
+    scan = ShapeModuleScan(
+        module=module, path=path, content_hash=source_digest(source)
+    )
+    scan.suppressions, scan.suppression_findings = collect_suppressions(
+        source, path
+    )
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        scan.parse_error = str(exc)
+        scan.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                rule="REPRO-L000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return scan
+    contracts = collect_contracts(source, path)
+    scan.contracted = not contracts.empty
+    scan.findings.extend(contracts.findings)
+    scan.findings.extend(interpret_module(tree, contracts, path))
+    scan.findings.extend(check_ctypes_bindings(tree, path))
+    scan.findings.sort()
+    return scan

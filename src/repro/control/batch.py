@@ -85,6 +85,7 @@ def _matvec_by_columns_exact(matrix: np.ndarray) -> bool:
 
 
 def _matvec_columns(matrix: np.ndarray, X: np.ndarray, out: np.ndarray):
+    # repro: shape[matrix: (r, k) f8; X: (N, k) f8; out: (N, r) f8; -> (N, r) f8]
     """``np.matvec(matrix, X)`` via one tall dgemv per output column.
 
     ``out`` is F-ordered so each column view is contiguous; only valid
@@ -107,29 +108,37 @@ class BatchedGainSet:
         self.gains = gains
         self.name = gains.name
         model = gains.model
-        self.A = np.ascontiguousarray(model.A)
-        self.B = np.ascontiguousarray(model.B)
-        self.C = np.ascontiguousarray(model.C)
-        self.D = np.ascontiguousarray(model.D)
-        self.L = np.ascontiguousarray(gains.L)
-        self.DB = np.ascontiguousarray(np.vstack((model.D, model.B)))
-        self.neg_K_state = np.ascontiguousarray(-gains.K_state)
-        self.K_integral = np.ascontiguousarray(gains.K_integral)
-        self.K_integral_pinv = np.ascontiguousarray(gains.K_integral_pinv)
-        self.integral_mask = gains.integral_mask
+        self.A = np.ascontiguousarray(model.A)  # repro: shape[(n, n) f8]
+        self.B = np.ascontiguousarray(model.B)  # repro: shape[(n, m) f8]
+        self.C = np.ascontiguousarray(model.C)  # repro: shape[(p, n) f8]
+        self.D = np.ascontiguousarray(model.D)  # repro: shape[(p, m) f8]
+        self.L = np.ascontiguousarray(gains.L)  # repro: shape[(n, p) f8]
+        self.DB = np.ascontiguousarray(  # repro: shape[(p+n, m) f8]
+            np.vstack((model.D, model.B))
+        )
+        self.neg_K_state = np.ascontiguousarray(  # repro: shape[(m, n) f8]
+            -gains.K_state
+        )
+        self.K_integral = np.ascontiguousarray(  # repro: shape[(m, p) f8]
+            gains.K_integral
+        )
+        self.K_integral_pinv = np.ascontiguousarray(  # repro: shape[(p, m) f8]
+            gains.K_integral_pinv
+        )
+        self.integral_mask = gains.integral_mask  # repro: shape[(p,) f8]
         # Machine-verified fast-path eligibility.
-        self.db_stack_exact = _stack_rows_exact((self.D, self.B))
-        self.db_columns_exact = self.db_stack_exact and _matvec_by_columns_exact(
+        self.db_stack_exact = _stack_rows_exact((self.D, self.B))  # repro: shape[bool]
+        self.db_columns_exact = self.db_stack_exact and _matvec_by_columns_exact(  # repro: shape[bool]
             self.DB
         )
-        self.l_columns_exact = _matvec_by_columns_exact(self.L)
-        self.ki_columns_exact = _matvec_by_columns_exact(self.K_integral)
-        self.ki_pinv_columns_exact = _matvec_by_columns_exact(
+        self.l_columns_exact = _matvec_by_columns_exact(self.L)  # repro: shape[bool]
+        self.ki_columns_exact = _matvec_by_columns_exact(self.K_integral)  # repro: shape[bool]
+        self.ki_pinv_columns_exact = _matvec_by_columns_exact(  # repro: shape[bool]
             self.K_integral_pinv
         )
         # Per-matrix dot variants for the fused C kernel (None when any
         # matrix has no bit-exact inlined reduction on this machine).
-        self.fused_variants = None
+        self.fused_variants = None  # repro: shape[(8,) i1 | none]
         kernel = fused_kernel()
         if kernel is not None:
             codes = [
@@ -169,7 +178,7 @@ class BatchedLQGServo:
         initial: int = 0,
         anti_windup: float = 0.9,
         name: str = "batched-lqg",
-    ) -> None:
+    ) -> None:  # repro: shape[n_rows: int[N]]
         self.sets = [BatchedGainSet(g) for g in gain_sets]
         if not self.sets:
             raise ModelError("need at least one gain set")
@@ -189,48 +198,48 @@ class BatchedLQGServo:
         self.name = name
         self.operating_point = operating_point
         self.limits = limits
-        self.anti_windup = float(anti_windup)
-        self.n_rows = int(n_rows)
+        self.anti_windup = float(anti_windup)  # repro: shape[float]
+        self.n_rows = int(n_rows)  # repro: shape[int[N]]
         n, m, p = first.n_states, first.n_inputs, first.n_outputs
-        self.gain_ids = np.full(self.n_rows, initial, dtype=np.int8)
+        self.gain_ids = np.full(self.n_rows, initial, dtype=np.int8)  # repro: shape[(N,) i1]
         self._uniform: int | None = int(initial)
-        self.X = np.zeros((self.n_rows, n), dtype=float)
-        self.Z = np.zeros((self.n_rows, p), dtype=float)
-        self.DU = np.zeros((self.n_rows, m), dtype=float)
+        self.X = np.zeros((self.n_rows, n), dtype=float)  # repro: shape[(N, n) f8]
+        self.Z = np.zeros((self.n_rows, p), dtype=float)  # repro: shape[(N, p) f8]
+        self.DU = np.zeros((self.n_rows, m), dtype=float)  # repro: shape[(N, m) f8]
         # Scatter target for mixed-gain steps (allocated off the hot path).
-        self._du_scatter = np.zeros((self.n_rows, m), dtype=float)
+        self._du_scatter = np.zeros((self.n_rows, m), dtype=float)  # repro: shape[(N, m) f8]
         # Uniform-path scratch: every per-step temporary is written into
         # a preallocated buffer via ufunc/matvec ``out=`` (same values,
         # no per-tick allocations).  X/Z are double-buffered because the
         # new state is computed from matvec reads of the old one; the
         # F-ordered buffers receive per-column dgemv results.
         rows = self.n_rows
-        self._x_spare = np.zeros((rows, n), dtype=float)
-        self._z_spare = np.zeros((rows, p), dtype=float)
-        self._cax = np.empty((rows, p + n))
-        self._dbu = np.empty((rows, p + n), order="F")
-        self._ypred = np.empty((rows, p))
-        self._lresid = np.empty((rows, n), order="F")
-        self._zstep = np.empty((rows, p))
-        self._du_out = np.empty((rows, m))
-        self._kiz = np.empty((rows, m), order="F")
-        self._corr = np.empty((rows, p), order="F")
-        self._dy = np.empty((rows, p))
-        self._u_raw = np.empty((rows, m))
-        self._u_next = np.empty((rows, m))
-        self._du_spare = np.empty((rows, m))
-        self._step_lo = np.empty((rows, m))
-        self._excess = np.empty((rows, m))
-        self.U_prev = np.tile(operating_point.u, (self.n_rows, 1))
-        self.references = np.tile(operating_point.y, (self.n_rows, 1))
-        self._dr = (
+        self._x_spare = np.zeros((rows, n), dtype=float)  # repro: shape[(N, n) f8]
+        self._z_spare = np.zeros((rows, p), dtype=float)  # repro: shape[(N, p) f8]
+        self._cax = np.empty((rows, p + n))  # repro: shape[(N, p+n) f8]
+        self._dbu = np.empty((rows, p + n), order="F")  # repro: shape[(N, p+n) f8]
+        self._ypred = np.empty((rows, p))  # repro: shape[(N, p) f8]
+        self._lresid = np.empty((rows, n), order="F")  # repro: shape[(N, n) f8]
+        self._zstep = np.empty((rows, p))  # repro: shape[(N, p) f8]
+        self._du_out = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self._kiz = np.empty((rows, m), order="F")  # repro: shape[(N, m) f8]
+        self._corr = np.empty((rows, p), order="F")  # repro: shape[(N, p) f8]
+        self._dy = np.empty((rows, p))  # repro: shape[(N, p) f8]
+        self._u_raw = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self._u_next = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self._du_spare = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self._step_lo = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self._excess = np.empty((rows, m))  # repro: shape[(N, m) f8]
+        self.U_prev = np.tile(operating_point.u, (self.n_rows, 1))  # repro: shape[(N, m) f8]
+        self.references = np.tile(operating_point.y, (self.n_rows, 1))  # repro: shape[(N, p) f8]
+        self._dr = (  # repro: shape[(N, p) f8]
             self.references - operating_point.y
         ) / operating_point.y_scale
         self._reference_key: list | None = None
-        self._u_scale_safe = np.where(
+        self._u_scale_safe = np.where(  # repro: shape[(m,) f8]
             operating_point.u_scale == 0, 1.0, operating_point.u_scale
         )
-        self.invocations = 0
+        self.invocations = 0  # repro: shape[int]
         # Compiled whole-step kernel: enabled only when available for
         # these dimensions AND a differential probe reproduces the
         # numpy path bit-for-bit for every gain set in the palette.
@@ -296,12 +305,14 @@ class BatchedLQGServo:
 
     # ------------------------------------------------------------------
     def step(self, measured_outputs: np.ndarray) -> np.ndarray:
+        # repro: shape[measured_outputs: (N, p) f8; -> (N, m) f8]
         """One control interval for every row; returns ``(N, m)`` u."""
         if self._fused is not None and self._uniform is not None:
             return self._step_fused(measured_outputs)
         return self._step_numpy(measured_outputs)
 
     def _step_fused(self, measured_outputs, kernel=None) -> np.ndarray:
+        # repro: shape[measured_outputs: (N, p) f8; -> (N, m) f8]
         """Whole step in one compiled per-row pass (probe-verified)."""
         Y = measured_outputs
         if (
@@ -323,6 +334,7 @@ class BatchedLQGServo:
         return self._u_next
 
     def _fused_tail(self, g: BatchedGainSet) -> tuple:
+        # repro: shape[g: obj[BatchedGainSet]]
         """Raw pointer arguments for one gain set's fused call.
 
         Captured addresses stay valid because every referenced buffer
@@ -365,6 +377,7 @@ class BatchedLQGServo:
         )
 
     def _step_numpy(self, measured_outputs: np.ndarray) -> np.ndarray:
+        # repro: shape[measured_outputs: (N, p) f8; -> (N, m) f8]
         op = self.operating_point
         dy = np.subtract(measured_outputs, op.y, out=self._dy)
         np.divide(dy, op.y_scale, out=dy)
@@ -405,6 +418,7 @@ class BatchedLQGServo:
         return u
 
     def _advance(self, g: BatchedGainSet, dy: np.ndarray, idx) -> np.ndarray:
+        # repro: shape[g: obj[BatchedGainSet]; dy: (N, p) f8; -> (N, m) f8]
         if idx is None:
             return self._advance_uniform(g, dy)
         X = self.X[idx]
@@ -432,6 +446,7 @@ class BatchedLQGServo:
         return du
 
     def _advance_uniform(self, g: BatchedGainSet, dy: np.ndarray) -> np.ndarray:
+        # repro: shape[g: obj[BatchedGainSet]; dy: (N, p) f8; -> (N, m) f8]
         """Whole-batch advance into preallocated scratch.
 
         Identical values to the gather path: ``out=`` only changes
@@ -544,6 +559,7 @@ class BatchedLQGServo:
         self.invocations = invocations
 
     def _apply_anti_windup(self, excess: np.ndarray) -> None:
+        # repro: shape[excess: (N, m) f8]
         # Scalar rows with no saturation skip the correction entirely;
         # np.where keeps their integrators byte-identical (masked
         # in-place updates can flip +0.0 to -0.0).
@@ -576,6 +592,7 @@ class BatchedLQGServo:
 
 
 def _saturated_rows(excess: np.ndarray) -> np.ndarray:
+    # repro: shape[excess: (N, m) f8; -> (N,) b1]
     """Per-row ``excess.any()`` via column compares (faster than np.any
     on small widths, and ``-0.0 != 0.0`` is False, matching ``any``)."""
     mask = excess[:, 0] != 0.0

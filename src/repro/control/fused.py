@@ -569,10 +569,12 @@ class FusedKernel:
         self._dot = dot
         step = lib.fused_servo_step
         step.restype = None
+        # 4 dims, 23 array pointers, then the max_step pointer (NULLable,
+        # passed as a raw address), has_max_step, anti_windup, variants.
         step.argtypes = (
             [ctypes.c_longlong] * 4
-            + [ctypes.c_void_p] * 23
-            + [ctypes.c_longlong, ctypes.c_int, ctypes.c_double]
+            + [ctypes.c_void_p] * 24
+            + [ctypes.c_int, ctypes.c_double]
             + [ctypes.c_void_p]
         )
         self._step = step

@@ -194,9 +194,9 @@ class ActuatorLimits:
     core at a time).  ``None`` disables slew limiting.
     """
 
-    lower: np.ndarray
-    upper: np.ndarray
-    max_step: np.ndarray | None = None
+    lower: np.ndarray  # repro: shape[(m,) f8]
+    upper: np.ndarray  # repro: shape[(m,) f8]
+    max_step: np.ndarray | None = None  # repro: shape[(m,) f8 | none]
 
     def __post_init__(self) -> None:
         self.lower = np.asarray(self.lower, dtype=float).ravel()

@@ -193,10 +193,10 @@ class OperatingPoint:
     is ``u_op + du`` and the physical sensed value is ``y_op + dy``.
     """
 
-    u: np.ndarray
-    y: np.ndarray
-    u_scale: np.ndarray = field(default=None)  # type: ignore[assignment]
-    y_scale: np.ndarray = field(default=None)  # type: ignore[assignment]
+    u: np.ndarray  # repro: shape[(m,) f8]
+    y: np.ndarray  # repro: shape[(p,) f8]
+    u_scale: np.ndarray = field(default=None)  # type: ignore[assignment]  # repro: shape[(m,) f8 | none]
+    y_scale: np.ndarray = field(default=None)  # type: ignore[assignment]  # repro: shape[(p,) f8 | none]
 
     def __post_init__(self) -> None:
         self.u = np.asarray(self.u, dtype=float).ravel()

@@ -83,27 +83,27 @@ class FleetCluster:
 
     def __init__(
         self, template: Cluster, n_devices: int, *, strength_exponent: float
-    ) -> None:
+    ) -> None:  # repro: shape[n_devices: int[N]]
         sensor, pmu_sensors = fleet_sensor_layout(template)
         self.name = template.name
-        self.n_cores = template.n_cores
-        self.n_cores_f = float(template.n_cores)
+        self.n_cores = template.n_cores  # repro: shape[int[C]]
+        self.n_cores_f = float(template.n_cores)  # repro: shape[float]
         self.opps = template.opps
         self.power_model = template.power_model
         self.perf_model = template.perf_model
         points = template.opps.points
-        self.freq_table = template.opps.frequency_array
-        self.volt_table = template.opps.voltage_array
+        self.freq_table = template.opps.frequency_array  # repro: shape[(n_opp,) f8]
+        self.volt_table = template.opps.voltage_array  # repro: shape[(n_opp,) f8]
         # Per-OPP lookup tables, all built with Python-float arithmetic
         # so indexed values match the scalar expressions bit-for-bit.
         self.dynamic_table, self.leakage_table = (
             template.power_model.per_opp_tables(template.opps)
         )
         ipc = template.perf_model.ipc_factor
-        self.core_rate_table = np.array(
+        self.core_rate_table = np.array(  # repro: shape[(n_opp,) f8]
             [ipc * p.frequency_ghz for p in points], dtype=float
         )
-        self.strength_table = np.array(
+        self.strength_table = np.array(  # repro: shape[(n_opp,) f8]
             [(ipc * p.frequency_ghz) ** strength_exponent for p in points],
             dtype=float,
         )
@@ -120,17 +120,23 @@ class FleetCluster:
         # parameter row against the (N, 1 + n_cores) noise block applies
         # the same elementwise ops as the per-sensor loop.
         sensors = [sensor, *pmu_sensors]
-        self.noise_row = np.array(
+        self.noise_row = np.array(  # repro: shape[(C+1,) f8]
             [s.noise_fraction for s in sensors], dtype=float
         )
         resolutions = np.array([s.resolution for s in sensors], dtype=float)
-        self.res_mask_row = resolutions > 0
-        self.any_resolution = bool(self.res_mask_row.any())
-        self.safe_res_row = np.where(self.res_mask_row, resolutions, 1.0)
-        self.floor_row = np.array([s.floor for s in sensors], dtype=float)
-        self.core_ids = np.arange(self.n_cores, dtype=float)
-        self._reading_buf = np.empty((n_devices, 1 + self.n_cores), dtype=float)
-        self.res_mask_i8 = np.ascontiguousarray(
+        self.res_mask_row = resolutions > 0  # repro: shape[(C+1,) b1]
+        self.any_resolution = bool(self.res_mask_row.any())  # repro: shape[bool]
+        self.safe_res_row = np.where(  # repro: shape[(C+1,) f8]
+            self.res_mask_row, resolutions, 1.0
+        )
+        self.floor_row = np.array(  # repro: shape[(C+1,) f8]
+            [s.floor for s in sensors], dtype=float
+        )
+        self.core_ids = np.arange(self.n_cores, dtype=float)  # repro: shape[(C,) f8]
+        self._reading_buf = np.empty(  # repro: shape[(N, C+1) f8]
+            (n_devices, 1 + self.n_cores), dtype=float
+        )
+        self.res_mask_i8 = np.ascontiguousarray(  # repro: shape[(C+1,) i1]
             self.res_mask_row, dtype=np.int8
         )
         # Compiled-telemetry state: the kernel handle is set by
@@ -139,7 +145,7 @@ class FleetCluster:
         # arrays stay intact without per-tick allocation.
         self.telemetry_kernel = None
         self._telemetry_args = None
-        self._out_flip = 0
+        self._out_flip = 0  # repro: shape[int]
         self._power_bufs = (
             np.empty(n_devices, dtype=float),
             np.empty(n_devices, dtype=float),
@@ -149,16 +155,19 @@ class FleetCluster:
             np.empty(n_devices, dtype=float),
         )
         # DVFS snap scratch: reused as ``opp_idx`` every set_frequency.
-        self._snap_out = np.empty(n_devices, dtype=np.int64)
+        self._snap_out = np.empty(n_devices, dtype=np.int64)  # repro: shape[(N,) i8]
         initial = template.opps.snap_indices(
             np.array([template.frequency_ghz], dtype=float)
         )
-        self.opp_idx = np.full(n_devices, int(initial[0]))
-        self.frequency = self.freq_table[self.opp_idx]
-        self.voltage = self.volt_table[self.opp_idx]
-        self.active = np.full(n_devices, float(template.active_cores))
+        self.opp_idx = np.full(n_devices, int(initial[0]))  # repro: shape[(N,) i8]
+        self.frequency = self.freq_table[self.opp_idx]  # repro: shape[(N,) f8]
+        self.voltage = self.volt_table[self.opp_idx]  # repro: shape[(N,) f8]
+        self.active = np.full(  # repro: shape[(N,) f8]
+            n_devices, float(template.active_cores)
+        )
 
     def set_frequency(self, requests: np.ndarray) -> np.ndarray:
+        # repro: shape[requests: (N,) f8; -> (N,) f8]
         """Vectorized DVFS: snap every row's request to its OPP."""
         idx = self.opps.snap_indices(requests, out=self._snap_out)
         self.opp_idx = idx
@@ -168,7 +177,7 @@ class FleetCluster:
 
     def apply_core_requests(
         self, requests: np.ndarray, mask: np.ndarray
-    ) -> None:
+    ) -> None:  # repro: shape[requests: (N,) f8; mask: (N,) b1]
         """Vectorized hotplug for the rows selected by ``mask``.
 
         ``np.rint`` is round-half-to-even, matching the scalar
@@ -187,12 +196,12 @@ class FleetCluster:
 class FleetClusterTelemetry:
     """Per-cluster sensor readings, one ``(N,)`` array per field."""
 
-    frequency_ghz: np.ndarray
-    voltage_v: np.ndarray
-    active_cores: np.ndarray
-    busy_core_equivalents: np.ndarray
-    power_w: np.ndarray
-    ips: np.ndarray
+    frequency_ghz: np.ndarray  # repro: shape[(N,) f8]
+    voltage_v: np.ndarray  # repro: shape[(N,) f8]
+    active_cores: np.ndarray  # repro: shape[(N,) f8]
+    busy_core_equivalents: np.ndarray  # repro: shape[(N,) f8]
+    power_w: np.ndarray  # repro: shape[(N,) f8]
+    ips: np.ndarray  # repro: shape[(N,) f8]
 
 
 @dataclass
@@ -237,7 +246,7 @@ class FleetPlatform:
         if not seeds:
             raise PlatformError("fleet needs at least one device seed")
         self.seeds = seeds
-        self.n_devices = len(seeds)
+        self.n_devices = len(seeds)  # repro: shape[int[N]]
         # Scheduler constants are read off a real HMPScheduler so the
         # mirror can never drift from the scalar defaults.
         scalar_scheduler = HMPScheduler()
@@ -260,12 +269,12 @@ class FleetPlatform:
             power_model=little_cluster_power_model(),
             perf_model=little_cluster_perf_model(),
         )
-        self.big = FleetCluster(
+        self.big = FleetCluster(  # repro: shape[obj[FleetCluster]]
             big_template,
             self.n_devices,
             strength_exponent=self._strength_exponent,
         )
-        self.little = FleetCluster(
+        self.little = FleetCluster(  # repro: shape[obj[FleetCluster]]
             little_template,
             self.n_devices,
             strength_exponent=self._strength_exponent,
@@ -287,28 +296,28 @@ class FleetPlatform:
         self._hb_window = self.config.heartbeat_window_s
         self._hb_records: deque[tuple[float, np.ndarray]] = deque()
         self.rngs = [np.random.default_rng(s) for s in seeds]
-        self.time_s = 0.0
+        self.time_s = 0.0  # repro: shape[float]
         # Pre-drawn standard-normal blocks.  Per-tick draw layout per
         # device: [QoS workload (iff noisy)] + [big power, big PMUs] +
         # [little power, little PMUs] — the documented scalar order.
-        self._qos_draws = (
+        self._qos_draws = (  # repro: shape[int[q]]
             1 if qos_app is not None and qos_app.variability > 0 else 0
         )
-        per_cluster = self.config.cores_per_cluster + 1
-        self._draws_per_tick = self._qos_draws + 2 * per_cluster
-        self._noise_chunk = max(1, int(noise_chunk_ticks))
-        self._noise_buf = np.empty(
+        per_cluster = self.config.cores_per_cluster + 1  # repro: shape[int[C+1]]
+        self._draws_per_tick = self._qos_draws + 2 * per_cluster  # repro: shape[int[q + 2*(C+1)]]
+        self._noise_chunk = max(1, int(noise_chunk_ticks))  # repro: shape[int]
+        self._noise_buf = np.empty(  # repro: shape[(N, _) f8 !rng[q + 2*(C+1)]]
             (self.n_devices, self._draws_per_tick * self._noise_chunk),
             dtype=float,
         )
-        self._noise_used = self._noise_chunk
+        self._noise_used = self._noise_chunk  # repro: shape[int]
         if qos_app is not None:
-            self._qos_threads = float(qos_app.threads)
+            self._qos_threads = float(qos_app.threads)  # repro: shape[float]
             perf = big_template.perf_model
             # peak_rate * frequency_scale(f) per OPP — the first two
             # factors of the left-associative scalar product
             # peak * fs * speedup / reference_speedup.
-            self._peak_fs_table = np.array(
+            self._peak_fs_table = np.array(  # repro: shape[(n_opp,) f8 | none]
                 [
                     qos_app.peak_rate
                     * frequency_scale(
@@ -389,6 +398,7 @@ class FleetPlatform:
 
     # ------------------------------------------------------------------
     def _qos_rate(self, now: float, effective_threads, z) -> np.ndarray:
+        # repro: shape[z: (N, q + 2*(C+1)) f8; -> (N,) f8]
         """Vectorized ``QoSWorkload.rate`` on the Big cluster."""
         qos_app = self.qos_app
         qos_threads = self._qos_threads
@@ -485,6 +495,7 @@ class FleetPlatform:
 
 # ----------------------------------------------------------------------
 def _fair_share_capacity(capacity: np.ndarray, runnable):
+    # repro: shape[capacity: (N,) f8]
     """Vectorized ``soc.fair_share_capacity``."""
     if np.ndim(runnable) == 0:
         if runnable <= 0:
@@ -515,6 +526,8 @@ def _amdahl_array(parallel_fraction: float, threads) -> np.ndarray:
 def _cluster_telemetry(
     fc: FleetCluster, busy_core_equivalents: np.ndarray, z: np.ndarray
 ) -> FleetClusterTelemetry:
+    # repro: shape[fc: obj[FleetCluster]; busy_core_equivalents: (N,) f8]
+    # repro: shape[z: (N, C+1) f8; -> obj[FleetClusterTelemetry]]
     """Vectorized ``soc.read_cluster_telemetry`` fast path.
 
     Dispatches to the compiled single-sweep kernel when the cluster's
@@ -539,6 +552,8 @@ def _cluster_telemetry_fused(
     z: np.ndarray,
     kernel,
 ) -> FleetClusterTelemetry:
+    # repro: shape[fc: obj[FleetCluster]; busy_core_equivalents: (N,) f8]
+    # repro: shape[z: (N, C+1) f8; -> obj[FleetClusterTelemetry]]
     """One compiled sweep over the batch (probe-verified bit-identical)."""
     flip = fc._out_flip
     fc._out_flip = 1 - flip
@@ -591,6 +606,7 @@ def _cluster_telemetry_fused(
 
 
 def _probe_cluster_telemetry(fc: FleetCluster, kernel) -> bool:
+    # repro: shape[fc: obj[FleetCluster]]
     """Differential gate for the compiled telemetry sweep.
 
     Runs both implementations over random cluster states (random
@@ -628,16 +644,18 @@ def _probe_cluster_telemetry(fc: FleetCluster, kernel) -> bool:
 def _cluster_telemetry_numpy(
     fc: FleetCluster, busy_core_equivalents: np.ndarray, z: np.ndarray
 ) -> FleetClusterTelemetry:
+    # repro: shape[fc: obj[FleetCluster]; busy_core_equivalents: (N,) f8]
+    # repro: shape[z: (N, C+1) f8; -> obj[FleetClusterTelemetry]]
     """Vectorized ``soc.read_cluster_telemetry``, numpy formulation."""
     active = fc.active
     idx = fc.opp_idx
     busy = np.minimum(np.maximum(busy_core_equivalents, 0.0), active)
     idle_cores = active - busy
-    dynamic = fc.dynamic_table[idx] * (
+    dynamic = fc.dynamic_table[idx] * (  # repro: shape[(N,) f8]
         busy + fc.idle_core_fraction * idle_cores
     )
-    static = fc.leakage_table[idx] * active
-    true_power_w = dynamic + static + fc.uncore_power
+    static = fc.leakage_table[idx] * active  # repro: shape[(N,) f8]
+    true_power_w = dynamic + static + fc.uncore_power  # repro: shape[(N,) f8]
     total_ips = busy_core_equivalents * fc.core_rate_table[idx]
     share = 1.0 / active
     target = total_ips * share

@@ -1,0 +1,5 @@
+"""Golden bad-code fixtures for the array-contract analyzer.
+
+One module per REPRO-S rule; every seeded bug is asserted verbatim
+(location and message) by ``test_rules_golden.py``.
+"""

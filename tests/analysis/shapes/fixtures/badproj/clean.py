@@ -1,0 +1,46 @@
+"""Contract-heavy but correct code: the analyzer must stay silent.
+
+Exercises the same features the seeded-bug fixtures break: polymorphic
+call contracts, matmul chains, ``out=`` double-buffer discipline, the
+chunked-RNG tick protocol, and dtype contracts.
+"""
+
+import numpy as np
+
+
+def matvec_columns(matrix, x, out):
+    # repro: shape[matrix: (r, k) f8; x: (N, k) f8; out: (N, r) f8; -> (N, r) f8]
+    np.matmul(x, matrix.T, out=out)
+    return out
+
+
+class Servo:
+    def __init__(self, n_rows, n_sensors, n_state, n_outputs):
+        # repro: shape[n_rows: int[N]; n_sensors: int[q]]
+        # repro: shape[n_state: int[n]; n_outputs: int[p]]
+        self.n_sensors = n_sensors  # repro: shape[int[q]]
+        self._per_tick = n_sensors + 2  # repro: shape[int[q + 2]]
+        self._used = 0  # repro: shape[int]
+        self.state = np.zeros((n_rows, n_state))  # repro: shape[(N, n) f8]
+        self.gain = np.zeros((n_outputs, n_state))  # repro: shape[(p, n) f8]
+        self.meas = np.zeros((n_rows, n_outputs))  # repro: shape[(N, p) f8]
+        self._scratch = np.zeros_like(self.meas)  # repro: shape[(N, p) f8]
+        rng = np.random.default_rng(99)
+        self._noise = rng.standard_normal(  # repro: shape[(N, _) f8 !rng[q + 2]]
+            (n_rows, 64 * (n_sensors + 2))
+        )
+
+    def predict(self):
+        # repro: shape[-> (N, p) f8]
+        matvec_columns(self.gain, self.state, self._scratch)
+        np.subtract(self.meas, self._scratch, out=self._scratch)
+        return self._scratch
+
+    def tick(self):
+        u = self._used
+        w = self._per_tick
+        block = self._noise[:, u * w : (u + 1) * w]
+        sensors = block[:, 0 : self.n_sensors]
+        rest = block[:, self.n_sensors : self.n_sensors + 2]
+        self._used = u + 1
+        return sensors.sum() + rest.sum()

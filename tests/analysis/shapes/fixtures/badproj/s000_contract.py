@@ -1,0 +1,16 @@
+"""Seeded REPRO-S000 bugs: malformed and dangling contracts."""
+
+
+def unknown_param(x):
+    # repro: shape[y: (N,) f8]
+    return x
+
+
+def bare_function_spec(x):
+    # repro: shape[(N,) f8]
+    return x
+
+
+def bad_grammar(x):
+    # repro: shape[x: (N,,) f8]
+    return x

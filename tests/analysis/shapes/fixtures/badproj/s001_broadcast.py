@@ -1,0 +1,28 @@
+"""Seeded REPRO-S001 bugs: symbolic broadcast/contract mismatches."""
+
+import numpy as np
+
+
+def gains_mismatch(state, gain):
+    # repro: shape[state: (N, n) f8; gain: (N, p) f8; -> (N, n) f8]
+    return state + gain
+
+
+def inner_dim(matrix, x):
+    # repro: shape[matrix: (p, n) f8; x: (N, p) f8; -> (N, n) f8]
+    return np.matmul(x, matrix.T @ matrix)
+
+
+def stored_row(z, buf):
+    # repro: shape[z: (N, p) f8; buf: (N, n) f8]
+    buf[:, :] = z
+
+
+def wrong_out(a, b, scratch):
+    # repro: shape[a: (N, m) f8; b: (N, m) f8; scratch: (N, p) f8]
+    np.add(a, b, out=scratch)
+
+
+def bad_reshape(flat):
+    # repro: shape[flat: (N, m) f8; -> ?]
+    return flat.reshape((4, 4))

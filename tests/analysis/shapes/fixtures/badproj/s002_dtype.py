@@ -1,0 +1,23 @@
+"""Seeded REPRO-S002 bugs: dtype-flow violations on contracted arrays."""
+
+import numpy as np
+
+
+def narrowed_out(z, mask_buf):
+    # repro: shape[z: (N, p) f8; mask_buf: (N, p) f4]
+    np.add(z, 1.0, out=mask_buf)
+
+
+def narrowed_store(z, counts):
+    # repro: shape[z: (N, p) f8; counts: (N, p) i8]
+    counts[:, :] = z
+
+
+def wrong_dtype_arg(idx, table):
+    # repro: shape[idx: (N,) i8; table: (n_opp,) f8; -> (N,) f8]
+    return _lookup(table, idx)
+
+
+def _lookup(table, idx):
+    # repro: shape[table: (n_opp,) f8; idx: (N,) f8; -> (N,) f8]
+    return table[0] + idx

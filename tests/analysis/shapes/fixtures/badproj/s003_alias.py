@@ -1,0 +1,27 @@
+"""Seeded REPRO-S003 bugs: out= aliasing that breaks buffer discipline.
+
+The elementwise case mirrors a shifted-window update: writing a sum
+back through a *different* view of the same buffer makes later lanes
+read already-updated values.  The non-elementwise case is the classic
+``matmul(..., out=<operand>)``, which numpy computes into the operand
+while still reading it.
+"""
+
+import numpy as np
+
+
+def shifted_update(buf):
+    # repro: shape[buf: (N, m) f8]
+    head = buf[:, :-1]
+    tail = buf[:, 1:]
+    np.add(tail, 1.0, out=head)
+
+
+def matmul_in_place(a, b):
+    # repro: shape[a: (n, n) f8; b: (n, n) f8; -> (n, n) f8]
+    return np.matmul(a, b, out=a)
+
+
+def disciplined(u, lo, hi):
+    # repro: shape[u: (N, m) f8; lo: (N, m) f8; hi: (N, m) f8; -> (N, m) f8]
+    return np.minimum(np.maximum(u, lo, out=u), hi, out=u)

@@ -1,0 +1,49 @@
+"""Seeded REPRO-S004 bugs: ctypes bindings drifting from the C source.
+
+Modeled on the real defect this analyzer caught in
+``repro/control/fused.py``: an argtype declared ``c_longlong`` for a C
+parameter that is actually ``const double *`` — silently "working" on
+x86-64/AArch64 only because integers and pointers share argument
+registers there.
+"""
+
+import ctypes
+
+KERNEL_SOURCE = """
+typedef long long i64;
+
+double dot(i64 n, const double *x, const double *y) {
+    double acc = 0.0;
+    for (i64 i = 0; i < n; i++) acc += x[i] * y[i];
+    return acc;
+}
+
+void saxpy(i64 n, double a, const double *x, double *y) {
+    for (i64 i = 0; i < n; i++) y[i] += a * x[i];
+}
+
+int count_saturated(i64 n, const double *u, const double *hi) {
+    int hits = 0;
+    for (i64 i = 0; i < n; i++) hits += (u[i] >= hi[i]);
+    return hits;
+}
+"""
+
+
+def bind(lib):
+    dot = lib.dot
+    # Seeded bug (the fused.py defect): argtype 2 says integer, the C
+    # parameter is a pointer.
+    dot.argtypes = [ctypes.c_longlong, ctypes.c_longlong, ctypes.c_void_p]
+    dot.restype = ctypes.c_double
+
+    saxpy = lib.saxpy
+    # Seeded bug: one argtype short — the trailing `y` pointer is missing.
+    saxpy.argtypes = [ctypes.c_longlong, ctypes.c_double, ctypes.c_void_p]
+    saxpy.restype = None
+
+    count = lib.count_saturated
+    count.argtypes = [ctypes.c_longlong, ctypes.c_void_p, ctypes.c_void_p]
+    # Seeded bug: restype declares a double for a C `int` return.
+    count.restype = ctypes.c_double
+    return dot, saxpy, count

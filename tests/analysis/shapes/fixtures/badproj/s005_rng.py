@@ -1,0 +1,38 @@
+"""Seeded REPRO-S005 bugs: static RNG draw-count mismatches.
+
+Mirrors the fleet platform's chunked-noise protocol: one Gaussian
+buffer is pre-drawn with a fixed per-tick budget, and every consumer
+slices its draws out of the current tick block.  A consumer that takes
+the wrong width (or a tick that forgets to hand out the last draws)
+desynchronizes every stream that shares the buffer.
+"""
+
+import numpy as np
+
+
+class NoisyDevice:
+    def __init__(self, n_devices, n_sensors):
+        # repro: shape[n_devices: int[N]; n_sensors: int[q]]
+        self.n_sensors = n_sensors  # repro: shape[int[q]]
+        self._per_tick = n_sensors + 2  # repro: shape[int[q + 2]]
+        self._used = 0  # repro: shape[int]
+        rng = np.random.default_rng(1234)
+        self._noise = rng.standard_normal(  # repro: shape[(N, _) f8 !rng[q + 2]]
+            (n_devices, 64 * (n_sensors + 2))
+        )
+
+    def tick_short_width(self):
+        u = self._used
+        w = self._per_tick
+        block = self._noise[:, u * w : u * w + self.n_sensors]
+        self._used = u + 1
+        return block
+
+    def tick_stale_offset(self):
+        u = self._used
+        w = self._per_tick
+        block = self._noise[:, u * w : (u + 1) * w]
+        sensors = block[:, 0 : self.n_sensors]
+        bias = block[:, self.n_sensors : self.n_sensors + 1]
+        self._used = u + 1
+        return sensors + bias

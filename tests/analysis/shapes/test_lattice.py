@@ -1,0 +1,138 @@
+"""Unit tests for the symbolic shape lattice (Dim polynomials, dtypes)."""
+
+from repro.analysis.shapes.lattice import (
+    DTYPE_BOOL,
+    DTYPE_F32,
+    DTYPE_F64,
+    DTYPE_I8,
+    DTYPE_I64,
+    DTYPE_UNKNOWN,
+    Dim,
+    broadcast_dims,
+    broadcast_shapes,
+    dims_compatible,
+    dtype_narrows,
+    format_shape,
+    fresh_dim,
+    promote_dtypes,
+    shapes_equal,
+)
+
+N = Dim.sym("N")
+C = Dim.sym("C")
+q = Dim.sym("q")
+one = Dim.const(1)
+two = Dim.const(2)
+
+
+class TestDimAlgebra:
+    def test_canonical_string(self):
+        assert str(two + two * C + q) == "2+2*C+q"
+        assert str(Dim.const(0)) == "0"
+        assert str(-N) == "-N"
+
+    def test_tick_window_cancellation(self):
+        # The S005 load-bearing identity: (u+1)*W - u*W == W even when
+        # u is opaque, because the polynomial difference cancels exactly.
+        u = fresh_dim()
+        W = two + q
+        assert (u + one) * W - u * W == W
+
+    def test_products_expand_and_commute(self):
+        assert (N + one) * (C + two) == N * C + two * N + C + two
+        assert N * C == C * N
+
+    def test_const_value(self):
+        assert (two + two).const_value == 4
+        assert N.const_value is None
+
+    def test_substitute(self):
+        poly = q + two * (C + one)
+        assert poly.substitute({"q": two, "C": N}) == two * N + Dim.const(4)
+        # Unmapped symbols survive unchanged.
+        assert poly.substitute({}) == poly
+
+    def test_as_symbol(self):
+        assert N.as_symbol == "N"
+        assert (N + one).as_symbol is None
+        assert (two * N).as_symbol is None
+        assert (N * C).as_symbol is None
+        assert two.as_symbol is None
+
+    def test_opaque_dims_are_distinct(self):
+        a, b = fresh_dim(), fresh_dim()
+        assert a != b
+        assert a.is_opaque and b.is_opaque
+        assert not (N + one).is_opaque
+
+
+class TestCompatibility:
+    def test_equal_dims_compatible(self):
+        assert dims_compatible(N + C, C + N)
+
+    def test_opaque_compatible_with_anything(self):
+        assert dims_compatible(fresh_dim(), N)
+        assert dims_compatible(N, fresh_dim())
+
+    def test_literal_one_broadcasts(self):
+        assert dims_compatible(one, N)
+        assert broadcast_dims(one, N) == N
+
+    def test_named_mismatch(self):
+        assert not dims_compatible(N, C)
+        assert not dims_compatible(N, two)
+
+
+class TestShapes:
+    def test_broadcast_aligns_trailing(self):
+        out, err = broadcast_shapes([(N, C), (C,)])
+        assert err is None
+        assert out == (N, C)
+
+    def test_broadcast_scalar_row(self):
+        out, err = broadcast_shapes([(N, C), (one, C)])
+        assert err is None
+        assert out == (N, C)
+
+    def test_broadcast_mismatch_reports_dims(self):
+        out, err = broadcast_shapes([(N, C), (N, q)])
+        assert out is None
+        assert err == (C, q)
+
+    def test_broadcast_unknown_rank_is_unknown(self):
+        out, err = broadcast_shapes([(N, C), None])
+        assert out is None and err is None
+
+    def test_format_shape(self):
+        assert format_shape((N, C + one)) == "(N, 1+C)"
+        assert format_shape((N,)) == "(N,)"
+        assert format_shape(None) == "(?)"
+
+    def test_shapes_equal_is_exact(self):
+        assert shapes_equal((N, C), (N, C))
+        assert not shapes_equal((N, fresh_dim()), (N, C))
+        assert not shapes_equal((N, C), (C, N))
+        assert not shapes_equal((N,), (N, C))
+
+
+class TestDtypes:
+    def test_promotion_ladder(self):
+        assert promote_dtypes(DTYPE_BOOL, DTYPE_I8) == DTYPE_I8
+        assert promote_dtypes(DTYPE_I8, DTYPE_I64) == DTYPE_I64
+        assert promote_dtypes(DTYPE_F32, DTYPE_F64) == DTYPE_F64
+
+    def test_int_float32_mix_lands_on_float64(self):
+        # numpy promotes int64 + float32 to float64; the coarse ladder
+        # must agree or S002 would mis-grade mixed accumulations.
+        assert promote_dtypes(DTYPE_I64, DTYPE_F32) == DTYPE_F64
+        assert promote_dtypes(DTYPE_F32, DTYPE_I8) == DTYPE_F64
+
+    def test_unknown_absorbs(self):
+        assert promote_dtypes(DTYPE_UNKNOWN, DTYPE_F64) == DTYPE_UNKNOWN
+
+    def test_narrowing(self):
+        assert dtype_narrows(DTYPE_F64, DTYPE_F32)
+        assert dtype_narrows(DTYPE_F64, DTYPE_I64)
+        assert not dtype_narrows(DTYPE_F32, DTYPE_F64)
+        assert not dtype_narrows(DTYPE_F64, DTYPE_F64)
+        assert not dtype_narrows(DTYPE_UNKNOWN, DTYPE_F32)
